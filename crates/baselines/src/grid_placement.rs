@@ -1,0 +1,238 @@
+//! Dynamic ion placement on a monolithic QCCD grid.
+
+use std::collections::HashMap;
+
+use eml_qccd::{QccdGridDevice, ScheduledOp, TrapId};
+use ion_circuit::QubitId;
+
+/// Placement state for the grid-based baseline compilers: which trap holds
+/// each ion, chain order inside each trap, and per-qubit last-use timestamps.
+#[derive(Debug, Clone)]
+pub struct GridPlacement {
+    trap_of: HashMap<QubitId, TrapId>,
+    chains: HashMap<TrapId, Vec<QubitId>>,
+    last_use: HashMap<QubitId, u64>,
+}
+
+impl GridPlacement {
+    /// Creates an empty placement over every trap of `device`.
+    pub fn new(device: &QccdGridDevice) -> Self {
+        GridPlacement {
+            trap_of: HashMap::new(),
+            chains: device.traps().into_iter().map(|t| (t, Vec::new())).collect(),
+            last_use: HashMap::new(),
+        }
+    }
+
+    /// Builds a placement from an explicit assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a trap is overfilled.
+    pub fn from_mapping(device: &QccdGridDevice, mapping: &[(QubitId, TrapId)]) -> Self {
+        let mut state = Self::new(device);
+        for &(q, t) in mapping {
+            assert!(
+                state.occupancy(t) < device.trap_capacity(),
+                "initial mapping overfills {t}"
+            );
+            state.place(q, t);
+        }
+        state
+    }
+
+    /// Places a previously-unplaced ion at the chain edge of `trap`.
+    pub fn place(&mut self, qubit: QubitId, trap: TrapId) {
+        debug_assert!(!self.trap_of.contains_key(&qubit), "{qubit} placed twice");
+        self.trap_of.insert(qubit, trap);
+        self.chains.get_mut(&trap).expect("trap exists").push(qubit);
+    }
+
+    /// The trap currently holding `qubit`.
+    pub fn trap_of(&self, qubit: QubitId) -> Option<TrapId> {
+        self.trap_of.get(&qubit).copied()
+    }
+
+    /// Number of ions in `trap`.
+    pub fn occupancy(&self, trap: TrapId) -> usize {
+        self.chains.get(&trap).map(Vec::len).unwrap_or(0)
+    }
+
+    /// Remaining free slots in `trap`.
+    pub fn free_slots(&self, device: &QccdGridDevice, trap: TrapId) -> usize {
+        device.trap_capacity().saturating_sub(self.occupancy(trap))
+    }
+
+    /// Ions in `trap`, in chain order.
+    pub fn chain(&self, trap: TrapId) -> &[QubitId] {
+        self.chains.get(&trap).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Records a gate touching `qubit` at logical time `time`.
+    pub fn touch(&mut self, qubit: QubitId, time: u64) {
+        self.last_use.insert(qubit, time);
+    }
+
+    /// Logical time `qubit` was last used.
+    pub fn last_use(&self, qubit: QubitId) -> u64 {
+        self.last_use.get(&qubit).copied().unwrap_or(0)
+    }
+
+    /// Least-recently-used ion in `trap`, excluding `protected`.
+    pub fn lru_victim(&self, trap: TrapId, protected: &[QubitId]) -> Option<QubitId> {
+        self.chain(trap)
+            .iter()
+            .copied()
+            .filter(|q| !protected.contains(q))
+            .min_by_key(|q| (self.last_use(*q), q.index()))
+    }
+
+    /// Moves `qubit` to `destination` along a shortest grid path, emitting one
+    /// shuttle per hop (plus chain rearrangements to reach the chain edge of
+    /// the source trap). Only the destination's capacity matters: ions pass
+    /// through the junctions of intermediate traps without merging into their
+    /// chains.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the qubit is unplaced or the destination is full.
+    pub fn transport(
+        &mut self,
+        device: &QccdGridDevice,
+        qubit: QubitId,
+        destination: TrapId,
+    ) -> Vec<ScheduledOp> {
+        let from = self.trap_of(qubit).expect("cannot transport an unplaced ion");
+        if from == destination {
+            return Vec::new();
+        }
+        assert!(
+            self.occupancy(destination) < device.trap_capacity(),
+            "transport destination {destination} is full"
+        );
+
+        let mut ops = Vec::new();
+        let chain = self.chains.get_mut(&from).expect("trap exists");
+        let idx = chain.iter().position(|&q| q == qubit).expect("qubit is in its chain");
+        let to_edge = idx.min(chain.len() - 1 - idx);
+        for _ in 0..to_edge {
+            ops.push(ScheduledOp::ChainRearrange { zone: from.index() });
+        }
+        chain.remove(idx);
+
+        let path = device.shortest_path(from, destination);
+        for hop in path.windows(2) {
+            ops.push(ScheduledOp::Shuttle {
+                qubit,
+                from_zone: hop[0].index(),
+                to_zone: hop[1].index(),
+                distance_um: device.hop_distance_um(),
+            });
+        }
+
+        self.chains.get_mut(&destination).expect("trap exists").push(qubit);
+        self.trap_of.insert(qubit, destination);
+        ops
+    }
+
+    /// The nearest trap (by hop distance from `near`) that still has free
+    /// space, excluding `exclude`. Used to find eviction targets.
+    pub fn nearest_trap_with_space(
+        &self,
+        device: &QccdGridDevice,
+        near: TrapId,
+        exclude: &[TrapId],
+    ) -> Option<TrapId> {
+        device
+            .traps()
+            .into_iter()
+            .filter(|t| !exclude.contains(t))
+            .filter(|&t| self.free_slots(device, t) > 0)
+            .min_by_key(|&t| (device.hop_distance(near, t), t.index()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eml_qccd::GridConfig;
+
+    fn q(i: usize) -> QubitId {
+        QubitId::new(i)
+    }
+
+    fn device() -> QccdGridDevice {
+        GridConfig::new(2, 3, 4).build()
+    }
+
+    #[test]
+    fn place_and_occupancy() {
+        let d = device();
+        let mut s = GridPlacement::new(&d);
+        s.place(q(0), TrapId(2));
+        assert_eq!(s.trap_of(q(0)), Some(TrapId(2)));
+        assert_eq!(s.occupancy(TrapId(2)), 1);
+        assert_eq!(s.free_slots(&d, TrapId(2)), 3);
+    }
+
+    #[test]
+    fn transport_emits_one_shuttle_per_hop() {
+        let d = device();
+        let mut s = GridPlacement::new(&d);
+        s.place(q(0), TrapId(0));
+        let ops = s.transport(&d, q(0), TrapId(5));
+        let shuttles = ops.iter().filter(|o| o.is_shuttle()).count();
+        assert_eq!(shuttles, d.hop_distance(TrapId(0), TrapId(5)));
+        assert_eq!(s.trap_of(q(0)), Some(TrapId(5)));
+    }
+
+    #[test]
+    fn transport_from_chain_interior_rearranges_first() {
+        let d = device();
+        let mut s = GridPlacement::new(&d);
+        for i in 0..4 {
+            s.place(q(i), TrapId(0));
+        }
+        let ops = s.transport(&d, q(1), TrapId(1));
+        let rearr = ops
+            .iter()
+            .filter(|o| matches!(o, ScheduledOp::ChainRearrange { .. }))
+            .count();
+        assert_eq!(rearr, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "full")]
+    fn transport_into_full_trap_panics() {
+        let d = device();
+        let mut s = GridPlacement::new(&d);
+        for i in 0..4 {
+            s.place(q(i), TrapId(1));
+        }
+        s.place(q(4), TrapId(0));
+        let _ = s.transport(&d, q(4), TrapId(1));
+    }
+
+    #[test]
+    fn nearest_trap_with_space_skips_full_and_excluded() {
+        let d = device();
+        let mut s = GridPlacement::new(&d);
+        for i in 0..4 {
+            s.place(q(i), TrapId(1));
+        }
+        let found = s.nearest_trap_with_space(&d, TrapId(1), &[TrapId(0)]).unwrap();
+        assert_ne!(found, TrapId(0));
+        assert_ne!(found, TrapId(1));
+        assert_eq!(d.hop_distance(TrapId(1), found), 1);
+    }
+
+    #[test]
+    fn lru_victim_respects_timestamps() {
+        let d = device();
+        let mut s = GridPlacement::new(&d);
+        s.place(q(0), TrapId(0));
+        s.place(q(1), TrapId(0));
+        s.touch(q(0), 5);
+        assert_eq!(s.lru_victim(TrapId(0), &[]), Some(q(1)));
+    }
+}

@@ -1,0 +1,114 @@
+//! Murali et al. style baseline compiler ([55] in the paper).
+
+use eml_qccd::{
+    CompileError, CompiledProgram, Compiler, GridConfig, QccdGridDevice, ScheduleExecutor,
+};
+use ion_circuit::Circuit;
+
+use crate::scheduler::{compile_on_grid, RoutingPolicy};
+
+/// Re-implementation of the greedy QCCD-grid compiler of Murali et al.
+/// ("Architecting noisy intermediate-scale trapped ion quantum computers",
+/// ISCA 2020), the standard trapped-ion baseline the paper compares against.
+///
+/// For every pending two-qubit gate whose operands sit in different traps,
+/// one operand is shuttled hop-by-hop along a shortest grid path into the
+/// other's trap (choosing the destination with more free slots); full traps
+/// evict their least-recently-used ion to the nearest trap with space.
+///
+/// ```
+/// use baselines::MuraliCompiler;
+/// use eml_qccd::{Compiler, GridConfig};
+/// use ion_circuit::generators;
+///
+/// let compiler = MuraliCompiler::new(GridConfig::new(2, 2, 12));
+/// let program = compiler.compile(&generators::ghz(32)).unwrap();
+/// assert!(program.metrics().shuttle_count >= 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MuraliCompiler {
+    device: QccdGridDevice,
+    executor: ScheduleExecutor,
+}
+
+impl MuraliCompiler {
+    /// Creates the compiler for the given grid configuration.
+    pub fn new(config: GridConfig) -> Self {
+        MuraliCompiler {
+            device: config.build(),
+            executor: ScheduleExecutor::paper_defaults(),
+        }
+    }
+
+    /// Creates the compiler with the grid the paper uses for this qubit count
+    /// (2×2 / 3×4 / 4×5).
+    pub fn for_qubits(num_qubits: usize) -> Self {
+        Self::new(GridConfig::for_qubits(num_qubits))
+    }
+
+    /// Replaces the executor (timing / fidelity models).
+    pub fn with_executor(mut self, executor: ScheduleExecutor) -> Self {
+        self.executor = executor;
+        self
+    }
+
+    /// The target grid device.
+    pub fn device(&self) -> &QccdGridDevice {
+        &self.device
+    }
+}
+
+impl Compiler for MuraliCompiler {
+    fn name(&self) -> &str {
+        "QCCD-Murali et al."
+    }
+
+    fn compile(&self, circuit: &Circuit) -> Result<CompiledProgram, CompileError> {
+        compile_on_grid(
+            self.name(),
+            &self.device,
+            RoutingPolicy::Greedy,
+            &self.executor,
+            circuit,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ion_circuit::generators;
+
+    #[test]
+    fn compiles_small_benchmarks() {
+        let compiler = MuraliCompiler::new(GridConfig::new(2, 2, 12));
+        for label in ["GHZ_32", "BV_32", "QAOA_32"] {
+            let circuit = generators::BenchmarkApp::from_label(label).unwrap().circuit();
+            let program = compiler.compile(&circuit).unwrap();
+            assert_eq!(
+                program.metrics().two_qubit_gates + program.metrics().swap_gates,
+                circuit.two_qubit_gate_count(),
+                "{label}"
+            );
+            assert_eq!(program.metrics().fiber_gates, 0, "grids have no fiber links");
+        }
+    }
+
+    #[test]
+    fn oversized_circuit_is_rejected() {
+        let compiler = MuraliCompiler::new(GridConfig::new(2, 2, 4));
+        let circuit = generators::ghz(64);
+        assert!(matches!(
+            compiler.compile(&circuit),
+            Err(CompileError::DeviceTooSmall { .. })
+        ));
+    }
+
+    #[test]
+    fn communication_heavy_circuits_shuttle_more() {
+        let compiler = MuraliCompiler::for_qubits(32);
+        let ghz = compiler.compile(&generators::ghz(32)).unwrap();
+        let qft = compiler.compile(&generators::qft(32)).unwrap();
+        assert!(qft.metrics().shuttle_count > ghz.metrics().shuttle_count);
+    }
+}

@@ -1,0 +1,461 @@
+//! Shared scheduling loop for the grid-based baseline compilers.
+
+use std::time::Instant;
+
+use eml_qccd::{
+    CompileError, CompiledProgram, QccdGridDevice, ScheduleExecutor, ScheduledOp, TrapId,
+};
+use ion_circuit::{Circuit, DagNodeId, DependencyDag, Gate, QubitId};
+
+use crate::grid_placement::GridPlacement;
+
+/// Look-ahead window used by the Dai-style policy when deciding which operand
+/// to move (mirrors the paper's `k = 8` convention).
+const DAI_LOOKAHEAD: usize = 8;
+
+/// How a baseline compiler routes the operands of a pending gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum RoutingPolicy {
+    /// Murali et al. style: greedily move one operand into the other's trap.
+    Greedy,
+    /// Dai et al. style: pick the operand (or a meeting trap) using a
+    /// look-ahead affinity heuristic to reduce future transport.
+    LookaheadMeet,
+    /// MQT IonShuttler style: all gates execute in a dedicated processing
+    /// trap; both operands are shuttled there.
+    ProcessingZone,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct GridOutcome {
+    pub ops: Vec<ScheduledOp>,
+    pub final_mapping: Vec<(QubitId, TrapId)>,
+}
+
+/// Block initial mapping: consecutive logical qubits share a trap, traps are
+/// filled in row-major order with `⌈n / traps⌉` ions each.
+pub(crate) fn initial_grid_mapping(
+    device: &QccdGridDevice,
+    num_qubits: usize,
+) -> Result<Vec<(QubitId, TrapId)>, CompileError> {
+    if num_qubits > device.total_capacity() {
+        return Err(CompileError::DeviceTooSmall {
+            required: num_qubits,
+            capacity: device.total_capacity(),
+        });
+    }
+    let traps = device.traps();
+    let quota = num_qubits.div_ceil(traps.len()).min(device.trap_capacity());
+    let mut mapping = Vec::with_capacity(num_qubits);
+    let mut loads = vec![0usize; traps.len()];
+    let mut trap_idx = 0usize;
+    for q in 0..num_qubits {
+        while trap_idx < traps.len() && loads[trap_idx] >= quota {
+            trap_idx += 1;
+        }
+        let idx = if trap_idx < traps.len() {
+            trap_idx
+        } else {
+            // Quota exhausted everywhere (can happen when quota < capacity and
+            // n is not divisible); fall back to the least-loaded trap.
+            (0..traps.len())
+                .filter(|&i| loads[i] < device.trap_capacity())
+                .min_by_key(|&i| loads[i])
+                .ok_or(CompileError::DeviceTooSmall {
+                    required: num_qubits,
+                    capacity: device.total_capacity(),
+                })?
+        };
+        mapping.push((QubitId::new(q), traps[idx]));
+        loads[idx] += 1;
+    }
+    Ok(mapping)
+}
+
+/// Runs the shared scheduling loop with the given routing policy.
+pub(crate) fn schedule_on_grid(
+    device: &QccdGridDevice,
+    policy: RoutingPolicy,
+    circuit: &Circuit,
+    initial_mapping: &[(QubitId, TrapId)],
+) -> Result<GridOutcome, CompileError> {
+    let mut scheduler = GridScheduler {
+        device,
+        policy,
+        state: GridPlacement::from_mapping(device, initial_mapping),
+        dag: DependencyDag::from_circuit(circuit),
+        ops: Vec::new(),
+        clock: 0,
+        processing_trap: processing_trap(device),
+    };
+    scheduler.run()?;
+    let final_mapping = (0..circuit.num_qubits())
+        .map(QubitId::new)
+        .filter_map(|q| scheduler.state.trap_of(q).map(|t| (q, t)))
+        .collect();
+    Ok(GridOutcome { ops: scheduler.ops, final_mapping })
+}
+
+/// The dedicated processing trap used by the MQT-style policy: the trap
+/// closest to the grid centre.
+fn processing_trap(device: &QccdGridDevice) -> TrapId {
+    let rows = device.config().rows();
+    let cols = device.config().cols();
+    device
+        .trap_at(rows / 2, cols / 2)
+        .unwrap_or(TrapId(0))
+}
+
+struct GridScheduler<'a> {
+    device: &'a QccdGridDevice,
+    policy: RoutingPolicy,
+    state: GridPlacement,
+    dag: DependencyDag,
+    ops: Vec<ScheduledOp>,
+    clock: u64,
+    processing_trap: TrapId,
+}
+
+impl GridScheduler<'_> {
+    fn run(&mut self) -> Result<(), CompileError> {
+        while !self.dag.all_executed() {
+            let front = self.dag.front_layer();
+            let executable: Vec<DagNodeId> =
+                front.iter().copied().filter(|&n| self.is_executable(n)).collect();
+            if !executable.is_empty() {
+                for node in executable {
+                    self.execute_gate(node)?;
+                }
+                continue;
+            }
+            let node = front[0];
+            self.route_for_gate(node)?;
+            self.execute_gate(node)?;
+        }
+        Ok(())
+    }
+
+    fn trap_of(&self, q: QubitId) -> Result<TrapId, CompileError> {
+        self.state.trap_of(q).ok_or_else(|| CompileError::PlacementFailed {
+            qubit: q,
+            context: "qubit missing from the grid mapping".to_string(),
+        })
+    }
+
+    fn is_executable(&self, node: DagNodeId) -> bool {
+        let (a, b) = self.dag.operands(node);
+        match (self.state.trap_of(a), self.state.trap_of(b)) {
+            (Some(ta), Some(tb)) if ta == tb => {
+                // The MQT-style policy only executes gates inside the
+                // processing zone.
+                self.policy != RoutingPolicy::ProcessingZone || ta == self.processing_trap
+            }
+            _ => false,
+        }
+    }
+
+    fn execute_gate(&mut self, node: DagNodeId) -> Result<(), CompileError> {
+        let (a, b) = self.dag.operands(node);
+        let trap = self.trap_of(a)?;
+        let gate = self.dag.gate(node);
+        if gate.is_swap() {
+            self.ops.push(ScheduledOp::SwapGate {
+                a,
+                b,
+                zone: trap.index(),
+                ions_in_zone: self.state.occupancy(trap),
+            });
+        } else {
+            self.ops.push(ScheduledOp::TwoQubitGate {
+                a,
+                b,
+                zone: trap.index(),
+                ions_in_zone: self.state.occupancy(trap),
+            });
+        }
+        self.clock += 1;
+        self.state.touch(a, self.clock);
+        self.state.touch(b, self.clock);
+        self.dag.mark_executed(node);
+        Ok(())
+    }
+
+    fn route_for_gate(&mut self, node: DagNodeId) -> Result<(), CompileError> {
+        let (a, b) = self.dag.operands(node);
+        match self.policy {
+            RoutingPolicy::Greedy => self.route_greedy(a, b),
+            RoutingPolicy::LookaheadMeet => self.route_lookahead(a, b),
+            RoutingPolicy::ProcessingZone => self.route_processing_zone(a, b),
+        }
+    }
+
+    /// Murali-style: move one operand into the other's trap, preferring the
+    /// destination with more free space (fewer evictions).
+    fn route_greedy(&mut self, a: QubitId, b: QubitId) -> Result<(), CompileError> {
+        let ta = self.trap_of(a)?;
+        let tb = self.trap_of(b)?;
+        let free_a = self.state.free_slots(self.device, ta);
+        let free_b = self.state.free_slots(self.device, tb);
+        let (mover, destination) = if free_a >= free_b { (b, ta) } else { (a, tb) };
+        self.move_qubit(mover, destination, &[a, b])
+    }
+
+    /// Dai-style: move the operand with the weaker affinity to its own trap,
+    /// where affinity counts near-future partners co-trapped with it. When
+    /// both traps are (nearly) full, meet in the closest trap with room for
+    /// both.
+    fn route_lookahead(&mut self, a: QubitId, b: QubitId) -> Result<(), CompileError> {
+        let ta = self.trap_of(a)?;
+        let tb = self.trap_of(b)?;
+        let affinity_a = self.trap_affinity(a, ta);
+        let affinity_b = self.trap_affinity(b, tb);
+        let free_a = self.state.free_slots(self.device, ta);
+        let free_b = self.state.free_slots(self.device, tb);
+
+        if free_a == 0 && free_b == 0 {
+            // Meet halfway: nearest trap with space for both operands.
+            if let Some(meet) = self
+                .device
+                .traps()
+                .into_iter()
+                .filter(|&t| t != ta && t != tb)
+                .filter(|&t| self.state.free_slots(self.device, t) >= 2)
+                .min_by_key(|&t| {
+                    (
+                        self.device.hop_distance(ta, t) + self.device.hop_distance(tb, t),
+                        t.index(),
+                    )
+                })
+            {
+                self.move_qubit(a, meet, &[a, b])?;
+                self.move_qubit(b, meet, &[a, b])?;
+                return Ok(());
+            }
+        }
+
+        // Move the operand that cares least about staying where it is; on a
+        // tie, prefer the move into the emptier trap.
+        let move_a = match affinity_a.cmp(&affinity_b) {
+            std::cmp::Ordering::Less => true,
+            std::cmp::Ordering::Greater => false,
+            std::cmp::Ordering::Equal => free_b >= free_a,
+        };
+        if move_a {
+            self.move_qubit(a, tb, &[a, b])
+        } else {
+            self.move_qubit(b, ta, &[a, b])
+        }
+    }
+
+    /// Number of gates in the next few DAG layers that pair `q` with an ion
+    /// currently stored in `trap`.
+    fn trap_affinity(&self, q: QubitId, trap: TrapId) -> usize {
+        let mut affinity = 0usize;
+        for layer in self.dag.lookahead_layers(DAI_LOOKAHEAD) {
+            for node in layer {
+                let (x, y) = self.dag.operands(node);
+                let partner = if x == q {
+                    Some(y)
+                } else if y == q {
+                    Some(x)
+                } else {
+                    None
+                };
+                if let Some(p) = partner {
+                    if self.state.trap_of(p) == Some(trap) {
+                        affinity += 1;
+                    }
+                }
+            }
+        }
+        affinity
+    }
+
+    /// MQT-style: both operands go to the dedicated processing trap.
+    fn route_processing_zone(&mut self, a: QubitId, b: QubitId) -> Result<(), CompileError> {
+        for q in [a, b] {
+            self.move_qubit(q, self.processing_trap, &[a, b])?;
+        }
+        Ok(())
+    }
+
+    fn move_qubit(
+        &mut self,
+        q: QubitId,
+        destination: TrapId,
+        protected: &[QubitId],
+    ) -> Result<(), CompileError> {
+        if self.trap_of(q)? == destination {
+            return Ok(());
+        }
+        self.ensure_space(destination, protected)?;
+        let ops = self.state.transport(self.device, q, destination);
+        self.ops.extend(ops);
+        Ok(())
+    }
+
+    fn ensure_space(&mut self, trap: TrapId, protected: &[QubitId]) -> Result<(), CompileError> {
+        while self.state.free_slots(self.device, trap) == 0 {
+            let victim = self.state.lru_victim(trap, protected).ok_or_else(|| {
+                CompileError::PlacementFailed {
+                    qubit: *protected.first().unwrap_or(&QubitId::new(0)),
+                    context: format!("trap {trap} is full of protected qubits"),
+                }
+            })?;
+            let target = self
+                .state
+                .nearest_trap_with_space(self.device, trap, &[trap])
+                .ok_or_else(|| CompileError::PlacementFailed {
+                    qubit: victim,
+                    context: "the whole grid is full".to_string(),
+                })?;
+            let ops = self.state.transport(self.device, victim, target);
+            self.ops.extend(ops);
+        }
+        Ok(())
+    }
+}
+
+/// Shared compile path for the three baseline compilers.
+pub(crate) fn compile_on_grid(
+    name: &str,
+    device: &QccdGridDevice,
+    policy: RoutingPolicy,
+    executor: &ScheduleExecutor,
+    circuit: &Circuit,
+) -> Result<CompiledProgram, CompileError> {
+    let start = Instant::now();
+    circuit
+        .validate()
+        .map_err(|e| CompileError::InvalidCircuit(e.to_string()))?;
+    let mapping = initial_grid_mapping(device, circuit.num_qubits())?;
+    let outcome = schedule_on_grid(device, policy, circuit, &mapping)?;
+
+    let mut ops = Vec::with_capacity(outcome.ops.len() + circuit.len());
+    let start_traps: std::collections::HashMap<QubitId, TrapId> = mapping.iter().copied().collect();
+    for gate in circuit.gates() {
+        if gate.is_single_qubit() {
+            let qubit = gate.qubits()[0];
+            if let Some(trap) = start_traps.get(&qubit) {
+                ops.push(ScheduledOp::SingleQubitGate { qubit, zone: trap.index() });
+            }
+        }
+    }
+    ops.extend(outcome.ops.iter().cloned());
+    let end_traps: std::collections::HashMap<QubitId, TrapId> =
+        outcome.final_mapping.iter().copied().collect();
+    for gate in circuit.gates() {
+        if let Gate::Measure(qubit) = gate {
+            if let Some(trap) = end_traps.get(qubit) {
+                ops.push(ScheduledOp::Measurement { qubit: *qubit, zone: trap.index() });
+            }
+        }
+    }
+
+    Ok(CompiledProgram::new(name, circuit, ops, executor, start.elapsed()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eml_qccd::GridConfig;
+    use ion_circuit::generators;
+
+    #[test]
+    fn block_mapping_keeps_neighbours_together() {
+        let device = GridConfig::new(2, 2, 12).build();
+        let mapping = initial_grid_mapping(&device, 32).unwrap();
+        assert_eq!(mapping.len(), 32);
+        // 8 qubits per trap; qubits 0..8 share trap 0.
+        assert!(mapping[..8].iter().all(|&(_, t)| t == TrapId(0)));
+        assert!(mapping[8..16].iter().all(|&(_, t)| t == TrapId(1)));
+    }
+
+    #[test]
+    fn mapping_rejects_oversized_circuits() {
+        let device = GridConfig::new(2, 2, 4).build();
+        assert!(matches!(
+            initial_grid_mapping(&device, 20),
+            Err(CompileError::DeviceTooSmall { .. })
+        ));
+    }
+
+    #[test]
+    fn ghz_chain_needs_one_shuttle_per_trap_boundary() {
+        let device = GridConfig::new(2, 2, 12).build();
+        let circuit = generators::ghz(32);
+        let mapping = initial_grid_mapping(&device, 32).unwrap();
+        let outcome = schedule_on_grid(&device, RoutingPolicy::Greedy, &circuit, &mapping).unwrap();
+        let shuttles = outcome.ops.iter().filter(|o| o.is_shuttle()).count();
+        // The chain crosses three trap boundaries; trap 1 and 2 are adjacent to
+        // trap 0/3 in the grid, so each crossing costs one or two hops.
+        assert!(shuttles >= 3 && shuttles <= 8, "got {shuttles}");
+    }
+
+    #[test]
+    fn processing_zone_policy_shuttles_far_more() {
+        let device = GridConfig::new(2, 2, 12).build();
+        let circuit = generators::qft(32);
+        let mapping = initial_grid_mapping(&device, 32).unwrap();
+        let greedy = schedule_on_grid(&device, RoutingPolicy::Greedy, &circuit, &mapping).unwrap();
+        let mqt = schedule_on_grid(&device, RoutingPolicy::ProcessingZone, &circuit, &mapping).unwrap();
+        let count = |o: &GridOutcome| o.ops.iter().filter(|op| op.is_shuttle()).count();
+        assert!(
+            count(&mqt) > count(&greedy),
+            "processing-zone policy should shuttle more: {} vs {}",
+            count(&mqt),
+            count(&greedy)
+        );
+    }
+
+    #[test]
+    fn lookahead_policy_is_not_worse_than_greedy_on_structured_circuits() {
+        let device = GridConfig::new(2, 3, 8).build();
+        let circuit = generators::adder(32);
+        let mapping = initial_grid_mapping(&device, 32).unwrap();
+        let greedy = schedule_on_grid(&device, RoutingPolicy::Greedy, &circuit, &mapping).unwrap();
+        let dai = schedule_on_grid(&device, RoutingPolicy::LookaheadMeet, &circuit, &mapping).unwrap();
+        let count = |o: &GridOutcome| o.ops.iter().filter(|op| op.is_shuttle()).count();
+        assert!(
+            count(&dai) <= count(&greedy) * 2,
+            "dai {} should be in the same ballpark as greedy {}",
+            count(&dai),
+            count(&greedy)
+        );
+    }
+
+    #[test]
+    fn every_two_qubit_gate_is_emitted() {
+        let device = GridConfig::new(3, 4, 16).build();
+        let circuit = generators::sqrt(117);
+        let mapping = initial_grid_mapping(&device, 117).unwrap();
+        let outcome = schedule_on_grid(&device, RoutingPolicy::Greedy, &circuit, &mapping).unwrap();
+        let gates = outcome.ops.iter().filter(|o| o.is_two_qubit()).count();
+        assert_eq!(gates, circuit.two_qubit_gate_count());
+    }
+
+    #[test]
+    fn trap_capacity_is_never_exceeded() {
+        let device = GridConfig::new(2, 2, 8).build();
+        let circuit = generators::random_circuit(24, 150, 3);
+        let mapping = initial_grid_mapping(&device, 24).unwrap();
+        let outcome = schedule_on_grid(&device, RoutingPolicy::Greedy, &circuit, &mapping).unwrap();
+        let mut occupancy: std::collections::HashMap<usize, i64> = std::collections::HashMap::new();
+        for &(_, t) in &mapping {
+            *occupancy.entry(t.index()).or_insert(0) += 1;
+        }
+        for op in &outcome.ops {
+            if let ScheduledOp::Shuttle { from_zone, to_zone, .. } = op {
+                *occupancy.entry(*from_zone).or_insert(0) -= 1;
+                *occupancy.entry(*to_zone).or_insert(0) += 1;
+            }
+        }
+        // Intermediate hops pass through traps, so transient counts can touch
+        // capacity; the *final* state must respect it.
+        for trap in device.traps() {
+            let count = occupancy.get(&trap.index()).copied().unwrap_or(0);
+            assert!(count >= 0);
+            assert!(count as usize <= device.trap_capacity(), "trap {trap} over capacity");
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! Criterion bench regenerating Figure 10 (compilation-time scaling): the
+//! benchmark times MUSS-TI compilation itself across application sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eml_qccd::{Compiler, DeviceConfig};
+use ion_circuit::generators;
+use muss_ti::{MussTiCompiler, MussTiOptions};
+
+fn bench_fig10(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_compile_time");
+    group.sample_size(10);
+    for &n in &[128usize, 192, 256] {
+        let circuit = generators::bv(n);
+        let device = DeviceConfig::for_qubits(n).build();
+        let compiler = MussTiCompiler::new(device, MussTiOptions::default());
+        group.bench_with_input(BenchmarkId::new("bv", n), &circuit, |b, circuit| {
+            b.iter(|| compiler.compile(circuit).unwrap())
+        });
+    }
+    group.finish();
+
+    let result = experiments::fig10::run_with(&["GHZ", "BV"], &[128, 192, 256]);
+    println!("{}", result.render());
+}
+
+criterion_group!(benches, bench_fig10);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Criterion bench regenerating Figure 11 (compile time vs fidelity).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_fig11(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11");
+    group.sample_size(10);
+    group.bench_function("bv128_tradeoff", |b| {
+        b.iter(|| experiments::fig11::run_with(&["BV_128"]))
+    });
+    group.finish();
+
+    let result = experiments::fig11::run_with(&["BV_128"]);
+    println!("{}", result.render());
+}
+
+criterion_group!(benches, bench_fig11);
+criterion_main!(benches);

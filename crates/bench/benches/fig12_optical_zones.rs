@@ -1,0 +1,18 @@
+//! Criterion bench regenerating Figure 12 (1 vs 2 entanglement zones).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_fig12(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12");
+    group.sample_size(10);
+    group.bench_function("qaoa256_zone_comparison", |b| {
+        b.iter(|| experiments::fig12::run_with(&["QAOA_256"], &[1, 2]))
+    });
+    group.finish();
+
+    let result = experiments::fig12::run_with(&["QAOA_256", "GHZ_256"], &[1, 2]);
+    println!("{}", result.render());
+}
+
+criterion_group!(benches, bench_fig12);
+criterion_main!(benches);

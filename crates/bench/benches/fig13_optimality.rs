@@ -1,0 +1,18 @@
+//! Criterion bench regenerating Figure 13 (optimality analysis).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_fig13(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig13");
+    group.sample_size(10);
+    group.bench_function("medium_apps_idealisations", |b| {
+        b.iter(|| experiments::fig13::run_with(&["BV_128", "QAOA_128"]))
+    });
+    group.finish();
+
+    let result = experiments::fig13::run_with(&["BV_128", "QAOA_128", "GHZ_128"]);
+    println!("{}", result.render());
+}
+
+criterion_group!(benches, bench_fig13);
+criterion_main!(benches);

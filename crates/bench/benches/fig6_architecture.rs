@@ -1,0 +1,22 @@
+//! Criterion bench regenerating Figure 6 (architectural comparison).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ion_circuit::generators::BenchmarkScale;
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6");
+    group.sample_size(10);
+    group.bench_function("small_scale_column", |b| {
+        b.iter(|| experiments::fig6::run_scales(&[BenchmarkScale::Small]))
+    });
+    group.finish();
+
+    let result = experiments::fig6::run_scales(&[BenchmarkScale::Small]);
+    println!("{}", result.render());
+    for (scale, reduction) in result.shuttle_reduction_per_scale() {
+        println!("{scale}: average shuttle reduction {reduction:.2}%");
+    }
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Criterion bench regenerating Figure 7 (trap-capacity sweep).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_fig7(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7");
+    group.sample_size(10);
+    group.bench_function("bv128_capacity_sweep", |b| {
+        b.iter(|| experiments::fig7::run_with(&["BV_128"], &[12, 16, 20]))
+    });
+    group.finish();
+
+    let result = experiments::fig7::run_with(&["BV_128", "GHZ_128"], &experiments::fig7::capacities());
+    println!("{}", result.render());
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Criterion bench regenerating Figure 8 (technique ablation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_fig8(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8");
+    group.sample_size(10);
+    group.bench_function("ablation_bv128", |b| {
+        b.iter(|| experiments::fig8::run_with(&["BV_128"]))
+    });
+    group.finish();
+
+    let result = experiments::fig8::run_with(&["BV_128", "GHZ_128", "QAOA_128"]);
+    println!("{}", result.render());
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Criterion bench regenerating Figure 9 (look-ahead sweep).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_fig9(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9");
+    group.sample_size(10);
+    group.bench_function("sqrt117_lookahead_sweep", |b| {
+        b.iter(|| experiments::fig9::run_with(&["SQRT_117"], &[4, 8, 12]))
+    });
+    group.finish();
+
+    let result = experiments::fig9::run_with(&["SQRT_117"], &experiments::fig9::lookahead_values());
+    println!("{}", result.render());
+}
+
+criterion_group!(benches, bench_fig9);
+criterion_main!(benches);

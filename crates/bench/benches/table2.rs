@@ -1,0 +1,21 @@
+//! Criterion bench regenerating Table 2 (small-scale comparison).
+//! The measured unit is one full Table 2 pass over two representative
+//! applications; run the `table2` binary for the complete table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_table2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    group.bench_function("ghz32_bv32_all_compilers", |b| {
+        b.iter(|| experiments::table2::run_with_apps(&["GHZ_32", "BV_32"]))
+    });
+    group.finish();
+
+    // Print the full table once so the bench log carries the reproduced rows.
+    let result = experiments::table2::run_with_apps(&["GHZ_32", "BV_32", "QAOA_32"]);
+    println!("{}", result.render());
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

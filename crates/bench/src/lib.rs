@@ -1,0 +1,16 @@
+//! Criterion bench harness crate. The actual benchmark targets live in
+//! `benches/`; this library only exposes small shared helpers.
+
+/// Returns the list of small-scale application names used by the paper's
+/// Table 2 and Figure 6 (left column).
+pub fn small_scale_names() -> Vec<&'static str> {
+    vec!["Adder_32", "BV_32", "GHZ_32", "QAOA_32", "QFT_32", "SQRT_30"]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn small_scale_names_has_six_entries() {
+        assert_eq!(super::small_scale_names().len(), 6);
+    }
+}

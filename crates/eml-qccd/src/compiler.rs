@@ -1,0 +1,152 @@
+//! The `Compiler` trait and the `CompiledProgram` it produces.
+
+use std::time::Duration;
+
+use ion_circuit::Circuit;
+
+use crate::{CompileError, ExecutionMetrics, ScheduleExecutor, ScheduledOp};
+
+/// The artefact produced by compiling a circuit for a trapped-ion device:
+/// the scheduled operation sequence plus the metrics obtained by running it
+/// through the shared [`ScheduleExecutor`].
+#[derive(Debug, Clone)]
+pub struct CompiledProgram {
+    compiler_name: String,
+    circuit_name: String,
+    num_qubits: usize,
+    ops: Vec<ScheduledOp>,
+    metrics: ExecutionMetrics,
+    compile_time: Duration,
+}
+
+impl CompiledProgram {
+    /// Assembles a compiled program, evaluating `ops` with `executor` to fill
+    /// in the metrics.
+    pub fn new(
+        compiler_name: impl Into<String>,
+        circuit: &Circuit,
+        ops: Vec<ScheduledOp>,
+        executor: &ScheduleExecutor,
+        compile_time: Duration,
+    ) -> Self {
+        let metrics = executor.execute(&ops);
+        CompiledProgram {
+            compiler_name: compiler_name.into(),
+            circuit_name: circuit.name().to_string(),
+            num_qubits: circuit.num_qubits(),
+            ops,
+            metrics,
+            compile_time,
+        }
+    }
+
+    /// Name of the compiler that produced this program.
+    pub fn compiler_name(&self) -> &str {
+        &self.compiler_name
+    }
+
+    /// Name of the compiled circuit.
+    pub fn circuit_name(&self) -> &str {
+        &self.circuit_name
+    }
+
+    /// Number of logical qubits in the source circuit.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// The scheduled operation sequence.
+    pub fn ops(&self) -> &[ScheduledOp] {
+        &self.ops
+    }
+
+    /// The execution metrics (shuttles, time, fidelity).
+    pub fn metrics(&self) -> &ExecutionMetrics {
+        &self.metrics
+    }
+
+    /// Wall-clock time the compiler spent producing this program.
+    pub fn compile_time(&self) -> Duration {
+        self.compile_time
+    }
+
+    /// Re-evaluates the same operation sequence under a different executor
+    /// (e.g. a perfect-gate or perfect-shuttle fidelity model) without
+    /// recompiling. Used by the optimality analysis (Fig. 13).
+    pub fn reevaluate(&self, executor: &ScheduleExecutor) -> ExecutionMetrics {
+        executor.execute(&self.ops)
+    }
+}
+
+/// A compiler lowering logical circuits onto a trapped-ion device.
+///
+/// Implementors hold their target device description and models; the trait
+/// keeps MUSS-TI and the baseline compilers interchangeable in the
+/// experiment harness.
+pub trait Compiler {
+    /// Human-readable name used in tables and figures (e.g. `"MUSS-TI"`).
+    fn name(&self) -> &str;
+
+    /// Compiles `circuit` into a scheduled program.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CompileError`] if the circuit does not fit the device or
+    /// fails validation.
+    fn compile(&self, circuit: &Circuit) -> Result<CompiledProgram, CompileError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ion_circuit::QubitId;
+
+    #[test]
+    fn compiled_program_evaluates_metrics() {
+        let mut circuit = Circuit::with_name("demo", 2);
+        circuit.cx(0, 1);
+        let ops = vec![ScheduledOp::TwoQubitGate {
+            a: QubitId::new(0),
+            b: QubitId::new(1),
+            zone: 0,
+            ions_in_zone: 2,
+        }];
+        let program = CompiledProgram::new(
+            "test-compiler",
+            &circuit,
+            ops,
+            &ScheduleExecutor::paper_defaults(),
+            Duration::from_millis(5),
+        );
+        assert_eq!(program.compiler_name(), "test-compiler");
+        assert_eq!(program.circuit_name(), "demo");
+        assert_eq!(program.metrics().two_qubit_gates, 1);
+        assert_eq!(program.num_qubits(), 2);
+        assert_eq!(program.compile_time(), Duration::from_millis(5));
+    }
+
+    #[test]
+    fn reevaluate_with_ideal_models_improves_fidelity() {
+        let mut circuit = Circuit::with_name("demo", 2);
+        circuit.cx(0, 1);
+        let ops = vec![
+            ScheduledOp::Shuttle { qubit: QubitId::new(0), from_zone: 1, to_zone: 0, distance_um: 100.0 },
+            ScheduledOp::TwoQubitGate { a: QubitId::new(0), b: QubitId::new(1), zone: 0, ions_in_zone: 12 },
+        ];
+        let program = CompiledProgram::new(
+            "test",
+            &circuit,
+            ops,
+            &ScheduleExecutor::paper_defaults(),
+            Duration::ZERO,
+        );
+        let ideal = ScheduleExecutor::new(
+            crate::TimingModel::default(),
+            crate::FidelityModel::perfect_gates(),
+        );
+        let ideal_metrics = program.reevaluate(&ideal);
+        assert!(ideal_metrics.log_fidelity.ln() > program.metrics().log_fidelity.ln());
+        // The op sequence itself is unchanged.
+        assert_eq!(ideal_metrics.shuttle_count, program.metrics().shuttle_count);
+    }
+}

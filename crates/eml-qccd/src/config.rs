@@ -1,0 +1,259 @@
+//! EML-QCCD device configuration.
+
+use serde::{Deserialize, Serialize};
+
+use crate::DeviceError;
+
+/// Configuration of an entanglement-module-linked QCCD device.
+///
+/// Defaults follow Section 4 of the paper ("Architecture Setting"): each
+/// module has one optical zone, one operation zone and two storage zones,
+/// every zone holds up to 16 ions, a module holds at most 32 ions, and the
+/// number of modules grows with the application size (one module per 32
+/// qubits).
+///
+/// ```
+/// use eml_qccd::DeviceConfig;
+///
+/// let device = DeviceConfig::for_qubits(128).build();
+/// assert_eq!(device.num_modules(), 4);
+/// assert_eq!(device.zones().len(), 4 * 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceConfig {
+    num_modules: usize,
+    trap_capacity: usize,
+    optical_zones_per_module: usize,
+    operation_zones_per_module: usize,
+    storage_zones_per_module: usize,
+    max_qubits_per_module: usize,
+    /// Physical distance in micrometres between adjacent zones of a module
+    /// (used to derive shuttle move durations).
+    inter_zone_distance_um: f64,
+}
+
+impl Default for DeviceConfig {
+    fn default() -> Self {
+        DeviceConfig {
+            num_modules: 4,
+            trap_capacity: 16,
+            optical_zones_per_module: 1,
+            operation_zones_per_module: 1,
+            storage_zones_per_module: 2,
+            max_qubits_per_module: 32,
+            inter_zone_distance_um: 100.0,
+        }
+    }
+}
+
+impl DeviceConfig {
+    /// The paper's default architecture (4 modules, capacity 16).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sizes the device for an application with `num_qubits` logical qubits
+    /// following Section 4 of the paper: the number of QCCD modules grows
+    /// dynamically with the application size, one module (32-qubit cap) per
+    /// started block of 32 qubits, everything else at paper defaults.
+    pub fn for_qubits(num_qubits: usize) -> Self {
+        let cfg = Self::default();
+        let modules = num_qubits.div_ceil(cfg.max_qubits_per_module).max(1);
+        cfg.with_modules(modules)
+    }
+
+    /// Sets the number of QCCD modules.
+    pub fn with_modules(mut self, num_modules: usize) -> Self {
+        self.num_modules = num_modules;
+        self
+    }
+
+    /// Sets the per-zone ion capacity (the paper sweeps 12–20 in Fig. 7).
+    pub fn with_trap_capacity(mut self, capacity: usize) -> Self {
+        self.trap_capacity = capacity;
+        self
+    }
+
+    /// Sets the number of optical (entanglement) zones per module
+    /// (the paper compares 1 vs 2 in Fig. 12).
+    pub fn with_optical_zones(mut self, zones: usize) -> Self {
+        self.optical_zones_per_module = zones;
+        self
+    }
+
+    /// Sets the number of operation zones per module.
+    pub fn with_operation_zones(mut self, zones: usize) -> Self {
+        self.operation_zones_per_module = zones;
+        self
+    }
+
+    /// Sets the number of storage zones per module.
+    pub fn with_storage_zones(mut self, zones: usize) -> Self {
+        self.storage_zones_per_module = zones;
+        self
+    }
+
+    /// Sets the maximum number of ions a module may hold.
+    pub fn with_max_qubits_per_module(mut self, max: usize) -> Self {
+        self.max_qubits_per_module = max;
+        self
+    }
+
+    /// Sets the physical distance between adjacent zones of a module.
+    pub fn with_inter_zone_distance_um(mut self, distance: f64) -> Self {
+        self.inter_zone_distance_um = distance;
+        self
+    }
+
+    /// Number of modules.
+    pub fn num_modules(&self) -> usize {
+        self.num_modules
+    }
+
+    /// Per-zone ion capacity.
+    pub fn trap_capacity(&self) -> usize {
+        self.trap_capacity
+    }
+
+    /// Optical zones per module.
+    pub fn optical_zones_per_module(&self) -> usize {
+        self.optical_zones_per_module
+    }
+
+    /// Operation zones per module.
+    pub fn operation_zones_per_module(&self) -> usize {
+        self.operation_zones_per_module
+    }
+
+    /// Storage zones per module.
+    pub fn storage_zones_per_module(&self) -> usize {
+        self.storage_zones_per_module
+    }
+
+    /// Maximum ions per module.
+    pub fn max_qubits_per_module(&self) -> usize {
+        self.max_qubits_per_module
+    }
+
+    /// Distance between adjacent zones of a module in micrometres.
+    pub fn inter_zone_distance_um(&self) -> f64 {
+        self.inter_zone_distance_um
+    }
+
+    /// Zones per module across all levels.
+    pub fn zones_per_module(&self) -> usize {
+        self.optical_zones_per_module + self.operation_zones_per_module + self.storage_zones_per_module
+    }
+
+    /// Total ion capacity of the whole device, respecting the per-module cap.
+    pub fn total_capacity(&self) -> usize {
+        let per_module_slots = self.zones_per_module() * self.trap_capacity;
+        self.num_modules * per_module_slots.min(self.max_qubits_per_module)
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::InvalidConfig`] when the device has no modules,
+    /// no gate-capable zone, or zero capacity.
+    pub fn validate(&self) -> Result<(), DeviceError> {
+        if self.num_modules == 0 {
+            return Err(DeviceError::InvalidConfig("device must have at least one module".into()));
+        }
+        if self.trap_capacity < 2 {
+            return Err(DeviceError::InvalidConfig(
+                "trap capacity must be at least 2 so a two-qubit gate can execute".into(),
+            ));
+        }
+        if self.optical_zones_per_module + self.operation_zones_per_module == 0 {
+            return Err(DeviceError::InvalidConfig(
+                "each module needs at least one gate-capable (operation or optical) zone".into(),
+            ));
+        }
+        if self.max_qubits_per_module < 2 {
+            return Err(DeviceError::InvalidConfig("module qubit cap must be at least 2".into()));
+        }
+        if !(self.inter_zone_distance_um.is_finite()) || self.inter_zone_distance_um <= 0.0 {
+            return Err(DeviceError::InvalidConfig("inter-zone distance must be positive".into()));
+        }
+        Ok(())
+    }
+
+    /// Builds the device described by this configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid; use [`DeviceConfig::try_build`]
+    /// for a fallible variant.
+    pub fn build(&self) -> crate::EmlQccdDevice {
+        self.try_build().expect("invalid EML-QCCD device configuration")
+    }
+
+    /// Builds the device, returning an error for invalid configurations.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DeviceConfig::validate`] failures.
+    pub fn try_build(&self) -> Result<crate::EmlQccdDevice, DeviceError> {
+        self.validate()?;
+        Ok(crate::EmlQccdDevice::from_config(self.clone()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_section4() {
+        let c = DeviceConfig::default();
+        assert_eq!(c.trap_capacity(), 16);
+        assert_eq!(c.optical_zones_per_module(), 1);
+        assert_eq!(c.operation_zones_per_module(), 1);
+        assert_eq!(c.storage_zones_per_module(), 2);
+        assert_eq!(c.max_qubits_per_module(), 32);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn for_qubits_adds_one_module_per_32_qubits() {
+        assert_eq!(DeviceConfig::for_qubits(32).num_modules(), 1);
+        assert_eq!(DeviceConfig::for_qubits(64).num_modules(), 2);
+        assert_eq!(DeviceConfig::for_qubits(128).num_modules(), 4);
+        assert_eq!(DeviceConfig::for_qubits(299).num_modules(), 10);
+    }
+
+    #[test]
+    fn total_capacity_respects_module_cap() {
+        let c = DeviceConfig::default().with_modules(2);
+        // 4 zones * 16 = 64 slots, capped at 32 per module.
+        assert_eq!(c.total_capacity(), 64);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        assert!(DeviceConfig::default().with_modules(0).validate().is_err());
+        assert!(DeviceConfig::default().with_trap_capacity(1).validate().is_err());
+        assert!(DeviceConfig::default()
+            .with_optical_zones(0)
+            .with_operation_zones(0)
+            .validate()
+            .is_err());
+        assert!(DeviceConfig::default()
+            .with_inter_zone_distance_um(-1.0)
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn builder_is_chainable() {
+        let c = DeviceConfig::new()
+            .with_modules(6)
+            .with_trap_capacity(8)
+            .with_optical_zones(2);
+        assert_eq!(c.num_modules(), 6);
+        assert_eq!(c.trap_capacity(), 8);
+        assert_eq!(c.zones_per_module(), 5);
+    }
+}

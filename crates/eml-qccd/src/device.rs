@@ -1,0 +1,243 @@
+//! The entanglement-module-linked QCCD device (static topology).
+
+use serde::{Deserialize, Serialize};
+
+use crate::{DeviceConfig, ModuleId, Zone, ZoneId, ZoneLevel};
+
+/// Static description of an EML-QCCD device: a set of QCCD modules, each
+/// partitioned into storage / operation / optical zones, with every pair of
+/// modules linked through their optical zones by an optical fiber
+/// (Fig. 2 of the paper).
+///
+/// The device is *static*: it knows capacities, levels and distances but not
+/// where ions currently are. Dynamic occupancy is tracked by the compilers
+/// (placement state) and by the executor (heat, clocks).
+///
+/// ```
+/// use eml_qccd::{DeviceConfig, ZoneLevel};
+///
+/// let device = DeviceConfig::for_qubits(64).build();
+/// assert_eq!(device.num_modules(), 2);
+/// let optical = device.zones_at_level(ZoneLevel::Optical);
+/// assert_eq!(optical.len(), 2);
+/// assert!(device.fiber_linked(device.modules()[0], device.modules()[1]));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EmlQccdDevice {
+    config: DeviceConfig,
+    zones: Vec<Zone>,
+}
+
+impl EmlQccdDevice {
+    /// Builds the device from a validated configuration. Prefer
+    /// [`DeviceConfig::build`] / [`DeviceConfig::try_build`].
+    pub(crate) fn from_config(config: DeviceConfig) -> Self {
+        let mut zones = Vec::new();
+        let mut next = 0usize;
+        for m in 0..config.num_modules() {
+            let module = ModuleId(m);
+            let push_zone = |level: ZoneLevel, zones: &mut Vec<Zone>, next: &mut usize| {
+                zones.push(Zone {
+                    id: ZoneId(*next),
+                    module,
+                    level,
+                    capacity: config.trap_capacity(),
+                });
+                *next += 1;
+            };
+            // Zones are laid out from the optical zone outwards: optical,
+            // operation, then storage. Adjacent layout positions are one
+            // `inter_zone_distance_um` apart.
+            for _ in 0..config.optical_zones_per_module() {
+                push_zone(ZoneLevel::Optical, &mut zones, &mut next);
+            }
+            for _ in 0..config.operation_zones_per_module() {
+                push_zone(ZoneLevel::Operation, &mut zones, &mut next);
+            }
+            for _ in 0..config.storage_zones_per_module() {
+                push_zone(ZoneLevel::Storage, &mut zones, &mut next);
+            }
+        }
+        EmlQccdDevice { config, zones }
+    }
+
+    /// The configuration this device was built from.
+    pub fn config(&self) -> &DeviceConfig {
+        &self.config
+    }
+
+    /// Number of QCCD modules.
+    pub fn num_modules(&self) -> usize {
+        self.config.num_modules()
+    }
+
+    /// All module identifiers.
+    pub fn modules(&self) -> Vec<ModuleId> {
+        (0..self.num_modules()).map(ModuleId).collect()
+    }
+
+    /// Every zone of the device, ordered by [`ZoneId`].
+    pub fn zones(&self) -> &[Zone] {
+        &self.zones
+    }
+
+    /// Looks up a zone by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this device.
+    pub fn zone(&self, id: ZoneId) -> &Zone {
+        &self.zones[id.index()]
+    }
+
+    /// The zones belonging to one module, ordered optical → operation → storage.
+    pub fn zones_in_module(&self, module: ModuleId) -> Vec<&Zone> {
+        self.zones.iter().filter(|z| z.module == module).collect()
+    }
+
+    /// Every zone of a given level across the whole device.
+    pub fn zones_at_level(&self, level: ZoneLevel) -> Vec<&Zone> {
+        self.zones.iter().filter(|z| z.level == level).collect()
+    }
+
+    /// Zones of a given level inside one module.
+    pub fn zones_in_module_at_level(&self, module: ModuleId, level: ZoneLevel) -> Vec<&Zone> {
+        self.zones
+            .iter()
+            .filter(|z| z.module == module && z.level == level)
+            .collect()
+    }
+
+    /// Total ion capacity of a module (bounded by the per-module qubit cap).
+    pub fn module_capacity(&self, module: ModuleId) -> usize {
+        let slots: usize = self.zones_in_module(module).iter().map(|z| z.capacity).sum();
+        slots.min(self.config.max_qubits_per_module())
+    }
+
+    /// Total ion capacity of the device.
+    pub fn total_capacity(&self) -> usize {
+        self.modules().into_iter().map(|m| self.module_capacity(m)).sum()
+    }
+
+    /// `true` if the optical zones of two distinct modules are connected by a
+    /// fiber link. In this architecture every pair of modules is linked (the
+    /// photonic switch fabric is abstracted away, as in the paper).
+    pub fn fiber_linked(&self, a: ModuleId, b: ModuleId) -> bool {
+        a != b
+            && a.index() < self.num_modules()
+            && b.index() < self.num_modules()
+            && self.config.optical_zones_per_module() > 0
+    }
+
+    /// Physical distance in micrometres between two zones of the *same*
+    /// module, derived from their positions in the module layout (optical
+    /// zones sit at one end, storage zones at the other).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the zones belong to different modules (inter-module ion
+    /// transport does not exist in the EML architecture — that is the point
+    /// of the fiber links).
+    pub fn intra_module_distance_um(&self, a: ZoneId, b: ZoneId) -> f64 {
+        let za = self.zone(a);
+        let zb = self.zone(b);
+        assert_eq!(
+            za.module, zb.module,
+            "ions never shuttle between modules in an EML-QCCD device"
+        );
+        let pos = |z: &Zone| -> usize {
+            self.zones_in_module(z.module)
+                .iter()
+                .position(|cand| cand.id == z.id)
+                .expect("zone must be in its own module")
+        };
+        let steps = pos(za).abs_diff(pos(zb));
+        steps as f64 * self.config.inter_zone_distance_um()
+    }
+
+    /// Number of zone-to-zone hops between two zones of the same module.
+    pub fn intra_module_hops(&self, a: ZoneId, b: ZoneId) -> usize {
+        (self.intra_module_distance_um(a, b) / self.config.inter_zone_distance_um()).round()
+            as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn device() -> EmlQccdDevice {
+        DeviceConfig::default().with_modules(3).build()
+    }
+
+    #[test]
+    fn zone_layout_is_optical_operation_storage() {
+        let d = device();
+        let zones = d.zones_in_module(ModuleId(0));
+        assert_eq!(zones.len(), 4);
+        assert_eq!(zones[0].level, ZoneLevel::Optical);
+        assert_eq!(zones[1].level, ZoneLevel::Operation);
+        assert_eq!(zones[2].level, ZoneLevel::Storage);
+        assert_eq!(zones[3].level, ZoneLevel::Storage);
+    }
+
+    #[test]
+    fn zone_ids_are_globally_unique_and_dense() {
+        let d = device();
+        for (i, z) in d.zones().iter().enumerate() {
+            assert_eq!(z.id.index(), i);
+        }
+        assert_eq!(d.zones().len(), 3 * 4);
+    }
+
+    #[test]
+    fn module_capacity_is_capped() {
+        let d = device();
+        // 4 zones * 16 = 64, capped to 32.
+        assert_eq!(d.module_capacity(ModuleId(0)), 32);
+        assert_eq!(d.total_capacity(), 96);
+    }
+
+    #[test]
+    fn fiber_links_all_distinct_module_pairs() {
+        let d = device();
+        assert!(d.fiber_linked(ModuleId(0), ModuleId(2)));
+        assert!(!d.fiber_linked(ModuleId(1), ModuleId(1)));
+    }
+
+    #[test]
+    fn no_fiber_without_optical_zones() {
+        let d = DeviceConfig::default()
+            .with_optical_zones(0)
+            .with_modules(2)
+            .build();
+        assert!(!d.fiber_linked(ModuleId(0), ModuleId(1)));
+    }
+
+    #[test]
+    fn intra_module_distance_scales_with_layout_position() {
+        let d = device();
+        let zones = d.zones_in_module(ModuleId(1));
+        let optical = zones[0].id;
+        let far_storage = zones[3].id;
+        assert_eq!(d.intra_module_distance_um(optical, far_storage), 300.0);
+        assert_eq!(d.intra_module_hops(optical, far_storage), 3);
+        assert_eq!(d.intra_module_distance_um(optical, optical), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "never shuttle between modules")]
+    fn cross_module_distance_panics() {
+        let d = device();
+        let a = d.zones_in_module(ModuleId(0))[0].id;
+        let b = d.zones_in_module(ModuleId(1))[0].id;
+        let _ = d.intra_module_distance_um(a, b);
+    }
+
+    #[test]
+    fn zones_at_level_counts_match_config() {
+        let d = DeviceConfig::default().with_modules(5).with_optical_zones(2).build();
+        assert_eq!(d.zones_at_level(ZoneLevel::Optical).len(), 10);
+        assert_eq!(d.zones_at_level(ZoneLevel::Storage).len(), 10);
+    }
+}

@@ -1,0 +1,316 @@
+//! Fidelity model (Section 4, "Fidelity Model" and Table 1).
+
+use serde::{Deserialize, Serialize};
+
+/// Fidelity accumulated in natural-log space.
+///
+/// Large benchmarks reach fidelities far below `f64::MIN_POSITIVE`
+/// (≈ 2.2 × 10⁻³⁰⁸); the paper notes these underflow to zero in Python.
+/// Accumulating `ln F` instead keeps every experiment's number representable
+/// and exactly multiplicative.
+///
+/// ```
+/// use eml_qccd::LogFidelity;
+///
+/// let mut f = LogFidelity::one();
+/// f *= LogFidelity::from_fidelity(0.99);
+/// f *= LogFidelity::from_fidelity(0.99);
+/// assert!((f.fidelity() - 0.9801).abs() < 1e-12);
+/// assert!(f.log10() < 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct LogFidelity(f64);
+
+impl LogFidelity {
+    /// Perfect fidelity (ln 1 = 0).
+    pub const fn one() -> Self {
+        LogFidelity(0.0)
+    }
+
+    /// Builds from a plain fidelity in `(0, 1]`.
+    ///
+    /// Values ≤ 0 are clamped to a tiny positive number so a single totally
+    /// failed gate does not poison the accumulator with `-inf`.
+    pub fn from_fidelity(f: f64) -> Self {
+        let clamped = f.max(1e-300);
+        LogFidelity(clamped.ln())
+    }
+
+    /// Builds directly from a natural-log fidelity (must be ≤ 0).
+    pub fn from_ln(ln: f64) -> Self {
+        LogFidelity(ln.min(0.0))
+    }
+
+    /// The natural log of the fidelity.
+    pub fn ln(self) -> f64 {
+        self.0
+    }
+
+    /// The base-10 log of the fidelity (what the paper's figures plot).
+    pub fn log10(self) -> f64 {
+        self.0 / std::f64::consts::LN_10
+    }
+
+    /// The plain fidelity. Underflows to `0.0` for very negative logs, which
+    /// matches the behaviour the paper describes for Python floats.
+    pub fn fidelity(self) -> f64 {
+        self.0.exp()
+    }
+}
+
+impl Default for LogFidelity {
+    fn default() -> Self {
+        LogFidelity::one()
+    }
+}
+
+impl std::ops::Mul for LogFidelity {
+    type Output = LogFidelity;
+    fn mul(self, rhs: LogFidelity) -> LogFidelity {
+        LogFidelity(self.0 + rhs.0)
+    }
+}
+
+impl std::ops::MulAssign for LogFidelity {
+    fn mul_assign(&mut self, rhs: LogFidelity) {
+        self.0 += rhs.0;
+    }
+}
+
+impl std::fmt::Display for LogFidelity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "1e{:.2}", self.log10())
+    }
+}
+
+/// The paper's fidelity model.
+///
+/// * Shuttle-type operations: `F = exp(−t/T₁ − k·n̄)` where `t` is the
+///   operation duration, `T₁` the qubit lifetime, `k` the heating rate and
+///   `n̄` the motional quanta added by the operation (Table 1).
+/// * Local two-qubit gates: `F = (1 − εN²)·B_z`, where `N` is the number of
+///   ions co-trapped in the zone and `B_z` the zone's background fidelity.
+/// * The background fidelity of a zone decays with the heat shuttles have
+///   deposited into it: `B_z = exp(−k · heat_z)`.
+/// * Fiber-mediated gates have a fixed fidelity (0.99).
+///
+/// The `perfect_gates` / `perfect_shuttle` switches implement the idealised
+/// scenarios of the optimality analysis (Fig. 13).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FidelityModel {
+    /// Qubit lifetime T₁ in µs (paper: 6 × 10⁸ µs).
+    pub t1_us: f64,
+    /// Ion-trap heating rate `k` (paper: 0.001).
+    pub heating_rate: f64,
+    /// Motional quanta added by a chain split.
+    pub split_heat: f64,
+    /// Motional quanta added per move (per hop).
+    pub move_heat: f64,
+    /// Motional quanta added by an intra-trap chain swap.
+    pub chain_swap_heat: f64,
+    /// Motional quanta added by a chain merge.
+    pub merge_heat: f64,
+    /// Single-qubit gate fidelity (paper: 0.9999).
+    pub single_qubit_fidelity: f64,
+    /// Two-qubit gate precision coefficient ε (paper: 1/25600).
+    pub epsilon: f64,
+    /// Fiber-entanglement gate fidelity (paper: 0.99).
+    pub fiber_fidelity: f64,
+    /// Measurement fidelity (readout error is excluded from the paper's
+    /// evaluation, so the default is 1).
+    pub measurement_fidelity: f64,
+    /// Idealisation: two-qubit gates at a flat 0.9999 regardless of chain size.
+    pub perfect_gates: bool,
+    /// Idealisation: shuttles deposit no heat and suffer no decoherence.
+    pub perfect_shuttle: bool,
+}
+
+impl Default for FidelityModel {
+    fn default() -> Self {
+        FidelityModel {
+            t1_us: 600.0e6,
+            heating_rate: 0.001,
+            split_heat: 1.0,
+            move_heat: 0.1,
+            chain_swap_heat: 0.3,
+            merge_heat: 1.0,
+            single_qubit_fidelity: 0.9999,
+            epsilon: 1.0 / 25_600.0,
+            fiber_fidelity: 0.99,
+            measurement_fidelity: 1.0,
+            perfect_gates: false,
+            perfect_shuttle: false,
+        }
+    }
+}
+
+impl FidelityModel {
+    /// The Table 1 / Section 4 parameter set.
+    pub fn paper_defaults() -> Self {
+        Self::default()
+    }
+
+    /// The "perfect gate" idealisation of the optimality analysis (Fig. 13).
+    pub fn perfect_gates() -> Self {
+        FidelityModel { perfect_gates: true, ..Self::default() }
+    }
+
+    /// The "perfect shuttle" idealisation of the optimality analysis (Fig. 13).
+    pub fn perfect_shuttle() -> Self {
+        FidelityModel { perfect_shuttle: true, ..Self::default() }
+    }
+
+    /// Heat (motional quanta) deposited by a complete shuttle of one hop
+    /// chain: split + move + merge.
+    pub fn shuttle_heat(&self) -> f64 {
+        if self.perfect_shuttle {
+            0.0
+        } else {
+            self.split_heat + self.move_heat + self.merge_heat
+        }
+    }
+
+    /// Heat deposited by an intra-trap chain rearrangement.
+    pub fn chain_rearrange_heat(&self) -> f64 {
+        if self.perfect_shuttle {
+            0.0
+        } else {
+            self.chain_swap_heat
+        }
+    }
+
+    /// Fidelity of a shuttle-type operation of duration `t_us` that deposits
+    /// `heat` quanta: `exp(−t/T₁ − k·heat)`.
+    pub fn transport_fidelity(&self, t_us: f64, heat: f64) -> LogFidelity {
+        if self.perfect_shuttle {
+            return LogFidelity::from_ln(-t_us / self.t1_us);
+        }
+        LogFidelity::from_ln(-t_us / self.t1_us - self.heating_rate * heat)
+    }
+
+    /// Background fidelity of a zone that has accumulated `zone_heat` quanta.
+    pub fn background_fidelity(&self, zone_heat: f64) -> LogFidelity {
+        LogFidelity::from_ln(-self.heating_rate * zone_heat)
+    }
+
+    /// Fidelity of a local two-qubit gate executed in a chain of
+    /// `ions_in_zone` ions within a zone carrying `zone_heat` accumulated heat.
+    pub fn two_qubit_fidelity(&self, ions_in_zone: usize, zone_heat: f64) -> LogFidelity {
+        let raw = if self.perfect_gates {
+            0.9999
+        } else {
+            (1.0 - self.epsilon * (ions_in_zone as f64).powi(2)).max(0.0)
+        };
+        LogFidelity::from_fidelity(raw) * self.background_fidelity(zone_heat)
+    }
+
+    /// Fidelity of a logical SWAP (three MS gates back to back).
+    pub fn swap_gate_fidelity(&self, ions_in_zone: usize, zone_heat: f64) -> LogFidelity {
+        let single = self.two_qubit_fidelity(ions_in_zone, zone_heat);
+        single * single * single
+    }
+
+    /// Fidelity of a fiber-mediated remote gate. Background heat of both
+    /// optical zones applies.
+    pub fn fiber_fidelity(&self, zone_heat_a: f64, zone_heat_b: f64) -> LogFidelity {
+        let raw = if self.perfect_gates { 0.9999 } else { self.fiber_fidelity };
+        LogFidelity::from_fidelity(raw)
+            * self.background_fidelity(zone_heat_a)
+            * self.background_fidelity(zone_heat_b)
+    }
+
+    /// Fidelity of a single-qubit gate.
+    pub fn single_qubit_fidelity(&self) -> LogFidelity {
+        LogFidelity::from_fidelity(self.single_qubit_fidelity)
+    }
+
+    /// Fidelity of a measurement.
+    pub fn measurement_fidelity(&self) -> LogFidelity {
+        LogFidelity::from_fidelity(self.measurement_fidelity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_fidelity_multiplication_adds_logs() {
+        let a = LogFidelity::from_fidelity(0.5);
+        let b = LogFidelity::from_fidelity(0.5);
+        assert!(((a * b).fidelity() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_fidelity_survives_underflow() {
+        let mut acc = LogFidelity::one();
+        let per_gate = LogFidelity::from_fidelity(0.9);
+        for _ in 0..10_000 {
+            acc *= per_gate;
+        }
+        // 0.9^10000 ≈ 10^-457: underflows as plain f64 but stays finite in log space.
+        assert_eq!(acc.fidelity(), 0.0);
+        assert!(acc.log10() < -400.0 && acc.log10().is_finite());
+    }
+
+    #[test]
+    fn defaults_match_paper() {
+        let m = FidelityModel::paper_defaults();
+        assert_eq!(m.t1_us, 600.0e6);
+        assert_eq!(m.heating_rate, 0.001);
+        assert!((m.epsilon - 1.0 / 25_600.0).abs() < 1e-15);
+        assert_eq!(m.fiber_fidelity, 0.99);
+        assert_eq!(m.shuttle_heat(), 2.1);
+    }
+
+    #[test]
+    fn two_qubit_fidelity_decays_quadratically_with_chain_size() {
+        let m = FidelityModel::default();
+        let small = m.two_qubit_fidelity(2, 0.0).fidelity();
+        let large = m.two_qubit_fidelity(20, 0.0).fidelity();
+        assert!(small > large);
+        assert!((small - (1.0 - 4.0 / 25_600.0)).abs() < 1e-12);
+        assert!((large - (1.0 - 400.0 / 25_600.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn background_heat_reduces_gate_fidelity() {
+        let m = FidelityModel::default();
+        let cold = m.two_qubit_fidelity(4, 0.0);
+        let hot = m.two_qubit_fidelity(4, 50.0);
+        assert!(hot.ln() < cold.ln());
+    }
+
+    #[test]
+    fn perfect_gates_ignore_chain_size() {
+        let m = FidelityModel::perfect_gates();
+        let a = m.two_qubit_fidelity(2, 0.0).fidelity();
+        let b = m.two_qubit_fidelity(30, 0.0).fidelity();
+        assert!((a - b).abs() < 1e-12);
+        assert!((a - 0.9999).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_shuttle_deposits_no_heat() {
+        let m = FidelityModel::perfect_shuttle();
+        assert_eq!(m.shuttle_heat(), 0.0);
+        assert_eq!(m.chain_rearrange_heat(), 0.0);
+        // Transport fidelity only reflects T1 decay.
+        let f = m.transport_fidelity(260.0, 2.1);
+        assert!((f.ln() + 260.0 / 600.0e6).abs() < 1e-15);
+    }
+
+    #[test]
+    fn swap_gate_is_cube_of_two_qubit_gate() {
+        let m = FidelityModel::default();
+        let one = m.two_qubit_fidelity(4, 0.0);
+        let swap = m.swap_gate_fidelity(4, 0.0);
+        assert!((swap.ln() - 3.0 * one.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_is_log10_based() {
+        let f = LogFidelity::from_fidelity(1e-5);
+        assert!(f.to_string().starts_with("1e-5"));
+    }
+}

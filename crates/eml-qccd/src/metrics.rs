@@ -1,0 +1,101 @@
+//! Execution metrics reported for compiled programs.
+
+use serde::{Deserialize, Serialize};
+
+use crate::LogFidelity;
+
+/// The three headline metrics of the paper's evaluation (shuttle count,
+/// execution time, fidelity) plus supporting operation counts.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct ExecutionMetrics {
+    /// Number of complete shuttle (split–move–merge) relocations.
+    pub shuttle_count: usize,
+    /// Number of intra-trap chain rearrangements.
+    pub chain_rearrangements: usize,
+    /// Number of single-qubit gates.
+    pub single_qubit_gates: usize,
+    /// Number of local two-qubit gates.
+    pub two_qubit_gates: usize,
+    /// Number of logical SWAP gates inserted by the compiler.
+    pub swap_gates: usize,
+    /// Number of fiber-mediated (remote) two-qubit gates.
+    pub fiber_gates: usize,
+    /// Number of measurements.
+    pub measurements: usize,
+    /// Estimated circuit execution time (makespan) in microseconds.
+    pub execution_time_us: f64,
+    /// End-to-end program fidelity, accumulated in log space.
+    pub log_fidelity: LogFidelity,
+}
+
+impl ExecutionMetrics {
+    /// Plain fidelity (may underflow to zero for large programs — use
+    /// [`log10_fidelity`](ExecutionMetrics::log10_fidelity) for plotting).
+    pub fn fidelity(&self) -> f64 {
+        self.log_fidelity.fidelity()
+    }
+
+    /// Base-10 logarithm of the fidelity, the quantity the paper plots.
+    pub fn log10_fidelity(&self) -> f64 {
+        self.log_fidelity.log10()
+    }
+
+    /// Total number of two-qubit interactions of any kind.
+    pub fn total_two_qubit_interactions(&self) -> usize {
+        self.two_qubit_gates + self.swap_gates + self.fiber_gates
+    }
+
+    /// Total transport operations (shuttles plus chain rearrangements).
+    pub fn total_transport_ops(&self) -> usize {
+        self.shuttle_count + self.chain_rearrangements
+    }
+}
+
+impl std::fmt::Display for ExecutionMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "shuttles={} time={:.0}us fidelity=1e{:.2} (2q={} fiber={} swap={})",
+            self.shuttle_count,
+            self.execution_time_us,
+            self.log10_fidelity(),
+            self.two_qubit_gates,
+            self.fiber_gates,
+            self.swap_gates,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_aggregate_counts() {
+        let m = ExecutionMetrics {
+            shuttle_count: 3,
+            chain_rearrangements: 2,
+            two_qubit_gates: 10,
+            swap_gates: 1,
+            fiber_gates: 4,
+            ..Default::default()
+        };
+        assert_eq!(m.total_two_qubit_interactions(), 15);
+        assert_eq!(m.total_transport_ops(), 5);
+    }
+
+    #[test]
+    fn default_metrics_have_perfect_fidelity() {
+        let m = ExecutionMetrics::default();
+        assert_eq!(m.fidelity(), 1.0);
+        assert_eq!(m.log10_fidelity(), 0.0);
+    }
+
+    #[test]
+    fn display_includes_shuttles_and_time() {
+        let m = ExecutionMetrics { shuttle_count: 7, execution_time_us: 1234.0, ..Default::default() };
+        let text = m.to_string();
+        assert!(text.contains("shuttles=7"));
+        assert!(text.contains("1234"));
+    }
+}

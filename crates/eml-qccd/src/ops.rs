@@ -1,0 +1,167 @@
+//! The operation vocabulary emitted by compilers and consumed by the executor.
+
+use serde::{Deserialize, Serialize};
+
+use ion_circuit::QubitId;
+
+/// A resource key identifying a physical zone or trap.
+///
+/// EML-QCCD compilers use [`ZoneId`](crate::ZoneId) indices; grid compilers
+/// use [`TrapId`](crate::TrapId) indices. The executor only needs the keys to
+/// be distinct within one compiled program, so a plain `usize` keeps the two
+/// device families interchangeable downstream.
+pub type ResourceId = usize;
+
+/// One scheduled physical operation.
+///
+/// Compilers lower a [`Circuit`](ion_circuit::Circuit) into a flat sequence
+/// of these; the [`ScheduleExecutor`](crate::ScheduleExecutor) folds timing,
+/// heat and fidelity over the sequence. Each variant carries exactly the
+/// information the executor's models need (e.g. the ion count in the trap at
+/// gate time, which determines two-qubit gate fidelity `1 − εN²`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ScheduledOp {
+    /// A single-qubit gate executed wherever the ion currently sits.
+    SingleQubitGate {
+        /// The ion being driven.
+        qubit: QubitId,
+        /// Zone/trap holding the ion.
+        zone: ResourceId,
+    },
+    /// A local (same-trap) two-qubit gate.
+    TwoQubitGate {
+        /// First ion.
+        a: QubitId,
+        /// Second ion.
+        b: QubitId,
+        /// Zone/trap in which the gate executes.
+        zone: ResourceId,
+        /// Number of ions co-trapped at execution time (drives `1 − εN²`).
+        ions_in_zone: usize,
+    },
+    /// A logical SWAP gate implemented as three MS gates in one trap
+    /// (inserted by MUSS-TI's SWAP-insertion pass).
+    SwapGate {
+        /// First ion.
+        a: QubitId,
+        /// Second ion.
+        b: QubitId,
+        /// Zone/trap in which the swap executes.
+        zone: ResourceId,
+        /// Number of ions co-trapped at execution time.
+        ions_in_zone: usize,
+    },
+    /// A fiber-mediated two-qubit gate between the optical zones of two
+    /// different modules (remote entanglement).
+    FiberGate {
+        /// Ion in the first module's optical zone.
+        a: QubitId,
+        /// Ion in the second module's optical zone.
+        b: QubitId,
+        /// Optical zone holding `a`.
+        zone_a: ResourceId,
+        /// Optical zone holding `b`.
+        zone_b: ResourceId,
+    },
+    /// A complete shuttle (split → move → merge) relocating one ion between
+    /// two adjacent traps/zones.
+    Shuttle {
+        /// The ion being moved.
+        qubit: QubitId,
+        /// Source zone/trap.
+        from_zone: ResourceId,
+        /// Destination zone/trap.
+        to_zone: ResourceId,
+        /// Physical transport distance in micrometres.
+        distance_um: f64,
+    },
+    /// An intra-trap chain rearrangement (the Table 1 "Swap" primitive) used
+    /// to bring an ion to the edge of its chain before splitting.
+    ChainRearrange {
+        /// Zone/trap whose chain is reordered.
+        zone: ResourceId,
+    },
+    /// A computational-basis measurement.
+    Measurement {
+        /// The measured ion.
+        qubit: QubitId,
+        /// Zone/trap holding the ion.
+        zone: ResourceId,
+    },
+}
+
+impl ScheduledOp {
+    /// `true` for complete shuttle relocations.
+    pub fn is_shuttle(&self) -> bool {
+        matches!(self, ScheduledOp::Shuttle { .. })
+    }
+
+    /// `true` for any two-qubit interaction (local, swap or fiber).
+    pub fn is_two_qubit(&self) -> bool {
+        matches!(
+            self,
+            ScheduledOp::TwoQubitGate { .. }
+                | ScheduledOp::SwapGate { .. }
+                | ScheduledOp::FiberGate { .. }
+        )
+    }
+
+    /// The qubits this operation acts on.
+    pub fn qubits(&self) -> Vec<QubitId> {
+        match self {
+            ScheduledOp::SingleQubitGate { qubit, .. }
+            | ScheduledOp::Shuttle { qubit, .. }
+            | ScheduledOp::Measurement { qubit, .. } => vec![*qubit],
+            ScheduledOp::TwoQubitGate { a, b, .. }
+            | ScheduledOp::SwapGate { a, b, .. }
+            | ScheduledOp::FiberGate { a, b, .. } => vec![*a, *b],
+            ScheduledOp::ChainRearrange { .. } => vec![],
+        }
+    }
+
+    /// The zone/trap resources this operation occupies.
+    pub fn zones(&self) -> Vec<ResourceId> {
+        match self {
+            ScheduledOp::SingleQubitGate { zone, .. }
+            | ScheduledOp::TwoQubitGate { zone, .. }
+            | ScheduledOp::SwapGate { zone, .. }
+            | ScheduledOp::Measurement { zone, .. }
+            | ScheduledOp::ChainRearrange { zone } => vec![*zone],
+            ScheduledOp::FiberGate { zone_a, zone_b, .. } => vec![*zone_a, *zone_b],
+            ScheduledOp::Shuttle { from_zone, to_zone, .. } => vec![*from_zone, *to_zone],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_helpers() {
+        let shuttle = ScheduledOp::Shuttle {
+            qubit: QubitId::new(0),
+            from_zone: 1,
+            to_zone: 2,
+            distance_um: 100.0,
+        };
+        assert!(shuttle.is_shuttle());
+        assert!(!shuttle.is_two_qubit());
+        let fiber = ScheduledOp::FiberGate {
+            a: QubitId::new(0),
+            b: QubitId::new(1),
+            zone_a: 0,
+            zone_b: 4,
+        };
+        assert!(fiber.is_two_qubit());
+        assert_eq!(fiber.zones(), vec![0, 4]);
+        assert_eq!(fiber.qubits().len(), 2);
+    }
+
+    #[test]
+    fn chain_rearrange_touches_no_qubit() {
+        let op = ScheduledOp::ChainRearrange { zone: 3 };
+        assert!(op.qubits().is_empty());
+        assert_eq!(op.zones(), vec![3]);
+    }
+}

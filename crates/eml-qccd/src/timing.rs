@@ -1,0 +1,129 @@
+//! Operation durations (Table 1 of the paper).
+
+use serde::{Deserialize, Serialize};
+
+use crate::ScheduledOp;
+
+/// Durations of the primitive hardware operations, in microseconds (and the
+/// ion transport speed in µm/µs). Defaults reproduce Table 1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimingModel {
+    /// Chain split duration (µs).
+    pub split_us: f64,
+    /// Chain merge duration (µs).
+    pub merge_us: f64,
+    /// Intra-trap chain swap duration (µs).
+    pub chain_swap_us: f64,
+    /// Ion transport speed (µm per µs).
+    pub move_speed_um_per_us: f64,
+    /// Single-qubit gate duration (µs).
+    pub single_qubit_gate_us: f64,
+    /// Local two-qubit gate duration (µs).
+    pub two_qubit_gate_us: f64,
+    /// Fiber-entanglement (remote gate) duration (µs).
+    pub fiber_entangle_us: f64,
+    /// Measurement duration (µs). The paper's evaluation excludes readout
+    /// time, so the default is zero.
+    pub measurement_us: f64,
+}
+
+impl Default for TimingModel {
+    fn default() -> Self {
+        TimingModel {
+            split_us: 80.0,
+            merge_us: 80.0,
+            chain_swap_us: 40.0,
+            move_speed_um_per_us: 2.0,
+            single_qubit_gate_us: 5.0,
+            two_qubit_gate_us: 40.0,
+            fiber_entangle_us: 200.0,
+            measurement_us: 0.0,
+        }
+    }
+}
+
+impl TimingModel {
+    /// The Table 1 parameter set.
+    pub fn paper_defaults() -> Self {
+        Self::default()
+    }
+
+    /// Duration of a complete shuttle (split + move over `distance_um` + merge).
+    pub fn shuttle_us(&self, distance_um: f64) -> f64 {
+        self.split_us + distance_um / self.move_speed_um_per_us + self.merge_us
+    }
+
+    /// Duration of a logical SWAP gate (three back-to-back MS gates).
+    pub fn swap_gate_us(&self) -> f64 {
+        3.0 * self.two_qubit_gate_us
+    }
+
+    /// Duration of one scheduled operation.
+    pub fn duration_us(&self, op: &ScheduledOp) -> f64 {
+        match op {
+            ScheduledOp::SingleQubitGate { .. } => self.single_qubit_gate_us,
+            ScheduledOp::TwoQubitGate { .. } => self.two_qubit_gate_us,
+            ScheduledOp::SwapGate { .. } => self.swap_gate_us(),
+            ScheduledOp::FiberGate { .. } => self.fiber_entangle_us,
+            ScheduledOp::Shuttle { distance_um, .. } => self.shuttle_us(*distance_um),
+            ScheduledOp::ChainRearrange { .. } => self.chain_swap_us,
+            ScheduledOp::Measurement { .. } => self.measurement_us,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ion_circuit::QubitId;
+
+    #[test]
+    fn defaults_match_table1() {
+        let t = TimingModel::paper_defaults();
+        assert_eq!(t.split_us, 80.0);
+        assert_eq!(t.merge_us, 80.0);
+        assert_eq!(t.chain_swap_us, 40.0);
+        assert_eq!(t.move_speed_um_per_us, 2.0);
+        assert_eq!(t.single_qubit_gate_us, 5.0);
+        assert_eq!(t.two_qubit_gate_us, 40.0);
+        assert_eq!(t.fiber_entangle_us, 200.0);
+    }
+
+    #[test]
+    fn shuttle_duration_includes_split_move_merge() {
+        let t = TimingModel::default();
+        // 100 µm at 2 µm/µs = 50 µs of transport.
+        assert_eq!(t.shuttle_us(100.0), 80.0 + 50.0 + 80.0);
+    }
+
+    #[test]
+    fn swap_gate_is_three_ms_gates() {
+        assert_eq!(TimingModel::default().swap_gate_us(), 120.0);
+    }
+
+    #[test]
+    fn op_durations_dispatch_by_variant() {
+        let t = TimingModel::default();
+        let gate = ScheduledOp::TwoQubitGate {
+            a: QubitId::new(0),
+            b: QubitId::new(1),
+            zone: 0,
+            ions_in_zone: 2,
+        };
+        assert_eq!(t.duration_us(&gate), 40.0);
+        let fiber = ScheduledOp::FiberGate {
+            a: QubitId::new(0),
+            b: QubitId::new(1),
+            zone_a: 0,
+            zone_b: 5,
+        };
+        assert_eq!(t.duration_us(&fiber), 200.0);
+        let shuttle = ScheduledOp::Shuttle {
+            qubit: QubitId::new(2),
+            from_zone: 0,
+            to_zone: 1,
+            distance_um: 200.0,
+        };
+        assert_eq!(t.duration_us(&shuttle), 260.0);
+    }
+}

@@ -1,0 +1,149 @@
+//! Zones: the functional trap regions inside a QCCD module.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The functional level of a zone, mirroring the paper's memory-hierarchy
+/// analogy (Section 3): storage ≈ external storage (level 0), operation ≈
+/// main memory (level 1), optical ≈ CPU (level 2).
+///
+/// Higher levels offer more functionality: the operation zone can execute
+/// local two-qubit gates, and the optical zone can additionally participate
+/// in fiber-mediated gates with optical zones of *other* modules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ZoneLevel {
+    /// Level 0 — storage zone. Qubits parked here cannot execute gates.
+    Storage,
+    /// Level 1 — operation zone. Local (intra-module) two-qubit gates.
+    Operation,
+    /// Level 2 — optical zone. Local gates plus fiber entanglement with other modules.
+    Optical,
+}
+
+impl ZoneLevel {
+    /// The numeric level used by the multi-level scheduler (0, 1 or 2).
+    pub const fn level(self) -> u8 {
+        match self {
+            ZoneLevel::Storage => 0,
+            ZoneLevel::Operation => 1,
+            ZoneLevel::Optical => 2,
+        }
+    }
+
+    /// `true` if two-qubit gates can be executed inside this zone.
+    pub const fn supports_gates(self) -> bool {
+        !matches!(self, ZoneLevel::Storage)
+    }
+
+    /// `true` if this zone has an ion–photon interface for remote entanglement.
+    pub const fn supports_fiber(self) -> bool {
+        matches!(self, ZoneLevel::Optical)
+    }
+
+    /// Absolute level distance between two zones, used by the scheduler to
+    /// prefer the *closest* level that satisfies a request.
+    pub fn distance(self, other: ZoneLevel) -> u8 {
+        self.level().abs_diff(other.level())
+    }
+
+    /// All levels, lowest first.
+    pub const fn all() -> [ZoneLevel; 3] {
+        [ZoneLevel::Storage, ZoneLevel::Operation, ZoneLevel::Optical]
+    }
+}
+
+impl fmt::Display for ZoneLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ZoneLevel::Storage => "storage",
+            ZoneLevel::Operation => "operation",
+            ZoneLevel::Optical => "optical",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// Globally unique identifier of a zone within a device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ZoneId(pub usize);
+
+impl ZoneId {
+    /// The raw index of the zone in the device's zone table.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for ZoneId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "z{}", self.0)
+    }
+}
+
+/// Identifier of a QCCD module within an EML-QCCD device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ModuleId(pub usize);
+
+impl ModuleId {
+    /// The raw index of the module.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for ModuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+/// Static description of one zone: which module it belongs to, its level and
+/// its ion capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Zone {
+    /// Global zone identifier.
+    pub id: ZoneId,
+    /// The module this zone belongs to.
+    pub module: ModuleId,
+    /// Functional level.
+    pub level: ZoneLevel,
+    /// Maximum number of ions the zone can hold.
+    pub capacity: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_are_ordered_storage_to_optical() {
+        assert!(ZoneLevel::Storage < ZoneLevel::Operation);
+        assert!(ZoneLevel::Operation < ZoneLevel::Optical);
+        assert_eq!(ZoneLevel::Storage.level(), 0);
+        assert_eq!(ZoneLevel::Optical.level(), 2);
+    }
+
+    #[test]
+    fn capability_flags_match_paper_roles() {
+        assert!(!ZoneLevel::Storage.supports_gates());
+        assert!(ZoneLevel::Operation.supports_gates());
+        assert!(ZoneLevel::Optical.supports_gates());
+        assert!(ZoneLevel::Optical.supports_fiber());
+        assert!(!ZoneLevel::Operation.supports_fiber());
+    }
+
+    #[test]
+    fn level_distance_is_symmetric() {
+        assert_eq!(ZoneLevel::Storage.distance(ZoneLevel::Optical), 2);
+        assert_eq!(ZoneLevel::Optical.distance(ZoneLevel::Storage), 2);
+        assert_eq!(ZoneLevel::Operation.distance(ZoneLevel::Operation), 0);
+    }
+
+    #[test]
+    fn display_names_are_lowercase() {
+        assert_eq!(ZoneLevel::Optical.to_string(), "optical");
+        assert_eq!(ZoneId(3).to_string(), "z3");
+        assert_eq!(ModuleId(1).to_string(), "m1");
+    }
+}

@@ -1,0 +1,10 @@
+//! Regenerates Figure 10 (compilation-time scaling).
+fn main() {
+    let result = experiments::fig10::run();
+    print!("{}", result.render());
+    for family in experiments::fig10::families() {
+        if let Some(ratio) = result.growth_ratio(family) {
+            println!("{family}: max/min compile-time ratio {ratio:.1}");
+        }
+    }
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figure 11 (compile-time vs fidelity trade-off).
+fn main() {
+    let result = experiments::fig11::run();
+    print!("{}", result.render());
+    for app in experiments::fig11::fig11_apps() {
+        println!("{app}: combined technique best = {}", result.combined_is_best(app));
+    }
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 12 (multiple entanglement zones).
+fn main() {
+    let result = experiments::fig12::run();
+    print!("{}", result.render());
+    println!("Applications where two zones win: {}", result.two_zone_wins());
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figure 13 (optimality analysis).
+fn main() {
+    let result = experiments::fig13::run();
+    print!("{}", result.render());
+    println!("Idealisations dominate the real model: {}", result.idealisations_dominate());
+    println!("Perfect-gate wins on {} applications", result.perfect_gate_wins());
+}

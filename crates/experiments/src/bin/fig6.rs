@@ -1,0 +1,11 @@
+//! Regenerates Figure 6 (architectural comparison across scales).
+fn main() {
+    let result = experiments::fig6::run();
+    print!("{}", result.render());
+    for (scale, reduction) in result.shuttle_reduction_per_scale() {
+        println!("{scale}: average shuttle reduction {reduction:.2}%");
+    }
+    for (scale, reduction) in result.time_reduction_per_scale() {
+        println!("{scale}: average execution-time reduction {reduction:.2}%");
+    }
+}

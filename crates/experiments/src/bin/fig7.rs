@@ -1,0 +1,10 @@
+//! Regenerates Figure 7 (trap-capacity analysis).
+fn main() {
+    let result = experiments::fig7::run();
+    print!("{}", result.render());
+    for app in experiments::fig7::fig7_apps() {
+        if let Some(best) = result.best_capacity(app) {
+            println!("{app}: best trap capacity {best}");
+        }
+    }
+}

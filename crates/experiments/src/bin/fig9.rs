@@ -1,0 +1,10 @@
+//! Regenerates Figure 9 (look-ahead analysis).
+fn main() {
+    let result = experiments::fig9::run();
+    print!("{}", result.render());
+    for app in experiments::fig9::fig9_apps() {
+        if let Some(k) = result.best_lookahead(app) {
+            println!("{app}: best look-ahead k = {k}");
+        }
+    }
+}

@@ -1,0 +1,13 @@
+//! Runs the entire evaluation (Table 2 and Figures 6-13) in sequence.
+fn main() {
+    println!("Running the full MUSS-TI evaluation; this takes a few minutes.\n");
+    print!("{}", experiments::table2::run().render());
+    print!("{}", experiments::fig6::run().render());
+    print!("{}", experiments::fig7::run().render());
+    print!("{}", experiments::fig8::run().render());
+    print!("{}", experiments::fig9::run().render());
+    print!("{}", experiments::fig10::run().render());
+    print!("{}", experiments::fig11::run().render());
+    print!("{}", experiments::fig12::run().render());
+    print!("{}", experiments::fig13::run().render());
+}

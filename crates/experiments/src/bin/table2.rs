@@ -1,0 +1,9 @@
+//! Regenerates Table 2 of the paper.
+fn main() {
+    let result = experiments::table2::run();
+    print!("{}", result.render());
+    println!(
+        "Average shuttle reduction vs best baseline: {:.2}%",
+        result.average_shuttle_reduction_vs_best_baseline()
+    );
+}

@@ -1,0 +1,126 @@
+//! Figure 10: compilation-time scaling with application size.
+
+use eml_qccd::Compiler;
+use muss_ti::MussTiOptions;
+use serde::{Deserialize, Serialize};
+
+use crate::report::Table;
+use crate::runner::muss_ti_for;
+use ion_circuit::generators;
+
+/// One point of the compilation-time curve.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig10Point {
+    /// Benchmark family (`Adder`, `BV`, `GHZ`, `QAOA`).
+    pub family: String,
+    /// Application size (qubits).
+    pub num_qubits: usize,
+    /// Number of two-qubit gates (the complexity driver, `O(n·g)`).
+    pub two_qubit_gates: usize,
+    /// Wall-clock MUSS-TI compilation time in seconds.
+    pub compile_time_s: f64,
+}
+
+/// The compilation-time scaling result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig10Result {
+    /// All (family, size) points.
+    pub points: Vec<Fig10Point>,
+}
+
+/// The benchmark families of Fig. 10.
+pub fn families() -> Vec<&'static str> {
+    vec!["Adder", "BV", "GHZ", "QAOA"]
+}
+
+/// The application sizes of Fig. 10 (between roughly 128 and 300 qubits).
+pub fn sizes() -> Vec<usize> {
+    vec![128, 160, 192, 224, 256, 298]
+}
+
+/// Runs the full scaling experiment.
+pub fn run() -> Fig10Result {
+    run_with(&families(), &sizes())
+}
+
+/// Runs the scaling experiment over explicit families and sizes.
+pub fn run_with(families: &[&str], sizes: &[usize]) -> Fig10Result {
+    let mut points = Vec::new();
+    for family in families {
+        for &n in sizes {
+            let circuit = match *family {
+                "Adder" => generators::adder(n),
+                "BV" => generators::bv(n),
+                "GHZ" => generators::ghz(n),
+                "QAOA" => generators::qaoa(n),
+                other => panic!("unknown family {other}"),
+            };
+            let compiler = muss_ti_for(&circuit, MussTiOptions::default());
+            let program = compiler
+                .compile(&circuit)
+                .unwrap_or_else(|e| panic!("{family}_{n}: {e}"));
+            points.push(Fig10Point {
+                family: (*family).to_string(),
+                num_qubits: n,
+                two_qubit_gates: circuit.two_qubit_gate_count(),
+                compile_time_s: program.compile_time().as_secs_f64(),
+            });
+        }
+    }
+    Fig10Result { points }
+}
+
+impl Fig10Result {
+    /// Renders the curve points as a table.
+    pub fn render(&self) -> String {
+        let mut table = Table::new(
+            "Fig 10 — Compilation time scaling (MUSS-TI)",
+            &["Family", "Qubits", "2Q gates", "Compile time (s)"],
+        );
+        for p in &self.points {
+            table.push_row(vec![
+                p.family.clone(),
+                p.num_qubits.to_string(),
+                p.two_qubit_gates.to_string(),
+                format!("{:.4}", p.compile_time_s),
+            ]);
+        }
+        table.render()
+    }
+
+    /// Ratio of the largest to the smallest compile time within a family —
+    /// used to check scaling stays polynomial (no exponential blow-up).
+    pub fn growth_ratio(&self, family: &str) -> Option<f64> {
+        let times: Vec<f64> = self
+            .points
+            .iter()
+            .filter(|p| p.family == family)
+            .map(|p| p.compile_time_s.max(1e-9))
+            .collect();
+        if times.is_empty() {
+            return None;
+        }
+        let max = times.iter().cloned().fold(f64::MIN, f64::max);
+        let min = times.iter().cloned().fold(f64::MAX, f64::min);
+        Some(max / min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling_points_are_recorded_per_size() {
+        let result = run_with(&["GHZ"], &[128, 192]);
+        assert_eq!(result.points.len(), 2);
+        assert!(result.growth_ratio("GHZ").is_some());
+        assert!(result.render().contains("Compilation time"));
+    }
+
+    #[test]
+    fn paper_parameters() {
+        assert_eq!(families().len(), 4);
+        assert!(sizes().iter().all(|&n| (128..=300).contains(&n)));
+    }
+}

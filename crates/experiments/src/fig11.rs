@@ -1,0 +1,84 @@
+//! Figure 11: compilation-time vs fidelity trade-off for the individual
+//! techniques, on one complex (SQRT_128) and one simple (BV_128) application.
+
+use serde::{Deserialize, Serialize};
+
+use crate::fig8::{run_with as run_ablation, Fig8Point};
+use crate::report::{format_fidelity, Table};
+
+/// The trade-off result: the Fig. 8 ablation points for the two applications,
+/// with compile time retained.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig11Result {
+    /// One point per (application, technique).
+    pub points: Vec<Fig8Point>,
+}
+
+/// The two applications of Fig. 11.
+pub fn fig11_apps() -> Vec<&'static str> {
+    vec!["SQRT_128", "BV_128"]
+}
+
+/// Runs the trade-off experiment.
+pub fn run() -> Fig11Result {
+    run_with(&fig11_apps())
+}
+
+/// Runs the trade-off experiment for explicit applications.
+pub fn run_with(apps: &[&str]) -> Fig11Result {
+    Fig11Result { points: run_ablation(apps).points }
+}
+
+impl Fig11Result {
+    /// Renders compile-time vs fidelity pairs.
+    pub fn render(&self) -> String {
+        let mut table = Table::new(
+            "Fig 11 — Compilation time vs fidelity trade-off",
+            &["Application", "Technique", "Compile time (s)", "Fidelity"],
+        );
+        for p in &self.points {
+            table.push_row(vec![
+                p.app.clone(),
+                p.technique.clone(),
+                format!("{:.4}", p.compile_time_s),
+                format_fidelity(p.log10_fidelity),
+            ]);
+        }
+        table.render()
+    }
+
+    /// `true` if, for the given app, the combined technique achieves the best
+    /// fidelity (the paper's observation) — compile time being the price paid.
+    pub fn combined_is_best(&self, app: &str) -> bool {
+        let best = self
+            .points
+            .iter()
+            .filter(|p| p.app == app)
+            .max_by(|a, b| a.log10_fidelity.total_cmp(&b.log10_fidelity));
+        matches!(best, Some(p) if p.technique == "SABRE + SWAP Insert" || {
+            // Ties with another technique still count as "best".
+            self.points
+                .iter()
+                .filter(|q| q.app == app && q.technique == "SABRE + SWAP Insert")
+                .any(|q| (q.log10_fidelity - p.log10_fidelity).abs() < 1e-9)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tradeoff_reports_time_and_fidelity() {
+        let result = run_with(&["BV_128"]);
+        assert_eq!(result.points.len(), 4);
+        assert!(result.render().contains("trade-off"));
+        assert!(result.combined_is_best("BV_128"));
+    }
+
+    #[test]
+    fn paper_apps() {
+        assert_eq!(fig11_apps(), vec!["SQRT_128", "BV_128"]);
+    }
+}

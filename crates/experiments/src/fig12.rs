@@ -1,0 +1,116 @@
+//! Figure 12: single vs double entanglement (optical) zone analysis.
+
+use eml_qccd::{Compiler, DeviceConfig};
+use muss_ti::{MussTiCompiler, MussTiOptions};
+use serde::{Deserialize, Serialize};
+
+use crate::report::{format_fidelity, Table};
+use crate::runner::circuit_for;
+
+/// Fidelity of one application under a given number of optical zones.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig12Point {
+    /// Benchmark label.
+    pub app: String,
+    /// Optical (entanglement) zones per module.
+    pub optical_zones: usize,
+    /// Base-10 log fidelity.
+    pub log10_fidelity: f64,
+    /// Shuttle count.
+    pub shuttles: usize,
+}
+
+/// The multi-entanglement-zone comparison result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig12Result {
+    /// All (app, zones) points.
+    pub points: Vec<Fig12Point>,
+}
+
+/// The applications of Fig. 12 (the large-scale suite).
+pub fn fig12_apps() -> Vec<&'static str> {
+    vec!["Adder_256", "BV_256", "QAOA_256", "GHZ_256", "RAN_256", "SC_274", "SQRT_299"]
+}
+
+/// Runs the full comparison (1 vs 2 optical zones).
+pub fn run() -> Fig12Result {
+    run_with(&fig12_apps(), &[1, 2])
+}
+
+/// Runs the comparison for explicit applications and zone counts.
+pub fn run_with(apps: &[&str], zone_counts: &[usize]) -> Fig12Result {
+    let mut points = Vec::new();
+    for app in apps {
+        let circuit = circuit_for(app);
+        for &zones in zone_counts {
+            let device = DeviceConfig::for_qubits(circuit.num_qubits())
+                .with_optical_zones(zones)
+                .build();
+            let compiler = MussTiCompiler::new(device, MussTiOptions::default());
+            let program = compiler
+                .compile(&circuit)
+                .unwrap_or_else(|e| panic!("{app} with {zones} optical zones: {e}"));
+            points.push(Fig12Point {
+                app: (*app).to_string(),
+                optical_zones: zones,
+                log10_fidelity: program.metrics().log10_fidelity(),
+                shuttles: program.metrics().shuttle_count,
+            });
+        }
+    }
+    Fig12Result { points }
+}
+
+impl Fig12Result {
+    /// Renders the comparison as a table.
+    pub fn render(&self) -> String {
+        let mut table = Table::new(
+            "Fig 12 — Multiple entanglement zones analysis",
+            &["Application", "Optical zones", "Fidelity", "Shuttles"],
+        );
+        for p in &self.points {
+            table.push_row(vec![
+                p.app.clone(),
+                p.optical_zones.to_string(),
+                format_fidelity(p.log10_fidelity),
+                p.shuttles.to_string(),
+            ]);
+        }
+        table.render()
+    }
+
+    /// Number of applications for which two zones achieve fidelity at least
+    /// as good as one zone (the paper finds this for most applications).
+    pub fn two_zone_wins(&self) -> usize {
+        let apps: std::collections::BTreeSet<&str> = self.points.iter().map(|p| p.app.as_str()).collect();
+        apps.into_iter()
+            .filter(|app| {
+                let get = |zones: usize| {
+                    self.points
+                        .iter()
+                        .find(|p| p.app == *app && p.optical_zones == zones)
+                        .map(|p| p.log10_fidelity)
+                };
+                matches!((get(2), get(1)), (Some(two), Some(one)) if two >= one)
+            })
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comparison_produces_points_for_each_zone_count() {
+        let result = run_with(&["GHZ_256"], &[1, 2]);
+        assert_eq!(result.points.len(), 2);
+        assert!(result.render().contains("entanglement zones"));
+        assert!(result.two_zone_wins() <= 1);
+    }
+
+    #[test]
+    fn paper_apps_are_large_scale() {
+        assert_eq!(fig12_apps().len(), 7);
+    }
+}

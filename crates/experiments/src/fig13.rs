@@ -1,0 +1,121 @@
+//! Figure 13: optimality analysis — MUSS-TI vs perfect-gate and
+//! perfect-shuttle idealisations.
+
+use eml_qccd::{Compiler, FidelityModel, ScheduleExecutor, TimingModel};
+use muss_ti::MussTiOptions;
+use serde::{Deserialize, Serialize};
+
+use crate::report::{format_fidelity, Table};
+use crate::runner::{circuit_for, muss_ti_for};
+
+/// Fidelity of one application under the three evaluation regimes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig13Point {
+    /// Benchmark label.
+    pub app: String,
+    /// Base-10 log fidelity with the real models (MUSS-TI bar).
+    pub muss_ti: f64,
+    /// Base-10 log fidelity assuming perfect (0.9999) two-qubit gates.
+    pub perfect_gate: f64,
+    /// Base-10 log fidelity assuming heat-free shuttling.
+    pub perfect_shuttle: f64,
+}
+
+/// The optimality-analysis result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig13Result {
+    /// One point per application.
+    pub points: Vec<Fig13Point>,
+}
+
+/// The applications of Fig. 13 (medium suite plus ~298-qubit variants).
+pub fn fig13_apps() -> Vec<&'static str> {
+    vec![
+        "Adder_128", "BV_128", "GHZ_128", "QAOA_128", "SQRT_117", "Adder_298", "BV_298",
+        "GHZ_298", "QAOA_298", "SQRT_299",
+    ]
+}
+
+/// Runs the full optimality analysis.
+pub fn run() -> Fig13Result {
+    run_with(&fig13_apps())
+}
+
+/// Runs the analysis over an explicit application list. The schedule is
+/// compiled once with the real models and re-evaluated under each
+/// idealisation, exactly as the paper varies only the fidelity model.
+pub fn run_with(apps: &[&str]) -> Fig13Result {
+    let perfect_gate_exec =
+        ScheduleExecutor::new(TimingModel::paper_defaults(), FidelityModel::perfect_gates());
+    let perfect_shuttle_exec =
+        ScheduleExecutor::new(TimingModel::paper_defaults(), FidelityModel::perfect_shuttle());
+    let mut points = Vec::new();
+    for app in apps {
+        let circuit = circuit_for(app);
+        let compiler = muss_ti_for(&circuit, MussTiOptions::default());
+        let program = compiler
+            .compile(&circuit)
+            .unwrap_or_else(|e| panic!("{app}: {e}"));
+        points.push(Fig13Point {
+            app: (*app).to_string(),
+            muss_ti: program.metrics().log10_fidelity(),
+            perfect_gate: program.reevaluate(&perfect_gate_exec).log10_fidelity(),
+            perfect_shuttle: program.reevaluate(&perfect_shuttle_exec).log10_fidelity(),
+        });
+    }
+    Fig13Result { points }
+}
+
+impl Fig13Result {
+    /// Renders the three bars per application.
+    pub fn render(&self) -> String {
+        let mut table = Table::new(
+            "Fig 13 — Optimality analysis",
+            &["Application", "Perfect Gate", "Perfect Shuttle", "MUSS-TI"],
+        );
+        for p in &self.points {
+            table.push_row(vec![
+                p.app.clone(),
+                format_fidelity(p.perfect_gate),
+                format_fidelity(p.perfect_shuttle),
+                format_fidelity(p.muss_ti),
+            ]);
+        }
+        table.render()
+    }
+
+    /// `true` if both idealisations are at least as good as the real model
+    /// for every application (sanity property of the analysis).
+    pub fn idealisations_dominate(&self) -> bool {
+        self.points
+            .iter()
+            .all(|p| p.perfect_gate >= p.muss_ti - 1e-9 && p.perfect_shuttle >= p.muss_ti - 1e-9)
+    }
+
+    /// Number of applications where the perfect-gate idealisation helps more
+    /// than the perfect-shuttle one (the paper observes this is the majority).
+    pub fn perfect_gate_wins(&self) -> usize {
+        self.points.iter().filter(|p| p.perfect_gate >= p.perfect_shuttle).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idealisations_never_hurt() {
+        let result = run_with(&["GHZ_128", "BV_128"]);
+        assert_eq!(result.points.len(), 2);
+        assert!(result.idealisations_dominate(), "{result:?}");
+        assert!(result.render().contains("Optimality"));
+    }
+
+    #[test]
+    fn paper_apps_include_298_variants() {
+        let apps = fig13_apps();
+        assert!(apps.contains(&"Adder_298"));
+        assert!(apps.contains(&"SQRT_299"));
+        assert_eq!(apps.len(), 10);
+    }
+}

@@ -1,0 +1,114 @@
+//! Figure 7: EML-QCCD trap-capacity analysis (fidelity vs capacity 12–20).
+
+use eml_qccd::{Compiler, DeviceConfig};
+use muss_ti::{MussTiCompiler, MussTiOptions};
+use serde::{Deserialize, Serialize};
+
+use crate::report::{format_fidelity, Table};
+use crate::runner::circuit_for;
+
+/// Fidelity of one application at one trap capacity.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig7Point {
+    /// Benchmark label.
+    pub app: String,
+    /// Trap (zone) capacity.
+    pub trap_capacity: usize,
+    /// Base-10 log fidelity under MUSS-TI.
+    pub log10_fidelity: f64,
+    /// Shuttle count (reported for context; the paper plots fidelity only).
+    pub shuttles: usize,
+}
+
+/// The Figure 7 sweep result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig7Result {
+    /// All (app, capacity) points.
+    pub points: Vec<Fig7Point>,
+}
+
+/// The capacities the paper sweeps.
+pub fn capacities() -> Vec<usize> {
+    vec![12, 14, 16, 18, 20]
+}
+
+/// The applications of Fig. 7 (four medium-scale apps plus SQRT_299).
+pub fn fig7_apps() -> Vec<&'static str> {
+    vec!["Adder_128", "BV_128", "GHZ_128", "QAOA_128", "SQRT_299"]
+}
+
+/// Runs the full Figure 7 sweep.
+pub fn run() -> Fig7Result {
+    run_with(&fig7_apps(), &capacities())
+}
+
+/// Runs the sweep for explicit application and capacity lists.
+pub fn run_with(apps: &[&str], capacities: &[usize]) -> Fig7Result {
+    let mut points = Vec::new();
+    for app in apps {
+        let circuit = circuit_for(app);
+        for &capacity in capacities {
+            let device = DeviceConfig::for_qubits(circuit.num_qubits())
+                .with_trap_capacity(capacity)
+                .build();
+            let compiler = MussTiCompiler::new(device, MussTiOptions::default());
+            let program = compiler
+                .compile(&circuit)
+                .unwrap_or_else(|e| panic!("{app} at capacity {capacity}: {e}"));
+            points.push(Fig7Point {
+                app: (*app).to_string(),
+                trap_capacity: capacity,
+                log10_fidelity: program.metrics().log10_fidelity(),
+                shuttles: program.metrics().shuttle_count,
+            });
+        }
+    }
+    Fig7Result { points }
+}
+
+impl Fig7Result {
+    /// Renders one row per (application, capacity) point.
+    pub fn render(&self) -> String {
+        let mut table = Table::new(
+            "Fig 7 — Trap capacity analysis (MUSS-TI)",
+            &["Application", "Capacity", "Fidelity", "Shuttles"],
+        );
+        for p in &self.points {
+            table.push_row(vec![
+                p.app.clone(),
+                p.trap_capacity.to_string(),
+                format_fidelity(p.log10_fidelity),
+                p.shuttles.to_string(),
+            ]);
+        }
+        table.render()
+    }
+
+    /// The capacity with the best fidelity for an application, if present.
+    pub fn best_capacity(&self, app: &str) -> Option<usize> {
+        self.points
+            .iter()
+            .filter(|p| p.app == app)
+            .max_by(|a, b| a.log10_fidelity.total_cmp(&b.log10_fidelity))
+            .map(|p| p.trap_capacity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_produces_one_point_per_app_capacity_pair() {
+        let result = run_with(&["GHZ_128"], &[12, 16, 20]);
+        assert_eq!(result.points.len(), 3);
+        assert!(result.best_capacity("GHZ_128").is_some());
+        assert!(result.render().contains("Capacity"));
+    }
+
+    #[test]
+    fn capacities_match_paper_range() {
+        assert_eq!(capacities(), vec![12, 14, 16, 18, 20]);
+        assert_eq!(fig7_apps().len(), 5);
+    }
+}

@@ -1,0 +1,145 @@
+//! Figure 8: ablation of the compilation techniques (Trivial / SWAP-Insert /
+//! SABRE / SABRE + SWAP-Insert).
+
+use eml_qccd::Compiler;
+use muss_ti::MussTiOptions;
+use serde::{Deserialize, Serialize};
+
+use crate::report::{format_fidelity, Table};
+use crate::runner::{circuit_for, muss_ti_for};
+
+/// Fidelity of one application under one technique configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig8Point {
+    /// Benchmark label.
+    pub app: String,
+    /// Technique name (`Trivial`, `SWAP Insert`, `SABRE`, `SABRE + SWAP Insert`).
+    pub technique: String,
+    /// Base-10 log fidelity.
+    pub log10_fidelity: f64,
+    /// Shuttle count.
+    pub shuttles: usize,
+    /// Compilation time in seconds (reused by Fig. 11).
+    pub compile_time_s: f64,
+}
+
+/// The ablation result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig8Result {
+    /// All (app, technique) points.
+    pub points: Vec<Fig8Point>,
+}
+
+/// The four technique configurations of the ablation, in the paper's order.
+pub fn techniques() -> Vec<(&'static str, MussTiOptions)> {
+    vec![
+        ("Trivial", MussTiOptions::trivial()),
+        ("SWAP Insert", MussTiOptions::swap_insert_only()),
+        ("SABRE", MussTiOptions::sabre_only()),
+        ("SABRE + SWAP Insert", MussTiOptions::full()),
+    ]
+}
+
+/// The applications of Fig. 8 (medium and large suites).
+pub fn fig8_apps() -> Vec<&'static str> {
+    vec![
+        "Adder_128", "BV_128", "GHZ_128", "QAOA_128", "SQRT_117", "Adder_256", "BV_256",
+        "GHZ_256", "QAOA_256", "RAN_256", "SC_274", "SQRT_299",
+    ]
+}
+
+/// Runs the full ablation.
+pub fn run() -> Fig8Result {
+    run_with(&fig8_apps())
+}
+
+/// Runs the ablation over an explicit application list.
+pub fn run_with(apps: &[&str]) -> Fig8Result {
+    let mut points = Vec::new();
+    for app in apps {
+        let circuit = circuit_for(app);
+        for (technique, options) in techniques() {
+            let compiler = muss_ti_for(&circuit, options);
+            let program = compiler
+                .compile(&circuit)
+                .unwrap_or_else(|e| panic!("{app} with {technique}: {e}"));
+            points.push(Fig8Point {
+                app: (*app).to_string(),
+                technique: technique.to_string(),
+                log10_fidelity: program.metrics().log10_fidelity(),
+                shuttles: program.metrics().shuttle_count,
+                compile_time_s: program.compile_time().as_secs_f64(),
+            });
+        }
+    }
+    Fig8Result { points }
+}
+
+impl Fig8Result {
+    /// Renders the ablation as a table.
+    pub fn render(&self) -> String {
+        let mut table = Table::new(
+            "Fig 8 — Ablation of compilation techniques",
+            &["Application", "Technique", "Fidelity", "Shuttles", "Compile (s)"],
+        );
+        for p in &self.points {
+            table.push_row(vec![
+                p.app.clone(),
+                p.technique.clone(),
+                format_fidelity(p.log10_fidelity),
+                p.shuttles.to_string(),
+                format!("{:.3}", p.compile_time_s),
+            ]);
+        }
+        table.render()
+    }
+
+    /// Log-fidelity of a given (app, technique) pair.
+    pub fn fidelity(&self, app: &str, technique: &str) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|p| p.app == app && p.technique == technique)
+            .map(|p| p.log10_fidelity)
+    }
+
+    /// Number of applications for which the combined configuration is at
+    /// least as good as the trivial baseline.
+    pub fn combined_wins(&self) -> usize {
+        let apps: std::collections::BTreeSet<&str> = self.points.iter().map(|p| p.app.as_str()).collect();
+        apps.into_iter()
+            .filter(|app| {
+                match (self.fidelity(app, "SABRE + SWAP Insert"), self.fidelity(app, "Trivial")) {
+                    (Some(full), Some(trivial)) => full >= trivial,
+                    _ => false,
+                }
+            })
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ablation_runs_four_techniques_per_app() {
+        let result = run_with(&["GHZ_128"]);
+        assert_eq!(result.points.len(), 4);
+        assert!(result.fidelity("GHZ_128", "Trivial").is_some());
+        assert!(result.fidelity("GHZ_128", "SABRE + SWAP Insert").is_some());
+        assert!(result.render().contains("Ablation"));
+    }
+
+    #[test]
+    fn combined_configuration_is_not_worse_than_trivial_on_medium_apps() {
+        let result = run_with(&["BV_128", "GHZ_128"]);
+        assert_eq!(result.combined_wins(), 2, "{result:?}");
+    }
+
+    #[test]
+    fn technique_list_matches_paper() {
+        let names: Vec<&str> = techniques().iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, vec!["Trivial", "SWAP Insert", "SABRE", "SABRE + SWAP Insert"]);
+        assert_eq!(fig8_apps().len(), 12);
+    }
+}

@@ -1,0 +1,39 @@
+//! Evaluation harness: regenerates every table and figure of the MUSS-TI
+//! paper's evaluation section.
+//!
+//! Each `figN` module exposes a `run()` function returning a serialisable
+//! result struct with a `render()` method that prints the corresponding
+//! table/series, plus `run_with(...)` variants that accept explicit workload
+//! lists so tests and benches can bound their runtime. The binaries in
+//! `src/bin/` are thin wrappers (`cargo run --release -p experiments --bin
+//! fig6`), and `run_all` executes the whole evaluation.
+//!
+//! | Module | Paper artefact |
+//! |--------|----------------|
+//! | [`table2`] | Table 2 — small-scale comparison vs Murali/Dai/MQT |
+//! | [`fig6`]   | Fig. 6 — shuttles / time / fidelity across scales |
+//! | [`fig7`]   | Fig. 7 — trap-capacity sweep |
+//! | [`fig8`]   | Fig. 8 — compilation-technique ablation |
+//! | [`fig9`]   | Fig. 9 — look-ahead sweep |
+//! | [`fig10`]  | Fig. 10 — compilation-time scaling |
+//! | [`fig11`]  | Fig. 11 — compile-time vs fidelity trade-off |
+//! | [`fig12`]  | Fig. 12 — 1 vs 2 entanglement zones |
+//! | [`fig13`]  | Fig. 13 — optimality analysis |
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod report;
+pub mod runner;
+pub mod table2;
+
+pub use report::{format_fidelity, percent_reduction, Table};
+pub use runner::{evaluate, AppResult};

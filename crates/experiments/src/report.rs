@@ -1,0 +1,124 @@
+//! Plain-text table rendering for experiment output.
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned text table used by every experiment binary to
+/// print its rows the way the paper's tables/figures report them.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (cells are stringified by the caller).
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as aligned plain text.
+    pub fn render(&self) -> String {
+        let columns = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(columns) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "=== {} ===", self.title);
+        let header_line: Vec<String> = self
+            .headers
+            .iter()
+            .enumerate()
+            .map(|(i, h)| format!("{:width$}", h, width = widths[i]))
+            .collect();
+        let _ = writeln!(out, "{}", header_line.join("  "));
+        let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (columns - 1)));
+        for row in &self.rows {
+            let line: Vec<String> = row
+                .iter()
+                .enumerate()
+                .take(columns)
+                .map(|(i, c)| format!("{:width$}", c, width = widths[i]))
+                .collect();
+            let _ = writeln!(out, "{}", line.join("  "));
+        }
+        out
+    }
+}
+
+/// Formats a base-10 log-fidelity the way the paper's tables print fidelity
+/// (`0.13`, `7.7e-04`, `4.2e-16`, …): plain decimal above 10⁻³, scientific
+/// below, and `~0` when the value underflows even the log representation.
+pub fn format_fidelity(log10_fidelity: f64) -> String {
+    if !log10_fidelity.is_finite() {
+        return "~0".to_string();
+    }
+    let fidelity = 10f64.powf(log10_fidelity);
+    if log10_fidelity > -3.0 {
+        format!("{fidelity:.2}")
+    } else {
+        format!("1e{log10_fidelity:.1}")
+    }
+}
+
+/// Formats a relative improvement `(baseline - ours) / baseline` as a percentage.
+pub fn percent_reduction(baseline: f64, ours: f64) -> f64 {
+    if baseline <= 0.0 {
+        0.0
+    } else {
+        100.0 * (baseline - ours) / baseline
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns_and_includes_title() {
+        let mut t = Table::new("Demo", &["App", "Shuttles"]);
+        t.push_row(vec!["GHZ_32".into(), "2".into()]);
+        t.push_row(vec!["Adder_32".into(), "17".into()]);
+        let text = t.render();
+        assert!(text.contains("=== Demo ==="));
+        assert!(text.contains("GHZ_32"));
+        assert!(text.lines().count() >= 5);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn fidelity_formatting_switches_regimes() {
+        assert_eq!(format_fidelity(-0.1), "0.79");
+        assert!(format_fidelity(-15.0).starts_with("1e-15"));
+        assert_eq!(format_fidelity(f64::NEG_INFINITY), "~0");
+    }
+
+    #[test]
+    fn percent_reduction_handles_zero_baseline() {
+        assert_eq!(percent_reduction(0.0, 5.0), 0.0);
+        assert!((percent_reduction(100.0, 40.0) - 60.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,142 @@
+//! Shared helpers for running compilers over benchmark applications.
+
+use baselines::{DaiCompiler, MqtStyleCompiler, MuraliCompiler};
+use eml_qccd::{CompileError, Compiler, DeviceConfig, GridConfig};
+use ion_circuit::generators::BenchmarkApp;
+use ion_circuit::Circuit;
+use muss_ti::{MussTiCompiler, MussTiOptions};
+use serde::{Deserialize, Serialize};
+
+/// The outcome of compiling one application with one compiler: the subset of
+/// [`ExecutionMetrics`](eml_qccd::ExecutionMetrics) the paper reports, plus
+/// compilation time.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct AppResult {
+    /// Benchmark label, e.g. `"Adder_32"`.
+    pub app: String,
+    /// Compiler display name.
+    pub compiler: String,
+    /// Number of shuttle operations.
+    pub shuttles: usize,
+    /// Estimated circuit execution time in µs.
+    pub execution_time_us: f64,
+    /// Base-10 log of the end-to-end fidelity.
+    pub log10_fidelity: f64,
+    /// Number of fiber (remote) gates (zero for grid baselines).
+    pub fiber_gates: usize,
+    /// Wall-clock compilation time in seconds.
+    pub compile_time_s: f64,
+}
+
+/// Compiles `circuit` with `compiler` and condenses the result.
+///
+/// # Errors
+///
+/// Propagates the compiler's [`CompileError`].
+pub fn evaluate(compiler: &dyn Compiler, circuit: &Circuit) -> Result<AppResult, CompileError> {
+    let program = compiler.compile(circuit)?;
+    let metrics = program.metrics();
+    Ok(AppResult {
+        app: circuit.name().to_string(),
+        compiler: compiler.name().to_string(),
+        shuttles: metrics.shuttle_count,
+        execution_time_us: metrics.execution_time_us,
+        log10_fidelity: metrics.log10_fidelity(),
+        fiber_gates: metrics.fiber_gates,
+        compile_time_s: program.compile_time().as_secs_f64(),
+    })
+}
+
+/// Builds the MUSS-TI compiler for an application, matching the paper's
+/// Section 4 setup: one module per 32 qubits, trap capacity 16, one optical +
+/// one operation + two storage zones per module.
+pub fn muss_ti_for(circuit: &Circuit, options: MussTiOptions) -> MussTiCompiler {
+    MussTiCompiler::new(DeviceConfig::for_qubits(circuit.num_qubits()).build(), options)
+}
+
+/// Builds a MUSS-TI compiler whose module count and trap capacity mirror a
+/// given monolithic grid (used for the Table 2 comparison, where MUSS-TI is
+/// applied to the same structure sizes as the baselines).
+pub fn muss_ti_matching_grid(grid: &GridConfig, options: MussTiOptions) -> MussTiCompiler {
+    let config = DeviceConfig::new()
+        .with_modules(grid.rows() * grid.cols())
+        .with_trap_capacity(grid.trap_capacity())
+        .with_max_qubits_per_module(2 * grid.trap_capacity());
+    MussTiCompiler::new(config.build(), options)
+}
+
+/// The three compilers compared in Fig. 6 for a given application size.
+pub fn fig6_compilers(num_qubits: usize) -> Vec<Box<dyn Compiler>> {
+    vec![
+        Box::new(MussTiCompiler::new(
+            DeviceConfig::for_qubits(num_qubits).build(),
+            MussTiOptions::default(),
+        )),
+        Box::new(DaiCompiler::for_qubits(num_qubits)),
+        Box::new(MuraliCompiler::for_qubits(num_qubits)),
+    ]
+}
+
+/// The four compilers compared in Table 2 on a given small-scale grid.
+pub fn table2_compilers(grid: &GridConfig) -> Vec<Box<dyn Compiler>> {
+    vec![
+        Box::new(MuraliCompiler::new(grid.clone())),
+        Box::new(DaiCompiler::new(grid.clone())),
+        Box::new(MqtStyleCompiler::new(grid.clone())),
+        Box::new(muss_ti_matching_grid(grid, MussTiOptions::default()).with_name("MUSS-TI (Ours)")),
+    ]
+}
+
+/// Generates the circuit for a benchmark label, panicking on unknown labels
+/// (experiment code only uses the fixed suite labels).
+pub fn circuit_for(label: &str) -> Circuit {
+    BenchmarkApp::from_label(label)
+        .unwrap_or_else(|e| panic!("invalid benchmark label {label}: {e}"))
+        .circuit()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ion_circuit::generators;
+
+    #[test]
+    fn evaluate_produces_consistent_fields() {
+        let circuit = generators::ghz(32);
+        let compiler = muss_ti_for(&circuit, MussTiOptions::default());
+        let result = evaluate(&compiler, &circuit).unwrap();
+        assert_eq!(result.app, "GHZ_32");
+        assert_eq!(result.compiler, "MUSS-TI");
+        assert!(result.execution_time_us > 0.0);
+        assert!(result.log10_fidelity <= 0.0);
+        assert!(result.compile_time_s >= 0.0);
+    }
+
+    #[test]
+    fn table2_compilers_are_four_and_named() {
+        let compilers = table2_compilers(&GridConfig::new(2, 2, 12));
+        let names: Vec<&str> = compilers.iter().map(|c| c.name()).collect();
+        assert_eq!(names.len(), 4);
+        assert!(names.contains(&"QCCD-Murali et al."));
+        assert!(names.contains(&"QCCD-Dai et al."));
+        assert!(names.contains(&"MQT"));
+        assert!(names.contains(&"MUSS-TI (Ours)"));
+    }
+
+    #[test]
+    fn fig6_compilers_are_three() {
+        assert_eq!(fig6_compilers(128).len(), 3);
+    }
+
+    #[test]
+    fn matching_grid_device_has_grid_dimensions() {
+        let compiler = muss_ti_matching_grid(&GridConfig::new(2, 3, 8), MussTiOptions::default());
+        assert_eq!(compiler.device().num_modules(), 6);
+        assert_eq!(compiler.device().config().trap_capacity(), 8);
+    }
+
+    #[test]
+    fn circuit_for_builds_suite_labels() {
+        assert_eq!(circuit_for("SQRT_30").num_qubits(), 30);
+    }
+}

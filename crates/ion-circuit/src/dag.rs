@@ -1,0 +1,366 @@
+//! Gate dependency DAG used by every scheduler in the workspace.
+
+use std::collections::HashMap;
+
+use crate::{Circuit, Gate, QubitId};
+
+/// Identifier of a node in a [`DependencyDag`].
+///
+/// The id is stable for the lifetime of the DAG and doubles as the index of
+/// the corresponding gate in the DAG's internal gate list (which preserves the
+/// original program order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DagNodeId(usize);
+
+impl DagNodeId {
+    /// The raw index of this node.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Dependency graph over the *two-qubit* gates of a circuit.
+///
+/// Following Section 3.1 of the paper, single-qubit gates are disregarded for
+/// scheduling purposes: they never require a shuttle because a qubit can be
+/// driven wherever it currently sits inside an operation or optical zone. Each
+/// node is a two-qubit gate; a directed edge `(gᵢ, gⱼ)` means `gⱼ` shares a
+/// qubit with `gᵢ` and appears later in program order, so it may only execute
+/// after `gᵢ`.
+///
+/// The DAG supports the operations the schedulers need:
+///
+/// * [`front_layer`](DependencyDag::front_layer) — gates with no unexecuted
+///   predecessor, in program order (for FCFS tie-breaking);
+/// * [`mark_executed`](DependencyDag::mark_executed) — retire a gate and
+///   expose newly-ready successors;
+/// * [`lookahead_layers`](DependencyDag::lookahead_layers) — the first `k`
+///   layers of the *remaining* DAG, used by the SWAP-insertion weight table.
+///
+/// ```
+/// use ion_circuit::{Circuit, DependencyDag};
+///
+/// let mut c = Circuit::new(3);
+/// c.cx(0, 1).cx(1, 2).cx(0, 2);
+/// let mut dag = DependencyDag::from_circuit(&c);
+/// assert_eq!(dag.front_layer().len(), 1);
+/// let first = dag.front_layer()[0];
+/// dag.mark_executed(first);
+/// assert_eq!(dag.remaining(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DependencyDag {
+    /// Two-qubit gates in original program order.
+    gates: Vec<Gate>,
+    /// Index of each gate in the *original* circuit gate list.
+    original_indices: Vec<usize>,
+    /// successors[i] = nodes that depend on node i.
+    successors: Vec<Vec<usize>>,
+    /// predecessors[i] = nodes that node i depends on.
+    predecessors: Vec<Vec<usize>>,
+    /// Number of unexecuted predecessors for each node.
+    unexecuted_preds: Vec<usize>,
+    executed: Vec<bool>,
+    remaining: usize,
+    num_qubits: usize,
+}
+
+impl DependencyDag {
+    /// Builds the dependency DAG over the two-qubit gates of `circuit`.
+    pub fn from_circuit(circuit: &Circuit) -> Self {
+        let mut gates = Vec::new();
+        let mut original_indices = Vec::new();
+        for (i, g) in circuit.gates().iter().enumerate() {
+            if g.is_two_qubit() {
+                gates.push(g.clone());
+                original_indices.push(i);
+            }
+        }
+        let n = gates.len();
+        let mut successors = vec![Vec::new(); n];
+        let mut predecessors = vec![Vec::new(); n];
+        // last_user[q] = most recent node touching qubit q.
+        let mut last_user: HashMap<QubitId, usize> = HashMap::new();
+        for (i, g) in gates.iter().enumerate() {
+            let (a, b) = g
+                .two_qubit_pair()
+                .expect("only two-qubit gates are inserted into the DAG");
+            for q in [a, b] {
+                if let Some(&prev) = last_user.get(&q) {
+                    if !successors[prev].contains(&i) {
+                        successors[prev].push(i);
+                        predecessors[i].push(prev);
+                    }
+                }
+                last_user.insert(q, i);
+            }
+        }
+        let unexecuted_preds: Vec<usize> = predecessors.iter().map(Vec::len).collect();
+        DependencyDag {
+            gates,
+            original_indices,
+            successors,
+            predecessors,
+            unexecuted_preds,
+            executed: vec![false; n],
+            remaining: n,
+            num_qubits: circuit.num_qubits(),
+        }
+    }
+
+    /// Number of two-qubit gates in the DAG (executed or not).
+    pub fn len(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// `true` if the DAG contains no two-qubit gates at all.
+    pub fn is_empty(&self) -> bool {
+        self.gates.is_empty()
+    }
+
+    /// Number of qubits of the originating circuit.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Number of gates not yet executed.
+    pub fn remaining(&self) -> usize {
+        self.remaining
+    }
+
+    /// `true` once every gate has been executed.
+    pub fn all_executed(&self) -> bool {
+        self.remaining == 0
+    }
+
+    /// The gate associated with a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` does not belong to this DAG.
+    pub fn gate(&self, node: DagNodeId) -> &Gate {
+        &self.gates[node.0]
+    }
+
+    /// The two qubit operands of a node's gate.
+    pub fn operands(&self, node: DagNodeId) -> (QubitId, QubitId) {
+        self.gates[node.0]
+            .two_qubit_pair()
+            .expect("DAG nodes are always two-qubit gates")
+    }
+
+    /// The index of this gate in the original circuit's gate list.
+    pub fn original_index(&self, node: DagNodeId) -> usize {
+        self.original_indices[node.0]
+    }
+
+    /// `true` if a node has already been executed.
+    pub fn is_executed(&self, node: DagNodeId) -> bool {
+        self.executed[node.0]
+    }
+
+    /// Nodes with no unexecuted predecessors, in program order (FCFS order).
+    pub fn front_layer(&self) -> Vec<DagNodeId> {
+        (0..self.gates.len())
+            .filter(|&i| !self.executed[i] && self.unexecuted_preds[i] == 0)
+            .map(DagNodeId)
+            .collect()
+    }
+
+    /// Marks a node as executed, unblocking its successors.
+    ///
+    /// Returns the successors that became ready (front-layer members) as a
+    /// result of this execution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is already executed or still has unexecuted
+    /// predecessors (executing it would violate the dependency order).
+    pub fn mark_executed(&mut self, node: DagNodeId) -> Vec<DagNodeId> {
+        assert!(!self.executed[node.0], "node {node:?} executed twice");
+        assert_eq!(
+            self.unexecuted_preds[node.0], 0,
+            "node {node:?} executed before its predecessors"
+        );
+        self.executed[node.0] = true;
+        self.remaining -= 1;
+        let mut newly_ready = Vec::new();
+        for &succ in &self.successors[node.0] {
+            self.unexecuted_preds[succ] -= 1;
+            if self.unexecuted_preds[succ] == 0 && !self.executed[succ] {
+                newly_ready.push(DagNodeId(succ));
+            }
+        }
+        newly_ready
+    }
+
+    /// The first `k` layers of the remaining DAG.
+    ///
+    /// Layer 0 is the current front layer; layer `i+1` contains gates whose
+    /// every predecessor lies in layers `0..=i` or has been executed. This is
+    /// the "first *k* layers" window the SWAP-insertion weight table of
+    /// Section 3.3 inspects (the paper uses `k = 8`).
+    pub fn lookahead_layers(&self, k: usize) -> Vec<Vec<DagNodeId>> {
+        let mut layers = Vec::new();
+        if k == 0 {
+            return layers;
+        }
+        let mut virtual_preds = self.unexecuted_preds.clone();
+        let mut visited = self.executed.clone();
+        let mut current: Vec<usize> = (0..self.gates.len())
+            .filter(|&i| !visited[i] && virtual_preds[i] == 0)
+            .collect();
+        while !current.is_empty() && layers.len() < k {
+            layers.push(current.iter().copied().map(DagNodeId).collect());
+            let mut next = Vec::new();
+            for &i in &current {
+                visited[i] = true;
+            }
+            for &i in &current {
+                for &succ in &self.successors[i] {
+                    if visited[succ] {
+                        continue;
+                    }
+                    virtual_preds[succ] -= 1;
+                    if virtual_preds[succ] == 0 {
+                        next.push(succ);
+                    }
+                }
+            }
+            next.sort_unstable();
+            current = next;
+        }
+        layers
+    }
+
+    /// Iterates over every (node, gate) pair in program order.
+    pub fn iter(&self) -> impl Iterator<Item = (DagNodeId, &Gate)> {
+        self.gates.iter().enumerate().map(|(i, g)| (DagNodeId(i), g))
+    }
+
+    /// The direct successors of a node.
+    pub fn successors(&self, node: DagNodeId) -> Vec<DagNodeId> {
+        self.successors[node.0].iter().copied().map(DagNodeId).collect()
+    }
+
+    /// The direct predecessors of a node.
+    pub fn predecessors(&self, node: DagNodeId) -> Vec<DagNodeId> {
+        self.predecessors[node.0].iter().copied().map(DagNodeId).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain_circuit(n: usize) -> Circuit {
+        let mut c = Circuit::new(n);
+        for i in 0..n - 1 {
+            c.cx(i, i + 1);
+        }
+        c
+    }
+
+    #[test]
+    fn ignores_single_qubit_gates() {
+        let mut c = Circuit::new(2);
+        c.h(0).h(1).cx(0, 1).h(0);
+        let dag = DependencyDag::from_circuit(&c);
+        assert_eq!(dag.len(), 1);
+    }
+
+    #[test]
+    fn chain_has_sequential_dependencies() {
+        let dag = DependencyDag::from_circuit(&chain_circuit(5));
+        assert_eq!(dag.len(), 4);
+        assert_eq!(dag.front_layer().len(), 1);
+        assert_eq!(dag.front_layer()[0].index(), 0);
+    }
+
+    #[test]
+    fn independent_gates_are_all_in_front_layer() {
+        let mut c = Circuit::new(6);
+        c.cx(0, 1).cx(2, 3).cx(4, 5);
+        let dag = DependencyDag::from_circuit(&c);
+        assert_eq!(dag.front_layer().len(), 3);
+    }
+
+    #[test]
+    fn mark_executed_unblocks_successors() {
+        let mut dag = DependencyDag::from_circuit(&chain_circuit(4));
+        let front = dag.front_layer();
+        assert_eq!(front.len(), 1);
+        let newly = dag.mark_executed(front[0]);
+        assert_eq!(newly.len(), 1);
+        assert_eq!(dag.remaining(), 2);
+        assert!(dag.is_executed(front[0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "executed twice")]
+    fn double_execution_panics() {
+        let mut dag = DependencyDag::from_circuit(&chain_circuit(3));
+        let n = dag.front_layer()[0];
+        dag.mark_executed(n);
+        dag.mark_executed(n);
+    }
+
+    #[test]
+    #[should_panic(expected = "before its predecessors")]
+    fn premature_execution_panics() {
+        let mut dag = DependencyDag::from_circuit(&chain_circuit(4));
+        // Node 1 depends on node 0.
+        dag.mark_executed(DagNodeId(1));
+    }
+
+    #[test]
+    fn lookahead_layers_respect_dependencies() {
+        let mut c = Circuit::new(4);
+        c.cx(0, 1).cx(2, 3).cx(1, 2).cx(0, 3);
+        let dag = DependencyDag::from_circuit(&c);
+        let layers = dag.lookahead_layers(8);
+        assert_eq!(layers.len(), 2);
+        assert_eq!(layers[0].len(), 2);
+        assert_eq!(layers[1].len(), 2);
+    }
+
+    #[test]
+    fn lookahead_layers_truncate_at_k() {
+        let dag = DependencyDag::from_circuit(&chain_circuit(10));
+        let layers = dag.lookahead_layers(3);
+        assert_eq!(layers.len(), 3);
+        assert!(layers.iter().all(|l| l.len() == 1));
+    }
+
+    #[test]
+    fn lookahead_after_partial_execution_starts_at_new_front() {
+        let mut dag = DependencyDag::from_circuit(&chain_circuit(5));
+        let first = dag.front_layer()[0];
+        dag.mark_executed(first);
+        let layers = dag.lookahead_layers(10);
+        assert_eq!(layers.len(), 3);
+        assert_eq!(layers[0][0].index(), 1);
+    }
+
+    #[test]
+    fn executing_everything_empties_the_dag() {
+        let mut dag = DependencyDag::from_circuit(&chain_circuit(6));
+        while !dag.all_executed() {
+            let front = dag.front_layer();
+            assert!(!front.is_empty(), "non-empty DAG must have a ready gate");
+            dag.mark_executed(front[0]);
+        }
+        assert_eq!(dag.remaining(), 0);
+        assert!(dag.front_layer().is_empty());
+    }
+
+    #[test]
+    fn operands_match_gate() {
+        let mut c = Circuit::new(3);
+        c.cx(2, 0);
+        let dag = DependencyDag::from_circuit(&c);
+        let n = dag.front_layer()[0];
+        assert_eq!(dag.operands(n), (QubitId::new(2), QubitId::new(0)));
+        assert_eq!(dag.original_index(n), 0);
+    }
+}

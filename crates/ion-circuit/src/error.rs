@@ -1,0 +1,64 @@
+//! Error types shared by the circuit IR.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::QubitId;
+
+/// Errors produced while building or validating a [`Circuit`](crate::Circuit).
+#[derive(Debug, Clone, PartialEq)]
+pub enum CircuitError {
+    /// A gate references a qubit outside the circuit's register.
+    QubitOutOfRange {
+        /// The offending qubit.
+        qubit: QubitId,
+        /// The size of the circuit's register.
+        num_qubits: usize,
+    },
+    /// A two-qubit gate was applied to the same qubit twice.
+    DuplicateOperand {
+        /// The duplicated qubit.
+        qubit: QubitId,
+    },
+    /// The circuit declares zero qubits.
+    EmptyRegister,
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::QubitOutOfRange { qubit, num_qubits } => write!(
+                f,
+                "gate references {qubit} but the circuit only has {num_qubits} qubits"
+            ),
+            CircuitError::DuplicateOperand { qubit } => {
+                write!(f, "two-qubit gate applied to {qubit} twice")
+            }
+            CircuitError::EmptyRegister => write!(f, "circuit register must have at least one qubit"),
+        }
+    }
+}
+
+impl Error for CircuitError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_qubit_and_register_size() {
+        let err = CircuitError::QubitOutOfRange {
+            qubit: QubitId::new(9),
+            num_qubits: 4,
+        };
+        let text = err.to_string();
+        assert!(text.contains("q9"));
+        assert!(text.contains('4'));
+    }
+
+    #[test]
+    fn errors_are_std_errors() {
+        fn assert_error<E: Error>() {}
+        assert_error::<CircuitError>();
+    }
+}

@@ -1,0 +1,264 @@
+//! The gate set used by the trapped-ion benchmark circuits.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::QubitId;
+
+/// A quantum gate (or scheduling pseudo-operation) acting on logical qubits.
+///
+/// The gate set mirrors what the paper's benchmark circuits need: arbitrary
+/// single-qubit rotations, a family of two-qubit entangling gates that are all
+/// implemented natively as Mølmer–Sørensen (MS) interactions on trapped-ion
+/// hardware, plus measurement and barriers. Every two-qubit variant is treated
+/// identically by the schedulers — what matters for shuttle scheduling is only
+/// *which pair of qubits must meet*, not the specific unitary.
+///
+/// ```
+/// use ion_circuit::{Gate, QubitId};
+///
+/// let g = Gate::ms(0, 3);
+/// assert!(g.is_two_qubit());
+/// assert_eq!(g.two_qubit_pair(), Some((QubitId::new(0), QubitId::new(3))));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Gate {
+    /// Hadamard gate.
+    H(QubitId),
+    /// Pauli-X gate.
+    X(QubitId),
+    /// Pauli-Y gate.
+    Y(QubitId),
+    /// Pauli-Z gate.
+    Z(QubitId),
+    /// Phase gate S.
+    S(QubitId),
+    /// Adjoint phase gate S†.
+    Sdg(QubitId),
+    /// T gate.
+    T(QubitId),
+    /// Adjoint T gate T†.
+    Tdg(QubitId),
+    /// Rotation about the X axis by `theta` radians.
+    Rx {
+        /// Target qubit.
+        qubit: QubitId,
+        /// Rotation angle in radians.
+        theta: f64,
+    },
+    /// Rotation about the Y axis by `theta` radians.
+    Ry {
+        /// Target qubit.
+        qubit: QubitId,
+        /// Rotation angle in radians.
+        theta: f64,
+    },
+    /// Rotation about the Z axis by `theta` radians.
+    Rz {
+        /// Target qubit.
+        qubit: QubitId,
+        /// Rotation angle in radians.
+        theta: f64,
+    },
+    /// Generic single-qubit unitary `U(theta, phi, lambda)` (OpenQASM `u3`).
+    U {
+        /// Target qubit.
+        qubit: QubitId,
+        /// Polar angle.
+        theta: f64,
+        /// First phase angle.
+        phi: f64,
+        /// Second phase angle.
+        lambda: f64,
+    },
+    /// Native Mølmer–Sørensen two-qubit entangling gate.
+    Ms(QubitId, QubitId),
+    /// Controlled-NOT (compiled to an MS gate plus single-qubit rotations on
+    /// hardware; scheduled as a single two-qubit interaction).
+    Cx(QubitId, QubitId),
+    /// Controlled-Z.
+    Cz(QubitId, QubitId),
+    /// Controlled phase rotation by `theta` (OpenQASM `cp`/`cu1`).
+    Cp {
+        /// Control qubit.
+        control: QubitId,
+        /// Target qubit.
+        target: QubitId,
+        /// Phase angle in radians.
+        theta: f64,
+    },
+    /// Ising ZZ interaction by angle `theta` (used by QAOA layers).
+    Rzz {
+        /// First qubit.
+        a: QubitId,
+        /// Second qubit.
+        b: QubitId,
+        /// Interaction angle in radians.
+        theta: f64,
+    },
+    /// Logical SWAP of two qubits (three MS gates on hardware).
+    Swap(QubitId, QubitId),
+    /// Computational-basis measurement.
+    Measure(QubitId),
+    /// Scheduling barrier over a set of qubits.
+    Barrier(Vec<QubitId>),
+}
+
+impl Gate {
+    /// Convenience constructor for an MS gate on qubit indices `a` and `b`.
+    pub fn ms(a: usize, b: usize) -> Self {
+        Gate::Ms(QubitId::new(a), QubitId::new(b))
+    }
+
+    /// Convenience constructor for a CX gate on qubit indices `control` and `target`.
+    pub fn cx(control: usize, target: usize) -> Self {
+        Gate::Cx(QubitId::new(control), QubitId::new(target))
+    }
+
+    /// Returns every qubit this gate touches, in operand order.
+    pub fn qubits(&self) -> Vec<QubitId> {
+        match self {
+            Gate::H(q)
+            | Gate::X(q)
+            | Gate::Y(q)
+            | Gate::Z(q)
+            | Gate::S(q)
+            | Gate::Sdg(q)
+            | Gate::T(q)
+            | Gate::Tdg(q)
+            | Gate::Measure(q) => vec![*q],
+            Gate::Rx { qubit, .. } | Gate::Ry { qubit, .. } | Gate::Rz { qubit, .. } => {
+                vec![*qubit]
+            }
+            Gate::U { qubit, .. } => vec![*qubit],
+            Gate::Ms(a, b) | Gate::Cx(a, b) | Gate::Cz(a, b) | Gate::Swap(a, b) => vec![*a, *b],
+            Gate::Cp { control, target, .. } => vec![*control, *target],
+            Gate::Rzz { a, b, .. } => vec![*a, *b],
+            Gate::Barrier(qs) => qs.clone(),
+        }
+    }
+
+    /// `true` for gates acting on exactly one qubit (excluding measurement).
+    pub fn is_single_qubit(&self) -> bool {
+        !self.is_two_qubit() && !self.is_measurement() && !self.is_barrier()
+    }
+
+    /// `true` for entangling gates acting on exactly two qubits.
+    pub fn is_two_qubit(&self) -> bool {
+        matches!(
+            self,
+            Gate::Ms(..)
+                | Gate::Cx(..)
+                | Gate::Cz(..)
+                | Gate::Cp { .. }
+                | Gate::Rzz { .. }
+                | Gate::Swap(..)
+        )
+    }
+
+    /// `true` if this is a measurement.
+    pub fn is_measurement(&self) -> bool {
+        matches!(self, Gate::Measure(_))
+    }
+
+    /// `true` if this is a barrier pseudo-operation.
+    pub fn is_barrier(&self) -> bool {
+        matches!(self, Gate::Barrier(_))
+    }
+
+    /// `true` if this is a logical SWAP.
+    pub fn is_swap(&self) -> bool {
+        matches!(self, Gate::Swap(..))
+    }
+
+    /// Returns the two operands of a two-qubit gate, or `None` otherwise.
+    pub fn two_qubit_pair(&self) -> Option<(QubitId, QubitId)> {
+        match self {
+            Gate::Ms(a, b) | Gate::Cx(a, b) | Gate::Cz(a, b) | Gate::Swap(a, b) => Some((*a, *b)),
+            Gate::Cp { control, target, .. } => Some((*control, *target)),
+            Gate::Rzz { a, b, .. } => Some((*a, *b)),
+            _ => None,
+        }
+    }
+
+    /// A short lower-case mnemonic, matching the OpenQASM spelling where one exists.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Gate::H(_) => "h",
+            Gate::X(_) => "x",
+            Gate::Y(_) => "y",
+            Gate::Z(_) => "z",
+            Gate::S(_) => "s",
+            Gate::Sdg(_) => "sdg",
+            Gate::T(_) => "t",
+            Gate::Tdg(_) => "tdg",
+            Gate::Rx { .. } => "rx",
+            Gate::Ry { .. } => "ry",
+            Gate::Rz { .. } => "rz",
+            Gate::U { .. } => "u3",
+            Gate::Ms(..) => "ms",
+            Gate::Cx(..) => "cx",
+            Gate::Cz(..) => "cz",
+            Gate::Cp { .. } => "cp",
+            Gate::Rzz { .. } => "rzz",
+            Gate::Swap(..) => "swap",
+            Gate::Measure(_) => "measure",
+            Gate::Barrier(_) => "barrier",
+        }
+    }
+}
+
+impl fmt::Display for Gate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let operands: Vec<String> = self.qubits().iter().map(|q| q.to_string()).collect();
+        write!(f, "{} {}", self.name(), operands.join(","))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_qubit_classification() {
+        assert!(Gate::ms(0, 1).is_two_qubit());
+        assert!(Gate::cx(0, 1).is_two_qubit());
+        assert!(Gate::Swap(QubitId::new(0), QubitId::new(1)).is_two_qubit());
+        assert!(!Gate::H(QubitId::new(0)).is_two_qubit());
+        assert!(!Gate::Measure(QubitId::new(0)).is_two_qubit());
+    }
+
+    #[test]
+    fn single_qubit_classification() {
+        assert!(Gate::H(QubitId::new(0)).is_single_qubit());
+        assert!(Gate::Rz { qubit: QubitId::new(2), theta: 0.5 }.is_single_qubit());
+        assert!(!Gate::Measure(QubitId::new(0)).is_single_qubit());
+        assert!(!Gate::Barrier(vec![]).is_single_qubit());
+    }
+
+    #[test]
+    fn qubits_are_reported_in_operand_order() {
+        let g = Gate::Cp {
+            control: QubitId::new(5),
+            target: QubitId::new(2),
+            theta: 1.0,
+        };
+        assert_eq!(g.qubits(), vec![QubitId::new(5), QubitId::new(2)]);
+        assert_eq!(g.two_qubit_pair(), Some((QubitId::new(5), QubitId::new(2))));
+    }
+
+    #[test]
+    fn display_uses_qasm_like_mnemonics() {
+        assert_eq!(Gate::cx(1, 2).to_string(), "cx q1,q2");
+        assert_eq!(Gate::H(QubitId::new(0)).to_string(), "h q0");
+    }
+
+    #[test]
+    fn barrier_reports_all_operands() {
+        let b = Gate::Barrier(vec![QubitId::new(0), QubitId::new(3)]);
+        assert_eq!(b.qubits().len(), 2);
+        assert!(b.is_barrier());
+        assert!(!b.is_two_qubit());
+    }
+}

@@ -1,0 +1,112 @@
+//! Cuccaro ripple-carry adder.
+
+use crate::Circuit;
+
+/// Builds an `n`-qubit ripple-carry adder (Cuccaro CDKM construction).
+///
+/// The register layout is `[carry_in, a_0, b_0, a_1, b_1, …, a_{m-1},
+/// b_{m-1}, carry_out]` with `m = (n - 2) / 2` addend bits per operand, which
+/// is the layout used by QASMBench's `adder_n` circuits. Each MAJ/UMA block
+/// contains two CNOTs and one Toffoli (decomposed into six CNOTs), so the
+/// circuit is dominated by short-range interactions between neighbouring
+/// `a_i`/`b_i` pairs with a slowly advancing carry — a moderately
+/// communication-heavy pattern.
+///
+/// # Panics
+///
+/// Panics if `n < 4` or `n` is odd (the layout requires `n = 2m + 2`).
+pub fn adder(n: usize) -> Circuit {
+    assert!(n >= 4, "adder requires at least four qubits");
+    assert!(n % 2 == 0, "adder register must have size 2m + 2");
+    let m = (n - 2) / 2;
+    let mut c = Circuit::with_name(format!("Adder_{n}"), n);
+
+    // Qubit roles.
+    let cin = 0usize;
+    let a = |i: usize| 1 + 2 * i;
+    let b = |i: usize| 2 + 2 * i;
+    let cout = n - 1;
+
+    // Initialise the addends to a non-trivial value so the circuit is not a
+    // no-op under classical simulation (X gates do not affect scheduling).
+    for i in 0..m {
+        if i % 2 == 0 {
+            c.x(a(i));
+        }
+        if i % 3 == 0 {
+            c.x(b(i));
+        }
+    }
+
+    // MAJ(c, b, a): cx a,b ; cx a,c ; ccx c,b,a
+    let maj = |c: &mut Circuit, x: usize, y: usize, z: usize| {
+        c.cx(z, y);
+        c.cx(z, x);
+        c.ccx(x, y, z);
+    };
+    // UMA(c, b, a): ccx c,b,a ; cx a,c ; cx c,b
+    let uma = |c: &mut Circuit, x: usize, y: usize, z: usize| {
+        c.ccx(x, y, z);
+        c.cx(z, x);
+        c.cx(x, y);
+    };
+
+    // Forward MAJ ripple.
+    maj(&mut c, cin, b(0), a(0));
+    for i in 1..m {
+        maj(&mut c, a(i - 1), b(i), a(i));
+    }
+    // Carry out.
+    c.cx(a(m - 1), cout);
+    // Backward UMA ripple.
+    for i in (1..m).rev() {
+        uma(&mut c, a(i - 1), b(i), a(i));
+    }
+    uma(&mut c, cin, b(0), a(0));
+
+    for i in 0..m {
+        c.measure(b(i));
+    }
+    c.measure(cout);
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adder_32_matches_expected_shape() {
+        let c = adder(32);
+        assert_eq!(c.num_qubits(), 32);
+        // 2m MAJ/UMA blocks, each 2 CX + 6 CX (Toffoli) = 8, plus the carry CX.
+        let m = 15;
+        assert_eq!(c.two_qubit_gate_count(), 2 * m * 8 + 1);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn adder_names_embed_size() {
+        assert_eq!(adder(8).name(), "Adder_8");
+    }
+
+    #[test]
+    fn adder_is_deep() {
+        // The carry ripples through every block, so two-qubit depth grows
+        // roughly linearly in m.
+        let c = adder(16);
+        assert!(c.two_qubit_depth() >= 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "2m + 2")]
+    fn odd_register_is_rejected() {
+        let _ = adder(9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least four")]
+    fn tiny_register_is_rejected() {
+        let _ = adder(2);
+    }
+}

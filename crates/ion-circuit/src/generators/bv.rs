@@ -1,0 +1,87 @@
+//! Bernstein–Vazirani.
+
+use crate::Circuit;
+
+/// Builds an `n`-qubit Bernstein–Vazirani circuit with the all-ones secret
+/// string.
+///
+/// Qubit `n-1` is the oracle ancilla; every other qubit interacts with it
+/// exactly once, giving a "star" interaction pattern centred on the ancilla
+/// (`n-1` two-qubit gates). This matches QASMBench's `bv_n` circuits.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn bv(n: usize) -> Circuit {
+    bv_with_secret(n, &vec![true; n - 1])
+}
+
+/// Builds a Bernstein–Vazirani circuit for an explicit secret string.
+///
+/// `secret[i]` controls whether data qubit `i` is CNOT-coupled to the ancilla
+/// (qubit `n-1`).
+///
+/// # Panics
+///
+/// Panics if `n < 2` or if `secret.len() != n - 1`.
+pub fn bv_with_secret(n: usize, secret: &[bool]) -> Circuit {
+    assert!(n >= 2, "BV requires at least two qubits");
+    assert_eq!(secret.len(), n - 1, "secret must cover every data qubit");
+    let mut c = Circuit::with_name(format!("BV_{n}"), n);
+    let ancilla = n - 1;
+    // Prepare |-> on the ancilla and |+> on the data register.
+    c.x(ancilla).h(ancilla);
+    for q in 0..n - 1 {
+        c.h(q);
+    }
+    // Oracle: CX from each secret-bit qubit onto the ancilla.
+    for (q, &bit) in secret.iter().enumerate() {
+        if bit {
+            c.cx(q, ancilla);
+        }
+    }
+    for q in 0..n - 1 {
+        c.h(q);
+    }
+    for q in 0..n - 1 {
+        c.measure(q);
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_ones_secret_couples_every_data_qubit() {
+        let c = bv(32);
+        assert_eq!(c.num_qubits(), 32);
+        assert_eq!(c.two_qubit_gate_count(), 31);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn sparse_secret_reduces_gate_count() {
+        let mut secret = vec![false; 7];
+        secret[0] = true;
+        secret[3] = true;
+        let c = bv_with_secret(8, &secret);
+        assert_eq!(c.two_qubit_gate_count(), 2);
+    }
+
+    #[test]
+    fn interactions_form_a_star_on_the_ancilla() {
+        let c = bv(8);
+        for g in c.two_qubit_gates() {
+            let (_, b) = g.two_qubit_pair().unwrap();
+            assert_eq!(b.index(), 7, "every CX targets the ancilla");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "secret must cover")]
+    fn mismatched_secret_length_panics() {
+        let _ = bv_with_secret(5, &[true, false]);
+    }
+}

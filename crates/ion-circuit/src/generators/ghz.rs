@@ -1,0 +1,49 @@
+//! GHZ state preparation.
+
+use crate::Circuit;
+
+/// Builds an `n`-qubit GHZ state-preparation circuit.
+///
+/// Uses the standard linear CNOT chain (`H` on qubit 0 followed by
+/// `CX(i, i+1)` for `i = 0..n-1`), which is the nearest-neighbour-friendly
+/// form used by QASMBench's `ghz_n` circuits. The chain structure makes GHZ
+/// the least communication-intensive benchmark in the suite.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn ghz(n: usize) -> Circuit {
+    assert!(n >= 2, "GHZ requires at least two qubits");
+    let mut c = Circuit::with_name(format!("GHZ_{n}"), n);
+    c.h(0);
+    for i in 0..n - 1 {
+        c.cx(i, i + 1);
+    }
+    c.measure_all();
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ghz_has_chain_structure() {
+        let c = ghz(32);
+        assert_eq!(c.num_qubits(), 32);
+        assert_eq!(c.two_qubit_gate_count(), 31);
+        assert_eq!(c.two_qubit_depth(), 31);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn ghz_name_embeds_size() {
+        assert_eq!(ghz(5).name(), "GHZ_5");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn ghz_rejects_single_qubit() {
+        let _ = ghz(1);
+    }
+}

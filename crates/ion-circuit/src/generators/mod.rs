@@ -1,0 +1,45 @@
+//! Programmatic generators for the benchmark applications of the paper's
+//! evaluation.
+//!
+//! The paper evaluates MUSS-TI on circuits taken from Murali et al.'s
+//! benchmark set and from QASMBench: ripple-carry adders (`Adder_n`),
+//! Bernstein–Vazirani (`BV_n`), GHZ state preparation (`GHZ_n`), QAOA on
+//! random 3-regular graphs (`QAOA_n`), the quantum Fourier transform
+//! (`QFT_n`), a Grover-style square-root/arithmetic circuit (`SQRT_n`),
+//! uniformly random two-qubit-gate circuits (`RAN_n`) and a 2-D
+//! quantum-supremacy-style circuit (`SC_n`). The original QASM files are not
+//! redistributed here; instead each application is generated programmatically
+//! with the same qubit count and the same qubit-interaction structure, which
+//! is what shuttle scheduling is sensitive to (see DESIGN.md §3).
+//!
+//! All generators are deterministic: randomised ones take an explicit seed.
+//!
+//! ```
+//! use ion_circuit::generators::{self, BenchmarkApp};
+//!
+//! let qft = generators::qft(8);
+//! assert_eq!(qft.two_qubit_gate_count(), 8 * 7 / 2 + 8 / 2);
+//!
+//! let app = BenchmarkApp::from_label("BV_32").unwrap();
+//! assert_eq!(app.circuit().num_qubits(), 32);
+//! ```
+
+mod adder;
+mod bv;
+mod ghz;
+mod qaoa;
+mod qft;
+mod random;
+mod sqrt;
+mod suite;
+mod supremacy;
+
+pub use adder::adder;
+pub use bv::{bv, bv_with_secret};
+pub use ghz::ghz;
+pub use qaoa::{qaoa, qaoa_with_params};
+pub use qft::qft;
+pub use random::random_circuit;
+pub use sqrt::sqrt;
+pub use suite::{BenchmarkApp, BenchmarkScale, SuiteError};
+pub use supremacy::supremacy;

@@ -1,0 +1,69 @@
+//! Quantum Fourier transform.
+
+use std::f64::consts::PI;
+
+use crate::Circuit;
+
+/// Builds the full `n`-qubit quantum Fourier transform.
+///
+/// Every qubit is controlled-phase-coupled to every later qubit
+/// (`n(n-1)/2` CP gates), followed by the usual qubit-order reversal
+/// implemented with `⌊n/2⌋` SWAP gates. QFT is the most
+/// communication-intensive benchmark in the suite: its all-to-all
+/// interaction pattern defeats locality-based placement, which is why the
+/// paper reports the largest shuttle counts for `QFT_32`.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn qft(n: usize) -> Circuit {
+    assert!(n >= 2, "QFT requires at least two qubits");
+    let mut c = Circuit::with_name(format!("QFT_{n}"), n);
+    for i in 0..n {
+        c.h(i);
+        for j in (i + 1)..n {
+            let theta = PI / f64::powi(2.0, (j - i) as i32);
+            c.cp(j, i, theta);
+        }
+    }
+    for i in 0..n / 2 {
+        c.swap(i, n - 1 - i);
+    }
+    c.measure_all();
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qft_gate_count_is_quadratic() {
+        let n = 32;
+        let c = qft(n);
+        assert_eq!(c.num_qubits(), n);
+        assert_eq!(c.two_qubit_gate_count(), n * (n - 1) / 2 + n / 2);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn qft_couples_every_pair() {
+        use crate::{InteractionGraph, QubitId};
+        let c = qft(6);
+        let g = InteractionGraph::from_circuit(&c);
+        for a in 0..6 {
+            for b in (a + 1)..6 {
+                assert!(
+                    g.weight(QubitId::new(a), QubitId::new(b)) >= 1,
+                    "pair ({a},{b}) must interact"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn qft_has_single_qubit_hadamards() {
+        let c = qft(8);
+        assert_eq!(c.single_qubit_gate_count(), 8);
+    }
+}

@@ -1,0 +1,66 @@
+//! Uniformly random two-qubit-gate circuits (`RAN_n`).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::Circuit;
+
+/// Builds a random circuit of `num_gates` two-qubit MS gates over `n` qubits,
+/// with qubit pairs drawn uniformly at random (the paper's `RAN_n` workload).
+///
+/// Random circuits have no locality whatsoever, so they stress the conflict
+/// handler and the LRU replacement policy rather than the mapper.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn random_circuit(n: usize, num_gates: usize, seed: u64) -> Circuit {
+    assert!(n >= 2, "random circuits require at least two qubits");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut c = Circuit::with_name(format!("RAN_{n}"), n);
+    for q in 0..n {
+        c.h(q);
+    }
+    for _ in 0..num_gates {
+        let a = rng.gen_range(0..n);
+        let mut b = rng.gen_range(0..n);
+        while b == a {
+            b = rng.gen_range(0..n);
+        }
+        c.ms(a, b);
+    }
+    c.measure_all();
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_count_matches_request() {
+        let c = random_circuit(256, 1000, 3);
+        assert_eq!(c.num_qubits(), 256);
+        assert_eq!(c.two_qubit_gate_count(), 1000);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn seeded_generation_is_deterministic() {
+        assert_eq!(random_circuit(16, 50, 9), random_circuit(16, 50, 9));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        assert_ne!(random_circuit(16, 50, 1), random_circuit(16, 50, 2));
+    }
+
+    #[test]
+    fn no_gate_has_identical_operands() {
+        let c = random_circuit(8, 200, 5);
+        for g in c.two_qubit_gates() {
+            let (a, b) = g.two_qubit_pair().unwrap();
+            assert_ne!(a, b);
+        }
+    }
+}

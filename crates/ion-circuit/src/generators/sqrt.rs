@@ -1,0 +1,140 @@
+//! Grover-style square-root arithmetic benchmark (`SQRT_n`).
+
+use crate::Circuit;
+
+/// Builds the `SQRT_n` benchmark: a Grover-search-style circuit whose oracle
+/// is a reversible squaring/compare network, as in QASMBench's
+/// `square_root_n`.
+///
+/// The register is split into three logical groups — a search register, a
+/// work register and a result/ancilla register. Each Grover iteration applies
+/// a squaring oracle made of controlled additions between the search and work
+/// registers (long-range Toffoli/CX cascades), an equality comparator against
+/// the result register, and a diffusion operator on the search register. This
+/// produces a large number of *long-distance* two-qubit interactions spanning
+/// all three register groups, which is exactly why the paper calls SQRT
+/// "communication-intensive" and why it benefits most from MUSS-TI
+/// (improvement of over 90 % on large instances).
+///
+/// Gate count grows roughly as `15·n` two-qubit gates, in line with the
+/// paper's stated range (up to ~4 400 two-qubit gates at 299 qubits).
+///
+/// # Panics
+///
+/// Panics if `n < 9` (the three register groups need at least three qubits each).
+pub fn sqrt(n: usize) -> Circuit {
+    assert!(n >= 9, "SQRT requires at least nine qubits");
+    let mut c = Circuit::with_name(format!("SQRT_{n}"), n);
+
+    let third = n / 3;
+    let search: Vec<usize> = (0..third).collect();
+    let work: Vec<usize> = (third..2 * third).collect();
+    let result: Vec<usize> = (2 * third..n).collect();
+
+    // Initial superposition over the search register.
+    for &q in &search {
+        c.h(q);
+    }
+    // Mark a reference value in the result register.
+    for (i, &q) in result.iter().enumerate() {
+        if i % 2 == 0 {
+            c.x(q);
+        }
+    }
+
+    let iterations = 2usize;
+    for _ in 0..iterations {
+        // --- Oracle: squaring network (controlled adders search -> work). ---
+        for (i, &s) in search.iter().enumerate() {
+            // Each search bit controls a shifted addition into the work register.
+            for (j, &w) in work.iter().enumerate().skip(i % work.len()) {
+                if (i + j) % 3 == 0 {
+                    c.cx(s, w);
+                }
+            }
+            // Carry propagation inside the work register.
+            if i + 1 < work.len() {
+                c.ccx(search[i], work[i], work[i + 1]);
+            }
+        }
+        // --- Comparator: work register vs result register. ---
+        for (i, (&w, &r)) in work.iter().zip(result.iter()).enumerate() {
+            c.cx(w, r);
+            if i + 1 < result.len() {
+                c.ccx(w, r, result[i + 1]);
+            }
+        }
+        // Phase kick-back on the last result qubit.
+        let flag = *result.last().expect("non-empty result register");
+        c.h(flag);
+        c.cx(work[0], flag);
+        c.h(flag);
+        // --- Uncompute comparator. ---
+        for (i, (&w, &r)) in work.iter().zip(result.iter()).enumerate().rev() {
+            if i + 1 < result.len() {
+                c.ccx(w, r, result[i + 1]);
+            }
+            c.cx(w, r);
+        }
+        // --- Diffusion over the search register. ---
+        for &q in &search {
+            c.h(q);
+            c.x(q);
+        }
+        // Multi-controlled Z decomposed into a CX/CCX ladder.
+        for window in search.windows(2) {
+            c.cx(window[0], window[1]);
+        }
+        c.rz(*search.last().unwrap(), std::f64::consts::PI);
+        for window in search.windows(2).rev() {
+            c.cx(window[0], window[1]);
+        }
+        for &q in &search {
+            c.x(q);
+            c.h(q);
+        }
+    }
+
+    for &q in &search {
+        c.measure(q);
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{InteractionGraph, QubitId};
+
+    #[test]
+    fn sqrt_30_is_communication_heavy() {
+        let c = sqrt(30);
+        assert_eq!(c.num_qubits(), 30);
+        assert!(c.two_qubit_gate_count() > 200, "got {}", c.two_qubit_gate_count());
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn sqrt_couples_distant_register_groups() {
+        let c = sqrt(30);
+        let g = InteractionGraph::from_circuit(&c);
+        // Search qubit 0 lives in [0, 10); it must interact with qubits in the
+        // work register [10, 20).
+        let partners = g.partners_by_weight(QubitId::new(0));
+        assert!(partners.iter().any(|(q, _)| q.index() >= 10));
+    }
+
+    #[test]
+    fn sqrt_gate_count_scales_roughly_linearly() {
+        let small = sqrt(30).two_qubit_gate_count();
+        let large = sqrt(120).two_qubit_gate_count();
+        let ratio = large as f64 / small as f64;
+        assert!(ratio > 2.5 && ratio < 6.0, "ratio {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least nine")]
+    fn tiny_sqrt_is_rejected() {
+        let _ = sqrt(6);
+    }
+}

@@ -1,0 +1,251 @@
+//! Named benchmark applications and the small/medium/large suites used by the
+//! paper's evaluation.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::Circuit;
+
+use super::{adder, bv, ghz, qaoa, qft, random_circuit, sqrt, supremacy};
+
+/// The application-size classes used throughout the evaluation
+/// (Section 4, "Architecture Setting").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BenchmarkScale {
+    /// 30–32 qubit applications, run on 2×2 / 2×3 grids.
+    Small,
+    /// 117–128 qubit applications, run on a 3×4 grid.
+    Medium,
+    /// 256–299 qubit applications, run on a 4×5 grid.
+    Large,
+}
+
+impl BenchmarkScale {
+    /// The benchmark labels the paper evaluates at this scale (Fig. 6 columns).
+    pub fn labels(self) -> Vec<&'static str> {
+        match self {
+            BenchmarkScale::Small => {
+                vec!["Adder_32", "BV_32", "QAOA_32", "GHZ_32", "QFT_32", "SQRT_30"]
+            }
+            BenchmarkScale::Medium => {
+                vec!["Adder_128", "BV_128", "QAOA_128", "GHZ_128", "SQRT_117"]
+            }
+            BenchmarkScale::Large => vec![
+                "Adder_256",
+                "BV_256",
+                "QAOA_256",
+                "GHZ_256",
+                "RAN_256",
+                "SC_274",
+                "SQRT_299",
+            ],
+        }
+    }
+
+    /// The applications at this scale, ready to generate.
+    pub fn apps(self) -> Vec<BenchmarkApp> {
+        self.labels()
+            .into_iter()
+            .map(|l| BenchmarkApp::from_label(l).expect("suite labels are valid"))
+            .collect()
+    }
+}
+
+/// Errors returned when parsing a benchmark label such as `"Adder_32"`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SuiteError {
+    /// The label did not have the `Family_n` shape.
+    MalformedLabel(String),
+    /// The family prefix was not recognised.
+    UnknownFamily(String),
+    /// The qubit count could not be parsed.
+    BadQubitCount(String),
+}
+
+impl fmt::Display for SuiteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SuiteError::MalformedLabel(l) => write!(f, "malformed benchmark label '{l}'"),
+            SuiteError::UnknownFamily(fam) => write!(f, "unknown benchmark family '{fam}'"),
+            SuiteError::BadQubitCount(l) => write!(f, "invalid qubit count in label '{l}'"),
+        }
+    }
+}
+
+impl Error for SuiteError {}
+
+/// A named benchmark application, e.g. `Adder_32` or `SQRT_299`.
+///
+/// ```
+/// use ion_circuit::generators::BenchmarkApp;
+///
+/// let app = BenchmarkApp::from_label("QAOA_32").unwrap();
+/// assert_eq!(app.num_qubits(), 32);
+/// assert_eq!(app.label(), "QAOA_32");
+/// let circuit = app.circuit();
+/// assert_eq!(circuit.num_qubits(), 32);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BenchmarkApp {
+    family: Family,
+    num_qubits: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Family {
+    Adder,
+    Bv,
+    Ghz,
+    Qaoa,
+    Qft,
+    Sqrt,
+    Random,
+    Supremacy,
+}
+
+impl Family {
+    fn name(self) -> &'static str {
+        match self {
+            Family::Adder => "Adder",
+            Family::Bv => "BV",
+            Family::Ghz => "GHZ",
+            Family::Qaoa => "QAOA",
+            Family::Qft => "QFT",
+            Family::Sqrt => "SQRT",
+            Family::Random => "RAN",
+            Family::Supremacy => "SC",
+        }
+    }
+}
+
+impl BenchmarkApp {
+    /// Parses a label of the form `Family_n` (case-insensitive family).
+    ///
+    /// Recognised families: `Adder`, `BV`, `GHZ`, `QAOA`, `QFT`, `SQRT`,
+    /// `RAN`/`Random`, `SC`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SuiteError`] if the label is malformed, the family is
+    /// unknown or the qubit count does not parse.
+    pub fn from_label(label: &str) -> Result<Self, SuiteError> {
+        let (family_str, n_str) = label
+            .rsplit_once(['_', 'n'])
+            .ok_or_else(|| SuiteError::MalformedLabel(label.to_string()))?;
+        let family_str = family_str.trim_end_matches('_');
+        let num_qubits: usize = n_str
+            .parse()
+            .map_err(|_| SuiteError::BadQubitCount(label.to_string()))?;
+        let family = match family_str.to_ascii_lowercase().as_str() {
+            "adder" => Family::Adder,
+            "bv" => Family::Bv,
+            "ghz" => Family::Ghz,
+            "qaoa" => Family::Qaoa,
+            "qft" => Family::Qft,
+            "sqrt" => Family::Sqrt,
+            "ran" | "random" => Family::Random,
+            "sc" | "supremacy" => Family::Supremacy,
+            other => return Err(SuiteError::UnknownFamily(other.to_string())),
+        };
+        Ok(BenchmarkApp { family, num_qubits })
+    }
+
+    /// The canonical label, e.g. `"Adder_32"`.
+    pub fn label(&self) -> String {
+        format!("{}_{}", self.family.name(), self.num_qubits)
+    }
+
+    /// Number of qubits in the generated circuit.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Generates the circuit for this application.
+    pub fn circuit(&self) -> Circuit {
+        match self.family {
+            Family::Adder => adder(self.num_qubits),
+            Family::Bv => bv(self.num_qubits),
+            Family::Ghz => ghz(self.num_qubits),
+            Family::Qaoa => qaoa(self.num_qubits),
+            Family::Qft => qft(self.num_qubits),
+            Family::Sqrt => sqrt(self.num_qubits),
+            Family::Random => random_circuit(self.num_qubits, 4 * self.num_qubits, 2024),
+            Family::Supremacy => supremacy(self.num_qubits),
+        }
+    }
+
+    /// The size class this application belongs to in the paper's evaluation.
+    pub fn scale(&self) -> BenchmarkScale {
+        if self.num_qubits <= 64 {
+            BenchmarkScale::Small
+        } else if self.num_qubits <= 160 {
+            BenchmarkScale::Medium
+        } else {
+            BenchmarkScale::Large
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkApp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_round_trip() {
+        for label in ["Adder_32", "BV_128", "GHZ_256", "QAOA_32", "QFT_32", "SQRT_30", "RAN_256", "SC_274"] {
+            let app = BenchmarkApp::from_label(label).unwrap();
+            assert_eq!(app.label(), label, "label {label} should round-trip");
+        }
+    }
+
+    #[test]
+    fn qasmbench_style_labels_parse() {
+        // QASMBench / the paper's figures spell these `adder_n128` etc.
+        let app = BenchmarkApp::from_label("Adder_n128").unwrap();
+        assert_eq!(app.num_qubits(), 128);
+        assert_eq!(app.label(), "Adder_128");
+    }
+
+    #[test]
+    fn unknown_family_is_an_error() {
+        assert!(matches!(
+            BenchmarkApp::from_label("Shor_32"),
+            Err(SuiteError::UnknownFamily(_))
+        ));
+    }
+
+    #[test]
+    fn malformed_label_is_an_error() {
+        assert!(BenchmarkApp::from_label("Adder").is_err());
+        assert!(BenchmarkApp::from_label("Adder_xx").is_err());
+    }
+
+    #[test]
+    fn suite_apps_generate_valid_circuits() {
+        for app in BenchmarkScale::Small.apps() {
+            let circuit = app.circuit();
+            assert!(circuit.validate().is_ok(), "{app} must validate");
+            assert_eq!(circuit.num_qubits(), app.num_qubits());
+        }
+    }
+
+    #[test]
+    fn scales_partition_by_qubit_count() {
+        assert_eq!(BenchmarkApp::from_label("BV_32").unwrap().scale(), BenchmarkScale::Small);
+        assert_eq!(BenchmarkApp::from_label("BV_128").unwrap().scale(), BenchmarkScale::Medium);
+        assert_eq!(BenchmarkApp::from_label("BV_256").unwrap().scale(), BenchmarkScale::Large);
+    }
+
+    #[test]
+    fn medium_suite_matches_paper_fig6() {
+        let labels = BenchmarkScale::Medium.labels();
+        assert!(labels.contains(&"SQRT_117"));
+        assert_eq!(labels.len(), 5);
+    }
+}

@@ -1,0 +1,115 @@
+//! 2-D quantum-supremacy-style circuit (`SC_n`).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::Circuit;
+
+/// Fixed seed for the random single-qubit layers so generation is reproducible.
+const SC_SEED: u64 = 0x5c_274;
+
+/// Builds a quantum-supremacy-style circuit on a near-square 2-D grid of `n`
+/// qubits (the paper's `SC_n` workload, e.g. `SC_274`).
+///
+/// The circuit alternates layers of random single-qubit rotations with layers
+/// of CZ gates applied along one of four orientations of grid edges
+/// (right/down couplings on even/odd offsets), as in the Google
+/// random-circuit-sampling benchmarks. The interaction pattern is strictly
+/// nearest-neighbour on the virtual grid, but the grid does not match the
+/// trap layout, so moderate shuttling is still required.
+///
+/// # Panics
+///
+/// Panics if `n < 4`.
+pub fn supremacy(n: usize) -> Circuit {
+    assert!(n >= 4, "supremacy circuits require at least four qubits");
+    let cols = (n as f64).sqrt().ceil() as usize;
+    let rows = n.div_ceil(cols);
+    let index = |r: usize, c: usize| -> Option<usize> {
+        let idx = r * cols + c;
+        (r < rows && c < cols && idx < n).then_some(idx)
+    };
+
+    let mut rng = StdRng::seed_from_u64(SC_SEED);
+    let mut circuit = Circuit::with_name(format!("SC_{n}"), n);
+    for q in 0..n {
+        circuit.h(q);
+    }
+
+    let depth_cycles = 8usize;
+    for cycle in 0..depth_cycles {
+        // Random single-qubit layer.
+        for q in 0..n {
+            match rng.gen_range(0..3) {
+                0 => circuit.rx(q, std::f64::consts::FRAC_PI_2),
+                1 => circuit.rz(q, std::f64::consts::FRAC_PI_4),
+                _ => circuit.t(q),
+            };
+        }
+        // Entangling layer: one of four edge orientations per cycle.
+        match cycle % 4 {
+            0 => apply_edges(&mut circuit, rows, cols, index, true, 0),
+            1 => apply_edges(&mut circuit, rows, cols, index, false, 0),
+            2 => apply_edges(&mut circuit, rows, cols, index, true, 1),
+            _ => apply_edges(&mut circuit, rows, cols, index, false, 1),
+        }
+    }
+    circuit.measure_all();
+    circuit
+}
+
+fn apply_edges(
+    circuit: &mut Circuit,
+    rows: usize,
+    cols: usize,
+    index: impl Fn(usize, usize) -> Option<usize>,
+    horizontal: bool,
+    offset: usize,
+) {
+    for r in 0..rows {
+        for c in 0..cols {
+            let (nr, nc) = if horizontal { (r, c + 1) } else { (r + 1, c) };
+            let parity = if horizontal { c } else { r };
+            if parity % 2 != offset {
+                continue;
+            }
+            if let (Some(a), Some(b)) = (index(r, c), index(nr, nc)) {
+                circuit.cz(a, b);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{InteractionGraph, QubitId};
+
+    #[test]
+    fn sc_274_has_grid_nearest_neighbour_interactions() {
+        let c = supremacy(274);
+        assert_eq!(c.num_qubits(), 274);
+        assert!(c.two_qubit_gate_count() > 400);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn interactions_are_grid_local() {
+        let n = 64;
+        let cols = 8;
+        let c = supremacy(n);
+        let g = InteractionGraph::from_circuit(&c);
+        for (a, b, _) in g.iter() {
+            let (ar, ac) = (a.index() / cols, a.index() % cols);
+            let (br, bc) = (b.index() / cols, b.index() % cols);
+            let dist = ar.abs_diff(br) + ac.abs_diff(bc);
+            assert_eq!(dist, 1, "{a} and {b} are not grid neighbours");
+        }
+        assert!(g.weight(QubitId::new(0), QubitId::new(1)) >= 1);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(supremacy(36), supremacy(36));
+    }
+}

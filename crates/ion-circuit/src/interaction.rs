@@ -1,0 +1,160 @@
+//! Qubit interaction graph: how often each pair of logical qubits interacts.
+
+use std::collections::HashMap;
+
+use crate::{Circuit, QubitId};
+
+/// Weighted, undirected interaction graph of a circuit.
+///
+/// `weight(a, b)` is the number of two-qubit gates between logical qubits `a`
+/// and `b`. Initial-mapping strategies use this to co-locate frequently
+/// interacting qubits in the same QCCD module, and the experiments use it to
+/// characterise how "communication heavy" a benchmark is.
+///
+/// ```
+/// use ion_circuit::{generators, InteractionGraph, QubitId};
+///
+/// let graph = InteractionGraph::from_circuit(&generators::ghz(4));
+/// assert_eq!(graph.weight(QubitId::new(0), QubitId::new(1)), 1);
+/// assert_eq!(graph.weight(QubitId::new(0), QubitId::new(3)), 0);
+/// assert_eq!(graph.total_weight(), 3);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct InteractionGraph {
+    num_qubits: usize,
+    weights: HashMap<(QubitId, QubitId), usize>,
+}
+
+impl InteractionGraph {
+    /// Builds the interaction graph of `circuit`.
+    pub fn from_circuit(circuit: &Circuit) -> Self {
+        let mut weights: HashMap<(QubitId, QubitId), usize> = HashMap::new();
+        for gate in circuit.two_qubit_gates() {
+            let (a, b) = gate.two_qubit_pair().expect("two-qubit gate");
+            let key = Self::key(a, b);
+            *weights.entry(key).or_insert(0) += 1;
+        }
+        InteractionGraph {
+            num_qubits: circuit.num_qubits(),
+            weights,
+        }
+    }
+
+    fn key(a: QubitId, b: QubitId) -> (QubitId, QubitId) {
+        if a <= b {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    }
+
+    /// Number of qubits in the originating circuit.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Number of two-qubit gates between `a` and `b`.
+    pub fn weight(&self, a: QubitId, b: QubitId) -> usize {
+        self.weights.get(&Self::key(a, b)).copied().unwrap_or(0)
+    }
+
+    /// Total number of two-qubit gates in the circuit.
+    pub fn total_weight(&self) -> usize {
+        self.weights.values().sum()
+    }
+
+    /// Number of distinct interacting pairs.
+    pub fn edge_count(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Iterates over `(a, b, weight)` for every interacting pair.
+    pub fn iter(&self) -> impl Iterator<Item = (QubitId, QubitId, usize)> + '_ {
+        self.weights.iter().map(|(&(a, b), &w)| (a, b, w))
+    }
+
+    /// Total interaction weight incident on a qubit (its "degree").
+    pub fn qubit_degree(&self, q: QubitId) -> usize {
+        self.weights
+            .iter()
+            .filter(|(&(a, b), _)| a == q || b == q)
+            .map(|(_, &w)| w)
+            .sum()
+    }
+
+    /// Partners of a qubit ordered by descending interaction weight.
+    pub fn partners_by_weight(&self, q: QubitId) -> Vec<(QubitId, usize)> {
+        let mut partners: Vec<(QubitId, usize)> = self
+            .weights
+            .iter()
+            .filter_map(|(&(a, b), &w)| {
+                if a == q {
+                    Some((b, w))
+                } else if b == q {
+                    Some((a, w))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        partners.sort_by(|x, y| y.1.cmp(&x.1).then(x.0.cmp(&y.0)));
+        partners
+    }
+
+    /// Qubits sorted by descending degree (heaviest communicators first).
+    pub fn qubits_by_degree(&self) -> Vec<QubitId> {
+        let mut qubits: Vec<QubitId> = (0..self.num_qubits).map(QubitId::new).collect();
+        qubits.sort_by(|&a, &b| {
+            self.qubit_degree(b)
+                .cmp(&self.qubit_degree(a))
+                .then(a.cmp(&b))
+        });
+        qubits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Circuit;
+
+    #[test]
+    fn weight_is_symmetric_and_counts_multiplicity() {
+        let mut c = Circuit::new(3);
+        c.cx(0, 1).cx(1, 0).cx(1, 2);
+        let g = InteractionGraph::from_circuit(&c);
+        assert_eq!(g.weight(QubitId::new(0), QubitId::new(1)), 2);
+        assert_eq!(g.weight(QubitId::new(1), QubitId::new(0)), 2);
+        assert_eq!(g.weight(QubitId::new(1), QubitId::new(2)), 1);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.total_weight(), 3);
+    }
+
+    #[test]
+    fn degree_sums_incident_weights() {
+        let mut c = Circuit::new(3);
+        c.cx(0, 1).cx(1, 2).cx(1, 2);
+        let g = InteractionGraph::from_circuit(&c);
+        assert_eq!(g.qubit_degree(QubitId::new(1)), 3);
+        assert_eq!(g.qubit_degree(QubitId::new(0)), 1);
+    }
+
+    #[test]
+    fn partners_sorted_by_weight() {
+        let mut c = Circuit::new(4);
+        c.cx(0, 1).cx(0, 2).cx(0, 2).cx(0, 3).cx(0, 3).cx(0, 3);
+        let g = InteractionGraph::from_circuit(&c);
+        let partners = g.partners_by_weight(QubitId::new(0));
+        assert_eq!(partners[0], (QubitId::new(3), 3));
+        assert_eq!(partners[1], (QubitId::new(2), 2));
+        assert_eq!(partners[2], (QubitId::new(1), 1));
+    }
+
+    #[test]
+    fn qubits_by_degree_puts_hub_first() {
+        let mut c = Circuit::new(4);
+        c.cx(2, 0).cx(2, 1).cx(2, 3);
+        let g = InteractionGraph::from_circuit(&c);
+        assert_eq!(g.qubits_by_degree()[0], QubitId::new(2));
+    }
+}

@@ -1,0 +1,241 @@
+//! Tokenizer for the OpenQASM 2.0 subset.
+
+use std::fmt;
+
+/// The kind of a lexed token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`qreg`, `h`, `measure`, …).
+    Ident(String),
+    /// A numeric literal (integers and floats are not distinguished).
+    Number(f64),
+    /// A double-quoted string literal (only used by `include`).
+    Str(String),
+    /// `;`
+    Semicolon,
+    /// `,`
+    Comma,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `->`
+    Arrow,
+    /// `==`
+    EqEq,
+    /// Arithmetic operator used inside parameter expressions (`+ - * /`).
+    Op(char),
+}
+
+/// A token together with the 1-based line it starts on (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokenKind,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "{s}"),
+            TokenKind::Number(n) => write!(f, "{n}"),
+            TokenKind::Str(s) => write!(f, "\"{s}\""),
+            TokenKind::Semicolon => write!(f, ";"),
+            TokenKind::Comma => write!(f, ","),
+            TokenKind::LBracket => write!(f, "["),
+            TokenKind::RBracket => write!(f, "]"),
+            TokenKind::LParen => write!(f, "("),
+            TokenKind::RParen => write!(f, ")"),
+            TokenKind::LBrace => write!(f, "{{"),
+            TokenKind::RBrace => write!(f, "}}"),
+            TokenKind::Arrow => write!(f, "->"),
+            TokenKind::EqEq => write!(f, "=="),
+            TokenKind::Op(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+/// Lexes OpenQASM 2.0 source into tokens, skipping whitespace and `//` comments.
+pub(crate) fn lex(source: &str) -> Vec<Token> {
+    let mut tokens = Vec::new();
+    let mut chars = source.chars().peekable();
+    let mut line = 1usize;
+    while let Some(&ch) = chars.peek() {
+        match ch {
+            '\n' => {
+                line += 1;
+                chars.next();
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '/' => {
+                chars.next();
+                if chars.peek() == Some(&'/') {
+                    // Line comment.
+                    for c in chars.by_ref() {
+                        if c == '\n' {
+                            line += 1;
+                            break;
+                        }
+                    }
+                } else {
+                    tokens.push(Token { kind: TokenKind::Op('/'), line });
+                }
+            }
+            '-' => {
+                chars.next();
+                if chars.peek() == Some(&'>') {
+                    chars.next();
+                    tokens.push(Token { kind: TokenKind::Arrow, line });
+                } else {
+                    tokens.push(Token { kind: TokenKind::Op('-'), line });
+                }
+            }
+            '=' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    tokens.push(Token { kind: TokenKind::EqEq, line });
+                }
+            }
+            '"' => {
+                chars.next();
+                let mut s = String::new();
+                for c in chars.by_ref() {
+                    if c == '"' {
+                        break;
+                    }
+                    s.push(c);
+                }
+                tokens.push(Token { kind: TokenKind::Str(s), line });
+            }
+            ';' => {
+                chars.next();
+                tokens.push(Token { kind: TokenKind::Semicolon, line });
+            }
+            ',' => {
+                chars.next();
+                tokens.push(Token { kind: TokenKind::Comma, line });
+            }
+            '[' => {
+                chars.next();
+                tokens.push(Token { kind: TokenKind::LBracket, line });
+            }
+            ']' => {
+                chars.next();
+                tokens.push(Token { kind: TokenKind::RBracket, line });
+            }
+            '(' => {
+                chars.next();
+                tokens.push(Token { kind: TokenKind::LParen, line });
+            }
+            ')' => {
+                chars.next();
+                tokens.push(Token { kind: TokenKind::RParen, line });
+            }
+            '{' => {
+                chars.next();
+                tokens.push(Token { kind: TokenKind::LBrace, line });
+            }
+            '}' => {
+                chars.next();
+                tokens.push(Token { kind: TokenKind::RBrace, line });
+            }
+            '+' | '*' => {
+                chars.next();
+                tokens.push(Token { kind: TokenKind::Op(ch), line });
+            }
+            c if c.is_ascii_digit() || c == '.' => {
+                let mut text = String::new();
+                while let Some(&c) = chars.peek() {
+                    let after_exponent = matches!(text.chars().last(), Some('e') | Some('E'));
+                    if c.is_ascii_digit()
+                        || c == '.'
+                        || c == 'e'
+                        || c == 'E'
+                        || (after_exponent && (c == '-' || c == '+'))
+                    {
+                        text.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                let value = text.parse::<f64>().unwrap_or(0.0);
+                tokens.push(Token { kind: TokenKind::Number(value), line });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut text = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_alphanumeric() || c == '_' || c == '.' {
+                        text.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token { kind: TokenKind::Ident(text), line });
+            }
+            _ => {
+                // Skip any character we do not understand (OPENQASM version dots, etc.).
+                chars.next();
+            }
+        }
+    }
+    tokens
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_basic_statement() {
+        let tokens = lex("cx q[0], q[1];");
+        let kinds: Vec<&TokenKind> = tokens.iter().map(|t| &t.kind).collect();
+        assert_eq!(kinds[0], &TokenKind::Ident("cx".to_string()));
+        assert_eq!(kinds[2], &TokenKind::LBracket);
+        assert!(matches!(kinds[3], TokenKind::Number(n) if *n == 0.0));
+        assert_eq!(*kinds.last().unwrap(), &TokenKind::Semicolon);
+    }
+
+    #[test]
+    fn skips_comments_and_tracks_lines() {
+        let tokens = lex("// header\nh q[0];");
+        assert_eq!(tokens[0].kind, TokenKind::Ident("h".to_string()));
+        assert_eq!(tokens[0].line, 2);
+    }
+
+    #[test]
+    fn lexes_arrow_and_string() {
+        let tokens = lex("include \"qelib1.inc\"; measure q -> c;");
+        assert!(tokens.iter().any(|t| t.kind == TokenKind::Str("qelib1.inc".to_string())));
+        assert!(tokens.iter().any(|t| t.kind == TokenKind::Arrow));
+    }
+
+    #[test]
+    fn lexes_parameter_expressions() {
+        let tokens = lex("rz(pi/2) q[1];");
+        assert!(tokens.iter().any(|t| t.kind == TokenKind::Op('/')));
+        assert!(tokens.iter().any(|t| t.kind == TokenKind::Ident("pi".to_string())));
+    }
+
+    #[test]
+    fn lexes_floats_with_exponents() {
+        let tokens = lex("rx(1.5e-2) q[0];");
+        assert!(tokens
+            .iter()
+            .any(|t| matches!(t.kind, TokenKind::Number(n) if (n - 1.5e-2).abs() < 1e-12)));
+    }
+}

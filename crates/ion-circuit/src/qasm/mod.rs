@@ -1,0 +1,38 @@
+//! OpenQASM 2.0 import and export (subset).
+//!
+//! The paper's benchmarks are distributed as QASMBench OpenQASM 2.0 files.
+//! This module provides a small, dependency-free importer/exporter covering
+//! the subset those files use: a single quantum register, the `qelib1.inc`
+//! standard gates (`h x y z s sdg t tdg rx ry rz u1 u2 u3 cx cz cp cu1 swap
+//! rzz ccx`), `measure` and `barrier`. Classical registers and `if`
+//! statements are parsed but ignored for scheduling purposes.
+//!
+//! ```
+//! use ion_circuit::qasm;
+//!
+//! let source = r#"
+//! OPENQASM 2.0;
+//! include "qelib1.inc";
+//! qreg q[3];
+//! creg c[3];
+//! h q[0];
+//! cx q[0], q[1];
+//! cx q[1], q[2];
+//! measure q -> c;
+//! "#;
+//! let circuit = qasm::parse(source).unwrap();
+//! assert_eq!(circuit.num_qubits(), 3);
+//! assert_eq!(circuit.two_qubit_gate_count(), 2);
+//!
+//! let emitted = qasm::to_qasm(&circuit);
+//! let reparsed = qasm::parse(&emitted).unwrap();
+//! assert_eq!(reparsed.two_qubit_gate_count(), 2);
+//! ```
+
+mod lexer;
+mod parser;
+mod writer;
+
+pub use lexer::{Token, TokenKind};
+pub use parser::{parse, QasmError};
+pub use writer::to_qasm;

@@ -1,0 +1,630 @@
+//! Recursive-descent parser for the OpenQASM 2.0 subset.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::f64::consts::PI;
+use std::fmt;
+
+use crate::{Circuit, Gate, QubitId};
+
+use super::lexer::{lex, Token, TokenKind};
+
+/// Errors produced while parsing OpenQASM source.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QasmError {
+    /// The source ended unexpectedly.
+    UnexpectedEof,
+    /// An unexpected token was found.
+    Unexpected {
+        /// What was found (rendered).
+        found: String,
+        /// What the parser was looking for.
+        expected: &'static str,
+        /// Source line of the offending token.
+        line: usize,
+    },
+    /// A gate refers to an undeclared register.
+    UnknownRegister {
+        /// Register name.
+        name: String,
+        /// Source line.
+        line: usize,
+    },
+    /// A gate name is not supported by this subset parser.
+    UnsupportedGate {
+        /// Gate name.
+        name: String,
+        /// Source line.
+        line: usize,
+    },
+    /// A qubit index exceeds its register size.
+    IndexOutOfRange {
+        /// Register name.
+        name: String,
+        /// Offending index.
+        index: usize,
+        /// Source line.
+        line: usize,
+    },
+    /// No quantum register was declared before the first gate.
+    NoQuantumRegister,
+}
+
+impl fmt::Display for QasmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QasmError::UnexpectedEof => write!(f, "unexpected end of QASM source"),
+            QasmError::Unexpected { found, expected, line } => {
+                write!(f, "line {line}: expected {expected}, found '{found}'")
+            }
+            QasmError::UnknownRegister { name, line } => {
+                write!(f, "line {line}: unknown register '{name}'")
+            }
+            QasmError::UnsupportedGate { name, line } => {
+                write!(f, "line {line}: unsupported gate '{name}'")
+            }
+            QasmError::IndexOutOfRange { name, index, line } => {
+                write!(f, "line {line}: index {index} out of range for register '{name}'")
+            }
+            QasmError::NoQuantumRegister => write!(f, "no quantum register declared"),
+        }
+    }
+}
+
+impl Error for QasmError {}
+
+/// Parses OpenQASM 2.0 source into a [`Circuit`].
+///
+/// Multiple quantum registers are flattened into one contiguous register in
+/// declaration order. Classical registers, `if` conditions and custom `gate`
+/// definitions are skipped (custom gate *bodies* are ignored; *calls* to
+/// unknown gates are an error so silent mis-parses cannot occur).
+///
+/// # Errors
+///
+/// Returns a [`QasmError`] describing the first problem encountered.
+pub fn parse(source: &str) -> Result<Circuit, QasmError> {
+    Parser::new(source).parse()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    /// name -> (offset, size)
+    qregs: HashMap<String, (usize, usize)>,
+    total_qubits: usize,
+    gates: Vec<Gate>,
+}
+
+impl Parser {
+    fn new(source: &str) -> Self {
+        Parser {
+            tokens: lex(source),
+            pos: 0,
+            qregs: HashMap::new(),
+            total_qubits: 0,
+            gates: Vec::new(),
+        }
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect_semicolon(&mut self) -> Result<(), QasmError> {
+        match self.next() {
+            Some(Token { kind: TokenKind::Semicolon, .. }) => Ok(()),
+            Some(t) => Err(QasmError::Unexpected {
+                found: t.kind.to_string(),
+                expected: ";",
+                line: t.line,
+            }),
+            None => Err(QasmError::UnexpectedEof),
+        }
+    }
+
+    fn skip_to_semicolon(&mut self) {
+        while let Some(t) = self.next() {
+            if t.kind == TokenKind::Semicolon {
+                break;
+            }
+        }
+    }
+
+    fn skip_block_or_statement(&mut self) {
+        // Skip either `{ ... }` (gate definition body) or a `;`-terminated statement.
+        let mut depth = 0usize;
+        while let Some(t) = self.next() {
+            match t.kind {
+                TokenKind::LBrace => depth += 1,
+                TokenKind::RBrace => {
+                    if depth <= 1 {
+                        return;
+                    }
+                    depth -= 1;
+                }
+                TokenKind::Semicolon if depth == 0 => return,
+                _ => {}
+            }
+        }
+    }
+
+    fn parse(mut self) -> Result<Circuit, QasmError> {
+        while let Some(token) = self.peek().cloned() {
+            match token.kind {
+                TokenKind::Ident(word) => match word.as_str() {
+                    "OPENQASM" | "include" | "creg" => {
+                        self.skip_to_semicolon();
+                    }
+                    "gate" | "opaque" => {
+                        self.skip_block_or_statement();
+                    }
+                    "if" => {
+                        // `if (c==0) gate ...;` — drop the condition, keep nothing
+                        // (conditioned gates are rare in the benchmarks and do not
+                        // change shuttle scheduling structure).
+                        self.skip_to_semicolon();
+                    }
+                    "qreg" => {
+                        self.next();
+                        self.parse_qreg(token.line)?;
+                    }
+                    "measure" => {
+                        self.next();
+                        self.parse_measure(token.line)?;
+                    }
+                    "barrier" => {
+                        self.next();
+                        self.parse_barrier(token.line)?;
+                    }
+                    _ => {
+                        self.next();
+                        self.parse_gate(&word, token.line)?;
+                    }
+                },
+                TokenKind::Semicolon => {
+                    self.next();
+                }
+                _ => {
+                    return Err(QasmError::Unexpected {
+                        found: token.kind.to_string(),
+                        expected: "statement",
+                        line: token.line,
+                    })
+                }
+            }
+        }
+        if self.total_qubits == 0 {
+            return Err(QasmError::NoQuantumRegister);
+        }
+        let mut circuit = Circuit::with_name("qasm", self.total_qubits);
+        circuit.extend(self.gates);
+        Ok(circuit)
+    }
+
+    fn parse_qreg(&mut self, line: usize) -> Result<(), QasmError> {
+        let name = self.expect_ident(line)?;
+        self.expect_kind(TokenKind::LBracket, "[", line)?;
+        let size = self.expect_number(line)? as usize;
+        self.expect_kind(TokenKind::RBracket, "]", line)?;
+        self.expect_semicolon()?;
+        self.qregs.insert(name, (self.total_qubits, size));
+        self.total_qubits += size;
+        Ok(())
+    }
+
+    fn parse_measure(&mut self, line: usize) -> Result<(), QasmError> {
+        // measure q[i] -> c[i]; | measure q -> c;
+        let targets = self.parse_argument(line)?;
+        // Skip everything up to the semicolon (the classical target).
+        self.skip_to_semicolon();
+        for q in targets {
+            self.gates.push(Gate::Measure(q));
+        }
+        Ok(())
+    }
+
+    fn parse_barrier(&mut self, line: usize) -> Result<(), QasmError> {
+        let mut qubits = Vec::new();
+        loop {
+            let mut arg = self.parse_argument(line)?;
+            qubits.append(&mut arg);
+            match self.next() {
+                Some(Token { kind: TokenKind::Comma, .. }) => continue,
+                Some(Token { kind: TokenKind::Semicolon, .. }) => break,
+                Some(t) => {
+                    return Err(QasmError::Unexpected {
+                        found: t.kind.to_string(),
+                        expected: ", or ;",
+                        line: t.line,
+                    })
+                }
+                None => return Err(QasmError::UnexpectedEof),
+            }
+        }
+        self.gates.push(Gate::Barrier(qubits));
+        Ok(())
+    }
+
+    fn parse_gate(&mut self, name: &str, line: usize) -> Result<(), QasmError> {
+        // Optional parameter list.
+        let params = if matches!(self.peek(), Some(Token { kind: TokenKind::LParen, .. })) {
+            self.next();
+            self.parse_params(line)?
+        } else {
+            Vec::new()
+        };
+        // Operands: comma-separated arguments, each `reg` or `reg[i]`.
+        let mut operands: Vec<Vec<QubitId>> = Vec::new();
+        loop {
+            operands.push(self.parse_argument(line)?);
+            match self.next() {
+                Some(Token { kind: TokenKind::Comma, .. }) => continue,
+                Some(Token { kind: TokenKind::Semicolon, .. }) => break,
+                Some(t) => {
+                    return Err(QasmError::Unexpected {
+                        found: t.kind.to_string(),
+                        expected: ", or ;",
+                        line: t.line,
+                    })
+                }
+                None => return Err(QasmError::UnexpectedEof),
+            }
+        }
+        // Broadcast over whole-register operands (all operands must then have
+        // the same length; single-qubit operands are repeated).
+        let broadcast = operands.iter().map(Vec::len).max().unwrap_or(1);
+        for i in 0..broadcast {
+            let pick = |op: &Vec<QubitId>| -> QubitId {
+                if op.len() == 1 {
+                    op[0]
+                } else {
+                    op[i.min(op.len() - 1)]
+                }
+            };
+            if name == "ccx" {
+                // Decompose Toffolis here so downstream schedulers only ever
+                // see one- and two-qubit gates.
+                let need = |idx: usize| -> Result<QubitId, QasmError> {
+                    operands.get(idx).map(&pick).ok_or(QasmError::Unexpected {
+                        found: "end of operands".to_string(),
+                        expected: "qubit operand",
+                        line,
+                    })
+                };
+                let (a, b, c) = (need(0)?, need(1)?, need(2)?);
+                self.gates.extend(toffoli_decomposition(a, b, c));
+            } else {
+                let gate = self.build_gate(name, &params, &operands, pick, line)?;
+                self.gates.push(gate);
+            }
+        }
+        Ok(())
+    }
+
+    fn build_gate(
+        &self,
+        name: &str,
+        params: &[f64],
+        operands: &[Vec<QubitId>],
+        pick: impl Fn(&Vec<QubitId>) -> QubitId,
+        line: usize,
+    ) -> Result<Gate, QasmError> {
+        let op = |idx: usize| -> Result<QubitId, QasmError> {
+            operands.get(idx).map(&pick).ok_or(QasmError::Unexpected {
+                found: "end of operands".to_string(),
+                expected: "qubit operand",
+                line,
+            })
+        };
+        let p = |idx: usize| params.get(idx).copied().unwrap_or(0.0);
+        let gate = match name {
+            "h" => Gate::H(op(0)?),
+            "x" => Gate::X(op(0)?),
+            "y" => Gate::Y(op(0)?),
+            "z" => Gate::Z(op(0)?),
+            "s" => Gate::S(op(0)?),
+            "sdg" => Gate::Sdg(op(0)?),
+            "t" => Gate::T(op(0)?),
+            "tdg" => Gate::Tdg(op(0)?),
+            "id" => Gate::Rz { qubit: op(0)?, theta: 0.0 },
+            "rx" => Gate::Rx { qubit: op(0)?, theta: p(0) },
+            "ry" => Gate::Ry { qubit: op(0)?, theta: p(0) },
+            "rz" | "u1" | "p" => Gate::Rz { qubit: op(0)?, theta: p(0) },
+            "u2" => Gate::U { qubit: op(0)?, theta: PI / 2.0, phi: p(0), lambda: p(1) },
+            "u3" | "u" => Gate::U { qubit: op(0)?, theta: p(0), phi: p(1), lambda: p(2) },
+            "cx" | "CX" => Gate::Cx(op(0)?, op(1)?),
+            "cz" => Gate::Cz(op(0)?, op(1)?),
+            "cp" | "cu1" => Gate::Cp { control: op(0)?, target: op(1)?, theta: p(0) },
+            "rzz" => Gate::Rzz { a: op(0)?, b: op(1)?, theta: p(0) },
+            "swap" => Gate::Swap(op(0)?, op(1)?),
+            "ms" | "rxx" => Gate::Ms(op(0)?, op(1)?),
+            other => {
+                return Err(QasmError::UnsupportedGate { name: other.to_string(), line });
+            }
+        };
+        Ok(gate)
+    }
+
+    fn parse_params(&mut self, line: usize) -> Result<Vec<f64>, QasmError> {
+        // Parse a comma-separated list of constant expressions terminated by ')'.
+        let mut params = Vec::new();
+        let mut current = ExprAccumulator::new();
+        loop {
+            match self.next() {
+                Some(Token { kind: TokenKind::RParen, .. }) => {
+                    params.push(current.finish());
+                    break;
+                }
+                Some(Token { kind: TokenKind::Comma, .. }) => {
+                    params.push(current.finish());
+                    current = ExprAccumulator::new();
+                }
+                Some(Token { kind: TokenKind::Number(n), .. }) => current.push_value(n),
+                Some(Token { kind: TokenKind::Ident(word), .. }) if word == "pi" => {
+                    current.push_value(PI)
+                }
+                Some(Token { kind: TokenKind::Op(op), .. }) => current.push_op(op),
+                Some(t) => {
+                    return Err(QasmError::Unexpected {
+                        found: t.kind.to_string(),
+                        expected: "parameter expression",
+                        line: t.line,
+                    })
+                }
+                None => return Err(QasmError::UnexpectedEof),
+            }
+        }
+        let _ = line;
+        Ok(params)
+    }
+
+    /// Parses `reg` or `reg[i]`, returning the referenced qubits.
+    fn parse_argument(&mut self, _line: usize) -> Result<Vec<QubitId>, QasmError> {
+        let (name, line) = match self.next() {
+            Some(Token { kind: TokenKind::Ident(name), line }) => (name, line),
+            Some(t) => {
+                return Err(QasmError::Unexpected {
+                    found: t.kind.to_string(),
+                    expected: "register name",
+                    line: t.line,
+                })
+            }
+            None => return Err(QasmError::UnexpectedEof),
+        };
+        let &(offset, size) = self
+            .qregs
+            .get(&name)
+            .ok_or_else(|| QasmError::UnknownRegister { name: name.clone(), line })?;
+        if matches!(self.peek(), Some(Token { kind: TokenKind::LBracket, .. })) {
+            self.next();
+            let index = self.expect_number(line)? as usize;
+            self.expect_kind(TokenKind::RBracket, "]", line)?;
+            if index >= size {
+                return Err(QasmError::IndexOutOfRange { name, index, line });
+            }
+            Ok(vec![QubitId::new(offset + index)])
+        } else {
+            Ok((0..size).map(|i| QubitId::new(offset + i)).collect())
+        }
+    }
+
+    fn expect_ident(&mut self, _line: usize) -> Result<String, QasmError> {
+        match self.next() {
+            Some(Token { kind: TokenKind::Ident(s), .. }) => Ok(s),
+            Some(t) => Err(QasmError::Unexpected {
+                found: t.kind.to_string(),
+                expected: "identifier",
+                line: t.line,
+            }),
+            None => Err(QasmError::UnexpectedEof),
+        }
+    }
+
+    fn expect_number(&mut self, _line: usize) -> Result<f64, QasmError> {
+        match self.next() {
+            Some(Token { kind: TokenKind::Number(n), .. }) => Ok(n),
+            Some(t) => Err(QasmError::Unexpected {
+                found: t.kind.to_string(),
+                expected: "number",
+                line: t.line,
+            }),
+            None => Err(QasmError::UnexpectedEof),
+        }
+    }
+
+    fn expect_kind(
+        &mut self,
+        kind: TokenKind,
+        expected: &'static str,
+        _line: usize,
+    ) -> Result<(), QasmError> {
+        match self.next() {
+            Some(t) if t.kind == kind => Ok(()),
+            Some(t) => Err(QasmError::Unexpected {
+                found: t.kind.to_string(),
+                expected,
+                line: t.line,
+            }),
+            None => Err(QasmError::UnexpectedEof),
+        }
+    }
+}
+
+/// Standard six-CNOT Toffoli decomposition (same network as
+/// [`Circuit::ccx`](crate::Circuit::ccx)).
+fn toffoli_decomposition(a: QubitId, b: QubitId, c: QubitId) -> Vec<Gate> {
+    vec![
+        Gate::H(c),
+        Gate::Cx(b, c),
+        Gate::Tdg(c),
+        Gate::Cx(a, c),
+        Gate::T(c),
+        Gate::Cx(b, c),
+        Gate::Tdg(c),
+        Gate::Cx(a, c),
+        Gate::T(b),
+        Gate::T(c),
+        Gate::H(c),
+        Gate::Cx(a, b),
+        Gate::T(a),
+        Gate::Tdg(b),
+        Gate::Cx(a, b),
+    ]
+}
+
+/// Evaluates the flat constant expressions found in gate parameter lists
+/// (`pi/2`, `3*pi/4`, `-0.5`, …) with left-to-right application of `* /`
+/// over an additive accumulator. This matches how QASMBench writes angles.
+struct ExprAccumulator {
+    total: f64,
+    current: f64,
+    pending_op: char,
+    has_value: bool,
+}
+
+impl ExprAccumulator {
+    fn new() -> Self {
+        ExprAccumulator { total: 0.0, current: 0.0, pending_op: '+', has_value: false }
+    }
+
+    fn push_value(&mut self, v: f64) {
+        if !self.has_value {
+            self.current = v;
+            self.has_value = true;
+            return;
+        }
+        match self.pending_op {
+            '*' => self.current *= v,
+            '/' => self.current /= v,
+            '+' => {
+                self.total += self.current;
+                self.current = v;
+            }
+            '-' => {
+                self.total += self.current;
+                self.current = -v;
+            }
+            _ => self.current = v,
+        }
+        self.pending_op = '+';
+    }
+
+    fn push_op(&mut self, op: char) {
+        if !self.has_value && op == '-' {
+            // Unary minus.
+            self.current = 0.0;
+            self.has_value = true;
+            self.pending_op = '-';
+            return;
+        }
+        self.pending_op = op;
+    }
+
+    fn finish(mut self) -> f64 {
+        self.total += self.current;
+        self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const HEADER: &str = "OPENQASM 2.0;\ninclude \"qelib1.inc\";\n";
+
+    #[test]
+    fn parses_registers_and_gates() {
+        let src = format!("{HEADER}qreg q[4];\ncreg c[4];\nh q[0];\ncx q[0],q[1];\ncx q[2],q[3];\n");
+        let circuit = parse(&src).unwrap();
+        assert_eq!(circuit.num_qubits(), 4);
+        assert_eq!(circuit.two_qubit_gate_count(), 2);
+        assert!(circuit.validate().is_ok());
+    }
+
+    #[test]
+    fn flattens_multiple_registers() {
+        let src = format!("{HEADER}qreg a[2];\nqreg b[3];\ncx a[1], b[0];\n");
+        let circuit = parse(&src).unwrap();
+        assert_eq!(circuit.num_qubits(), 5);
+        let (x, y) = circuit.gates()[0].two_qubit_pair().unwrap();
+        assert_eq!(x.index(), 1);
+        assert_eq!(y.index(), 2);
+    }
+
+    #[test]
+    fn parses_parameterised_gates() {
+        let src = format!("{HEADER}qreg q[2];\nrz(pi/2) q[0];\ncp(3*pi/4) q[0], q[1];\nu3(0.1,0.2,0.3) q[1];\n");
+        let circuit = parse(&src).unwrap();
+        match &circuit.gates()[0] {
+            Gate::Rz { theta, .. } => assert!((theta - PI / 2.0).abs() < 1e-12),
+            g => panic!("expected rz, got {g:?}"),
+        }
+        match &circuit.gates()[1] {
+            Gate::Cp { theta, .. } => assert!((theta - 3.0 * PI / 4.0).abs() < 1e-12),
+            g => panic!("expected cp, got {g:?}"),
+        }
+    }
+
+    #[test]
+    fn measure_whole_register_expands() {
+        let src = format!("{HEADER}qreg q[3];\ncreg c[3];\nmeasure q -> c;\n");
+        let circuit = parse(&src).unwrap();
+        assert_eq!(circuit.measurement_count(), 3);
+    }
+
+    #[test]
+    fn broadcast_single_qubit_gate_over_register() {
+        let src = format!("{HEADER}qreg q[4];\nh q;\n");
+        let circuit = parse(&src).unwrap();
+        assert_eq!(circuit.single_qubit_gate_count(), 4);
+    }
+
+    #[test]
+    fn unknown_register_is_an_error() {
+        let src = format!("{HEADER}qreg q[2];\nh r[0];\n");
+        assert!(matches!(parse(&src), Err(QasmError::UnknownRegister { .. })));
+    }
+
+    #[test]
+    fn out_of_range_index_is_an_error() {
+        let src = format!("{HEADER}qreg q[2];\nh q[5];\n");
+        assert!(matches!(parse(&src), Err(QasmError::IndexOutOfRange { .. })));
+    }
+
+    #[test]
+    fn unsupported_gate_is_an_error() {
+        let src = format!("{HEADER}qreg q[3];\nccz q[0],q[1],q[2];\n");
+        assert!(matches!(parse(&src), Err(QasmError::UnsupportedGate { .. })));
+    }
+
+    #[test]
+    fn missing_register_is_an_error() {
+        assert_eq!(parse(HEADER), Err(QasmError::NoQuantumRegister));
+    }
+
+    #[test]
+    fn gate_definitions_are_skipped() {
+        let src = format!(
+            "{HEADER}gate majority a,b,c {{ cx c,b; cx c,a; ccx a,b,c; }}\nqreg q[2];\ncx q[0],q[1];\n"
+        );
+        let circuit = parse(&src).unwrap();
+        assert_eq!(circuit.two_qubit_gate_count(), 1);
+    }
+
+    #[test]
+    fn barriers_are_preserved() {
+        let src = format!("{HEADER}qreg q[3];\nbarrier q;\n");
+        let circuit = parse(&src).unwrap();
+        assert_eq!(circuit.len(), 1);
+        assert!(circuit.gates()[0].is_barrier());
+    }
+}

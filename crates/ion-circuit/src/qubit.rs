@@ -1,0 +1,75 @@
+//! Typed logical-qubit identifiers.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a *logical* qubit within a [`Circuit`](crate::Circuit).
+///
+/// The wrapped value is the qubit's index in the circuit's register, starting
+/// at zero. Using a newtype (rather than a bare `usize`) keeps logical-qubit
+/// indices from being confused with physical ion positions, trap indices or
+/// DAG node ids elsewhere in the workspace.
+///
+/// ```
+/// use ion_circuit::QubitId;
+///
+/// let q = QubitId::new(3);
+/// assert_eq!(q.index(), 3);
+/// assert_eq!(format!("{q}"), "q3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct QubitId(usize);
+
+impl QubitId {
+    /// Creates a new qubit identifier from a register index.
+    pub const fn new(index: usize) -> Self {
+        QubitId(index)
+    }
+
+    /// Returns the register index of this qubit.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl From<usize> for QubitId {
+    fn from(index: usize) -> Self {
+        QubitId(index)
+    }
+}
+
+impl From<QubitId> for usize {
+    fn from(q: QubitId) -> usize {
+        q.0
+    }
+}
+
+impl fmt::Display for QubitId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_through_usize() {
+        let q = QubitId::from(7usize);
+        assert_eq!(usize::from(q), 7);
+        assert_eq!(q.index(), 7);
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(QubitId::new(1) < QubitId::new(2));
+        assert_eq!(QubitId::new(4), QubitId::new(4));
+    }
+
+    #[test]
+    fn display_is_q_prefixed() {
+        assert_eq!(QubitId::new(12).to_string(), "q12");
+    }
+}

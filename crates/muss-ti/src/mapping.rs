@@ -1,0 +1,244 @@
+//! Initial-mapping strategies (Section 3.4 of the paper).
+
+use eml_qccd::{CompileError, EmlQccdDevice, ModuleId, ZoneId};
+use ion_circuit::{Circuit, QubitId};
+
+use crate::scheduler::schedule;
+use crate::{InitialMappingStrategy, MussTiOptions};
+
+/// Maximum number of ions the mapper will load into one module.
+///
+/// This is the device's per-module cap, additionally reduced so that at least
+/// one zone's worth of slots stays free in every module — the slack the LRU
+/// conflict handler needs to always find an eviction target.
+pub(crate) fn effective_module_capacity(device: &EmlQccdDevice, module: ModuleId) -> usize {
+    let slots: usize = device
+        .zones_in_module(module)
+        .iter()
+        .map(|z| z.capacity)
+        .sum();
+    let slack = device.config().trap_capacity();
+    device
+        .module_capacity(module)
+        .min(slots.saturating_sub(slack))
+}
+
+/// Total number of logical qubits the device can accept under
+/// [`effective_module_capacity`].
+pub(crate) fn effective_device_capacity(device: &EmlQccdDevice) -> usize {
+    device
+        .modules()
+        .into_iter()
+        .map(|m| effective_module_capacity(device, m))
+        .sum()
+}
+
+/// The trivial mapping (Section 3.4, "Trivial Mapping"): consecutive logical
+/// qubits are distributed block-wise across the modules (each module takes a
+/// roughly equal share, preserving program locality), and within each module
+/// the share is placed into zones ordered by level from highest (optical) to
+/// lowest (storage), because higher-level zones offer more functionality.
+///
+/// # Errors
+///
+/// Returns [`CompileError::DeviceTooSmall`] if the device cannot hold
+/// `num_qubits` ions under the effective per-module capacity.
+pub(crate) fn trivial_mapping(
+    device: &EmlQccdDevice,
+    num_qubits: usize,
+) -> Result<Vec<(QubitId, ZoneId)>, CompileError> {
+    let capacity = effective_device_capacity(device);
+    if num_qubits > capacity {
+        return Err(CompileError::DeviceTooSmall { required: num_qubits, capacity });
+    }
+
+    // Per-module quota: an even share of the qubits, bounded by the module's
+    // effective capacity. Remainders are absorbed by later modules (which is
+    // why the quota is recomputed from what is still unplaced).
+    let mut mapping = Vec::with_capacity(num_qubits);
+    let mut next_qubit = 0usize;
+    let num_modules = device.num_modules();
+    for (module_index, module) in device.modules().into_iter().enumerate() {
+        if next_qubit >= num_qubits {
+            break;
+        }
+        let remaining_modules = num_modules - module_index;
+        let remaining_qubits = num_qubits - next_qubit;
+        let quota = remaining_qubits
+            .div_ceil(remaining_modules)
+            .min(effective_module_capacity(device, module));
+
+        // Zones of this module, highest level first.
+        let mut zones = device.zones_in_module(module);
+        zones.sort_by_key(|z| (std::cmp::Reverse(z.level), z.id));
+
+        let mut placed_in_module = 0usize;
+        for zone in zones {
+            let mut placed_in_zone = 0usize;
+            while next_qubit < num_qubits
+                && placed_in_module < quota
+                && placed_in_zone < zone.capacity
+            {
+                mapping.push((QubitId::new(next_qubit), zone.id));
+                next_qubit += 1;
+                placed_in_module += 1;
+                placed_in_zone += 1;
+            }
+        }
+    }
+    if next_qubit < num_qubits {
+        return Err(CompileError::DeviceTooSmall { required: num_qubits, capacity });
+    }
+    Ok(mapping)
+}
+
+/// Computes the initial mapping for a compilation run, applying the SABRE
+/// two-fold search when requested: schedule forward from the trivial mapping,
+/// schedule the reversed circuit from the resulting final mapping, and use
+/// that run's final mapping as the real starting point. The dry passes run
+/// with SWAP insertion disabled so the resulting placement reflects transport
+/// pressure only.
+///
+/// # Errors
+///
+/// Propagates capacity errors from [`trivial_mapping`] and scheduling errors
+/// from the dry passes.
+pub(crate) fn initial_mapping(
+    device: &EmlQccdDevice,
+    options: &MussTiOptions,
+    circuit: &Circuit,
+) -> Result<Vec<(QubitId, ZoneId)>, CompileError> {
+    let trivial = trivial_mapping(device, circuit.num_qubits())?;
+    match options.initial_mapping {
+        InitialMappingStrategy::Trivial => Ok(trivial),
+        InitialMappingStrategy::Sabre => {
+            let dry_options = MussTiOptions { enable_swap_insertion: false, ..*options };
+            let forward = schedule(device, &dry_options, circuit, &trivial)?;
+            let reversed_circuit = circuit.reversed();
+            let backward = schedule(device, &dry_options, &reversed_circuit, &forward.final_mapping)?;
+            let candidate = backward.final_mapping;
+            // Keep whichever starting placement needs the least transport: the
+            // two-fold search can occasionally end in a worse placement for
+            // highly symmetric circuits, and the pre-loading idea only pays
+            // off when it actually reduces movement.
+            let shuttles = |outcome: &crate::scheduler::SchedulerOutcome| {
+                outcome.ops.iter().filter(|o| o.is_shuttle()).count()
+            };
+            let trivial_shuttles = shuttles(&forward);
+            let candidate_run = schedule(device, &dry_options, circuit, &candidate)?;
+            if shuttles(&candidate_run) <= trivial_shuttles {
+                Ok(candidate)
+            } else {
+                Ok(trivial)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eml_qccd::{DeviceConfig, ZoneLevel};
+    use ion_circuit::generators;
+
+    #[test]
+    fn trivial_mapping_balances_blocks_across_modules_highest_level_first() {
+        let device = DeviceConfig::default().with_modules(2).build();
+        let mapping = trivial_mapping(&device, 32).unwrap();
+        assert_eq!(mapping.len(), 32);
+        // 16 consecutive qubits per module, all inside the optical zones.
+        for &(q, zone) in &mapping {
+            let expected_module = if q.index() < 16 { 0 } else { 1 };
+            assert_eq!(device.zone(zone).module.index(), expected_module, "{q}");
+            assert_eq!(device.zone(zone).level, ZoneLevel::Optical, "{q}");
+        }
+    }
+
+    #[test]
+    fn trivial_mapping_spills_each_share_into_lower_levels() {
+        let device = DeviceConfig::default().with_modules(2).build();
+        let mapping = trivial_mapping(&device, 48).unwrap();
+        let levels: Vec<ZoneLevel> = mapping.iter().map(|&(_, z)| device.zone(z).level).collect();
+        // Each module takes 24 qubits: 16 in its optical zone, 8 in its
+        // operation zone.
+        assert_eq!(levels.iter().filter(|&&l| l == ZoneLevel::Optical).count(), 32);
+        assert_eq!(levels.iter().filter(|&&l| l == ZoneLevel::Operation).count(), 16);
+        assert_eq!(device.zone(mapping[16].1).level, ZoneLevel::Operation);
+        assert_eq!(device.zone(mapping[16].1).module.index(), 0);
+        assert_eq!(device.zone(mapping[24].1).module.index(), 1);
+        assert_eq!(device.zone(mapping[24].1).level, ZoneLevel::Optical);
+    }
+
+    #[test]
+    fn trivial_mapping_respects_zone_capacity() {
+        let device = DeviceConfig::default().with_modules(4).with_trap_capacity(8).build();
+        let mapping = trivial_mapping(&device, 60).unwrap();
+        for zone in device.zones() {
+            let count = mapping.iter().filter(|&&(_, z)| z == zone.id).count();
+            assert!(count <= zone.capacity);
+        }
+    }
+
+    #[test]
+    fn too_many_qubits_is_an_error() {
+        let device = DeviceConfig::default().with_modules(1).build();
+        assert!(matches!(
+            trivial_mapping(&device, 64),
+            Err(CompileError::DeviceTooSmall { .. })
+        ));
+    }
+
+    #[test]
+    fn effective_capacity_leaves_one_zone_of_slack() {
+        let device = DeviceConfig::default().with_modules(1).with_trap_capacity(8).build();
+        // 4 zones * 8 = 32 slots, minus 8 slack = 24, below the 32 module cap.
+        assert_eq!(effective_module_capacity(&device, ModuleId(0)), 24);
+    }
+
+    #[test]
+    fn sabre_mapping_differs_from_trivial_when_transport_is_needed() {
+        // 48 qubits on two modules puts 8 qubits per module in an operation
+        // zone; an asymmetric random circuit then forces transport, so the
+        // two-fold search ends in a different placement than it started from.
+        // (A symmetric circuit such as QFT can legitimately retrace its own
+        // movements and return to the trivial placement.)
+        let device = DeviceConfig::default().with_modules(2).build();
+        let circuit = generators::random_circuit(48, 200, 11);
+        let options = MussTiOptions { initial_mapping: InitialMappingStrategy::Sabre, ..Default::default() };
+        let sabre = initial_mapping(&device, &options, &circuit).unwrap();
+        let trivial = trivial_mapping(&device, 48).unwrap();
+        assert_eq!(sabre.len(), trivial.len());
+        assert_ne!(sabre, trivial, "two-fold search should move at least one qubit");
+
+        // The result is still a valid placement: every qubit exactly once,
+        // zone capacities respected.
+        let mut seen: Vec<usize> = sabre.iter().map(|(q, _)| q.index()).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 48);
+        for zone in device.zones() {
+            let count = sabre.iter().filter(|&&(_, z)| z == zone.id).count();
+            assert!(count <= zone.capacity);
+        }
+    }
+
+    #[test]
+    fn sabre_mapping_equals_trivial_when_no_transport_is_needed() {
+        // 16 qubits fit entirely inside module 0's optical zone, so the
+        // scheduler never moves an ion and the two-fold search is a fixpoint.
+        let device = DeviceConfig::for_qubits(16).build();
+        let circuit = generators::qft(16);
+        let options = MussTiOptions { initial_mapping: InitialMappingStrategy::Sabre, ..Default::default() };
+        let sabre = initial_mapping(&device, &options, &circuit).unwrap();
+        assert_eq!(sabre, trivial_mapping(&device, 16).unwrap());
+    }
+
+    #[test]
+    fn trivial_strategy_returns_trivial_mapping() {
+        let device = DeviceConfig::for_qubits(16).build();
+        let circuit = generators::ghz(16);
+        let options = MussTiOptions::trivial();
+        let mapping = initial_mapping(&device, &options, &circuit).unwrap();
+        assert_eq!(mapping, trivial_mapping(&device, 16).unwrap());
+    }
+}

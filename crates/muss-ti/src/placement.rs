@@ -1,0 +1,361 @@
+//! Dynamic placement state: where every ion sits, chain order, and LRU data.
+
+use std::collections::HashMap;
+
+use eml_qccd::{EmlQccdDevice, ModuleId, ScheduledOp, ZoneId, ZoneLevel};
+use ion_circuit::QubitId;
+
+/// The compiler's view of the device at a point in the schedule: which zone
+/// holds each ion, the order of ions inside each zone's chain, per-qubit
+/// last-use timestamps (for LRU eviction) and per-module ion counts.
+///
+/// All mutating operations that correspond to physical transport return the
+/// [`ScheduledOp`]s they imply, so the scheduler simply appends them to the
+/// program.
+#[derive(Debug, Clone)]
+pub struct PlacementState {
+    qubit_zone: HashMap<QubitId, ZoneId>,
+    /// Ion chain per zone, in physical order (index 0 and `len-1` are the edges).
+    chains: HashMap<ZoneId, Vec<QubitId>>,
+    last_use: HashMap<QubitId, u64>,
+    module_count: HashMap<ModuleId, usize>,
+}
+
+impl PlacementState {
+    /// Creates an empty placement (no ion placed yet).
+    pub fn new(device: &EmlQccdDevice) -> Self {
+        let chains = device.zones().iter().map(|z| (z.id, Vec::new())).collect();
+        let module_count = device.modules().into_iter().map(|m| (m, 0)).collect();
+        PlacementState {
+            qubit_zone: HashMap::new(),
+            chains,
+            last_use: HashMap::new(),
+            module_count,
+        }
+    }
+
+    /// Builds a placement from an explicit qubit → zone assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an assignment exceeds a zone's capacity.
+    pub fn from_mapping(device: &EmlQccdDevice, mapping: &[(QubitId, ZoneId)]) -> Self {
+        let mut state = Self::new(device);
+        for &(q, z) in mapping {
+            assert!(
+                state.occupancy(z) < device.zone(z).capacity,
+                "initial mapping overfills {z}"
+            );
+            state.place(device, q, z);
+        }
+        state
+    }
+
+    /// Places a not-yet-placed qubit at the edge of `zone`'s chain.
+    pub fn place(&mut self, device: &EmlQccdDevice, qubit: QubitId, zone: ZoneId) {
+        debug_assert!(!self.qubit_zone.contains_key(&qubit), "{qubit} placed twice");
+        self.qubit_zone.insert(qubit, zone);
+        self.chains.get_mut(&zone).expect("zone exists").push(qubit);
+        *self
+            .module_count
+            .entry(device.zone(zone).module)
+            .or_insert(0) += 1;
+    }
+
+    /// The zone currently holding `qubit`, if it has been placed.
+    pub fn zone_of(&self, qubit: QubitId) -> Option<ZoneId> {
+        self.qubit_zone.get(&qubit).copied()
+    }
+
+    /// The module currently holding `qubit`.
+    pub fn module_of(&self, device: &EmlQccdDevice, qubit: QubitId) -> Option<ModuleId> {
+        self.zone_of(qubit).map(|z| device.zone(z).module)
+    }
+
+    /// Number of ions currently in `zone`.
+    pub fn occupancy(&self, zone: ZoneId) -> usize {
+        self.chains.get(&zone).map(Vec::len).unwrap_or(0)
+    }
+
+    /// Number of ions currently in `module`.
+    pub fn module_occupancy(&self, module: ModuleId) -> usize {
+        self.module_count.get(&module).copied().unwrap_or(0)
+    }
+
+    /// The ions in `zone`, in chain order.
+    pub fn chain(&self, zone: ZoneId) -> &[QubitId] {
+        self.chains.get(&zone).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Remaining free slots in `zone`.
+    pub fn free_slots(&self, device: &EmlQccdDevice, zone: ZoneId) -> usize {
+        device.zone(zone).capacity.saturating_sub(self.occupancy(zone))
+    }
+
+    /// Records that `qubit` was just used by a gate at logical time `time`.
+    pub fn touch(&mut self, qubit: QubitId, time: u64) {
+        self.last_use.insert(qubit, time);
+    }
+
+    /// Logical time `qubit` was last used (0 if never).
+    pub fn last_use(&self, qubit: QubitId) -> u64 {
+        self.last_use.get(&qubit).copied().unwrap_or(0)
+    }
+
+    /// The least-recently-used ion in `zone`, excluding `protected` qubits.
+    pub fn lru_victim(&self, zone: ZoneId, protected: &[QubitId]) -> Option<QubitId> {
+        self.chain(zone)
+            .iter()
+            .copied()
+            .filter(|q| !protected.contains(q))
+            .min_by_key(|q| (self.last_use(*q), q.index()))
+    }
+
+    /// Moves `qubit` from its current zone to `to`, emitting the chain
+    /// rearrangements needed to bring it to the chain edge plus the shuttle
+    /// itself. The destination must be in the same module and have free space
+    /// (the scheduler guarantees both).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the qubit is unplaced, the destination is full, or the move
+    /// crosses modules.
+    pub fn shuttle(
+        &mut self,
+        device: &EmlQccdDevice,
+        qubit: QubitId,
+        to: ZoneId,
+    ) -> Vec<ScheduledOp> {
+        let from = self.zone_of(qubit).expect("cannot shuttle an unplaced qubit");
+        if from == to {
+            return Vec::new();
+        }
+        assert_eq!(
+            device.zone(from).module,
+            device.zone(to).module,
+            "ions never shuttle between modules"
+        );
+        assert!(
+            self.occupancy(to) < device.zone(to).capacity,
+            "shuttle destination {to} is full"
+        );
+
+        let mut ops = Vec::new();
+        // Bring the ion to the nearest chain edge first.
+        let chain = self.chains.get_mut(&from).expect("zone exists");
+        let idx = chain.iter().position(|&q| q == qubit).expect("qubit is in its chain");
+        let moves_to_edge = idx.min(chain.len() - 1 - idx);
+        for _ in 0..moves_to_edge {
+            ops.push(ScheduledOp::ChainRearrange { zone: from.index() });
+        }
+        chain.remove(idx);
+
+        ops.push(ScheduledOp::Shuttle {
+            qubit,
+            from_zone: from.index(),
+            to_zone: to.index(),
+            distance_um: device.intra_module_distance_um(from, to),
+        });
+
+        self.chains.get_mut(&to).expect("zone exists").push(qubit);
+        self.qubit_zone.insert(qubit, to);
+        ops
+    }
+
+    /// Logically exchanges two ions that sit in different modules (the effect
+    /// of an inserted cross-module SWAP gate): their zone assignments and
+    /// chain slots are swapped in place; no transport op is produced because
+    /// the exchange is performed by the three remote MS gates the scheduler
+    /// emits alongside this call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either qubit is unplaced.
+    pub fn swap_logical(&mut self, a: QubitId, b: QubitId) {
+        let za = self.zone_of(a).expect("swap operand must be placed");
+        let zb = self.zone_of(b).expect("swap operand must be placed");
+        let ia = self.chains[&za].iter().position(|&q| q == a).expect("a in chain");
+        let ib = self.chains[&zb].iter().position(|&q| q == b).expect("b in chain");
+        self.chains.get_mut(&za).expect("zone exists")[ia] = b;
+        self.chains.get_mut(&zb).expect("zone exists")[ib] = a;
+        self.qubit_zone.insert(a, zb);
+        self.qubit_zone.insert(b, za);
+    }
+
+    /// The final qubit → zone assignment (used by the SABRE two-fold pass).
+    pub fn mapping(&self) -> Vec<(QubitId, ZoneId)> {
+        let mut mapping: Vec<(QubitId, ZoneId)> =
+            self.qubit_zone.iter().map(|(&q, &z)| (q, z)).collect();
+        mapping.sort_by_key(|(q, _)| q.index());
+        mapping
+    }
+
+    /// Zones of a module that still have free slots, preferring higher levels.
+    pub fn zones_with_space(
+        &self,
+        device: &EmlQccdDevice,
+        module: ModuleId,
+        min_level: Option<ZoneLevel>,
+    ) -> Vec<ZoneId> {
+        let mut zones: Vec<ZoneId> = device
+            .zones_in_module(module)
+            .into_iter()
+            .filter(|z| min_level.map_or(true, |lvl| z.level >= lvl))
+            .filter(|z| self.free_slots(device, z.id) > 0)
+            .map(|z| z.id)
+            .collect();
+        zones.sort_by_key(|&z| std::cmp::Reverse(device.zone(z).level));
+        zones
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eml_qccd::DeviceConfig;
+
+    fn device() -> EmlQccdDevice {
+        DeviceConfig::default().with_modules(2).with_trap_capacity(4).build()
+    }
+
+    fn q(i: usize) -> QubitId {
+        QubitId::new(i)
+    }
+
+    #[test]
+    fn place_and_lookup() {
+        let d = device();
+        let mut s = PlacementState::new(&d);
+        let zone = d.zones()[0].id;
+        s.place(&d, q(0), zone);
+        assert_eq!(s.zone_of(q(0)), Some(zone));
+        assert_eq!(s.occupancy(zone), 1);
+        assert_eq!(s.module_occupancy(ModuleId(0)), 1);
+        assert_eq!(s.chain(zone), &[q(0)]);
+    }
+
+    #[test]
+    fn shuttle_within_module_updates_state_and_emits_one_shuttle() {
+        let d = device();
+        let mut s = PlacementState::new(&d);
+        let zones = d.zones_in_module(ModuleId(0));
+        let optical = zones[0].id;
+        let storage = zones[2].id;
+        s.place(&d, q(0), storage);
+        let ops = s.shuttle(&d, q(0), optical);
+        assert_eq!(ops.len(), 1);
+        assert!(ops[0].is_shuttle());
+        assert_eq!(s.zone_of(q(0)), Some(optical));
+        assert_eq!(s.occupancy(storage), 0);
+    }
+
+    #[test]
+    fn shuttle_from_chain_middle_emits_rearrangements() {
+        let d = device();
+        let mut s = PlacementState::new(&d);
+        let zones = d.zones_in_module(ModuleId(0));
+        let storage = zones[2].id;
+        let operation = zones[1].id;
+        for i in 0..4 {
+            s.place(&d, q(i), storage);
+        }
+        // q1 sits at index 1 of a 4-ion chain: one rearrangement to reach the edge.
+        let ops = s.shuttle(&d, q(1), operation);
+        let rearrangements = ops
+            .iter()
+            .filter(|o| matches!(o, ScheduledOp::ChainRearrange { .. }))
+            .count();
+        assert_eq!(rearrangements, 1);
+        assert_eq!(ops.len(), 2);
+    }
+
+    #[test]
+    fn edge_ions_shuttle_without_rearrangement() {
+        let d = device();
+        let mut s = PlacementState::new(&d);
+        let zones = d.zones_in_module(ModuleId(0));
+        let storage = zones[2].id;
+        let operation = zones[1].id;
+        for i in 0..3 {
+            s.place(&d, q(i), storage);
+        }
+        let ops = s.shuttle(&d, q(2), operation);
+        assert_eq!(ops.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "destination")]
+    fn shuttling_into_a_full_zone_panics() {
+        let d = device();
+        let mut s = PlacementState::new(&d);
+        let zones = d.zones_in_module(ModuleId(0));
+        for i in 0..4 {
+            s.place(&d, q(i), zones[0].id);
+        }
+        s.place(&d, q(4), zones[1].id);
+        let _ = s.shuttle(&d, q(4), zones[0].id);
+    }
+
+    #[test]
+    fn lru_victim_ignores_protected_and_prefers_oldest() {
+        let d = device();
+        let mut s = PlacementState::new(&d);
+        let zone = d.zones()[0].id;
+        for i in 0..3 {
+            s.place(&d, q(i), zone);
+        }
+        s.touch(q(0), 10);
+        s.touch(q(1), 5);
+        s.touch(q(2), 20);
+        assert_eq!(s.lru_victim(zone, &[]), Some(q(1)));
+        assert_eq!(s.lru_victim(zone, &[q(1)]), Some(q(0)));
+        assert_eq!(s.lru_victim(zone, &[q(0), q(1), q(2)]), None);
+    }
+
+    #[test]
+    fn swap_logical_exchanges_positions() {
+        let d = device();
+        let mut s = PlacementState::new(&d);
+        let m0_optical = d.zones_in_module(ModuleId(0))[0].id;
+        let m1_optical = d.zones_in_module(ModuleId(1))[0].id;
+        s.place(&d, q(0), m0_optical);
+        s.place(&d, q(1), m1_optical);
+        s.swap_logical(q(0), q(1));
+        assert_eq!(s.zone_of(q(0)), Some(m1_optical));
+        assert_eq!(s.zone_of(q(1)), Some(m0_optical));
+        assert_eq!(s.chain(m0_optical), &[q(1)]);
+    }
+
+    #[test]
+    fn zones_with_space_prefers_higher_levels() {
+        let d = device();
+        let s = PlacementState::new(&d);
+        let zones = s.zones_with_space(&d, ModuleId(0), None);
+        assert_eq!(d.zone(zones[0]).level, ZoneLevel::Optical);
+        assert_eq!(zones.len(), 4);
+        let gate_capable = s.zones_with_space(&d, ModuleId(0), Some(ZoneLevel::Operation));
+        assert_eq!(gate_capable.len(), 2);
+    }
+
+    #[test]
+    fn mapping_is_sorted_by_qubit() {
+        let d = device();
+        let mut s = PlacementState::new(&d);
+        let zone = d.zones()[0].id;
+        s.place(&d, q(2), zone);
+        s.place(&d, q(0), zone);
+        let mapping = s.mapping();
+        assert_eq!(mapping[0].0, q(0));
+        assert_eq!(mapping[1].0, q(2));
+    }
+
+    #[test]
+    fn from_mapping_round_trips() {
+        let d = device();
+        let zone = d.zones()[0].id;
+        let mapping = vec![(q(0), zone), (q(1), zone)];
+        let s = PlacementState::from_mapping(&d, &mapping);
+        assert_eq!(s.occupancy(zone), 2);
+        assert_eq!(s.mapping(), mapping);
+    }
+}

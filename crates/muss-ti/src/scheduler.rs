@@ -1,0 +1,610 @@
+//! The multi-level shuttle scheduler (Section 3.2 of the paper).
+
+use eml_qccd::{
+    CompileError, EmlQccdDevice, ModuleId, ScheduledOp, ZoneId, ZoneLevel,
+};
+use ion_circuit::{Circuit, DagNodeId, DependencyDag, QubitId};
+
+use crate::placement::PlacementState;
+use crate::swap_insertion::WeightTable;
+use crate::MussTiOptions;
+
+/// The result of one scheduling pass over a circuit.
+#[derive(Debug, Clone)]
+pub(crate) struct SchedulerOutcome {
+    /// Scheduled transport and gate operations (two-qubit portion of the circuit).
+    pub ops: Vec<ScheduledOp>,
+    /// Final qubit → zone assignment when the pass finished.
+    pub final_mapping: Vec<(QubitId, ZoneId)>,
+    /// Number of cross-module SWAP gates inserted by the Section 3.3 pass.
+    pub inserted_swaps: usize,
+}
+
+/// Schedules the two-qubit gates of `circuit` on `device`, starting from
+/// `initial_mapping`.
+///
+/// The pass follows the paper's loop: take the DAG front layer, execute every
+/// gate that is already executable, otherwise pick the oldest gate
+/// (first-come-first-served), route its qubits to the best zone using
+/// multi-level scheduling, resolve capacity conflicts by LRU eviction, execute
+/// it, and — after every fiber gate — consider inserting a cross-module SWAP
+/// guided by the weight table.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] if a qubit cannot be placed (which indicates the
+/// device is too small for the circuit under the effective capacity rules).
+pub(crate) fn schedule(
+    device: &EmlQccdDevice,
+    options: &MussTiOptions,
+    circuit: &Circuit,
+    initial_mapping: &[(QubitId, ZoneId)],
+) -> Result<SchedulerOutcome, CompileError> {
+    let mut scheduler = Scheduler {
+        device,
+        options,
+        state: PlacementState::from_mapping(device, initial_mapping),
+        dag: DependencyDag::from_circuit(circuit),
+        ops: Vec::new(),
+        clock: 0,
+        inserted_swaps: 0,
+    };
+    scheduler.run()?;
+    Ok(SchedulerOutcome {
+        final_mapping: scheduler.state.mapping(),
+        ops: scheduler.ops,
+        inserted_swaps: scheduler.inserted_swaps,
+    })
+}
+
+struct Scheduler<'a> {
+    device: &'a EmlQccdDevice,
+    options: &'a MussTiOptions,
+    state: PlacementState,
+    dag: DependencyDag,
+    ops: Vec<ScheduledOp>,
+    /// Logical time: increments once per executed gate; drives LRU decisions.
+    clock: u64,
+    inserted_swaps: usize,
+}
+
+impl Scheduler<'_> {
+    fn run(&mut self) -> Result<(), CompileError> {
+        while !self.dag.all_executed() {
+            let front = self.dag.front_layer();
+            debug_assert!(!front.is_empty(), "a non-empty DAG always has a front layer");
+
+            // Prioritise gates that are executable right away (Section 3.2).
+            let executable: Vec<DagNodeId> =
+                front.iter().copied().filter(|&n| self.is_executable(n)).collect();
+            if !executable.is_empty() {
+                for node in executable {
+                    self.execute_gate(node)?;
+                }
+                continue;
+            }
+
+            // Otherwise route the oldest (first-come-first-served) gate.
+            let node = front[0];
+            self.route_for_gate(node)?;
+            debug_assert!(self.is_executable(node), "routing must make the gate executable");
+            self.execute_gate(node)?;
+        }
+        Ok(())
+    }
+
+    fn zone_of(&self, q: QubitId) -> Result<ZoneId, CompileError> {
+        self.state.zone_of(q).ok_or_else(|| CompileError::PlacementFailed {
+            qubit: q,
+            context: "qubit not present in the initial mapping".to_string(),
+        })
+    }
+
+    fn module_of(&self, q: QubitId) -> Result<ModuleId, CompileError> {
+        Ok(self.device.zone(self.zone_of(q)?).module)
+    }
+
+    /// A gate is executable if both operands share a gate-capable zone, or if
+    /// they sit in optical zones of two different modules (fiber gate).
+    fn is_executable(&self, node: DagNodeId) -> bool {
+        let (a, b) = self.dag.operands(node);
+        let (Some(za), Some(zb)) = (self.state.zone_of(a), self.state.zone_of(b)) else {
+            return false;
+        };
+        if za == zb {
+            return self.device.zone(za).level.supports_gates();
+        }
+        let (zone_a, zone_b) = (self.device.zone(za), self.device.zone(zb));
+        zone_a.module != zone_b.module
+            && zone_a.level.supports_fiber()
+            && zone_b.level.supports_fiber()
+            && self.device.fiber_linked(zone_a.module, zone_b.module)
+    }
+
+    /// Emits the gate operation for an executable node and retires it from the
+    /// DAG, then runs the SWAP-insertion check for fiber gates.
+    fn execute_gate(&mut self, node: DagNodeId) -> Result<(), CompileError> {
+        let (a, b) = self.dag.operands(node);
+        let za = self.zone_of(a)?;
+        let zb = self.zone_of(b)?;
+        let remote = za != zb;
+        if remote {
+            self.ops.push(ScheduledOp::FiberGate {
+                a,
+                b,
+                zone_a: za.index(),
+                zone_b: zb.index(),
+            });
+        } else if self.dag.gate(node).is_swap() {
+            self.ops.push(ScheduledOp::SwapGate {
+                a,
+                b,
+                zone: za.index(),
+                ions_in_zone: self.state.occupancy(za),
+            });
+        } else {
+            self.ops.push(ScheduledOp::TwoQubitGate {
+                a,
+                b,
+                zone: za.index(),
+                ions_in_zone: self.state.occupancy(za),
+            });
+        }
+        self.clock += 1;
+        self.state.touch(a, self.clock);
+        self.state.touch(b, self.clock);
+        self.dag.mark_executed(node);
+
+        if remote && self.options.enable_swap_insertion {
+            self.try_swap_insertion(a, b)?;
+        }
+        Ok(())
+    }
+
+    /// Routes the operands of a non-executable gate to a common gate-capable
+    /// zone (same module) or to their modules' optical zones (different
+    /// modules).
+    fn route_for_gate(&mut self, node: DagNodeId) -> Result<(), CompileError> {
+        let (a, b) = self.dag.operands(node);
+        let module_a = self.module_of(a)?;
+        let module_b = self.module_of(b)?;
+        if module_a == module_b {
+            self.route_same_module(a, b, module_a)
+        } else {
+            self.route_to_optical(a)?;
+            self.route_to_optical(b)
+        }
+    }
+
+    /// Multi-level zone selection for an intra-module gate: among the module's
+    /// gate-capable zones, pick the one that needs the fewest incoming
+    /// shuttles, then the fewest evictions, then the one where the operands'
+    /// near-future partners already live (a look-ahead locality term that
+    /// keeps e.g. a rippling carry moving forward instead of dragging whole
+    /// blocks backwards), then the smallest level distance for the qubits
+    /// that do move (Section 3.2, "Multi-level scheduling").
+    fn route_same_module(
+        &mut self,
+        a: QubitId,
+        b: QubitId,
+        module: ModuleId,
+    ) -> Result<(), CompileError> {
+        let za = self.zone_of(a)?;
+        let zb = self.zone_of(b)?;
+        let mut best: Option<((usize, usize, i64, u8, usize), ZoneId)> = None;
+        for zone in self.device.zones_in_module(module) {
+            if !zone.level.supports_gates() {
+                continue;
+            }
+            let movers: Vec<ZoneId> = [za, zb].into_iter().filter(|&z| z != zone.id).collect();
+            let incoming = movers.len();
+            let free = self.state.free_slots(self.device, zone.id);
+            let evictions = incoming.saturating_sub(free);
+            let level_cost: u8 = movers
+                .iter()
+                .map(|&z| self.device.zone(z).level.distance(zone.level))
+                .sum();
+            let affinity = self.zone_affinity(a, zone.id) + self.zone_affinity(b, zone.id);
+            let score = (incoming, evictions, -(affinity as i64), level_cost, zone.id.index());
+            if best.map_or(true, |(s, _)| score < s) {
+                best = Some((score, zone.id));
+            }
+        }
+        let target = best
+            .map(|(_, z)| z)
+            .ok_or_else(|| CompileError::PlacementFailed {
+                qubit: a,
+                context: format!("module {module} has no gate-capable zone"),
+            })?;
+        for q in [a, b] {
+            self.move_qubit(q, target, &[a, b])?;
+        }
+        Ok(())
+    }
+
+    /// Moves `q` into an optical zone of its own module (for fiber gates and
+    /// inserted SWAPs). Prefers an optical zone that already holds the qubit,
+    /// then the one with the most free space.
+    fn route_to_optical(&mut self, q: QubitId) -> Result<(), CompileError> {
+        let module = self.module_of(q)?;
+        let current = self.zone_of(q)?;
+        if self.device.zone(current).level.supports_fiber() {
+            return Ok(());
+        }
+        let optical_zones = self.device.zones_in_module_at_level(module, ZoneLevel::Optical);
+        let target = optical_zones
+            .iter()
+            .max_by_key(|z| (self.state.free_slots(self.device, z.id), std::cmp::Reverse(z.id.index())))
+            .map(|z| z.id)
+            .ok_or_else(|| CompileError::PlacementFailed {
+                qubit: q,
+                context: format!("module {module} has no optical zone"),
+            })?;
+        self.move_qubit(q, target, &[q])
+    }
+
+    /// Shuttles `q` to `target`, evicting LRU ions from `target` first if it
+    /// is full. `protected` ions are never chosen as eviction victims.
+    fn move_qubit(
+        &mut self,
+        q: QubitId,
+        target: ZoneId,
+        protected: &[QubitId],
+    ) -> Result<(), CompileError> {
+        if self.zone_of(q)? == target {
+            return Ok(());
+        }
+        self.ensure_space(target, protected)?;
+        let ops = self.state.shuttle(self.device, q, target);
+        self.ops.extend(ops);
+        Ok(())
+    }
+
+    /// Number of gates in the next few DAG layers that pair `q` with a qubit
+    /// currently resident in `zone` (the locality signal used for routing and
+    /// for breaking LRU ties).
+    fn zone_affinity(&self, q: QubitId, zone: ZoneId) -> usize {
+        let mut affinity = 0usize;
+        for layer in self.dag.lookahead_layers(self.options.lookahead_k) {
+            for node in layer {
+                let (x, y) = self.dag.operands(node);
+                let partner = if x == q {
+                    Some(y)
+                } else if y == q {
+                    Some(x)
+                } else {
+                    None
+                };
+                if let Some(p) = partner {
+                    if self.state.zone_of(p) == Some(zone) {
+                        affinity += 1;
+                    }
+                }
+            }
+        }
+        affinity
+    }
+
+    /// How soon `q` is needed again: the index of the first look-ahead layer
+    /// that contains a gate on `q`, or `usize::MAX` if it does not appear in
+    /// the window. Qubits needed furthest in the future are the safest
+    /// eviction victims.
+    fn next_use_distance(&self, q: QubitId) -> usize {
+        for (depth, layer) in self.dag.lookahead_layers(self.options.lookahead_k).into_iter().enumerate() {
+            for node in layer {
+                let (x, y) = self.dag.operands(node);
+                if x == q || y == q {
+                    return depth;
+                }
+            }
+        }
+        usize::MAX
+    }
+
+    /// LRU conflict handling: while `zone` is full, evict its least-recently
+    /// used unprotected ion to the closest lower-level zone with space
+    /// (falling back to any zone of the module with space). Ties in the LRU
+    /// timestamp — in particular qubits that have not been used at all yet —
+    /// are broken in favour of the ion whose next use lies furthest in the
+    /// future, which follows the same locality principle.
+    fn ensure_space(&mut self, zone: ZoneId, protected: &[QubitId]) -> Result<(), CompileError> {
+        while self.state.free_slots(self.device, zone) == 0 {
+            let victim = self
+                .state
+                .chain(zone)
+                .iter()
+                .copied()
+                .filter(|q| !protected.contains(q))
+                .min_by_key(|&q| {
+                    (
+                        self.state.last_use(q),
+                        std::cmp::Reverse(self.next_use_distance(q)),
+                        q.index(),
+                    )
+                })
+                .ok_or_else(|| CompileError::PlacementFailed {
+                    qubit: *protected.first().unwrap_or(&QubitId::new(0)),
+                    context: format!("zone {zone} is full of protected qubits"),
+                })?;
+            let destination = self.eviction_target(zone).ok_or_else(|| {
+                CompileError::PlacementFailed {
+                    qubit: victim,
+                    context: format!(
+                        "no eviction target with free space in module {}",
+                        self.device.zone(zone).module
+                    ),
+                }
+            })?;
+            let ops = self.state.shuttle(self.device, victim, destination);
+            self.ops.extend(ops);
+        }
+        Ok(())
+    }
+
+    /// Chooses where an evicted ion goes: a zone of the same module with free
+    /// space, preferring zones *below* the source level (multi-level
+    /// scheduling sends displaced qubits down the hierarchy, like a page
+    /// fault), then the smallest level distance.
+    fn eviction_target(&self, from: ZoneId) -> Option<ZoneId> {
+        let from_zone = self.device.zone(from);
+        self.device
+            .zones_in_module(from_zone.module)
+            .into_iter()
+            .filter(|z| z.id != from)
+            .filter(|z| self.state.free_slots(self.device, z.id) > 0)
+            .min_by_key(|z| {
+                let below = z.level < from_zone.level;
+                (
+                    if below { 0u8 } else { 1u8 },
+                    from_zone.level.distance(z.level),
+                    z.id.index(),
+                )
+            })
+            .map(|z| z.id)
+    }
+
+    /// Section 3.3: after a fiber gate on `(a, b)`, check whether either
+    /// operand should be logically swapped onto another module.
+    fn try_swap_insertion(&mut self, a: QubitId, b: QubitId) -> Result<(), CompileError> {
+        for q in [a, b] {
+            let home = self.module_of(q)?;
+            let table = {
+                let state = &self.state;
+                let device = self.device;
+                WeightTable::compute(&self.dag, self.options.lookahead_k, |qubit| {
+                    state.module_of(device, qubit)
+                })
+            };
+            // The qubit must no longer be needed on its current module...
+            if table.weight(q, home) > 0 {
+                continue;
+            }
+            // ...and strongly needed on another module.
+            let Some((target_module, _)) = table.best_remote_module(
+                q,
+                home,
+                self.device.num_modules(),
+                self.options.swap_threshold,
+            ) else {
+                continue;
+            };
+            // Find a partner on the target module that is itself no longer
+            // needed there.
+            let Some(partner) = self.swap_partner(target_module, &table, &[a, b]) else {
+                continue;
+            };
+            // Both qubits meet in their optical zones and exchange via three
+            // remote MS gates.
+            self.route_to_optical(q)?;
+            self.route_to_optical(partner)?;
+            let zq = self.zone_of(q)?;
+            let zp = self.zone_of(partner)?;
+            for _ in 0..3 {
+                self.ops.push(ScheduledOp::FiberGate {
+                    a: q,
+                    b: partner,
+                    zone_a: zq.index(),
+                    zone_b: zp.index(),
+                });
+            }
+            self.state.swap_logical(q, partner);
+            self.clock += 1;
+            self.state.touch(q, self.clock);
+            self.state.touch(partner, self.clock);
+            self.inserted_swaps += 1;
+        }
+        Ok(())
+    }
+
+    /// Picks the least-recently-used qubit on `module` whose weight towards
+    /// its own module is zero (it has no near-future work there).
+    fn swap_partner(
+        &self,
+        module: ModuleId,
+        table: &WeightTable,
+        excluded: &[QubitId],
+    ) -> Option<QubitId> {
+        self.device
+            .zones_in_module(module)
+            .into_iter()
+            .flat_map(|z| self.state.chain(z.id).iter().copied())
+            .filter(|q| !excluded.contains(q))
+            .filter(|&q| table.weight(q, module) == 0)
+            .min_by_key(|&q| (self.state.last_use(q), q.index()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::trivial_mapping;
+    use eml_qccd::{DeviceConfig, ScheduleExecutor};
+    use ion_circuit::generators;
+
+    fn schedule_circuit(
+        circuit: &Circuit,
+        options: &MussTiOptions,
+        device: &EmlQccdDevice,
+    ) -> SchedulerOutcome {
+        let mapping = trivial_mapping(device, circuit.num_qubits()).unwrap();
+        schedule(device, options, circuit, &mapping).unwrap()
+    }
+
+    fn count_two_qubit_ops(ops: &[ScheduledOp]) -> usize {
+        ops.iter().filter(|o| o.is_two_qubit()).count()
+    }
+
+    #[test]
+    fn every_two_qubit_gate_is_scheduled() {
+        let device = DeviceConfig::for_qubits(16).build();
+        let circuit = generators::qft(16);
+        let outcome = schedule_circuit(&circuit, &MussTiOptions::trivial(), &device);
+        // Every circuit gate appears; inserted swaps would only add more.
+        assert!(count_two_qubit_ops(&outcome.ops) >= circuit.two_qubit_gate_count());
+        assert_eq!(outcome.inserted_swaps, 0);
+    }
+
+    #[test]
+    fn colocated_chain_needs_no_shuttles() {
+        // 8 qubits all fit in one optical zone: a GHZ chain never shuttles.
+        let device = DeviceConfig::default().with_modules(2).build();
+        let circuit = generators::ghz(8);
+        let outcome = schedule_circuit(&circuit, &MussTiOptions::trivial(), &device);
+        let shuttles = outcome.ops.iter().filter(|o| o.is_shuttle()).count();
+        assert_eq!(shuttles, 0);
+    }
+
+    #[test]
+    fn cross_module_gates_become_fiber_gates() {
+        // Cap each module at 16 ions so 32 qubits straddle two modules
+        // (16 + 16 in the optical zones): the GHZ chain crosses the module
+        // boundary exactly once and that gate becomes a fiber gate.
+        let device = DeviceConfig::default()
+            .with_modules(2)
+            .with_max_qubits_per_module(16)
+            .build();
+        let circuit = generators::ghz(32);
+        let outcome = schedule_circuit(&circuit, &MussTiOptions::trivial(), &device);
+        let fiber = outcome
+            .ops
+            .iter()
+            .filter(|o| matches!(o, ScheduledOp::FiberGate { .. }))
+            .count();
+        assert_eq!(fiber, 1);
+        let shuttles = outcome.ops.iter().filter(|o| o.is_shuttle()).count();
+        assert_eq!(shuttles, 0);
+    }
+
+    #[test]
+    fn zone_boundary_gates_inside_a_module_use_shuttles_not_fiber() {
+        // A single-module device forces all 32 qubits of a GHZ chain into
+        // module 0 (optical + operation zones); the single zone-boundary gate
+        // costs a couple of shuttles and no fiber gate.
+        let device = DeviceConfig::default().with_modules(1).build();
+        let circuit = generators::ghz(32);
+        let outcome = schedule_circuit(&circuit, &MussTiOptions::trivial(), &device);
+        let fiber = outcome
+            .ops
+            .iter()
+            .filter(|o| matches!(o, ScheduledOp::FiberGate { .. }))
+            .count();
+        assert_eq!(fiber, 0);
+        let shuttles = outcome.ops.iter().filter(|o| o.is_shuttle()).count();
+        assert!(shuttles >= 1 && shuttles <= 8, "got {shuttles}");
+    }
+
+    #[test]
+    fn storage_resident_qubits_are_shuttled_in() {
+        // Force qubits into storage by over-filling: 48 qubits on 2 modules
+        // puts 16 in operation zones; gates touching them need shuttles or
+        // zone meetings.
+        let device = DeviceConfig::default().with_modules(2).build();
+        let circuit = generators::qft(48);
+        let outcome = schedule_circuit(&circuit, &MussTiOptions::trivial(), &device);
+        assert!(outcome.ops.iter().any(|o| o.is_shuttle()));
+        let metrics = ScheduleExecutor::paper_defaults().execute(&outcome.ops);
+        assert!(metrics.shuttle_count > 0);
+        assert!(metrics.fiber_gates > 0);
+    }
+
+    #[test]
+    fn final_mapping_covers_every_qubit_exactly_once() {
+        let device = DeviceConfig::for_qubits(32).build();
+        let circuit = generators::sqrt(30);
+        let outcome = schedule_circuit(&circuit, &MussTiOptions::default(), &device);
+        assert_eq!(outcome.final_mapping.len(), 30);
+        let mut qubits: Vec<usize> = outcome.final_mapping.iter().map(|(q, _)| q.index()).collect();
+        qubits.sort_unstable();
+        qubits.dedup();
+        assert_eq!(qubits.len(), 30);
+    }
+
+    #[test]
+    fn zone_capacity_is_never_exceeded_during_scheduling() {
+        let device = DeviceConfig::default().with_modules(2).with_trap_capacity(8).build();
+        let circuit = generators::random_circuit(24, 200, 7);
+        let mapping = trivial_mapping(&device, 24).unwrap();
+        let outcome = schedule(&device, &MussTiOptions::default(), &circuit, &mapping).unwrap();
+
+        // Replay the op stream and track per-zone occupancy.
+        let mut occupancy: std::collections::HashMap<usize, i64> = std::collections::HashMap::new();
+        for &(_, z) in &mapping {
+            *occupancy.entry(z.index()).or_insert(0) += 1;
+        }
+        for op in &outcome.ops {
+            if let ScheduledOp::Shuttle { from_zone, to_zone, .. } = op {
+                *occupancy.entry(*from_zone).or_insert(0) -= 1;
+                *occupancy.entry(*to_zone).or_insert(0) += 1;
+            }
+        }
+        for zone in device.zones() {
+            let count = occupancy.get(&zone.id.index()).copied().unwrap_or(0);
+            assert!(count >= 0, "zone {} went negative", zone.id);
+            assert!(
+                count as usize <= zone.capacity,
+                "zone {} ends over capacity: {count}",
+                zone.id
+            );
+        }
+    }
+
+    #[test]
+    fn swap_insertion_triggers_on_module_hopping_workload() {
+        // A hub qubit on module 0 repeatedly interacts with qubits on module 1:
+        // exactly the Fig. 5 pattern that SWAP insertion targets.
+        let device = DeviceConfig::default()
+            .with_modules(2)
+            .with_max_qubits_per_module(12)
+            .build();
+        // 24 qubits, 12 per module, all in the optical zones. The hub qubit
+        // q0 (module 0) then repeatedly talks to qubits on module 1.
+        let mut circuit = Circuit::new(24);
+        for t in 14..24 {
+            circuit.ms(0, t);
+        }
+        let mapping = trivial_mapping(&device, 24).unwrap();
+        let with_swap = schedule(&device, &MussTiOptions::swap_insert_only(), &circuit, &mapping).unwrap();
+        let without = schedule(&device, &MussTiOptions::trivial(), &circuit, &mapping).unwrap();
+        assert!(with_swap.inserted_swaps >= 1, "expected at least one inserted SWAP");
+        assert_eq!(without.inserted_swaps, 0);
+        // After the swap the remaining hub gates are local, so fewer fiber gates.
+        let fiber = |ops: &[ScheduledOp]| {
+            ops.iter().filter(|o| matches!(o, ScheduledOp::FiberGate { .. })).count()
+        };
+        assert!(fiber(&with_swap.ops) < fiber(&without.ops) + 3, "swap cost must be bounded");
+        let exec = ScheduleExecutor::paper_defaults();
+        let f_with = exec.execute(&with_swap.ops).log_fidelity.ln();
+        let f_without = exec.execute(&without.ops).log_fidelity.ln();
+        assert!(f_with >= f_without, "swap insertion should not hurt this workload");
+    }
+
+    #[test]
+    fn deterministic_for_identical_inputs() {
+        let device = DeviceConfig::for_qubits(30).build();
+        let circuit = generators::sqrt(30);
+        let a = schedule_circuit(&circuit, &MussTiOptions::default(), &device);
+        let b = schedule_circuit(&circuit, &MussTiOptions::default(), &device);
+        assert_eq!(a.ops, b.ops);
+        assert_eq!(a.final_mapping, b.final_mapping);
+    }
+}

@@ -1,0 +1,156 @@
+//! The SWAP-insertion weight table (Section 3.3 of the paper).
+
+use std::collections::HashMap;
+
+use eml_qccd::ModuleId;
+use ion_circuit::{DependencyDag, QubitId};
+
+/// The weight table `W(qᵢ, cⱼ)`: the number of gates within the first `k`
+/// layers of the remaining dependency DAG that involve qubit `qᵢ` together
+/// with a qubit currently located on QCCD module `cⱼ`.
+///
+/// The table is recomputed after each fiber (remote) gate; it is what decides
+/// whether a logical qubit should be swapped onto another module because its
+/// near-future work lives there.
+#[derive(Debug, Clone, Default)]
+pub struct WeightTable {
+    weights: HashMap<(QubitId, ModuleId), usize>,
+}
+
+impl WeightTable {
+    /// Builds the table over the first `k` layers of `dag`'s remaining gates.
+    ///
+    /// `module_of` maps a logical qubit to the module currently holding it;
+    /// qubits that are somehow unplaced are skipped (they cannot attract or
+    /// contribute weight).
+    pub fn compute(
+        dag: &DependencyDag,
+        lookahead_k: usize,
+        module_of: impl Fn(QubitId) -> Option<ModuleId>,
+    ) -> Self {
+        let mut weights: HashMap<(QubitId, ModuleId), usize> = HashMap::new();
+        for layer in dag.lookahead_layers(lookahead_k) {
+            for node in layer {
+                let (a, b) = dag.operands(node);
+                if let Some(module_b) = module_of(b) {
+                    *weights.entry((a, module_b)).or_insert(0) += 1;
+                }
+                if let Some(module_a) = module_of(a) {
+                    *weights.entry((b, module_a)).or_insert(0) += 1;
+                }
+            }
+        }
+        WeightTable { weights }
+    }
+
+    /// `W(q, module)`.
+    pub fn weight(&self, q: QubitId, module: ModuleId) -> usize {
+        self.weights.get(&(q, module)).copied().unwrap_or(0)
+    }
+
+    /// The remote module (≠ `home`) with the largest weight for `q`, provided
+    /// that weight strictly exceeds `threshold`.
+    pub fn best_remote_module(
+        &self,
+        q: QubitId,
+        home: ModuleId,
+        num_modules: usize,
+        threshold: usize,
+    ) -> Option<(ModuleId, usize)> {
+        (0..num_modules)
+            .map(ModuleId)
+            .filter(|&m| m != home)
+            .map(|m| (m, self.weight(q, m)))
+            .filter(|&(_, w)| w > threshold)
+            .max_by_key(|&(m, w)| (w, std::cmp::Reverse(m.index())))
+    }
+
+    /// Number of non-zero entries (useful for tests and diagnostics).
+    pub fn len(&self) -> usize {
+        self.weights.values().filter(|&&w| w > 0).count()
+    }
+
+    /// `true` if the table has no non-zero entry.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ion_circuit::Circuit;
+
+    fn q(i: usize) -> QubitId {
+        QubitId::new(i)
+    }
+
+    /// q0, q1 on module 0; q2, q3 on module 1.
+    fn module_of(qubit: QubitId) -> Option<ModuleId> {
+        Some(ModuleId(if qubit.index() < 2 { 0 } else { 1 }))
+    }
+
+    #[test]
+    fn counts_partner_modules_in_lookahead_window() {
+        let mut c = Circuit::new(4);
+        // q0 interacts with q2 (module 1) three times and q1 (module 0) once.
+        c.cx(0, 2).cx(0, 2).cx(0, 2).cx(0, 1);
+        let dag = DependencyDag::from_circuit(&c);
+        let table = WeightTable::compute(&dag, 8, module_of);
+        assert_eq!(table.weight(q(0), ModuleId(1)), 3);
+        assert_eq!(table.weight(q(0), ModuleId(0)), 1);
+        assert_eq!(table.weight(q(2), ModuleId(0)), 3);
+    }
+
+    #[test]
+    fn lookahead_truncation_limits_weights() {
+        let mut c = Circuit::new(4);
+        for _ in 0..10 {
+            c.cx(0, 2);
+        }
+        let dag = DependencyDag::from_circuit(&c);
+        let table = WeightTable::compute(&dag, 3, module_of);
+        assert_eq!(table.weight(q(0), ModuleId(1)), 3);
+    }
+
+    #[test]
+    fn best_remote_module_requires_threshold_exceeded() {
+        let mut c = Circuit::new(4);
+        c.cx(0, 2).cx(0, 2).cx(0, 2).cx(0, 2).cx(0, 2);
+        let dag = DependencyDag::from_circuit(&c);
+        let table = WeightTable::compute(&dag, 8, module_of);
+        assert_eq!(
+            table.best_remote_module(q(0), ModuleId(0), 2, 4),
+            Some((ModuleId(1), 5))
+        );
+        assert_eq!(table.best_remote_module(q(0), ModuleId(0), 2, 5), None);
+        // The home module is never returned.
+        assert_eq!(table.best_remote_module(q(2), ModuleId(1), 2, 0).map(|(m, _)| m), Some(ModuleId(0)));
+    }
+
+    #[test]
+    fn empty_dag_gives_empty_table() {
+        let c = Circuit::new(2);
+        let dag = DependencyDag::from_circuit(&c);
+        let table = WeightTable::compute(&dag, 8, module_of);
+        assert!(table.is_empty());
+        assert_eq!(table.weight(q(0), ModuleId(0)), 0);
+    }
+
+    #[test]
+    fn unplaced_qubits_are_skipped() {
+        let mut c = Circuit::new(4);
+        c.cx(0, 3);
+        let dag = DependencyDag::from_circuit(&c);
+        let table = WeightTable::compute(&dag, 8, |qubit| {
+            if qubit.index() == 3 {
+                None
+            } else {
+                module_of(qubit)
+            }
+        });
+        // q3 has no module, so q0 gains no weight from it, but q3 still sees q0's module.
+        assert_eq!(table.weight(q(0), ModuleId(1)), 0);
+        assert_eq!(table.weight(q(3), ModuleId(0)), 1);
+    }
+}

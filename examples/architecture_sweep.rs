@@ -1,0 +1,43 @@
+//! Architecture-exploration example: sweep trap capacity and the number of
+//! entanglement (optical) zones for a 256-qubit QAOA workload, the
+//! co-design question Sections 5.3 and 5.8 of the paper study.
+//!
+//! Run with `cargo run --release --example architecture_sweep`.
+
+use muss_ti_repro::prelude::*;
+
+fn main() {
+    let circuit = generators::qaoa(256);
+    println!(
+        "QAOA_256: {} two-qubit gates on a random 3-regular graph\n",
+        circuit.two_qubit_gate_count()
+    );
+
+    println!("{:>9} {:>14} {:>10} {:>12}", "capacity", "optical zones", "shuttles", "log10 F");
+    let mut best: Option<(usize, usize, f64)> = None;
+    for capacity in [12, 14, 16, 18, 20] {
+        for optical_zones in [1, 2] {
+            let device = DeviceConfig::for_qubits(circuit.num_qubits())
+                .with_trap_capacity(capacity)
+                .with_optical_zones(optical_zones)
+                .build();
+            let program = MussTiCompiler::new(device, MussTiOptions::default())
+                .compile(&circuit)
+                .expect("compilation");
+            let m = program.metrics();
+            println!(
+                "{:>9} {:>14} {:>10} {:>12.2}",
+                capacity,
+                optical_zones,
+                m.shuttle_count,
+                m.log10_fidelity()
+            );
+            if best.map_or(true, |(_, _, f)| m.log10_fidelity() > f) {
+                best = Some((capacity, optical_zones, m.log10_fidelity()));
+            }
+        }
+    }
+
+    let (capacity, zones, _) = best.expect("sweep is non-empty");
+    println!("\nRecommended configuration for QAOA_256: capacity {capacity}, {zones} optical zone(s)");
+}

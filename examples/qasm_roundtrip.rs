@@ -1,0 +1,36 @@
+//! Interoperability example: export a benchmark to OpenQASM 2.0, re-import
+//! it (as if it came from QASMBench), and compile the imported circuit.
+//!
+//! Run with `cargo run --release --example qasm_roundtrip`.
+
+use muss_ti_repro::prelude::*;
+
+fn main() {
+    // Export a QFT benchmark the same way QASMBench distributes circuits.
+    let original = generators::qft(32);
+    let qasm_text = qasm::to_qasm(&original);
+    println!("--- first lines of the exported OpenQASM ---");
+    for line in qasm_text.lines().take(8) {
+        println!("{line}");
+    }
+    println!("... ({} lines total)\n", qasm_text.lines().count());
+
+    // Re-import: this is the path an external QASM file would take.
+    let mut imported = qasm::parse(&qasm_text).expect("valid OpenQASM");
+    imported.set_name("QFT_32 (imported)");
+    assert_eq!(imported.two_qubit_gate_count(), original.two_qubit_gate_count());
+
+    let device = DeviceConfig::for_qubits(imported.num_qubits()).build();
+    let program = MussTiCompiler::new(device, MussTiOptions::default())
+        .compile(&imported)
+        .expect("compilation");
+    let m = program.metrics();
+    println!(
+        "compiled {}: {} shuttles, {} fiber gates, {:.0} us, log10 fidelity {:.2}",
+        program.circuit_name(),
+        m.shuttle_count,
+        m.fiber_gates,
+        m.execution_time_us,
+        m.log10_fidelity()
+    );
+}

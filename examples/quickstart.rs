@@ -1,0 +1,51 @@
+//! Quickstart: compile a 32-qubit GHZ circuit with MUSS-TI and with the
+//! Murali baseline, and compare the three headline metrics.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use muss_ti_repro::prelude::*;
+
+fn main() {
+    // 1. Build (or load) a circuit. Generators cover the paper's benchmark
+    //    suite; `qasm::parse` loads OpenQASM 2.0 files instead.
+    let circuit = generators::ghz(32);
+    println!(
+        "circuit {}: {} qubits, {} two-qubit gates",
+        circuit.name(),
+        circuit.num_qubits(),
+        circuit.two_qubit_gate_count()
+    );
+
+    // 2. Describe the EML-QCCD device: one module per 32 qubits, each with an
+    //    optical, an operation and two storage zones of capacity 16.
+    let device = DeviceConfig::for_qubits(circuit.num_qubits()).build();
+    println!(
+        "device: {} modules, {} zones, capacity {}",
+        device.num_modules(),
+        device.zones().len(),
+        device.total_capacity()
+    );
+
+    // 3. Compile with MUSS-TI (SABRE mapping + SWAP insertion by default).
+    let muss_ti = MussTiCompiler::new(device, MussTiOptions::default());
+    let ours = muss_ti.compile(&circuit).expect("MUSS-TI compilation");
+
+    // 4. Compile the same circuit with the Murali-style grid baseline.
+    let baseline = MuraliCompiler::for_qubits(circuit.num_qubits());
+    let theirs = baseline.compile(&circuit).expect("baseline compilation");
+
+    println!("\n{:<22} {:>10} {:>14} {:>12}", "compiler", "shuttles", "time (us)", "log10 F");
+    for program in [&ours, &theirs] {
+        let m = program.metrics();
+        println!(
+            "{:<22} {:>10} {:>14.0} {:>12.3}",
+            program.compiler_name(),
+            m.shuttle_count,
+            m.execution_time_us,
+            m.log10_fidelity()
+        );
+    }
+
+    assert!(ours.metrics().shuttle_count <= theirs.metrics().shuttle_count);
+    println!("\nMUSS-TI uses the optical links instead of shuttling across the grid.");
+}

@@ -1,0 +1,97 @@
+//! End-to-end integration tests spanning every crate in the workspace:
+//! circuit generation → compilation (MUSS-TI and baselines) → execution
+//! metrics, on the paper's small-scale suite.
+
+use muss_ti_repro::prelude::*;
+
+fn compile_muss_ti(circuit: &Circuit) -> CompiledProgram {
+    let device = DeviceConfig::for_qubits(circuit.num_qubits()).build();
+    MussTiCompiler::new(device, MussTiOptions::default())
+        .compile(circuit)
+        .expect("MUSS-TI compiles the benchmark suite")
+}
+
+#[test]
+fn muss_ti_compiles_the_entire_small_suite() {
+    for label in ["Adder_32", "BV_32", "GHZ_32", "QAOA_32", "QFT_32", "SQRT_30"] {
+        let circuit = generators::BenchmarkApp::from_label(label).unwrap().circuit();
+        let program = compile_muss_ti(&circuit);
+        let metrics = program.metrics();
+        assert!(
+            metrics.total_two_qubit_interactions() >= circuit.two_qubit_gate_count(),
+            "{label}: every circuit gate must be realised"
+        );
+        assert!(metrics.execution_time_us > 0.0, "{label}: time must be positive");
+        assert!(metrics.log10_fidelity() <= 0.0, "{label}: fidelity is at most 1");
+        assert_eq!(metrics.measurements, circuit.stats().measurements, "{label}");
+    }
+}
+
+#[test]
+fn muss_ti_beats_every_baseline_on_shuttles_for_small_apps() {
+    for label in ["Adder_32", "GHZ_32", "BV_32", "SQRT_30"] {
+        let circuit = generators::BenchmarkApp::from_label(label).unwrap().circuit();
+        let ours = compile_muss_ti(&circuit).metrics().shuttle_count;
+        let murali = MuraliCompiler::for_qubits(circuit.num_qubits())
+            .compile(&circuit)
+            .unwrap()
+            .metrics()
+            .shuttle_count;
+        let dai = DaiCompiler::for_qubits(circuit.num_qubits())
+            .compile(&circuit)
+            .unwrap()
+            .metrics()
+            .shuttle_count;
+        let mqt = MqtStyleCompiler::for_qubits(circuit.num_qubits())
+            .compile(&circuit)
+            .unwrap()
+            .metrics()
+            .shuttle_count;
+        assert!(ours <= murali, "{label}: ours={ours} murali={murali}");
+        assert!(ours <= dai, "{label}: ours={ours} dai={dai}");
+        assert!(ours <= mqt, "{label}: ours={ours} mqt={mqt}");
+    }
+}
+
+#[test]
+fn muss_ti_scales_to_the_medium_suite() {
+    for label in ["BV_128", "GHZ_128", "QAOA_128"] {
+        let circuit = generators::BenchmarkApp::from_label(label).unwrap().circuit();
+        let program = compile_muss_ti(&circuit);
+        assert!(
+            program.metrics().total_two_qubit_interactions() >= circuit.two_qubit_gate_count(),
+            "{label}"
+        );
+        // Compilation of a medium application stays well under a second.
+        assert!(program.compile_time().as_secs_f64() < 10.0, "{label}");
+    }
+}
+
+#[test]
+fn qasm_import_compiles_identically_to_the_generated_circuit() {
+    let original = generators::ghz(32);
+    let text = qasm::to_qasm(&original);
+    let imported = qasm::parse(&text).unwrap();
+    let a = compile_muss_ti(&original);
+    let b = compile_muss_ti(&imported);
+    assert_eq!(a.metrics().shuttle_count, b.metrics().shuttle_count);
+    assert_eq!(a.metrics().fiber_gates, b.metrics().fiber_gates);
+}
+
+#[test]
+fn grid_and_eml_devices_report_consistent_capacity() {
+    let eml = DeviceConfig::for_qubits(128).build();
+    let grid = GridConfig::for_qubits(128).build();
+    assert!(eml.total_capacity() >= 128);
+    assert!(grid.total_capacity() >= 128);
+}
+
+#[test]
+fn compiled_programs_can_be_reevaluated_under_ideal_models() {
+    let circuit = generators::sqrt(30);
+    let program = compile_muss_ti(&circuit);
+    let ideal = ScheduleExecutor::new(TimingModel::paper_defaults(), FidelityModel::perfect_gates());
+    let reevaluated = program.reevaluate(&ideal);
+    assert_eq!(reevaluated.shuttle_count, program.metrics().shuttle_count);
+    assert!(reevaluated.log10_fidelity() >= program.metrics().log10_fidelity());
+}

@@ -1,0 +1,51 @@
+//! Integration tests checking the qualitative *shape* of the paper's headline
+//! claims on reduced-size workloads (full-size reproductions live in the
+//! `experiments` binaries and benches; these tests keep CI fast).
+
+use experiments::{fig12, fig13, fig7, fig8, table2};
+use ion_circuit::generators::BenchmarkScale;
+
+#[test]
+fn table2_muss_ti_wins_on_shuttles_for_ghz_and_bv() {
+    let result = table2::run_with_apps(&["GHZ_32", "BV_32"]);
+    let reduction = result.average_shuttle_reduction_vs_best_baseline();
+    assert!(reduction > 0.0, "expected a positive shuttle reduction, got {reduction:.1}%");
+}
+
+#[test]
+fn fig6_small_scale_shuttle_reduction_is_large() {
+    let result = experiments::fig6::run_scales(&[BenchmarkScale::Small]);
+    let shuttle = result.shuttle_reduction_per_scale()[0].1;
+    assert!(shuttle > 20.0, "shuttle reduction too small: {shuttle:.1}%");
+    let time = result.time_reduction_per_scale()[0].1;
+    assert!(time > 0.0, "execution-time reduction should be positive: {time:.1}%");
+}
+
+#[test]
+fn fig7_capacity_extremes_do_not_beat_the_middle_by_much() {
+    // The paper finds a fidelity sweet spot at moderate capacities; at minimum
+    // the sweep must run and the best capacity must be inside the swept range.
+    let result = fig7::run_with(&["BV_128", "GHZ_128"], &[12, 16, 20]);
+    for app in ["BV_128", "GHZ_128"] {
+        let best = result.best_capacity(app).unwrap();
+        assert!(fig7::capacities().contains(&best) || [12, 16, 20].contains(&best));
+    }
+}
+
+#[test]
+fn fig8_combined_technique_is_never_worse_than_trivial_on_medium_apps() {
+    let result = fig8::run_with(&["BV_128", "GHZ_128", "QAOA_128"]);
+    assert_eq!(result.combined_wins(), 3, "{result:?}");
+}
+
+#[test]
+fn fig12_two_entanglement_zones_help_at_least_half_the_apps() {
+    let result = fig12::run_with(&["GHZ_256", "QAOA_256"], &[1, 2]);
+    assert!(result.two_zone_wins() >= 1, "{result:?}");
+}
+
+#[test]
+fn fig13_idealisations_dominate_reality() {
+    let result = fig13::run_with(&["BV_128", "QAOA_128"]);
+    assert!(result.idealisations_dominate(), "{result:?}");
+}

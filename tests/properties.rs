@@ -1,0 +1,112 @@
+//! Property-based integration tests (proptest) on the core invariants of the
+//! IR, the schedulers and the fidelity model.
+
+use proptest::prelude::*;
+
+use muss_ti_repro::prelude::*;
+
+/// Strategy: a random circuit description (qubit count, gate pair list).
+fn random_pairs(max_qubits: usize, max_gates: usize) -> impl Strategy<Value = (usize, Vec<(usize, usize)>)> {
+    (4..max_qubits).prop_flat_map(move |n| {
+        let pairs = prop::collection::vec((0..n, 0..n), 1..max_gates);
+        (Just(n), pairs)
+    })
+}
+
+fn build_circuit(n: usize, pairs: &[(usize, usize)]) -> Circuit {
+    let mut c = Circuit::new(n);
+    for &(a, b) in pairs {
+        if a != b {
+            c.ms(a, b);
+        }
+    }
+    c
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The dependency DAG always contains exactly the two-qubit gates and can
+    /// always be drained front-layer-first.
+    #[test]
+    fn dag_drains_completely((n, pairs) in random_pairs(24, 60)) {
+        let circuit = build_circuit(n, &pairs);
+        let mut dag = DependencyDag::from_circuit(&circuit);
+        prop_assert_eq!(dag.len(), circuit.two_qubit_gate_count());
+        let mut executed = 0;
+        while !dag.all_executed() {
+            let front = dag.front_layer();
+            prop_assert!(!front.is_empty());
+            dag.mark_executed(front[0]);
+            executed += 1;
+        }
+        prop_assert_eq!(executed, circuit.two_qubit_gate_count());
+    }
+
+    /// QASM round-trips preserve the two-qubit interaction sequence exactly.
+    #[test]
+    fn qasm_round_trip_preserves_structure((n, pairs) in random_pairs(16, 40)) {
+        let circuit = build_circuit(n, &pairs);
+        let reparsed = qasm::parse(&qasm::to_qasm(&circuit)).unwrap();
+        prop_assert_eq!(reparsed.num_qubits(), circuit.num_qubits());
+        let original: Vec<_> = circuit.two_qubit_gates().map(|g| g.two_qubit_pair().unwrap()).collect();
+        let round: Vec<_> = reparsed.two_qubit_gates().map(|g| g.two_qubit_pair().unwrap()).collect();
+        prop_assert_eq!(original, round);
+    }
+
+    /// MUSS-TI realises every two-qubit gate of an arbitrary circuit, never
+    /// loses a qubit, and produces a non-positive log fidelity.
+    #[test]
+    fn muss_ti_realises_every_gate((n, pairs) in random_pairs(40, 80)) {
+        let circuit = build_circuit(n, &pairs);
+        let device = DeviceConfig::for_qubits(circuit.num_qubits()).build();
+        let program = MussTiCompiler::new(device, MussTiOptions::default())
+            .compile(&circuit)
+            .unwrap();
+        let m = program.metrics();
+        prop_assert!(m.total_two_qubit_interactions() >= circuit.two_qubit_gate_count());
+        prop_assert!(m.log10_fidelity() <= 0.0);
+        prop_assert!(m.execution_time_us >= 0.0);
+    }
+
+    /// The Murali baseline also realises every gate and never reports fiber
+    /// gates (the grid has no optical links).
+    #[test]
+    fn grid_baseline_realises_every_gate((n, pairs) in random_pairs(32, 60)) {
+        let circuit = build_circuit(n, &pairs);
+        let program = MuraliCompiler::for_qubits(circuit.num_qubits())
+            .compile(&circuit)
+            .unwrap();
+        let m = program.metrics();
+        prop_assert_eq!(m.two_qubit_gates + m.swap_gates, circuit.two_qubit_gate_count());
+        prop_assert_eq!(m.fiber_gates, 0);
+    }
+
+    /// Makespan is monotone: appending operations never shortens execution
+    /// time and never increases fidelity.
+    #[test]
+    fn metrics_are_monotone_in_the_op_stream((n, pairs) in random_pairs(24, 50)) {
+        let circuit = build_circuit(n, &pairs);
+        let device = DeviceConfig::for_qubits(circuit.num_qubits()).build();
+        let program = MussTiCompiler::new(device, MussTiOptions::trivial())
+            .compile(&circuit)
+            .unwrap();
+        let executor = ScheduleExecutor::paper_defaults();
+        let ops = program.ops();
+        let half = executor.execute(&ops[..ops.len() / 2]);
+        let full = executor.execute(ops);
+        prop_assert!(full.execution_time_us >= half.execution_time_us);
+        prop_assert!(full.log_fidelity.ln() <= half.log_fidelity.ln());
+    }
+
+    /// The trap-capacity knob never breaks compilation across its Fig. 7 range.
+    #[test]
+    fn any_capacity_in_fig7_range_compiles(capacity in 12usize..=20) {
+        let circuit = generators::qaoa(64);
+        let device = DeviceConfig::for_qubits(64).with_trap_capacity(capacity).build();
+        let program = MussTiCompiler::new(device, MussTiOptions::default())
+            .compile(&circuit)
+            .unwrap();
+        prop_assert!(program.metrics().total_two_qubit_interactions() >= circuit.two_qubit_gate_count());
+    }
+}
