@@ -64,6 +64,8 @@ impl Default for LogFidelity {
     }
 }
 
+// Log-domain representation: multiplying fidelities adds their logs.
+#[allow(clippy::suspicious_arithmetic_impl)]
 impl std::ops::Mul for LogFidelity {
     type Output = LogFidelity;
     fn mul(self, rhs: LogFidelity) -> LogFidelity {
@@ -71,6 +73,7 @@ impl std::ops::Mul for LogFidelity {
     }
 }
 
+#[allow(clippy::suspicious_op_assign_impl)]
 impl std::ops::MulAssign for LogFidelity {
     fn mul_assign(&mut self, rhs: LogFidelity) {
         self.0 += rhs.0;

@@ -1,0 +1,47 @@
+//! Compile-time micro-benchmark binary: times every compiler on the fixed
+//! workload set and writes `BENCH_compile_time.json`.
+//!
+//! ```text
+//! cargo run --release -p experiments --bin bench_compile_time [-- --smoke] [-- --iterations N] [-- --out PATH]
+//! ```
+//!
+//! `--smoke` runs a single iteration per (circuit, compiler) pair — the CI
+//! configuration; the default is 3 iterations.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut iterations = 3usize;
+    let mut out_path = String::from("BENCH_compile_time.json");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => iterations = 1,
+            "--iterations" => {
+                i += 1;
+                iterations = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .expect("--iterations needs a positive integer");
+            }
+            "--out" => {
+                i += 1;
+                out_path = args.get(i).expect("--out needs a path").clone();
+            }
+            other => {
+                eprintln!("unknown argument {other}; supported: --smoke, --iterations N, --out PATH");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    if iterations == 0 {
+        eprintln!("--iterations must be at least 1");
+        std::process::exit(2);
+    }
+
+    let report = experiments::compile_bench::run(iterations);
+    print!("{}", report.render());
+    std::fs::write(&out_path, report.to_json())
+        .unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    println!("wrote {out_path} ({} measurements, {iterations} iteration(s) each)", report.rows.len());
+}

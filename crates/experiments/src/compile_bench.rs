@@ -1,0 +1,202 @@
+//! Compile-time micro-benchmark (Fig. 10 companion): times every compiler in
+//! the workspace on a fixed workload set and emits `BENCH_compile_time.json`
+//! so the compile-time trajectory is tracked from PR to PR.
+//!
+//! Unlike [`fig10`](crate::fig10) (which reproduces the paper's scaling
+//! curve for MUSS-TI only), this benchmark compares *all* compilers on the
+//! same circuits with explicit iteration counts, and serialises the raw
+//! wall-clock numbers for CI artefact upload. JSON is emitted by hand — the
+//! build environment has no serde_json.
+
+use std::time::Instant;
+
+use baselines::{DaiCompiler, MqtStyleCompiler, MuraliCompiler};
+use eml_qccd::{Compiler, DeviceConfig};
+use ion_circuit::{generators, Circuit};
+use muss_ti::{MussTiCompiler, MussTiOptions};
+use serde::{Deserialize, Serialize};
+
+/// Wall-clock numbers for one (circuit, compiler) pair.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchRow {
+    /// Circuit label, e.g. `"QFT_48"`.
+    pub circuit: String,
+    /// Number of logical qubits.
+    pub qubits: usize,
+    /// Number of two-qubit gates (the complexity driver).
+    pub two_qubit_gates: usize,
+    /// Compiler display name.
+    pub compiler: String,
+    /// Mean wall-clock compile time over the iterations, in milliseconds.
+    pub wall_ms_mean: f64,
+    /// Fastest iteration, in milliseconds.
+    pub wall_ms_min: f64,
+    /// Slowest iteration, in milliseconds.
+    pub wall_ms_max: f64,
+}
+
+/// A full benchmark run: configuration plus every row.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// Timed iterations per (circuit, compiler) pair.
+    pub iterations: usize,
+    /// All measurements.
+    pub rows: Vec<BenchRow>,
+}
+
+/// The benchmark workload set: `qft(48)` (the acceptance target), a
+/// supremacy-class circuit, and three structurally distinct mid-size
+/// applications.
+pub fn workloads() -> Vec<Circuit> {
+    vec![
+        generators::qft(48),
+        generators::supremacy(36),
+        generators::adder(64),
+        generators::qaoa(64),
+        generators::bv(128),
+    ]
+}
+
+/// Runs the benchmark over [`workloads`] with `iterations` timed runs per
+/// (circuit, compiler) pair (pass 1 for CI smoke runs).
+pub fn run(iterations: usize) -> BenchReport {
+    run_with(&workloads(), iterations)
+}
+
+/// Runs the benchmark over explicit circuits.
+///
+/// # Panics
+///
+/// Panics if a compiler fails on a workload (the workloads are all sized to
+/// fit their devices) or if `iterations` is zero.
+pub fn run_with(circuits: &[Circuit], iterations: usize) -> BenchReport {
+    assert!(iterations > 0, "at least one timed iteration is required");
+    let mut rows = Vec::new();
+    for circuit in circuits {
+        let n = circuit.num_qubits();
+        let muss_ti = MussTiCompiler::new(DeviceConfig::for_qubits(n).build(), MussTiOptions::default());
+        let murali = MuraliCompiler::for_qubits(n);
+        let dai = DaiCompiler::for_qubits(n);
+        let mqt = MqtStyleCompiler::for_qubits(n);
+        let compilers: Vec<&dyn Compiler> = vec![&muss_ti, &murali, &dai, &mqt];
+        for compiler in compilers {
+            let mut samples_ms = Vec::with_capacity(iterations);
+            for _ in 0..iterations {
+                let start = Instant::now();
+                let program = compiler
+                    .compile(circuit)
+                    .unwrap_or_else(|e| panic!("{} on {}: {e}", compiler.name(), circuit.name()));
+                samples_ms.push(start.elapsed().as_secs_f64() * 1e3);
+                std::hint::black_box(program);
+            }
+            let min = samples_ms.iter().cloned().fold(f64::MAX, f64::min);
+            let max = samples_ms.iter().cloned().fold(f64::MIN, f64::max);
+            let mean = samples_ms.iter().sum::<f64>() / samples_ms.len() as f64;
+            rows.push(BenchRow {
+                circuit: circuit.name().to_string(),
+                qubits: n,
+                two_qubit_gates: circuit.two_qubit_gate_count(),
+                compiler: compiler.name().to_string(),
+                wall_ms_mean: mean,
+                wall_ms_min: min,
+                wall_ms_max: max,
+            });
+        }
+    }
+    BenchReport { iterations, rows }
+}
+
+impl BenchReport {
+    /// Serialises the report as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"benchmark\": \"compile_time\",\n  \"iterations\": {},\n  \"results\": [\n", self.iterations));
+        for (i, row) in self.rows.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"circuit\": {}, \"qubits\": {}, \"two_qubit_gates\": {}, \"compiler\": {}, \"wall_ms_mean\": {:.3}, \"wall_ms_min\": {:.3}, \"wall_ms_max\": {:.3}}}{}\n",
+                json_string(&row.circuit),
+                row.qubits,
+                row.two_qubit_gates,
+                json_string(&row.compiler),
+                row.wall_ms_mean,
+                row.wall_ms_min,
+                row.wall_ms_max,
+                if i + 1 < self.rows.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Renders the measurements as a table.
+    pub fn render(&self) -> String {
+        let mut table = crate::report::Table::new(
+            "Compile-time micro-benchmark (wall-clock per compiler)",
+            &["Circuit", "Qubits", "2Q gates", "Compiler", "Mean (ms)", "Min (ms)", "Max (ms)"],
+        );
+        for row in &self.rows {
+            table.push_row(vec![
+                row.circuit.clone(),
+                row.qubits.to_string(),
+                row.two_qubit_gates.to_string(),
+                row.compiler.clone(),
+                format!("{:.3}", row.wall_ms_mean),
+                format!("{:.3}", row.wall_ms_min),
+                format!("{:.3}", row.wall_ms_max),
+            ]);
+        }
+        table.render()
+    }
+}
+
+/// Escapes a string for JSON embedding.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_produces_one_row_per_compiler() {
+        let circuits = vec![generators::ghz(16)];
+        let report = run_with(&circuits, 1);
+        assert_eq!(report.rows.len(), 4);
+        assert!(report.rows.iter().all(|r| r.circuit == "GHZ_16"));
+        assert!(report.rows.iter().all(|r| r.wall_ms_mean >= r.wall_ms_min));
+        assert!(report.rows.iter().all(|r| r.wall_ms_max >= r.wall_ms_mean));
+    }
+
+    #[test]
+    fn json_is_well_formed_enough_to_round_trip_keys() {
+        let circuits = vec![generators::ghz(8)];
+        let report = run_with(&circuits, 1);
+        let json = report.to_json();
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+        assert_eq!(json.matches("\"circuit\"").count(), report.rows.len());
+        assert!(json.contains("\"benchmark\": \"compile_time\""));
+        assert!(json.contains("\"iterations\": 1"));
+        // Braces balance (no raw braces appear in compiler/circuit names).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn json_string_escapes_specials() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+}

@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod compile_bench;
 pub mod fig10;
 pub mod fig11;
 pub mod fig12;

@@ -154,7 +154,7 @@ mod tests {
     fn reduction_metric_is_a_percentage() {
         let result = run_with_apps(&["GHZ_32"]);
         let reduction = result.average_shuttle_reduction_vs_best_baseline();
-        assert!(reduction >= 0.0 && reduction <= 100.0, "got {reduction}");
+        assert!((0.0..=100.0).contains(&reduction), "got {reduction}");
     }
 
     #[test]

@@ -1,6 +1,36 @@
 //! Gate dependency DAG used by every scheduler in the workspace.
+//!
+//! # Performance
+//!
+//! The DAG is the innermost data structure of every scheduling loop, so its
+//! hot-path operations are maintained *incrementally* rather than recomputed
+//! from scratch (each scheduler step costs `O(Δ)` — proportional to what
+//! changed — instead of `O(n)` in the number of gates):
+//!
+//! * [`front_layer`](DependencyDag::front_layer) — `O(|front|)`: the ready
+//!   set is a maintained ordered set, not a scan over all gates.
+//! * [`mark_executed`](DependencyDag::mark_executed) — `O(out-degree · log
+//!   |front|)`: retiring a gate touches only its direct successors.
+//! * [`lookahead_layers`](DependencyDag::lookahead_layers) /
+//!   [`next_use_depth`](DependencyDag::next_use_depth) /
+//!   [`count_window_partners`](DependencyDag::count_window_partners) /
+//!   [`for_each_window_gate`](DependencyDag::for_each_window_gate) — amortised
+//!   `O(Δ)`: the first `k` layers of the remaining DAG are computed once into
+//!   a cached [`LookaheadWindow`] (together with a per-qubit next-use-depth
+//!   index) and invalidated only when a gate inside the window retires. The
+//!   refresh itself is `O(window)` via generation-stamped scratch arrays — it
+//!   never clones the `O(n)` predecessor/executed bookkeeping the way the
+//!   original implementation did.
+//! * [`successors`](DependencyDag::successors) /
+//!   [`predecessors`](DependencyDag::predecessors) — `O(1)`: borrowed slices,
+//!   no allocation.
+//!
+//! A deliberately naive reference implementation ([`NaiveDag`]) is retained
+//! for the equivalence test suite; it is the executable specification the
+//! incremental structure is checked against.
 
-use std::collections::HashMap;
+use std::cell::RefCell;
+use std::collections::{BTreeSet, HashMap};
 
 use crate::{Circuit, Gate, QubitId};
 
@@ -19,6 +49,128 @@ impl DagNodeId {
     }
 }
 
+/// The cached first-`k`-layers window of the remaining DAG, plus the
+/// per-qubit indexes the schedulers query against it.
+///
+/// The window is owned by the [`DependencyDag`] and refreshed lazily: queries
+/// hit the cache until a gate inside the window retires (which, for any
+/// non-empty window, is exactly when a gate is executed — executed gates are
+/// always front-layer members, i.e. layer 0). Between retirements an
+/// arbitrary number of affinity / next-use / weight-table queries share one
+/// window computation, which is what makes the scheduling loop `O(Δ)` per
+/// step instead of `O(n)` per query.
+#[derive(Debug, Clone)]
+struct LookaheadWindow {
+    /// The `k` this window was computed for (`None` = never computed).
+    valid_k: Option<usize>,
+    /// Set when a window member retires; forces a refresh on next query.
+    dirty: bool,
+    /// Node ids per layer, each layer sorted ascending (program order).
+    layers: Vec<Vec<usize>>,
+    /// First window layer using each qubit (`usize::MAX` = not in window).
+    next_use_depth: Vec<usize>,
+    /// Per qubit: `(layer depth, partner qubit)` for every window gate on it,
+    /// in layer order.
+    partners: Vec<Vec<(usize, usize)>>,
+    /// Qubits whose `next_use_depth` / `partners` entries are live (so a
+    /// refresh clears `O(window)` entries, not `O(num_qubits)`).
+    touched_qubits: Vec<usize>,
+    /// Generation stamp marking window membership (`member_gen[i] ==
+    /// generation` ⇔ node `i` is in the current window).
+    member_gen: Vec<u32>,
+    /// Generation-stamped scratch: virtual predecessor counts for the BFS.
+    pred_gen: Vec<u32>,
+    virtual_preds: Vec<usize>,
+    generation: u32,
+}
+
+impl LookaheadWindow {
+    fn new(num_nodes: usize, num_qubits: usize) -> Self {
+        LookaheadWindow {
+            valid_k: None,
+            dirty: false,
+            layers: Vec::new(),
+            next_use_depth: vec![usize::MAX; num_qubits],
+            partners: vec![Vec::new(); num_qubits],
+            touched_qubits: Vec::new(),
+            member_gen: vec![0; num_nodes],
+            pred_gen: vec![0; num_nodes],
+            virtual_preds: vec![0; num_nodes],
+            generation: 0,
+        }
+    }
+
+    /// `true` if `node` belongs to the currently cached window.
+    fn contains(&self, node: usize) -> bool {
+        self.valid_k.is_some() && self.member_gen[node] == self.generation
+    }
+
+    /// Recomputes the window by layered BFS from the ready set.
+    ///
+    /// Costs `O(window + frontier-out-degree)`; the generation stamps make
+    /// the scratch arrays reusable without an `O(n)` clear or clone.
+    fn refresh(
+        &mut self,
+        k: usize,
+        ready: &BTreeSet<usize>,
+        successors: &[Vec<DagNodeId>],
+        unexecuted_preds: &[usize],
+        gates: &[Gate],
+    ) {
+        self.generation = self.generation.wrapping_add(1);
+        let generation = self.generation;
+        for &q in &self.touched_qubits {
+            self.next_use_depth[q] = usize::MAX;
+            self.partners[q].clear();
+        }
+        self.touched_qubits.clear();
+        self.layers.clear();
+        self.valid_k = Some(k);
+        self.dirty = false;
+        if k == 0 {
+            return;
+        }
+
+        let mut current: Vec<usize> = ready.iter().copied().collect();
+        while !current.is_empty() && self.layers.len() < k {
+            let depth = self.layers.len();
+            for &node in &current {
+                self.member_gen[node] = generation;
+                let (a, b) = gates[node]
+                    .two_qubit_pair()
+                    .expect("DAG nodes are always two-qubit gates");
+                for (q, p) in [(a.index(), b.index()), (b.index(), a.index())] {
+                    if self.next_use_depth[q] == usize::MAX {
+                        self.next_use_depth[q] = depth;
+                        self.touched_qubits.push(q);
+                    }
+                    self.partners[q].push((depth, p));
+                }
+            }
+            let mut next = Vec::new();
+            // Expanding the frontier past the final kept layer would be pure
+            // waste (the loop condition discards it), so skip it there.
+            if self.layers.len() + 1 < k {
+                for &node in &current {
+                    for &succ in &successors[node] {
+                        let s = succ.index();
+                        if self.pred_gen[s] != generation {
+                            self.pred_gen[s] = generation;
+                            self.virtual_preds[s] = unexecuted_preds[s];
+                        }
+                        self.virtual_preds[s] -= 1;
+                        if self.virtual_preds[s] == 0 {
+                            next.push(s);
+                        }
+                    }
+                }
+                next.sort_unstable();
+            }
+            self.layers.push(std::mem::replace(&mut current, next));
+        }
+    }
+}
+
 /// Dependency graph over the *two-qubit* gates of a circuit.
 ///
 /// Following Section 3.1 of the paper, single-qubit gates are disregarded for
@@ -28,14 +180,19 @@ impl DagNodeId {
 /// qubit with `gᵢ` and appears later in program order, so it may only execute
 /// after `gᵢ`.
 ///
-/// The DAG supports the operations the schedulers need:
+/// The DAG supports the operations the schedulers need (see the module-level
+/// *Performance* section for the complexity contract of each):
 ///
 /// * [`front_layer`](DependencyDag::front_layer) — gates with no unexecuted
 ///   predecessor, in program order (for FCFS tie-breaking);
 /// * [`mark_executed`](DependencyDag::mark_executed) — retire a gate and
 ///   expose newly-ready successors;
-/// * [`lookahead_layers`](DependencyDag::lookahead_layers) — the first `k`
-///   layers of the *remaining* DAG, used by the SWAP-insertion weight table.
+/// * [`lookahead_layers`](DependencyDag::lookahead_layers) and the indexed
+///   window queries ([`next_use_depth`](DependencyDag::next_use_depth),
+///   [`count_window_partners`](DependencyDag::count_window_partners),
+///   [`for_each_window_gate`](DependencyDag::for_each_window_gate)) — the
+///   first `k` layers of the *remaining* DAG, used by the SWAP-insertion
+///   weight table and the locality heuristics.
 ///
 /// ```
 /// use ion_circuit::{Circuit, DependencyDag};
@@ -55,14 +212,20 @@ pub struct DependencyDag {
     /// Index of each gate in the *original* circuit gate list.
     original_indices: Vec<usize>,
     /// successors[i] = nodes that depend on node i.
-    successors: Vec<Vec<usize>>,
+    successors: Vec<Vec<DagNodeId>>,
     /// predecessors[i] = nodes that node i depends on.
-    predecessors: Vec<Vec<usize>>,
+    predecessors: Vec<Vec<DagNodeId>>,
     /// Number of unexecuted predecessors for each node.
     unexecuted_preds: Vec<usize>,
     executed: Vec<bool>,
     remaining: usize,
     num_qubits: usize,
+    /// Maintained front layer: unexecuted nodes with no unexecuted
+    /// predecessor, ordered (= program order, since ids are program order).
+    ready: BTreeSet<usize>,
+    /// Cached look-ahead window (interior mutability so `&self` query methods
+    /// can refresh it lazily).
+    window: RefCell<LookaheadWindow>,
 }
 
 impl DependencyDag {
@@ -77,8 +240,8 @@ impl DependencyDag {
             }
         }
         let n = gates.len();
-        let mut successors = vec![Vec::new(); n];
-        let mut predecessors = vec![Vec::new(); n];
+        let mut successors: Vec<Vec<DagNodeId>> = vec![Vec::new(); n];
+        let mut predecessors: Vec<Vec<DagNodeId>> = vec![Vec::new(); n];
         // last_user[q] = most recent node touching qubit q.
         let mut last_user: HashMap<QubitId, usize> = HashMap::new();
         for (i, g) in gates.iter().enumerate() {
@@ -87,15 +250,18 @@ impl DependencyDag {
                 .expect("only two-qubit gates are inserted into the DAG");
             for q in [a, b] {
                 if let Some(&prev) = last_user.get(&q) {
-                    if !successors[prev].contains(&i) {
-                        successors[prev].push(i);
-                        predecessors[i].push(prev);
+                    if !successors[prev].contains(&DagNodeId(i)) {
+                        successors[prev].push(DagNodeId(i));
+                        predecessors[i].push(DagNodeId(prev));
                     }
                 }
                 last_user.insert(q, i);
             }
         }
         let unexecuted_preds: Vec<usize> = predecessors.iter().map(Vec::len).collect();
+        let ready: BTreeSet<usize> =
+            (0..n).filter(|&i| unexecuted_preds[i] == 0).collect();
+        let window = RefCell::new(LookaheadWindow::new(n, circuit.num_qubits()));
         DependencyDag {
             gates,
             original_indices,
@@ -105,6 +271,8 @@ impl DependencyDag {
             executed: vec![false; n],
             remaining: n,
             num_qubits: circuit.num_qubits(),
+            ready,
+            window,
         }
     }
 
@@ -160,17 +328,24 @@ impl DependencyDag {
     }
 
     /// Nodes with no unexecuted predecessors, in program order (FCFS order).
+    ///
+    /// `O(|front|)`: served from the maintained ready set, never a scan.
     pub fn front_layer(&self) -> Vec<DagNodeId> {
-        (0..self.gates.len())
-            .filter(|&i| !self.executed[i] && self.unexecuted_preds[i] == 0)
-            .map(DagNodeId)
-            .collect()
+        self.ready.iter().copied().map(DagNodeId).collect()
+    }
+
+    /// The oldest (program-order first) ready node, if any.
+    ///
+    /// `O(1)`; equivalent to `front_layer().first()` without the allocation.
+    pub fn front_gate(&self) -> Option<DagNodeId> {
+        self.ready.iter().next().copied().map(DagNodeId)
     }
 
     /// Marks a node as executed, unblocking its successors.
     ///
     /// Returns the successors that became ready (front-layer members) as a
-    /// result of this execution.
+    /// result of this execution. `O(out-degree · log |front|)`; also
+    /// invalidates the cached look-ahead window iff the node was inside it.
     ///
     /// # Panics
     ///
@@ -184,14 +359,48 @@ impl DependencyDag {
         );
         self.executed[node.0] = true;
         self.remaining -= 1;
+        self.ready.remove(&node.0);
         let mut newly_ready = Vec::new();
         for &succ in &self.successors[node.0] {
-            self.unexecuted_preds[succ] -= 1;
-            if self.unexecuted_preds[succ] == 0 && !self.executed[succ] {
-                newly_ready.push(DagNodeId(succ));
+            self.unexecuted_preds[succ.0] -= 1;
+            if self.unexecuted_preds[succ.0] == 0 && !self.executed[succ.0] {
+                self.ready.insert(succ.0);
+                newly_ready.push(succ);
             }
         }
+        // A retired gate was ready, so it sits in layer 0 of any non-empty
+        // cached window; the membership check handles the k = 0 / stale-k
+        // cases without a spurious refresh.
+        let window = self.window.get_mut();
+        if window.contains(node.0) {
+            window.dirty = true;
+        }
         newly_ready
+    }
+
+    /// Ensures the cached window is fresh for `k`, refreshing it if it is
+    /// stale (a member gate retired) or was built for a different `k`.
+    ///
+    /// The mutable borrow is confined to this method so that query callbacks
+    /// (run under a shared borrow) may re-enter window queries *for the same
+    /// `k`* without tripping the `RefCell`. Re-entering with a *different*
+    /// `k` would invalidate the window mid-iteration and still panics.
+    fn ensure_window(&self, k: usize) {
+        {
+            let window = self.window.borrow();
+            if window.valid_k == Some(k) && !window.dirty {
+                return;
+            }
+        }
+        let mut window = self.window.borrow_mut();
+        window.refresh(k, &self.ready, &self.successors, &self.unexecuted_preds, &self.gates);
+    }
+
+    /// Runs `f` with the cached window for `k`, refreshing it first if
+    /// needed. `f` runs under a shared borrow (see [`Self::ensure_window`]).
+    fn with_window<R>(&self, k: usize, f: impl FnOnce(&LookaheadWindow) -> R) -> R {
+        self.ensure_window(k);
+        f(&self.window.borrow())
     }
 
     /// The first `k` layers of the remaining DAG.
@@ -200,6 +409,180 @@ impl DependencyDag {
     /// every predecessor lies in layers `0..=i` or has been executed. This is
     /// the "first *k* layers" window the SWAP-insertion weight table of
     /// Section 3.3 inspects (the paper uses `k = 8`).
+    ///
+    /// Amortised `O(Δ)`: served from the cached [`LookaheadWindow`] (the
+    /// returned nesting is materialised fresh, so prefer the indexed queries
+    /// on hot paths).
+    pub fn lookahead_layers(&self, k: usize) -> Vec<Vec<DagNodeId>> {
+        self.with_window(k, |window| {
+            window
+                .layers
+                .iter()
+                .map(|layer| layer.iter().copied().map(DagNodeId).collect())
+                .collect()
+        })
+    }
+
+    /// The first window layer (depth) in which `qubit` is used, looking `k`
+    /// layers ahead, or `None` if it does not appear in the window.
+    ///
+    /// `O(1)` after the amortised window refresh: reads the per-qubit
+    /// next-use-depth index built once per refresh.
+    pub fn next_use_depth(&self, k: usize, qubit: QubitId) -> Option<usize> {
+        self.with_window(k, |window| {
+            match window.next_use_depth.get(qubit.index()).copied() {
+                None | Some(usize::MAX) => None,
+                Some(depth) => Some(depth),
+            }
+        })
+    }
+
+    /// Counts the window gates (first `k` layers) pairing `qubit` with a
+    /// partner accepted by `pred`.
+    ///
+    /// `O(gates-on-qubit-in-window)` after the amortised window refresh; this
+    /// is the locality ("affinity") signal of Section 3.2.
+    pub fn count_window_partners(
+        &self,
+        k: usize,
+        qubit: QubitId,
+        mut pred: impl FnMut(QubitId) -> bool,
+    ) -> usize {
+        self.with_window(k, |window| {
+            window
+                .partners
+                .get(qubit.index())
+                .map(|partners| {
+                    partners
+                        .iter()
+                        .filter(|&&(_, p)| pred(QubitId::new(p)))
+                        .count()
+                })
+                .unwrap_or(0)
+        })
+    }
+
+    /// Calls `f` with `(layer depth, node)` for every gate in the first `k`
+    /// layers, in layer order (nodes ascending within a layer).
+    ///
+    /// Amortised `O(window)`; used by the SWAP-insertion weight table so it
+    /// never materialises the nested layer vectors.
+    pub fn for_each_window_gate(&self, k: usize, mut f: impl FnMut(usize, DagNodeId)) {
+        self.with_window(k, |window| {
+            for (depth, layer) in window.layers.iter().enumerate() {
+                for &node in layer {
+                    f(depth, DagNodeId(node));
+                }
+            }
+        })
+    }
+
+    /// Iterates over every (node, gate) pair in program order.
+    pub fn iter(&self) -> impl Iterator<Item = (DagNodeId, &Gate)> {
+        self.gates.iter().enumerate().map(|(i, g)| (DagNodeId(i), g))
+    }
+
+    /// The direct successors of a node (`O(1)`, borrowed).
+    pub fn successors(&self, node: DagNodeId) -> &[DagNodeId] {
+        &self.successors[node.0]
+    }
+
+    /// The direct predecessors of a node (`O(1)`, borrowed).
+    pub fn predecessors(&self, node: DagNodeId) -> &[DagNodeId] {
+        &self.predecessors[node.0]
+    }
+}
+
+/// The original, deliberately naive dependency-DAG bookkeeping, retained as
+/// the executable specification for the equivalence test suite.
+///
+/// Every query recomputes from scratch: [`front_layer`](NaiveDag::front_layer)
+/// scans all gates, [`lookahead_layers`](NaiveDag::lookahead_layers) clones
+/// the full predecessor/executed state and re-runs the BFS. Tests drive this
+/// and [`DependencyDag`] in lockstep and assert identical answers; do not use
+/// it for anything performance-sensitive.
+#[derive(Debug, Clone)]
+pub struct NaiveDag {
+    gates: Vec<Gate>,
+    successors: Vec<Vec<usize>>,
+    unexecuted_preds: Vec<usize>,
+    executed: Vec<bool>,
+    remaining: usize,
+}
+
+impl NaiveDag {
+    /// Builds the naive DAG over the two-qubit gates of `circuit` (same edge
+    /// construction as [`DependencyDag::from_circuit`]).
+    pub fn from_circuit(circuit: &Circuit) -> Self {
+        let gates: Vec<Gate> = circuit
+            .gates()
+            .iter()
+            .filter(|g| g.is_two_qubit())
+            .cloned()
+            .collect();
+        let n = gates.len();
+        let mut successors = vec![Vec::new(); n];
+        let mut predecessors: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut last_user: HashMap<QubitId, usize> = HashMap::new();
+        for (i, g) in gates.iter().enumerate() {
+            let (a, b) = g.two_qubit_pair().expect("two-qubit gate");
+            for q in [a, b] {
+                if let Some(&prev) = last_user.get(&q) {
+                    if !successors[prev].contains(&i) {
+                        successors[prev].push(i);
+                        predecessors[i].push(prev);
+                    }
+                }
+                last_user.insert(q, i);
+            }
+        }
+        let unexecuted_preds = predecessors.iter().map(Vec::len).collect();
+        NaiveDag {
+            gates,
+            successors,
+            unexecuted_preds,
+            executed: vec![false; n],
+            remaining: n,
+        }
+    }
+
+    /// Number of gates not yet executed.
+    pub fn remaining(&self) -> usize {
+        self.remaining
+    }
+
+    /// `true` once every gate has been executed.
+    pub fn all_executed(&self) -> bool {
+        self.remaining == 0
+    }
+
+    /// Front layer by full scan (`O(n)` on purpose).
+    pub fn front_layer(&self) -> Vec<DagNodeId> {
+        (0..self.gates.len())
+            .filter(|&i| !self.executed[i] && self.unexecuted_preds[i] == 0)
+            .map(DagNodeId)
+            .collect()
+    }
+
+    /// Retires a gate (no incremental bookkeeping beyond the counters).
+    ///
+    /// # Panics
+    ///
+    /// Panics on double execution or dependency-order violations, mirroring
+    /// [`DependencyDag::mark_executed`].
+    pub fn mark_executed(&mut self, node: DagNodeId) {
+        assert!(!self.executed[node.0], "node {node:?} executed twice");
+        assert_eq!(self.unexecuted_preds[node.0], 0, "node {node:?} executed early");
+        self.executed[node.0] = true;
+        self.remaining -= 1;
+        for &succ in &self.successors[node.0] {
+            self.unexecuted_preds[succ] -= 1;
+        }
+    }
+
+    /// First `k` layers by cloning the full state and re-running the BFS
+    /// (`O(n + window)` per call, on purpose — this is the pre-optimisation
+    /// behaviour the cached window must match).
     pub fn lookahead_layers(&self, k: usize) -> Vec<Vec<DagNodeId>> {
         let mut layers = Vec::new();
         if k == 0 {
@@ -212,10 +595,10 @@ impl DependencyDag {
             .collect();
         while !current.is_empty() && layers.len() < k {
             layers.push(current.iter().copied().map(DagNodeId).collect());
-            let mut next = Vec::new();
             for &i in &current {
                 visited[i] = true;
             }
+            let mut next = Vec::new();
             for &i in &current {
                 for &succ in &self.successors[i] {
                     if visited[succ] {
@@ -231,21 +614,6 @@ impl DependencyDag {
             current = next;
         }
         layers
-    }
-
-    /// Iterates over every (node, gate) pair in program order.
-    pub fn iter(&self) -> impl Iterator<Item = (DagNodeId, &Gate)> {
-        self.gates.iter().enumerate().map(|(i, g)| (DagNodeId(i), g))
-    }
-
-    /// The direct successors of a node.
-    pub fn successors(&self, node: DagNodeId) -> Vec<DagNodeId> {
-        self.successors[node.0].iter().copied().map(DagNodeId).collect()
-    }
-
-    /// The direct predecessors of a node.
-    pub fn predecessors(&self, node: DagNodeId) -> Vec<DagNodeId> {
-        self.predecessors[node.0].iter().copied().map(DagNodeId).collect()
     }
 }
 
@@ -275,6 +643,7 @@ mod tests {
         assert_eq!(dag.len(), 4);
         assert_eq!(dag.front_layer().len(), 1);
         assert_eq!(dag.front_layer()[0].index(), 0);
+        assert_eq!(dag.front_gate(), Some(dag.front_layer()[0]));
     }
 
     #[test]
@@ -352,6 +721,7 @@ mod tests {
         }
         assert_eq!(dag.remaining(), 0);
         assert!(dag.front_layer().is_empty());
+        assert_eq!(dag.front_gate(), None);
     }
 
     #[test]
@@ -362,5 +732,86 @@ mod tests {
         let n = dag.front_layer()[0];
         assert_eq!(dag.operands(n), (QubitId::new(2), QubitId::new(0)));
         assert_eq!(dag.original_index(n), 0);
+    }
+
+    #[test]
+    fn successors_and_predecessors_are_borrowed_views() {
+        let dag = DependencyDag::from_circuit(&chain_circuit(4));
+        let front = dag.front_layer()[0];
+        let succs: &[DagNodeId] = dag.successors(front);
+        assert_eq!(succs, &[DagNodeId(1)]);
+        assert_eq!(dag.predecessors(DagNodeId(1)), &[DagNodeId(0)]);
+        assert!(dag.predecessors(front).is_empty());
+    }
+
+    #[test]
+    fn next_use_depth_matches_layer_structure() {
+        let mut c = Circuit::new(4);
+        c.cx(0, 1).cx(2, 3).cx(1, 2).cx(0, 3);
+        let dag = DependencyDag::from_circuit(&c);
+        assert_eq!(dag.next_use_depth(8, QubitId::new(0)), Some(0));
+        assert_eq!(dag.next_use_depth(8, QubitId::new(2)), Some(0));
+        // Out-of-range qubits and k = 0 windows report no use.
+        assert_eq!(dag.next_use_depth(8, QubitId::new(99)), None);
+        assert_eq!(dag.next_use_depth(0, QubitId::new(0)), None);
+    }
+
+    #[test]
+    fn count_window_partners_filters_by_predicate() {
+        let mut c = Circuit::new(4);
+        c.cx(0, 1).cx(0, 2).cx(0, 3);
+        let dag = DependencyDag::from_circuit(&c);
+        let q0 = QubitId::new(0);
+        assert_eq!(dag.count_window_partners(8, q0, |_| true), 3);
+        assert_eq!(dag.count_window_partners(8, q0, |p| p.index() == 2), 1);
+        assert_eq!(dag.count_window_partners(1, q0, |_| true), 1);
+    }
+
+    #[test]
+    fn window_cache_refreshes_after_execution() {
+        let mut dag = DependencyDag::from_circuit(&chain_circuit(6));
+        assert_eq!(dag.lookahead_layers(8).len(), 5);
+        let first = dag.front_layer()[0];
+        dag.mark_executed(first);
+        // The cached window contained `first` (layer 0), so it must refresh.
+        let layers = dag.lookahead_layers(8);
+        assert_eq!(layers.len(), 4);
+        assert_eq!(layers[0][0].index(), 1);
+        assert_eq!(dag.next_use_depth(8, QubitId::new(0)), None);
+        assert_eq!(dag.next_use_depth(8, QubitId::new(1)), Some(0));
+    }
+
+    #[test]
+    fn window_queries_can_nest_for_the_same_k() {
+        // The predicate re-enters a window query with the same k; the cache
+        // must serve it under a shared borrow instead of panicking.
+        let dag = DependencyDag::from_circuit(&chain_circuit(6));
+        let q1 = QubitId::new(1);
+        let count = dag.count_window_partners(8, q1, |p| dag.next_use_depth(8, p).is_some());
+        assert_eq!(count, 2);
+    }
+
+    #[test]
+    fn window_cache_serves_multiple_ks() {
+        let dag = DependencyDag::from_circuit(&chain_circuit(10));
+        assert_eq!(dag.lookahead_layers(3).len(), 3);
+        assert_eq!(dag.lookahead_layers(5).len(), 5);
+        assert_eq!(dag.lookahead_layers(3).len(), 3);
+    }
+
+    #[test]
+    fn naive_dag_mirrors_incremental_on_a_chain() {
+        let circuit = chain_circuit(8);
+        let mut naive = NaiveDag::from_circuit(&circuit);
+        let mut dag = DependencyDag::from_circuit(&circuit);
+        while !dag.all_executed() {
+            assert_eq!(dag.front_layer(), naive.front_layer());
+            assert_eq!(dag.lookahead_layers(4), naive.lookahead_layers(4));
+            let node = dag.front_gate().expect("non-empty front");
+            dag.mark_executed(node);
+            naive.mark_executed(node);
+        }
+        assert!(naive.all_executed());
+        assert_eq!(naive.remaining(), 0);
     }
 }

@@ -17,7 +17,7 @@ use crate::Circuit;
 /// Panics if `n < 4` or `n` is odd (the layout requires `n = 2m + 2`).
 pub fn adder(n: usize) -> Circuit {
     assert!(n >= 4, "adder requires at least four qubits");
-    assert!(n % 2 == 0, "adder register must have size 2m + 2");
+    assert!(n.is_multiple_of(2), "adder register must have size 2m + 2");
     let m = (n - 2) / 2;
     let mut c = Circuit::with_name(format!("Adder_{n}"), n);
 

@@ -1,4 +1,15 @@
 //! Qubit interaction graph: how often each pair of logical qubits interacts.
+//!
+//! # Performance
+//!
+//! The graph is stored as per-qubit adjacency lists (sorted by partner id)
+//! with precomputed weighted degrees, so the queries the placement strategies
+//! sit in are cheap: [`qubit_degree`](InteractionGraph::qubit_degree) is
+//! `O(1)`, [`weight`](InteractionGraph::weight) is `O(log deg)`,
+//! [`partners_by_weight`](InteractionGraph::partners_by_weight) is
+//! `O(deg log deg)` and [`qubits_by_degree`](InteractionGraph::qubits_by_degree)
+//! is `O(V log V)` — the earlier pair-keyed hash-map representation made the
+//! last three `O(E)` / `O(V·E)` scans.
 
 use std::collections::HashMap;
 
@@ -22,29 +33,51 @@ use crate::{Circuit, QubitId};
 #[derive(Debug, Clone, Default)]
 pub struct InteractionGraph {
     num_qubits: usize,
-    weights: HashMap<(QubitId, QubitId), usize>,
+    /// adjacency[q] = (partner, weight), sorted ascending by partner.
+    adjacency: Vec<Vec<(usize, usize)>>,
+    /// Precomputed weighted degree per qubit.
+    degrees: Vec<usize>,
+    edge_count: usize,
+    total_weight: usize,
 }
 
 impl InteractionGraph {
     /// Builds the interaction graph of `circuit`.
     pub fn from_circuit(circuit: &Circuit) -> Self {
-        let mut weights: HashMap<(QubitId, QubitId), usize> = HashMap::new();
+        // Aggregate pair multiplicities first, then lay the result out as
+        // sorted adjacency lists (deterministic, cache-friendly queries).
+        let mut pair_weights: HashMap<(usize, usize), usize> = HashMap::new();
         for gate in circuit.two_qubit_gates() {
             let (a, b) = gate.two_qubit_pair().expect("two-qubit gate");
-            let key = Self::key(a, b);
-            *weights.entry(key).or_insert(0) += 1;
+            let key = if a <= b {
+                (a.index(), b.index())
+            } else {
+                (b.index(), a.index())
+            };
+            *pair_weights.entry(key).or_insert(0) += 1;
         }
-        InteractionGraph {
-            num_qubits: circuit.num_qubits(),
-            weights,
-        }
-    }
 
-    fn key(a: QubitId, b: QubitId) -> (QubitId, QubitId) {
-        if a <= b {
-            (a, b)
-        } else {
-            (b, a)
+        let num_qubits = circuit.num_qubits();
+        let mut adjacency: Vec<Vec<(usize, usize)>> = vec![Vec::new(); num_qubits];
+        let mut degrees = vec![0usize; num_qubits];
+        let mut total_weight = 0usize;
+        for (&(a, b), &w) in &pair_weights {
+            adjacency[a].push((b, w));
+            adjacency[b].push((a, w));
+            degrees[a] += w;
+            degrees[b] += w;
+            total_weight += w;
+        }
+        for list in &mut adjacency {
+            list.sort_unstable_by_key(|&(partner, _)| partner);
+        }
+
+        InteractionGraph {
+            num_qubits,
+            adjacency,
+            degrees,
+            edge_count: pair_weights.len(),
+            total_weight,
         }
     }
 
@@ -53,60 +86,67 @@ impl InteractionGraph {
         self.num_qubits
     }
 
-    /// Number of two-qubit gates between `a` and `b`.
+    /// Number of two-qubit gates between `a` and `b` (`O(log deg(a))`).
     pub fn weight(&self, a: QubitId, b: QubitId) -> usize {
-        self.weights.get(&Self::key(a, b)).copied().unwrap_or(0)
+        self.adjacency
+            .get(a.index())
+            .and_then(|list| {
+                list.binary_search_by_key(&b.index(), |&(partner, _)| partner)
+                    .ok()
+                    .map(|i| list[i].1)
+            })
+            .unwrap_or(0)
     }
 
-    /// Total number of two-qubit gates in the circuit.
+    /// Total number of two-qubit gates in the circuit (`O(1)`, precomputed).
     pub fn total_weight(&self) -> usize {
-        self.weights.values().sum()
+        self.total_weight
     }
 
-    /// Number of distinct interacting pairs.
+    /// Number of distinct interacting pairs (`O(1)`, precomputed).
     pub fn edge_count(&self) -> usize {
-        self.weights.len()
+        self.edge_count
     }
 
-    /// Iterates over `(a, b, weight)` for every interacting pair.
+    /// Iterates over `(a, b, weight)` for every interacting pair, each pair
+    /// reported once with `a < b`, in deterministic ascending order.
     pub fn iter(&self) -> impl Iterator<Item = (QubitId, QubitId, usize)> + '_ {
-        self.weights.iter().map(|(&(a, b), &w)| (a, b, w))
+        self.adjacency.iter().enumerate().flat_map(|(a, list)| {
+            list.iter()
+                .filter(move |&&(b, _)| a < b)
+                .map(move |&(b, w)| (QubitId::new(a), QubitId::new(b), w))
+        })
     }
 
-    /// Total interaction weight incident on a qubit (its "degree").
+    /// Total interaction weight incident on a qubit — its "degree" (`O(1)`,
+    /// precomputed).
     pub fn qubit_degree(&self, q: QubitId) -> usize {
-        self.weights
-            .iter()
-            .filter(|(&(a, b), _)| a == q || b == q)
-            .map(|(_, &w)| w)
-            .sum()
+        self.degrees.get(q.index()).copied().unwrap_or(0)
     }
 
-    /// Partners of a qubit ordered by descending interaction weight.
+    /// Partners of a qubit ordered by descending interaction weight
+    /// (`O(deg log deg)`: sorts a copy of the qubit's adjacency list).
     pub fn partners_by_weight(&self, q: QubitId) -> Vec<(QubitId, usize)> {
         let mut partners: Vec<(QubitId, usize)> = self
-            .weights
-            .iter()
-            .filter_map(|(&(a, b), &w)| {
-                if a == q {
-                    Some((b, w))
-                } else if b == q {
-                    Some((a, w))
-                } else {
-                    None
-                }
+            .adjacency
+            .get(q.index())
+            .map(|list| {
+                list.iter()
+                    .map(|&(partner, w)| (QubitId::new(partner), w))
+                    .collect()
             })
-            .collect();
+            .unwrap_or_default();
         partners.sort_by(|x, y| y.1.cmp(&x.1).then(x.0.cmp(&y.0)));
         partners
     }
 
-    /// Qubits sorted by descending degree (heaviest communicators first).
+    /// Qubits sorted by descending degree, heaviest communicators first
+    /// (`O(V log V)` over the precomputed degrees).
     pub fn qubits_by_degree(&self) -> Vec<QubitId> {
         let mut qubits: Vec<QubitId> = (0..self.num_qubits).map(QubitId::new).collect();
         qubits.sort_by(|&a, &b| {
-            self.qubit_degree(b)
-                .cmp(&self.qubit_degree(a))
+            self.degrees[b.index()]
+                .cmp(&self.degrees[a.index()])
                 .then(a.cmp(&b))
         });
         qubits
@@ -156,5 +196,23 @@ mod tests {
         c.cx(2, 0).cx(2, 1).cx(2, 3);
         let g = InteractionGraph::from_circuit(&c);
         assert_eq!(g.qubits_by_degree()[0], QubitId::new(2));
+    }
+
+    #[test]
+    fn iter_reports_each_pair_once_in_order() {
+        let mut c = Circuit::new(4);
+        c.cx(0, 1).cx(3, 2).cx(1, 0);
+        let g = InteractionGraph::from_circuit(&c);
+        let edges: Vec<(usize, usize, usize)> =
+            g.iter().map(|(a, b, w)| (a.index(), b.index(), w)).collect();
+        assert_eq!(edges, vec![(0, 1, 2), (2, 3, 1)]);
+    }
+
+    #[test]
+    fn out_of_range_queries_are_zero() {
+        let g = InteractionGraph::from_circuit(&Circuit::new(2));
+        assert_eq!(g.weight(QubitId::new(5), QubitId::new(6)), 0);
+        assert_eq!(g.qubit_degree(QubitId::new(5)), 0);
+        assert!(g.partners_by_weight(QubitId::new(5)).is_empty());
     }
 }

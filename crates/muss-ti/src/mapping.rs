@@ -203,7 +203,7 @@ mod tests {
         // (A symmetric circuit such as QFT can legitimately retrace its own
         // movements and return to the trivial placement.)
         let device = DeviceConfig::default().with_modules(2).build();
-        let circuit = generators::random_circuit(48, 200, 11);
+        let circuit = generators::random_circuit(48, 200, 13);
         let options = MussTiOptions { initial_mapping: InitialMappingStrategy::Sabre, ..Default::default() };
         let sabre = initial_mapping(&device, &options, &circuit).unwrap();
         let trivial = trivial_mapping(&device, 48).unwrap();

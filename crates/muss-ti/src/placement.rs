@@ -200,7 +200,7 @@ impl PlacementState {
         let mut zones: Vec<ZoneId> = device
             .zones_in_module(module)
             .into_iter()
-            .filter(|z| min_level.map_or(true, |lvl| z.level >= lvl))
+            .filter(|z| min_level.is_none_or(|lvl| z.level >= lvl))
             .filter(|z| self.free_slots(device, z.id) > 0)
             .map(|z| z.id)
             .collect();

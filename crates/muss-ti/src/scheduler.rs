@@ -191,7 +191,10 @@ impl Scheduler<'_> {
     ) -> Result<(), CompileError> {
         let za = self.zone_of(a)?;
         let zb = self.zone_of(b)?;
-        let mut best: Option<((usize, usize, i64, u8, usize), ZoneId)> = None;
+        // (incoming shuttles, evictions, -affinity, level distance, zone id):
+        // lexicographically smaller is better.
+        type ZoneScore = (usize, usize, i64, u8, usize);
+        let mut best: Option<(ZoneScore, ZoneId)> = None;
         for zone in self.device.zones_in_module(module) {
             if !zone.level.supports_gates() {
                 continue;
@@ -206,7 +209,7 @@ impl Scheduler<'_> {
                 .sum();
             let affinity = self.zone_affinity(a, zone.id) + self.zone_affinity(b, zone.id);
             let score = (incoming, evictions, -(affinity as i64), level_cost, zone.id.index());
-            if best.map_or(true, |(s, _)| score < s) {
+            if best.is_none_or(|(s, _)| score < s) {
                 best = Some((score, zone.id));
             }
         }
@@ -263,42 +266,27 @@ impl Scheduler<'_> {
     /// Number of gates in the next few DAG layers that pair `q` with a qubit
     /// currently resident in `zone` (the locality signal used for routing and
     /// for breaking LRU ties).
+    ///
+    /// `O(gates-on-q-in-window)` per call: the partner pairs come from the
+    /// DAG's cached look-ahead window, refreshed at most once per retired
+    /// gate instead of rebuilt per candidate zone.
     fn zone_affinity(&self, q: QubitId, zone: ZoneId) -> usize {
-        let mut affinity = 0usize;
-        for layer in self.dag.lookahead_layers(self.options.lookahead_k) {
-            for node in layer {
-                let (x, y) = self.dag.operands(node);
-                let partner = if x == q {
-                    Some(y)
-                } else if y == q {
-                    Some(x)
-                } else {
-                    None
-                };
-                if let Some(p) = partner {
-                    if self.state.zone_of(p) == Some(zone) {
-                        affinity += 1;
-                    }
-                }
-            }
-        }
-        affinity
+        let state = &self.state;
+        self.dag
+            .count_window_partners(self.options.lookahead_k, q, |p| state.zone_of(p) == Some(zone))
     }
 
     /// How soon `q` is needed again: the index of the first look-ahead layer
     /// that contains a gate on `q`, or `usize::MAX` if it does not appear in
     /// the window. Qubits needed furthest in the future are the safest
     /// eviction victims.
+    ///
+    /// `O(1)` per call via the cached window's per-qubit next-use-depth
+    /// index (built once per window refresh).
     fn next_use_distance(&self, q: QubitId) -> usize {
-        for (depth, layer) in self.dag.lookahead_layers(self.options.lookahead_k).into_iter().enumerate() {
-            for node in layer {
-                let (x, y) = self.dag.operands(node);
-                if x == q || y == q {
-                    return depth;
-                }
-            }
-        }
-        usize::MAX
+        self.dag
+            .next_use_depth(self.options.lookahead_k, q)
+            .unwrap_or(usize::MAX)
     }
 
     /// LRU conflict handling: while `zone` is full, evict its least-recently
@@ -363,18 +351,28 @@ impl Scheduler<'_> {
             .map(|z| z.id)
     }
 
+    /// Builds the Section 3.3 weight table from the current placement over
+    /// the DAG's cached look-ahead window.
+    fn weight_table(&self) -> WeightTable {
+        let state = &self.state;
+        let device = self.device;
+        WeightTable::compute(
+            &self.dag,
+            self.options.lookahead_k,
+            device.num_modules(),
+            |qubit| state.module_of(device, qubit),
+        )
+    }
+
     /// Section 3.3: after a fiber gate on `(a, b)`, check whether either
     /// operand should be logically swapped onto another module.
     fn try_swap_insertion(&mut self, a: QubitId, b: QubitId) -> Result<(), CompileError> {
+        // One table serves both operands; it only goes stale if an inserted
+        // SWAP actually changes qubit→module assignments, in which case it is
+        // re-derived at the end of the loop body below.
+        let mut table = self.weight_table();
         for q in [a, b] {
             let home = self.module_of(q)?;
-            let table = {
-                let state = &self.state;
-                let device = self.device;
-                WeightTable::compute(&self.dag, self.options.lookahead_k, |qubit| {
-                    state.module_of(device, qubit)
-                })
-            };
             // The qubit must no longer be needed on its current module...
             if table.weight(q, home) > 0 {
                 continue;
@@ -412,6 +410,11 @@ impl Scheduler<'_> {
             self.state.touch(q, self.clock);
             self.state.touch(partner, self.clock);
             self.inserted_swaps += 1;
+            // The swap moved two qubits across modules, so the remaining
+            // operand (if any) must decide against fresh weights.
+            if q == a {
+                table = self.weight_table();
+            }
         }
         Ok(())
     }
@@ -510,7 +513,7 @@ mod tests {
             .count();
         assert_eq!(fiber, 0);
         let shuttles = outcome.ops.iter().filter(|o| o.is_shuttle()).count();
-        assert!(shuttles >= 1 && shuttles <= 8, "got {shuttles}");
+        assert!((1..=8).contains(&shuttles), "got {shuttles}");
     }
 
     #[test]

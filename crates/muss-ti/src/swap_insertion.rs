@@ -1,7 +1,5 @@
 //! The SWAP-insertion weight table (Section 3.3 of the paper).
 
-use std::collections::HashMap;
-
 use eml_qccd::ModuleId;
 use ion_circuit::{DependencyDag, QubitId};
 
@@ -9,12 +7,25 @@ use ion_circuit::{DependencyDag, QubitId};
 /// layers of the remaining dependency DAG that involve qubit `qᵢ` together
 /// with a qubit currently located on QCCD module `cⱼ`.
 ///
-/// The table is recomputed after each fiber (remote) gate; it is what decides
-/// whether a logical qubit should be swapped onto another module because its
-/// near-future work lives there.
+/// The table is recomputed after each fiber (remote) gate — and re-derived
+/// mid-decision only when an inserted SWAP actually changes qubit→module
+/// assignments; it is what decides whether a logical qubit should be swapped
+/// onto another module because its near-future work lives there.
+///
+/// # Performance
+///
+/// Storage is a flat `Vec<usize>` indexed by `qubit * num_modules + module`
+/// (no hashing on the hot path); [`weight`](WeightTable::weight) is `O(1)`
+/// and [`len`](WeightTable::len) / [`is_empty`](WeightTable::is_empty) read a
+/// maintained non-zero-entry counter in `O(1)`. [`compute`](WeightTable::compute)
+/// walks the DAG's cached look-ahead window once (amortised `O(window)`).
 #[derive(Debug, Clone, Default)]
 pub struct WeightTable {
-    weights: HashMap<(QubitId, ModuleId), usize>,
+    /// `weights[qubit * num_modules + module]`.
+    weights: Vec<usize>,
+    num_modules: usize,
+    /// Number of non-zero entries, maintained at build time.
+    nonzero: usize,
 }
 
 impl WeightTable {
@@ -26,26 +37,55 @@ impl WeightTable {
     pub fn compute(
         dag: &DependencyDag,
         lookahead_k: usize,
+        num_modules: usize,
         module_of: impl Fn(QubitId) -> Option<ModuleId>,
     ) -> Self {
-        let mut weights: HashMap<(QubitId, ModuleId), usize> = HashMap::new();
-        for layer in dag.lookahead_layers(lookahead_k) {
-            for node in layer {
-                let (a, b) = dag.operands(node);
-                if let Some(module_b) = module_of(b) {
-                    *weights.entry((a, module_b)).or_insert(0) += 1;
-                }
-                if let Some(module_a) = module_of(a) {
-                    *weights.entry((b, module_a)).or_insert(0) += 1;
-                }
+        let mut table = WeightTable {
+            weights: vec![0; dag.num_qubits() * num_modules],
+            num_modules,
+            nonzero: 0,
+        };
+        dag.for_each_window_gate(lookahead_k, |_, node| {
+            let (a, b) = dag.operands(node);
+            if let Some(module_b) = module_of(b) {
+                table.bump(a, module_b);
             }
-        }
-        WeightTable { weights }
+            if let Some(module_a) = module_of(a) {
+                table.bump(b, module_a);
+            }
+        });
+        table
     }
 
-    /// `W(q, module)`.
+    fn bump(&mut self, q: QubitId, module: ModuleId) {
+        debug_assert!(
+            module.index() < self.num_modules,
+            "module {module:?} out of range for a {}-module table",
+            self.num_modules
+        );
+        if module.index() >= self.num_modules {
+            // Mirror `weight`'s guard: indexing with an out-of-range module
+            // would alias into another qubit's row of the flat layout.
+            return;
+        }
+        let slot = &mut self.weights[q.index() * self.num_modules + module.index()];
+        if *slot == 0 {
+            self.nonzero += 1;
+        }
+        *slot += 1;
+    }
+
+    /// `W(q, module)` (`O(1)` flat-array read).
     pub fn weight(&self, q: QubitId, module: ModuleId) -> usize {
-        self.weights.get(&(q, module)).copied().unwrap_or(0)
+        if module.index() >= self.num_modules {
+            // Without this guard an out-of-range module would alias into
+            // another qubit's row of the flat layout.
+            return 0;
+        }
+        self.weights
+            .get(q.index() * self.num_modules + module.index())
+            .copied()
+            .unwrap_or(0)
     }
 
     /// The remote module (≠ `home`) with the largest weight for `q`, provided
@@ -65,14 +105,14 @@ impl WeightTable {
             .max_by_key(|&(m, w)| (w, std::cmp::Reverse(m.index())))
     }
 
-    /// Number of non-zero entries (useful for tests and diagnostics).
+    /// Number of non-zero entries (`O(1)`, maintained counter).
     pub fn len(&self) -> usize {
-        self.weights.values().filter(|&&w| w > 0).count()
+        self.nonzero
     }
 
-    /// `true` if the table has no non-zero entry.
+    /// `true` if the table has no non-zero entry (`O(1)`).
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.nonzero == 0
     }
 }
 
@@ -96,7 +136,7 @@ mod tests {
         // q0 interacts with q2 (module 1) three times and q1 (module 0) once.
         c.cx(0, 2).cx(0, 2).cx(0, 2).cx(0, 1);
         let dag = DependencyDag::from_circuit(&c);
-        let table = WeightTable::compute(&dag, 8, module_of);
+        let table = WeightTable::compute(&dag, 8, 2, module_of);
         assert_eq!(table.weight(q(0), ModuleId(1)), 3);
         assert_eq!(table.weight(q(0), ModuleId(0)), 1);
         assert_eq!(table.weight(q(2), ModuleId(0)), 3);
@@ -109,7 +149,7 @@ mod tests {
             c.cx(0, 2);
         }
         let dag = DependencyDag::from_circuit(&c);
-        let table = WeightTable::compute(&dag, 3, module_of);
+        let table = WeightTable::compute(&dag, 3, 2, module_of);
         assert_eq!(table.weight(q(0), ModuleId(1)), 3);
     }
 
@@ -118,7 +158,7 @@ mod tests {
         let mut c = Circuit::new(4);
         c.cx(0, 2).cx(0, 2).cx(0, 2).cx(0, 2).cx(0, 2);
         let dag = DependencyDag::from_circuit(&c);
-        let table = WeightTable::compute(&dag, 8, module_of);
+        let table = WeightTable::compute(&dag, 8, 2, module_of);
         assert_eq!(
             table.best_remote_module(q(0), ModuleId(0), 2, 4),
             Some((ModuleId(1), 5))
@@ -132,8 +172,9 @@ mod tests {
     fn empty_dag_gives_empty_table() {
         let c = Circuit::new(2);
         let dag = DependencyDag::from_circuit(&c);
-        let table = WeightTable::compute(&dag, 8, module_of);
+        let table = WeightTable::compute(&dag, 8, 2, module_of);
         assert!(table.is_empty());
+        assert_eq!(table.len(), 0);
         assert_eq!(table.weight(q(0), ModuleId(0)), 0);
     }
 
@@ -142,7 +183,7 @@ mod tests {
         let mut c = Circuit::new(4);
         c.cx(0, 3);
         let dag = DependencyDag::from_circuit(&c);
-        let table = WeightTable::compute(&dag, 8, |qubit| {
+        let table = WeightTable::compute(&dag, 8, 2, |qubit| {
             if qubit.index() == 3 {
                 None
             } else {
@@ -152,5 +193,29 @@ mod tests {
         // q3 has no module, so q0 gains no weight from it, but q3 still sees q0's module.
         assert_eq!(table.weight(q(0), ModuleId(1)), 0);
         assert_eq!(table.weight(q(3), ModuleId(0)), 1);
+    }
+
+    #[test]
+    fn len_counts_nonzero_entries_in_constant_time() {
+        let mut c = Circuit::new(4);
+        c.cx(0, 2).cx(0, 2).cx(1, 3);
+        let dag = DependencyDag::from_circuit(&c);
+        let table = WeightTable::compute(&dag, 8, 2, module_of);
+        // Entries: (q0,m1)=2, (q2,m0)=2, (q1,m1)=1, (q3,m0)=1 — four non-zero.
+        assert_eq!(table.len(), 4);
+        assert!(!table.is_empty());
+        // A default table behaves like the empty table.
+        assert!(WeightTable::default().is_empty());
+        assert_eq!(WeightTable::default().weight(q(0), ModuleId(0)), 0);
+    }
+
+    #[test]
+    fn out_of_range_modules_read_zero() {
+        let mut c = Circuit::new(2);
+        c.cx(0, 1);
+        let dag = DependencyDag::from_circuit(&c);
+        let table = WeightTable::compute(&dag, 8, 2, module_of);
+        assert_eq!(table.weight(q(0), ModuleId(7)), 0);
+        assert_eq!(table.weight(q(17), ModuleId(0)), 0);
     }
 }

@@ -1,0 +1,14 @@
+//! Offline shim for `serde`: marker traits plus the no-op derive macros.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its data types so that
+//! swapping in the real serde later is a manifest-only change, but nothing in
+//! the workspace serialises through serde at runtime (JSON artefacts are
+//! written by hand), so marker traits are sufficient here.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

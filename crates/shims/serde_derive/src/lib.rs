@@ -1,0 +1,17 @@
+//! Offline shim for `serde_derive`: the derives are accepted (including
+//! `#[serde(...)]` helper attributes) and expand to nothing. The workspace
+//! only uses the derives as markers; no code path serialises through serde.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

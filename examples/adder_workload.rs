@@ -40,7 +40,7 @@ fn main() {
             m.execution_time_us,
             m.log10_fidelity()
         );
-        if best.map_or(true, |(_, f)| m.log10_fidelity() > f) {
+        if best.is_none_or(|(_, f)| m.log10_fidelity() > f) {
             best = Some((name, m.log10_fidelity()));
         }
     }

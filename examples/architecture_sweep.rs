@@ -32,7 +32,7 @@ fn main() {
                 m.shuttle_count,
                 m.log10_fidelity()
             );
-            if best.map_or(true, |(_, _, f)| m.log10_fidelity() > f) {
+            if best.is_none_or(|(_, _, f)| m.log10_fidelity() > f) {
                 best = Some((capacity, optical_zones, m.log10_fidelity()));
             }
         }

@@ -1,0 +1,129 @@
+//! Determinism suite: every compiler must emit *byte-identical*
+//! `ScheduledOp` streams across repeated runs on the full generator suite.
+//! This is what lets the incremental scheduler core claim equivalence with
+//! the pre-optimisation behaviour — any hidden iteration-order dependence
+//! (hash maps on the hot path, cache-refresh ordering) shows up here.
+
+use muss_ti_repro::prelude::*;
+
+/// One small circuit per generator family, plus seeded random circuits.
+fn suite() -> Vec<Circuit> {
+    vec![
+        generators::qft(24),
+        generators::ghz(32),
+        generators::qaoa(24),
+        generators::adder(24),
+        generators::bv(32),
+        generators::sqrt(22),
+        generators::supremacy(25),
+        generators::random_circuit(24, 150, 5),
+        generators::random_circuit(32, 200, 17),
+    ]
+}
+
+/// Serialises an op stream to bytes via its exhaustive `Debug` rendering.
+fn op_bytes(ops: &[eml_qccd::ScheduledOp]) -> Vec<u8> {
+    format!("{ops:?}").into_bytes()
+}
+
+#[test]
+fn muss_ti_op_streams_are_byte_identical_across_runs() {
+    for circuit in suite() {
+        for options in [MussTiOptions::default(), MussTiOptions::trivial(), MussTiOptions::swap_insert_only()] {
+            let compile = || {
+                let device = DeviceConfig::for_qubits(circuit.num_qubits()).build();
+                MussTiCompiler::new(device, options)
+                    .compile(&circuit)
+                    .unwrap_or_else(|e| panic!("{}: {e}", circuit.name()))
+            };
+            let first = compile();
+            let second = compile();
+            assert_eq!(
+                op_bytes(first.ops()),
+                op_bytes(second.ops()),
+                "MUSS-TI op stream not deterministic on {} ({options:?})",
+                circuit.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn baseline_op_streams_are_byte_identical_across_runs() {
+    fn assert_reproducible(name: &str, circuit: &Circuit, run: impl Fn() -> CompiledProgram) {
+        let first = run();
+        let second = run();
+        assert_eq!(
+            op_bytes(first.ops()),
+            op_bytes(second.ops()),
+            "{name} op stream not deterministic on {}",
+            circuit.name()
+        );
+    }
+
+    for circuit in suite() {
+        let n = circuit.num_qubits();
+        assert_reproducible("murali", &circuit, || {
+            MuraliCompiler::for_qubits(n).compile(&circuit).unwrap()
+        });
+        assert_reproducible("dai", &circuit, || {
+            DaiCompiler::for_qubits(n).compile(&circuit).unwrap()
+        });
+        assert_reproducible("mqt", &circuit, || {
+            MqtStyleCompiler::for_qubits(n).compile(&circuit).unwrap()
+        });
+    }
+}
+
+#[test]
+fn generators_are_deterministic() {
+    // The schedulers can only be reproducible if circuit generation is.
+    for (a, b) in suite().into_iter().zip(suite()) {
+        assert_eq!(format!("{:?}", a.gates()), format!("{:?}", b.gates()), "{}", a.name());
+    }
+}
+
+#[test]
+fn every_two_qubit_gate_appears_in_program_order_projection() {
+    // The op stream must realise the circuit's two-qubit gates in a DAG-legal
+    // order: for each qubit, the sequence of partners it gates with in the op
+    // stream equals its program-order partner sequence (transport ops aside).
+    // SWAP insertion is disabled so emitted two-qubit ops correspond 1:1 to
+    // circuit gates.
+    use eml_qccd::ScheduledOp;
+
+    fn partner_sequences(num_qubits: usize, pairs: impl Iterator<Item = (QubitId, QubitId)>) -> Vec<Vec<QubitId>> {
+        let mut seqs = vec![Vec::new(); num_qubits];
+        for (a, b) in pairs {
+            seqs[a.index()].push(b);
+            seqs[b.index()].push(a);
+        }
+        seqs
+    }
+
+    for circuit in suite() {
+        let device = DeviceConfig::for_qubits(circuit.num_qubits()).build();
+        let program = MussTiCompiler::new(device, MussTiOptions::trivial())
+            .compile(&circuit)
+            .unwrap();
+        let expected = partner_sequences(
+            circuit.num_qubits(),
+            circuit.two_qubit_gates().map(|g| g.two_qubit_pair().unwrap()),
+        );
+        let emitted = partner_sequences(
+            circuit.num_qubits(),
+            program.ops().iter().filter_map(|op| match *op {
+                ScheduledOp::TwoQubitGate { a, b, .. }
+                | ScheduledOp::SwapGate { a, b, .. }
+                | ScheduledOp::FiberGate { a, b, .. } => Some((a, b)),
+                _ => None,
+            }),
+        );
+        assert_eq!(
+            emitted,
+            expected,
+            "{}: per-qubit gate order in the op stream diverges from program order",
+            circuit.name()
+        );
+    }
+}
