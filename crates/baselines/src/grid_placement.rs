@@ -1,6 +1,9 @@
 //! Dynamic ion placement on a monolithic QCCD grid.
-
-use std::collections::HashMap;
+//!
+//! Mirrors the flat data layout of `muss_ti::PlacementState`: `QubitId` and
+//! `TrapId` are dense indices, so every map is a plain `Vec` and every query
+//! is an `O(1)` array read — the baselines pay the same (lack of) bookkeeping
+//! cost as MUSS-TI, keeping the compile-time comparison apples-to-apples.
 
 use eml_qccd::{QccdGridDevice, ScheduledOp, TrapId};
 use ion_circuit::QubitId;
@@ -9,18 +12,21 @@ use ion_circuit::QubitId;
 /// each ion, chain order inside each trap, and per-qubit last-use timestamps.
 #[derive(Debug, Clone)]
 pub struct GridPlacement {
-    trap_of: HashMap<QubitId, TrapId>,
-    chains: HashMap<TrapId, Vec<QubitId>>,
-    last_use: HashMap<QubitId, u64>,
+    /// `trap_of[q]` is the trap holding qubit `q` (grown on demand).
+    trap_of: Vec<Option<TrapId>>,
+    /// Ion chain per trap, indexed by [`TrapId`].
+    chains: Vec<Vec<QubitId>>,
+    /// `last_use[q]`, grown on demand (0 if never used).
+    last_use: Vec<u64>,
 }
 
 impl GridPlacement {
     /// Creates an empty placement over every trap of `device`.
     pub fn new(device: &QccdGridDevice) -> Self {
         GridPlacement {
-            trap_of: HashMap::new(),
-            chains: device.traps().into_iter().map(|t| (t, Vec::new())).collect(),
-            last_use: HashMap::new(),
+            trap_of: Vec::new(),
+            chains: vec![Vec::new(); device.num_traps()],
+            last_use: Vec::new(),
         }
     }
 
@@ -31,6 +37,13 @@ impl GridPlacement {
     /// Panics if a trap is overfilled.
     pub fn from_mapping(device: &QccdGridDevice, mapping: &[(QubitId, TrapId)]) -> Self {
         let mut state = Self::new(device);
+        let max_qubit = mapping
+            .iter()
+            .map(|(q, _)| q.index() + 1)
+            .max()
+            .unwrap_or(0);
+        state.trap_of.resize(max_qubit, None);
+        state.last_use.resize(max_qubit, 0);
         for &(q, t) in mapping {
             assert!(
                 state.occupancy(t) < device.trap_capacity(),
@@ -41,44 +54,61 @@ impl GridPlacement {
         state
     }
 
+    /// Grows the per-qubit arrays to cover `qubit`.
+    fn ensure_qubit(&mut self, qubit: QubitId) {
+        if qubit.index() >= self.trap_of.len() {
+            self.trap_of.resize(qubit.index() + 1, None);
+            self.last_use.resize(qubit.index() + 1, 0);
+        }
+    }
+
     /// Places a previously-unplaced ion at the chain edge of `trap`.
     pub fn place(&mut self, qubit: QubitId, trap: TrapId) {
-        debug_assert!(!self.trap_of.contains_key(&qubit), "{qubit} placed twice");
-        self.trap_of.insert(qubit, trap);
-        self.chains.get_mut(&trap).expect("trap exists").push(qubit);
+        self.ensure_qubit(qubit);
+        debug_assert!(
+            self.trap_of[qubit.index()].is_none(),
+            "{qubit} placed twice"
+        );
+        self.trap_of[qubit.index()] = Some(trap);
+        self.chains[trap.index()].push(qubit);
     }
 
-    /// The trap currently holding `qubit`.
+    /// The trap currently holding `qubit` (`O(1)`).
     pub fn trap_of(&self, qubit: QubitId) -> Option<TrapId> {
-        self.trap_of.get(&qubit).copied()
+        self.trap_of.get(qubit.index()).copied().flatten()
     }
 
-    /// Number of ions in `trap`.
+    /// Number of ions in `trap` (`O(1)`).
     pub fn occupancy(&self, trap: TrapId) -> usize {
-        self.chains.get(&trap).map(Vec::len).unwrap_or(0)
+        self.chains.get(trap.index()).map(Vec::len).unwrap_or(0)
     }
 
-    /// Remaining free slots in `trap`.
+    /// Remaining free slots in `trap` (`O(1)`).
     pub fn free_slots(&self, device: &QccdGridDevice, trap: TrapId) -> usize {
         device.trap_capacity().saturating_sub(self.occupancy(trap))
     }
 
     /// Ions in `trap`, in chain order.
     pub fn chain(&self, trap: TrapId) -> &[QubitId] {
-        self.chains.get(&trap).map(Vec::as_slice).unwrap_or(&[])
+        self.chains
+            .get(trap.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// Records a gate touching `qubit` at logical time `time`.
     pub fn touch(&mut self, qubit: QubitId, time: u64) {
-        self.last_use.insert(qubit, time);
+        self.ensure_qubit(qubit);
+        self.last_use[qubit.index()] = time;
     }
 
-    /// Logical time `qubit` was last used.
+    /// Logical time `qubit` was last used (`O(1)`).
     pub fn last_use(&self, qubit: QubitId) -> u64 {
-        self.last_use.get(&qubit).copied().unwrap_or(0)
+        self.last_use.get(qubit.index()).copied().unwrap_or(0)
     }
 
-    /// Least-recently-used ion in `trap`, excluding `protected`.
+    /// Least-recently-used ion in `trap`, excluding `protected` (one chain
+    /// pass over flat `last_use` reads).
     pub fn lru_victim(&self, trap: TrapId, protected: &[QubitId]) -> Option<QubitId> {
         self.chain(trap)
             .iter()
@@ -102,7 +132,9 @@ impl GridPlacement {
         qubit: QubitId,
         destination: TrapId,
     ) -> Vec<ScheduledOp> {
-        let from = self.trap_of(qubit).expect("cannot transport an unplaced ion");
+        let from = self
+            .trap_of(qubit)
+            .expect("cannot transport an unplaced ion");
         if from == destination {
             return Vec::new();
         }
@@ -112,8 +144,11 @@ impl GridPlacement {
         );
 
         let mut ops = Vec::new();
-        let chain = self.chains.get_mut(&from).expect("trap exists");
-        let idx = chain.iter().position(|&q| q == qubit).expect("qubit is in its chain");
+        let chain = &mut self.chains[from.index()];
+        let idx = chain
+            .iter()
+            .position(|&q| q == qubit)
+            .expect("qubit is in its chain");
         let to_edge = idx.min(chain.len() - 1 - idx);
         for _ in 0..to_edge {
             ops.push(ScheduledOp::ChainRearrange { zone: from.index() });
@@ -130,8 +165,8 @@ impl GridPlacement {
             });
         }
 
-        self.chains.get_mut(&destination).expect("trap exists").push(qubit);
-        self.trap_of.insert(qubit, destination);
+        self.chains[destination.index()].push(qubit);
+        self.trap_of[qubit.index()] = Some(destination);
         ops
     }
 
@@ -145,7 +180,8 @@ impl GridPlacement {
     ) -> Option<TrapId> {
         device
             .traps()
-            .into_iter()
+            .iter()
+            .copied()
             .filter(|t| !exclude.contains(t))
             .filter(|&t| self.free_slots(device, t) > 0)
             .min_by_key(|&t| (device.hop_distance(near, t), t.index()))
@@ -220,7 +256,9 @@ mod tests {
         for i in 0..4 {
             s.place(q(i), TrapId(1));
         }
-        let found = s.nearest_trap_with_space(&d, TrapId(1), &[TrapId(0)]).unwrap();
+        let found = s
+            .nearest_trap_with_space(&d, TrapId(1), &[TrapId(0)])
+            .unwrap();
         assert_ne!(found, TrapId(0));
         assert_ne!(found, TrapId(1));
         assert_eq!(d.hop_distance(TrapId(1), found), 1);

@@ -83,7 +83,9 @@ mod tests {
     fn shuttles_more_than_murali() {
         let grid = GridConfig::new(2, 2, 12);
         let circuit = generators::adder(32);
-        let mqt = MqtStyleCompiler::new(grid.clone()).compile(&circuit).unwrap();
+        let mqt = MqtStyleCompiler::new(grid.clone())
+            .compile(&circuit)
+            .unwrap();
         let murali = MuraliCompiler::new(grid).compile(&circuit).unwrap();
         assert!(
             mqt.metrics().shuttle_count > murali.metrics().shuttle_count,

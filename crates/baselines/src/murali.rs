@@ -83,14 +83,20 @@ mod tests {
     fn compiles_small_benchmarks() {
         let compiler = MuraliCompiler::new(GridConfig::new(2, 2, 12));
         for label in ["GHZ_32", "BV_32", "QAOA_32"] {
-            let circuit = generators::BenchmarkApp::from_label(label).unwrap().circuit();
+            let circuit = generators::BenchmarkApp::from_label(label)
+                .unwrap()
+                .circuit();
             let program = compiler.compile(&circuit).unwrap();
             assert_eq!(
                 program.metrics().two_qubit_gates + program.metrics().swap_gates,
                 circuit.two_qubit_gate_count(),
                 "{label}"
             );
-            assert_eq!(program.metrics().fiber_gates, 0, "grids have no fiber links");
+            assert_eq!(
+                program.metrics().fiber_gates,
+                0,
+                "grids have no fiber links"
+            );
         }
     }
 

@@ -93,7 +93,10 @@ pub(crate) fn schedule_on_grid(
         .map(QubitId::new)
         .filter_map(|q| scheduler.state.trap_of(q).map(|t| (q, t)))
         .collect();
-    Ok(GridOutcome { ops: scheduler.ops, final_mapping })
+    Ok(GridOutcome {
+        ops: scheduler.ops,
+        final_mapping,
+    })
 }
 
 /// The dedicated processing trap used by the MQT-style policy: the trap
@@ -101,9 +104,7 @@ pub(crate) fn schedule_on_grid(
 fn processing_trap(device: &QccdGridDevice) -> TrapId {
     let rows = device.config().rows();
     let cols = device.config().cols();
-    device
-        .trap_at(rows / 2, cols / 2)
-        .unwrap_or(TrapId(0))
+    device.trap_at(rows / 2, cols / 2).unwrap_or(TrapId(0))
 }
 
 struct GridScheduler<'a> {
@@ -120,8 +121,11 @@ impl GridScheduler<'_> {
     fn run(&mut self) -> Result<(), CompileError> {
         while !self.dag.all_executed() {
             let front = self.dag.front_layer();
-            let executable: Vec<DagNodeId> =
-                front.iter().copied().filter(|&n| self.is_executable(n)).collect();
+            let executable: Vec<DagNodeId> = front
+                .iter()
+                .copied()
+                .filter(|&n| self.is_executable(n))
+                .collect();
             if !executable.is_empty() {
                 for node in executable {
                     self.execute_gate(node)?;
@@ -136,10 +140,12 @@ impl GridScheduler<'_> {
     }
 
     fn trap_of(&self, q: QubitId) -> Result<TrapId, CompileError> {
-        self.state.trap_of(q).ok_or_else(|| CompileError::PlacementFailed {
-            qubit: q,
-            context: "qubit missing from the grid mapping".to_string(),
-        })
+        self.state
+            .trap_of(q)
+            .ok_or_else(|| CompileError::PlacementFailed {
+                qubit: q,
+                context: "qubit missing from the grid mapping".to_string(),
+            })
     }
 
     fn is_executable(&self, node: DagNodeId) -> bool {
@@ -217,7 +223,8 @@ impl GridScheduler<'_> {
             if let Some(meet) = self
                 .device
                 .traps()
-                .into_iter()
+                .iter()
+                .copied()
                 .filter(|&t| t != ta && t != tb)
                 .filter(|&t| self.state.free_slots(self.device, t) >= 2)
                 .min_by_key(|&t| {
@@ -320,27 +327,47 @@ pub(crate) fn compile_on_grid(
     let outcome = schedule_on_grid(device, policy, circuit, &mapping)?;
 
     let mut ops = Vec::with_capacity(outcome.ops.len() + circuit.len());
-    let start_traps: std::collections::HashMap<QubitId, TrapId> = mapping.iter().copied().collect();
+    // Qubit ids are dense: flat arrays instead of hash maps for the
+    // start/end trap lookups, mirroring the MUSS-TI lowering.
+    let mut start_traps: Vec<Option<TrapId>> = vec![None; circuit.num_qubits()];
+    for (q, t) in mapping.iter().copied() {
+        start_traps[q.index()] = Some(t);
+    }
     for gate in circuit.gates() {
         if gate.is_single_qubit() {
             let qubit = gate.qubits()[0];
-            if let Some(trap) = start_traps.get(&qubit) {
-                ops.push(ScheduledOp::SingleQubitGate { qubit, zone: trap.index() });
+            if let Some(trap) = start_traps.get(qubit.index()).copied().flatten() {
+                ops.push(ScheduledOp::SingleQubitGate {
+                    qubit,
+                    zone: trap.index(),
+                });
             }
         }
     }
     ops.extend(outcome.ops.iter().cloned());
-    let end_traps: std::collections::HashMap<QubitId, TrapId> =
-        outcome.final_mapping.iter().copied().collect();
+    let mut end_traps: Vec<Option<TrapId>> = vec![None; circuit.num_qubits()];
+    for &(q, t) in &outcome.final_mapping {
+        end_traps[q.index()] = Some(t);
+    }
     for gate in circuit.gates() {
         if let Gate::Measure(qubit) = gate {
-            if let Some(trap) = end_traps.get(qubit) {
-                ops.push(ScheduledOp::Measurement { qubit: *qubit, zone: trap.index() });
+            if let Some(trap) = end_traps.get(qubit.index()).copied().flatten() {
+                ops.push(ScheduledOp::Measurement {
+                    qubit: *qubit,
+                    zone: trap.index(),
+                });
             }
         }
     }
 
-    Ok(CompiledProgram::new(name, circuit, ops, executor, start.elapsed()))
+    Ok(CompiledProgram::new_sized(
+        name,
+        circuit,
+        ops,
+        executor,
+        start.elapsed(),
+        device.num_traps(),
+    ))
 }
 
 #[cfg(test)]
@@ -386,7 +413,8 @@ mod tests {
         let circuit = generators::qft(32);
         let mapping = initial_grid_mapping(&device, 32).unwrap();
         let greedy = schedule_on_grid(&device, RoutingPolicy::Greedy, &circuit, &mapping).unwrap();
-        let mqt = schedule_on_grid(&device, RoutingPolicy::ProcessingZone, &circuit, &mapping).unwrap();
+        let mqt =
+            schedule_on_grid(&device, RoutingPolicy::ProcessingZone, &circuit, &mapping).unwrap();
         let count = |o: &GridOutcome| o.ops.iter().filter(|op| op.is_shuttle()).count();
         assert!(
             count(&mqt) > count(&greedy),
@@ -402,7 +430,8 @@ mod tests {
         let circuit = generators::adder(32);
         let mapping = initial_grid_mapping(&device, 32).unwrap();
         let greedy = schedule_on_grid(&device, RoutingPolicy::Greedy, &circuit, &mapping).unwrap();
-        let dai = schedule_on_grid(&device, RoutingPolicy::LookaheadMeet, &circuit, &mapping).unwrap();
+        let dai =
+            schedule_on_grid(&device, RoutingPolicy::LookaheadMeet, &circuit, &mapping).unwrap();
         let count = |o: &GridOutcome| o.ops.iter().filter(|op| op.is_shuttle()).count();
         assert!(
             count(&dai) <= count(&greedy) * 2,
@@ -433,7 +462,10 @@ mod tests {
             *occupancy.entry(t.index()).or_insert(0) += 1;
         }
         for op in &outcome.ops {
-            if let ScheduledOp::Shuttle { from_zone, to_zone, .. } = op {
+            if let ScheduledOp::Shuttle {
+                from_zone, to_zone, ..
+            } = op
+            {
                 *occupancy.entry(*from_zone).or_insert(0) -= 1;
                 *occupancy.entry(*to_zone).or_insert(0) += 1;
             }
@@ -443,7 +475,10 @@ mod tests {
         for trap in device.traps() {
             let count = occupancy.get(&trap.index()).copied().unwrap_or(0);
             assert!(count >= 0);
-            assert!(count as usize <= device.trap_capacity(), "trap {trap} over capacity");
+            assert!(
+                count as usize <= device.trap_capacity(),
+                "trap {trap} over capacity"
+            );
         }
     }
 }

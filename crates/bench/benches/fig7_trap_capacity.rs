@@ -10,7 +10,8 @@ fn bench_fig7(c: &mut Criterion) {
     });
     group.finish();
 
-    let result = experiments::fig7::run_with(&["BV_128", "GHZ_128"], &experiments::fig7::capacities());
+    let result =
+        experiments::fig7::run_with(&["BV_128", "GHZ_128"], &experiments::fig7::capacities());
     println!("{}", result.render());
 }
 

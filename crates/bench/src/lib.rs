@@ -4,7 +4,9 @@
 /// Returns the list of small-scale application names used by the paper's
 /// Table 2 and Figure 6 (left column).
 pub fn small_scale_names() -> Vec<&'static str> {
-    vec!["Adder_32", "BV_32", "GHZ_32", "QAOA_32", "QFT_32", "SQRT_30"]
+    vec![
+        "Adder_32", "BV_32", "GHZ_32", "QAOA_32", "QFT_32", "SQRT_30",
+    ]
 }
 
 #[cfg(test)]

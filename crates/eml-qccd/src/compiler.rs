@@ -30,6 +30,31 @@ impl CompiledProgram {
         compile_time: Duration,
     ) -> Self {
         let metrics = executor.execute(&ops);
+        Self::with_metrics(compiler_name, circuit, ops, metrics, compile_time)
+    }
+
+    /// [`CompiledProgram::new`] with the executor's resource arrays sized
+    /// from the known device topology (`num_zones` zones/traps), skipping
+    /// the op-stream sizing pre-scan.
+    pub fn new_sized(
+        compiler_name: impl Into<String>,
+        circuit: &Circuit,
+        ops: Vec<ScheduledOp>,
+        executor: &ScheduleExecutor,
+        compile_time: Duration,
+        num_zones: usize,
+    ) -> Self {
+        let metrics = executor.execute_sized(&ops, circuit.num_qubits(), num_zones);
+        Self::with_metrics(compiler_name, circuit, ops, metrics, compile_time)
+    }
+
+    fn with_metrics(
+        compiler_name: impl Into<String>,
+        circuit: &Circuit,
+        ops: Vec<ScheduledOp>,
+        metrics: ExecutionMetrics,
+        compile_time: Duration,
+    ) -> Self {
         CompiledProgram {
             compiler_name: compiler_name.into(),
             circuit_name: circuit.name().to_string(),
@@ -130,8 +155,18 @@ mod tests {
         let mut circuit = Circuit::with_name("demo", 2);
         circuit.cx(0, 1);
         let ops = vec![
-            ScheduledOp::Shuttle { qubit: QubitId::new(0), from_zone: 1, to_zone: 0, distance_um: 100.0 },
-            ScheduledOp::TwoQubitGate { a: QubitId::new(0), b: QubitId::new(1), zone: 0, ions_in_zone: 12 },
+            ScheduledOp::Shuttle {
+                qubit: QubitId::new(0),
+                from_zone: 1,
+                to_zone: 0,
+                distance_um: 100.0,
+            },
+            ScheduledOp::TwoQubitGate {
+                a: QubitId::new(0),
+                b: QubitId::new(1),
+                zone: 0,
+                ions_in_zone: 12,
+            },
         ];
         let program = CompiledProgram::new(
             "test",

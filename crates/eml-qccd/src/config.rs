@@ -142,7 +142,9 @@ impl DeviceConfig {
 
     /// Zones per module across all levels.
     pub fn zones_per_module(&self) -> usize {
-        self.optical_zones_per_module + self.operation_zones_per_module + self.storage_zones_per_module
+        self.optical_zones_per_module
+            + self.operation_zones_per_module
+            + self.storage_zones_per_module
     }
 
     /// Total ion capacity of the whole device, respecting the per-module cap.
@@ -159,7 +161,9 @@ impl DeviceConfig {
     /// no gate-capable zone, or zero capacity.
     pub fn validate(&self) -> Result<(), DeviceError> {
         if self.num_modules == 0 {
-            return Err(DeviceError::InvalidConfig("device must have at least one module".into()));
+            return Err(DeviceError::InvalidConfig(
+                "device must have at least one module".into(),
+            ));
         }
         if self.trap_capacity < 2 {
             return Err(DeviceError::InvalidConfig(
@@ -172,10 +176,14 @@ impl DeviceConfig {
             ));
         }
         if self.max_qubits_per_module < 2 {
-            return Err(DeviceError::InvalidConfig("module qubit cap must be at least 2".into()));
+            return Err(DeviceError::InvalidConfig(
+                "module qubit cap must be at least 2".into(),
+            ));
         }
         if !(self.inter_zone_distance_um.is_finite()) || self.inter_zone_distance_um <= 0.0 {
-            return Err(DeviceError::InvalidConfig("inter-zone distance must be positive".into()));
+            return Err(DeviceError::InvalidConfig(
+                "inter-zone distance must be positive".into(),
+            ));
         }
         Ok(())
     }
@@ -187,7 +195,8 @@ impl DeviceConfig {
     /// Panics if the configuration is invalid; use [`DeviceConfig::try_build`]
     /// for a fallible variant.
     pub fn build(&self) -> crate::EmlQccdDevice {
-        self.try_build().expect("invalid EML-QCCD device configuration")
+        self.try_build()
+            .expect("invalid EML-QCCD device configuration")
     }
 
     /// Builds the device, returning an error for invalid configurations.
@@ -234,7 +243,10 @@ mod tests {
     #[test]
     fn invalid_configs_are_rejected() {
         assert!(DeviceConfig::default().with_modules(0).validate().is_err());
-        assert!(DeviceConfig::default().with_trap_capacity(1).validate().is_err());
+        assert!(DeviceConfig::default()
+            .with_trap_capacity(1)
+            .validate()
+            .is_err());
         assert!(DeviceConfig::default()
             .with_optical_zones(0)
             .with_operation_zones(0)

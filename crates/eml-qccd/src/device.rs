@@ -2,7 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::{DeviceConfig, ModuleId, Zone, ZoneId, ZoneLevel};
+use crate::{DeviceConfig, DeviceTopology, ModuleId, Zone, ZoneId, ZoneLevel};
 
 /// Static description of an EML-QCCD device: a set of QCCD modules, each
 /// partitioned into storage / operation / optical zones, with every pair of
@@ -12,6 +12,10 @@ use crate::{DeviceConfig, ModuleId, Zone, ZoneId, ZoneLevel};
 /// The device is *static*: it knows capacities, levels and distances but not
 /// where ions currently are. Dynamic occupancy is tracked by the compilers
 /// (placement state) and by the executor (heat, clocks).
+///
+/// Every structural query is served from a [`DeviceTopology`] index built
+/// once at construction: zone lists come back as borrowed slices and
+/// capacity/distance/fiber lookups are `O(1)`, with no per-query allocation.
 ///
 /// ```
 /// use eml_qccd::{DeviceConfig, ZoneLevel};
@@ -26,6 +30,7 @@ use crate::{DeviceConfig, ModuleId, Zone, ZoneId, ZoneLevel};
 pub struct EmlQccdDevice {
     config: DeviceConfig,
     zones: Vec<Zone>,
+    topology: DeviceTopology,
 }
 
 impl EmlQccdDevice {
@@ -58,7 +63,12 @@ impl EmlQccdDevice {
                 push_zone(ZoneLevel::Storage, &mut zones, &mut next);
             }
         }
-        EmlQccdDevice { config, zones }
+        let topology = DeviceTopology::build(&config, &zones);
+        EmlQccdDevice {
+            config,
+            zones,
+            topology,
+        }
     }
 
     /// The configuration this device was built from.
@@ -66,14 +76,19 @@ impl EmlQccdDevice {
         &self.config
     }
 
+    /// The precomputed topology index.
+    pub fn topology(&self) -> &DeviceTopology {
+        &self.topology
+    }
+
     /// Number of QCCD modules.
     pub fn num_modules(&self) -> usize {
         self.config.num_modules()
     }
 
-    /// All module identifiers.
-    pub fn modules(&self) -> Vec<ModuleId> {
-        (0..self.num_modules()).map(ModuleId).collect()
+    /// All module identifiers (precomputed slice).
+    pub fn modules(&self) -> &[ModuleId] {
+        self.topology.modules()
     }
 
     /// Every zone of the device, ordered by [`ZoneId`].
@@ -90,48 +105,59 @@ impl EmlQccdDevice {
         &self.zones[id.index()]
     }
 
-    /// The zones belonging to one module, ordered optical → operation → storage.
-    pub fn zones_in_module(&self, module: ModuleId) -> Vec<&Zone> {
-        self.zones.iter().filter(|z| z.module == module).collect()
+    /// The zones belonging to one module, ordered optical → operation →
+    /// storage (a contiguous slice of the zone table).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the module does not belong to this device (like
+    /// [`EmlQccdDevice::zone`] for zone ids).
+    pub fn zones_in_module(&self, module: ModuleId) -> &[Zone] {
+        &self.zones[self.topology.module_zone_range(module)]
     }
 
-    /// Every zone of a given level across the whole device.
-    pub fn zones_at_level(&self, level: ZoneLevel) -> Vec<&Zone> {
-        self.zones.iter().filter(|z| z.level == level).collect()
+    /// Every zone of a given level across the whole device (precomputed
+    /// slice, ordered by [`ZoneId`]).
+    pub fn zones_at_level(&self, level: ZoneLevel) -> &[Zone] {
+        self.topology.zones_at_level(level)
     }
 
-    /// Zones of a given level inside one module.
-    pub fn zones_in_module_at_level(&self, module: ModuleId, level: ZoneLevel) -> Vec<&Zone> {
-        self.zones
-            .iter()
-            .filter(|z| z.module == module && z.level == level)
-            .collect()
+    /// Zones of a given level inside one module (a contiguous slice of the
+    /// zone table).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the module does not belong to this device.
+    pub fn zones_in_module_at_level(&self, module: ModuleId, level: ZoneLevel) -> &[Zone] {
+        &self.zones[self.topology.module_level_range(module, level)]
     }
 
-    /// Total ion capacity of a module (bounded by the per-module qubit cap).
+    /// Total ion capacity of a module (bounded by the per-module qubit cap);
+    /// `O(1)` precomputed lookup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the module does not belong to this device.
     pub fn module_capacity(&self, module: ModuleId) -> usize {
-        let slots: usize = self.zones_in_module(module).iter().map(|z| z.capacity).sum();
-        slots.min(self.config.max_qubits_per_module())
+        self.topology.module_capacity(module)
     }
 
-    /// Total ion capacity of the device.
+    /// Total ion capacity of the device (`O(1)`).
     pub fn total_capacity(&self) -> usize {
-        self.modules().into_iter().map(|m| self.module_capacity(m)).sum()
+        self.topology.total_capacity()
     }
 
     /// `true` if the optical zones of two distinct modules are connected by a
     /// fiber link. In this architecture every pair of modules is linked (the
-    /// photonic switch fabric is abstracted away, as in the paper).
+    /// photonic switch fabric is abstracted away, as in the paper); `O(1)`
+    /// matrix read.
     pub fn fiber_linked(&self, a: ModuleId, b: ModuleId) -> bool {
-        a != b
-            && a.index() < self.num_modules()
-            && b.index() < self.num_modules()
-            && self.config.optical_zones_per_module() > 0
+        self.topology.fiber_linked(a, b)
     }
 
     /// Physical distance in micrometres between two zones of the *same*
     /// module, derived from their positions in the module layout (optical
-    /// zones sit at one end, storage zones at the other).
+    /// zones sit at one end, storage zones at the other); `O(1)` table read.
     ///
     /// # Panics
     ///
@@ -139,26 +165,27 @@ impl EmlQccdDevice {
     /// transport does not exist in the EML architecture — that is the point
     /// of the fiber links).
     pub fn intra_module_distance_um(&self, a: ZoneId, b: ZoneId) -> f64 {
-        let za = self.zone(a);
-        let zb = self.zone(b);
         assert_eq!(
-            za.module, zb.module,
+            self.zone(a).module,
+            self.zone(b).module,
             "ions never shuttle between modules in an EML-QCCD device"
         );
-        let pos = |z: &Zone| -> usize {
-            self.zones_in_module(z.module)
-                .iter()
-                .position(|cand| cand.id == z.id)
-                .expect("zone must be in its own module")
-        };
-        let steps = pos(za).abs_diff(pos(zb));
-        steps as f64 * self.config.inter_zone_distance_um()
+        self.topology.intra_module_distance_um(a, b)
     }
 
-    /// Number of zone-to-zone hops between two zones of the same module.
+    /// Number of zone-to-zone hops between two zones of the same module
+    /// (`O(1)` table read).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the zones belong to different modules.
     pub fn intra_module_hops(&self, a: ZoneId, b: ZoneId) -> usize {
-        (self.intra_module_distance_um(a, b) / self.config.inter_zone_distance_um()).round()
-            as usize
+        assert_eq!(
+            self.zone(a).module,
+            self.zone(b).module,
+            "ions never shuttle between modules in an EML-QCCD device"
+        );
+        self.topology.intra_module_hops(a, b)
     }
 }
 
@@ -236,8 +263,43 @@ mod tests {
 
     #[test]
     fn zones_at_level_counts_match_config() {
-        let d = DeviceConfig::default().with_modules(5).with_optical_zones(2).build();
+        let d = DeviceConfig::default()
+            .with_modules(5)
+            .with_optical_zones(2)
+            .build();
         assert_eq!(d.zones_at_level(ZoneLevel::Optical).len(), 10);
         assert_eq!(d.zones_at_level(ZoneLevel::Storage).len(), 10);
+    }
+
+    #[test]
+    fn zone_queries_agree_with_linear_scans() {
+        let d = DeviceConfig::default()
+            .with_modules(4)
+            .with_optical_zones(2)
+            .build();
+        for &m in d.modules() {
+            let scanned: Vec<ZoneId> = d
+                .zones()
+                .iter()
+                .filter(|z| z.module == m)
+                .map(|z| z.id)
+                .collect();
+            let served: Vec<ZoneId> = d.zones_in_module(m).iter().map(|z| z.id).collect();
+            assert_eq!(served, scanned);
+            for level in ZoneLevel::all() {
+                let scanned: Vec<ZoneId> = d
+                    .zones()
+                    .iter()
+                    .filter(|z| z.module == m && z.level == level)
+                    .map(|z| z.id)
+                    .collect();
+                let served: Vec<ZoneId> = d
+                    .zones_in_module_at_level(m, level)
+                    .iter()
+                    .map(|z| z.id)
+                    .collect();
+                assert_eq!(served, scanned);
+            }
+        }
     }
 }

@@ -71,7 +71,10 @@ mod tests {
 
     #[test]
     fn errors_render_useful_messages() {
-        let e = CompileError::DeviceTooSmall { required: 40, capacity: 32 };
+        let e = CompileError::DeviceTooSmall {
+            required: 40,
+            capacity: 32,
+        };
         assert!(e.to_string().contains("40"));
         assert!(e.to_string().contains("32"));
         let d = DeviceError::InvalidConfig("no modules".into());

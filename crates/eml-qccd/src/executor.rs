@@ -1,9 +1,5 @@
 //! The schedule executor: turns an operation sequence into metrics.
 
-use std::collections::HashMap;
-
-use ion_circuit::QubitId;
-
 use crate::{ExecutionMetrics, FidelityModel, ScheduledOp, TimingModel};
 
 /// Folds timing, heat and fidelity models over a sequence of
@@ -49,7 +45,10 @@ impl ScheduleExecutor {
 
     /// Executor using the paper's Table 1 parameters.
     pub fn paper_defaults() -> Self {
-        Self::new(TimingModel::paper_defaults(), FidelityModel::paper_defaults())
+        Self::new(
+            TimingModel::paper_defaults(),
+            FidelityModel::paper_defaults(),
+        )
     }
 
     /// The timing model in use.
@@ -63,11 +62,52 @@ impl ScheduleExecutor {
     }
 
     /// Executes an operation sequence and returns the aggregated metrics.
+    ///
+    /// Resource state lives in flat `Vec<f64>` clock/heat arrays indexed by
+    /// qubit and zone id (both are dense indices), pre-sized with one linear
+    /// scan over the ops — no hashing and no per-op allocation.
     pub fn execute(&self, ops: &[ScheduledOp]) -> ExecutionMetrics {
+        let (mut max_qubit, mut max_zone) = (0usize, 0usize);
+        for op in ops {
+            let (qa, qb) = op.qubit_pair();
+            for q in [qa, qb].into_iter().flatten() {
+                max_qubit = max_qubit.max(q.index() + 1);
+            }
+            let (za, zb) = op.zone_pair();
+            max_zone = max_zone.max(za + 1);
+            if let Some(z) = zb {
+                max_zone = max_zone.max(z + 1);
+            }
+        }
+        self.execute_sized(ops, max_qubit, max_zone)
+    }
+
+    /// [`ScheduleExecutor::execute`] with the clock/heat arrays sized from a
+    /// known topology (`num_qubits` logical qubits, `num_zones` zones/traps),
+    /// skipping the sizing pre-scan. Ops referencing indices beyond the given
+    /// dimensions grow the arrays transparently.
+    pub fn execute_sized(
+        &self,
+        ops: &[ScheduledOp],
+        num_qubits: usize,
+        num_zones: usize,
+    ) -> ExecutionMetrics {
+        /// Reads `v[i]`, treating out-of-range slots as the 0.0 default.
+        fn read(v: &[f64], i: usize) -> f64 {
+            v.get(i).copied().unwrap_or(0.0)
+        }
+        /// Mutable access to `v[i]`, growing the array on demand.
+        fn slot(v: &mut Vec<f64>, i: usize) -> &mut f64 {
+            if i >= v.len() {
+                v.resize(i + 1, 0.0);
+            }
+            &mut v[i]
+        }
+
         let mut metrics = ExecutionMetrics::default();
-        let mut qubit_clock: HashMap<QubitId, f64> = HashMap::new();
-        let mut zone_clock: HashMap<usize, f64> = HashMap::new();
-        let mut zone_heat: HashMap<usize, f64> = HashMap::new();
+        let mut qubit_clock: Vec<f64> = vec![0.0; num_qubits];
+        let mut zone_clock: Vec<f64> = vec![0.0; num_zones];
+        let mut zone_heat: Vec<f64> = vec![0.0; num_zones];
         let mut makespan = 0.0f64;
 
         for op in ops {
@@ -79,32 +119,36 @@ impl ScheduleExecutor {
                     metrics.single_qubit_gates += 1;
                     self.fidelity.single_qubit_fidelity()
                 }
-                ScheduledOp::TwoQubitGate { zone, ions_in_zone, .. } => {
+                ScheduledOp::TwoQubitGate {
+                    zone, ions_in_zone, ..
+                } => {
                     metrics.two_qubit_gates += 1;
-                    let heat = zone_heat.get(zone).copied().unwrap_or(0.0);
+                    let heat = read(&zone_heat, *zone);
                     self.fidelity.two_qubit_fidelity(*ions_in_zone, heat)
                 }
-                ScheduledOp::SwapGate { zone, ions_in_zone, .. } => {
+                ScheduledOp::SwapGate {
+                    zone, ions_in_zone, ..
+                } => {
                     metrics.swap_gates += 1;
-                    let heat = zone_heat.get(zone).copied().unwrap_or(0.0);
+                    let heat = read(&zone_heat, *zone);
                     self.fidelity.swap_gate_fidelity(*ions_in_zone, heat)
                 }
                 ScheduledOp::FiberGate { zone_a, zone_b, .. } => {
                     metrics.fiber_gates += 1;
-                    let ha = zone_heat.get(zone_a).copied().unwrap_or(0.0);
-                    let hb = zone_heat.get(zone_b).copied().unwrap_or(0.0);
+                    let ha = read(&zone_heat, *zone_a);
+                    let hb = read(&zone_heat, *zone_b);
                     self.fidelity.fiber_fidelity(ha, hb)
                 }
                 ScheduledOp::Shuttle { to_zone, .. } => {
                     metrics.shuttle_count += 1;
                     let heat = self.fidelity.shuttle_heat();
-                    *zone_heat.entry(*to_zone).or_insert(0.0) += heat;
+                    *slot(&mut zone_heat, *to_zone) += heat;
                     self.fidelity.transport_fidelity(duration, heat)
                 }
                 ScheduledOp::ChainRearrange { zone } => {
                     metrics.chain_rearrangements += 1;
                     let heat = self.fidelity.chain_rearrange_heat();
-                    *zone_heat.entry(*zone).or_insert(0.0) += heat;
+                    *slot(&mut zone_heat, *zone) += heat;
                     self.fidelity.transport_fidelity(duration, heat)
                 }
                 ScheduledOp::Measurement { .. } => {
@@ -115,19 +159,23 @@ impl ScheduleExecutor {
             metrics.log_fidelity *= op_fidelity;
 
             // --- Timing (resource clocks) -----------------------------------
-            let qubits = op.qubits();
-            let zones = op.zones();
-            let start = qubits
-                .iter()
-                .map(|q| qubit_clock.get(q).copied().unwrap_or(0.0))
-                .chain(zones.iter().map(|z| zone_clock.get(z).copied().unwrap_or(0.0)))
-                .fold(0.0f64, f64::max);
-            let end = start + duration;
-            for q in qubits {
-                qubit_clock.insert(q, end);
+            let (qa, qb) = op.qubit_pair();
+            let (za, zb) = op.zone_pair();
+            let mut start = 0.0f64;
+            for q in [qa, qb].into_iter().flatten() {
+                start = start.max(read(&qubit_clock, q.index()));
             }
-            for z in zones {
-                zone_clock.insert(z, end);
+            start = start.max(read(&zone_clock, za));
+            if let Some(z) = zb {
+                start = start.max(read(&zone_clock, z));
+            }
+            let end = start + duration;
+            for q in [qa, qb].into_iter().flatten() {
+                *slot(&mut qubit_clock, q.index()) = end;
+            }
+            *slot(&mut zone_clock, za) = end;
+            if let Some(z) = zb {
+                *slot(&mut zone_clock, z) = end;
             }
             makespan = makespan.max(end);
         }
@@ -141,6 +189,7 @@ impl ScheduleExecutor {
 mod tests {
     use super::*;
     use crate::LogFidelity;
+    use ion_circuit::QubitId;
 
     fn q(i: usize) -> QubitId {
         QubitId::new(i)
@@ -158,19 +207,42 @@ mod tests {
     fn independent_gates_overlap_in_time() {
         let exec = ScheduleExecutor::paper_defaults();
         let ops = vec![
-            ScheduledOp::TwoQubitGate { a: q(0), b: q(1), zone: 0, ions_in_zone: 2 },
-            ScheduledOp::TwoQubitGate { a: q(2), b: q(3), zone: 1, ions_in_zone: 2 },
+            ScheduledOp::TwoQubitGate {
+                a: q(0),
+                b: q(1),
+                zone: 0,
+                ions_in_zone: 2,
+            },
+            ScheduledOp::TwoQubitGate {
+                a: q(2),
+                b: q(3),
+                zone: 1,
+                ions_in_zone: 2,
+            },
         ];
         let m = exec.execute(&ops);
-        assert_eq!(m.execution_time_us, 40.0, "disjoint resources run in parallel");
+        assert_eq!(
+            m.execution_time_us, 40.0,
+            "disjoint resources run in parallel"
+        );
     }
 
     #[test]
     fn dependent_gates_serialise_on_shared_qubit() {
         let exec = ScheduleExecutor::paper_defaults();
         let ops = vec![
-            ScheduledOp::TwoQubitGate { a: q(0), b: q(1), zone: 0, ions_in_zone: 2 },
-            ScheduledOp::TwoQubitGate { a: q(1), b: q(2), zone: 1, ions_in_zone: 2 },
+            ScheduledOp::TwoQubitGate {
+                a: q(0),
+                b: q(1),
+                zone: 0,
+                ions_in_zone: 2,
+            },
+            ScheduledOp::TwoQubitGate {
+                a: q(1),
+                b: q(2),
+                zone: 1,
+                ions_in_zone: 2,
+            },
         ];
         let m = exec.execute(&ops);
         assert_eq!(m.execution_time_us, 80.0);
@@ -180,8 +252,18 @@ mod tests {
     fn gates_serialise_on_shared_zone() {
         let exec = ScheduleExecutor::paper_defaults();
         let ops = vec![
-            ScheduledOp::TwoQubitGate { a: q(0), b: q(1), zone: 7, ions_in_zone: 4 },
-            ScheduledOp::TwoQubitGate { a: q(2), b: q(3), zone: 7, ions_in_zone: 4 },
+            ScheduledOp::TwoQubitGate {
+                a: q(0),
+                b: q(1),
+                zone: 7,
+                ions_in_zone: 4,
+            },
+            ScheduledOp::TwoQubitGate {
+                a: q(2),
+                b: q(3),
+                zone: 7,
+                ions_in_zone: 4,
+            },
         ];
         assert_eq!(exec.execute(&ops).execution_time_us, 80.0);
     }
@@ -189,10 +271,25 @@ mod tests {
     #[test]
     fn shuttle_heat_degrades_later_gates_in_that_zone() {
         let exec = ScheduleExecutor::paper_defaults();
-        let gate_only = vec![ScheduledOp::TwoQubitGate { a: q(0), b: q(1), zone: 0, ions_in_zone: 2 }];
+        let gate_only = vec![ScheduledOp::TwoQubitGate {
+            a: q(0),
+            b: q(1),
+            zone: 0,
+            ions_in_zone: 2,
+        }];
         let with_shuttle = vec![
-            ScheduledOp::Shuttle { qubit: q(0), from_zone: 3, to_zone: 0, distance_um: 100.0 },
-            ScheduledOp::TwoQubitGate { a: q(0), b: q(1), zone: 0, ions_in_zone: 2 },
+            ScheduledOp::Shuttle {
+                qubit: q(0),
+                from_zone: 3,
+                to_zone: 0,
+                distance_um: 100.0,
+            },
+            ScheduledOp::TwoQubitGate {
+                a: q(0),
+                b: q(1),
+                zone: 0,
+                ions_in_zone: 2,
+            },
         ];
         let clean = exec.execute(&gate_only);
         let heated = exec.execute(&with_shuttle);
@@ -209,12 +306,26 @@ mod tests {
     fn heat_does_not_leak_between_zones() {
         let exec = ScheduleExecutor::paper_defaults();
         let ops = vec![
-            ScheduledOp::Shuttle { qubit: q(5), from_zone: 1, to_zone: 2, distance_um: 100.0 },
-            ScheduledOp::TwoQubitGate { a: q(0), b: q(1), zone: 0, ions_in_zone: 2 },
+            ScheduledOp::Shuttle {
+                qubit: q(5),
+                from_zone: 1,
+                to_zone: 2,
+                distance_um: 100.0,
+            },
+            ScheduledOp::TwoQubitGate {
+                a: q(0),
+                b: q(1),
+                zone: 0,
+                ions_in_zone: 2,
+            },
         ];
         let m = exec.execute(&ops);
-        let clean_gate = exec
-            .execute(&[ScheduledOp::TwoQubitGate { a: q(0), b: q(1), zone: 0, ions_in_zone: 2 }]);
+        let clean_gate = exec.execute(&[ScheduledOp::TwoQubitGate {
+            a: q(0),
+            b: q(1),
+            zone: 0,
+            ions_in_zone: 2,
+        }]);
         let shuttle_only = exec.execute(&ops[..1]);
         let gate_ln = m.log_fidelity.ln() - shuttle_only.log_fidelity.ln();
         assert!((gate_ln - clean_gate.log_fidelity.ln()).abs() < 1e-12);
@@ -224,8 +335,18 @@ mod tests {
     fn perfect_shuttle_removes_heat_penalty() {
         let ideal = ScheduleExecutor::new(TimingModel::default(), FidelityModel::perfect_shuttle());
         let ops = vec![
-            ScheduledOp::Shuttle { qubit: q(0), from_zone: 3, to_zone: 0, distance_um: 100.0 },
-            ScheduledOp::TwoQubitGate { a: q(0), b: q(1), zone: 0, ions_in_zone: 2 },
+            ScheduledOp::Shuttle {
+                qubit: q(0),
+                from_zone: 3,
+                to_zone: 0,
+                distance_um: 100.0,
+            },
+            ScheduledOp::TwoQubitGate {
+                a: q(0),
+                b: q(1),
+                zone: 0,
+                ions_in_zone: 2,
+            },
         ];
         let m = ideal.execute(&ops);
         let real = ScheduleExecutor::paper_defaults().execute(&ops);
@@ -235,23 +356,87 @@ mod tests {
     #[test]
     fn fidelity_matches_hand_computation_for_single_gate() {
         let exec = ScheduleExecutor::paper_defaults();
-        let ops = vec![ScheduledOp::TwoQubitGate { a: q(0), b: q(1), zone: 0, ions_in_zone: 4 }];
+        let ops = vec![ScheduledOp::TwoQubitGate {
+            a: q(0),
+            b: q(1),
+            zone: 0,
+            ions_in_zone: 4,
+        }];
         let expected = LogFidelity::from_fidelity(1.0 - 16.0 / 25_600.0);
         let m = exec.execute(&ops);
         assert!((m.log_fidelity.ln() - expected.ln()).abs() < 1e-12);
     }
 
     #[test]
+    fn execute_sized_matches_execute_even_when_undersized() {
+        let exec = ScheduleExecutor::paper_defaults();
+        let ops = vec![
+            ScheduledOp::Shuttle {
+                qubit: q(9),
+                from_zone: 3,
+                to_zone: 0,
+                distance_um: 100.0,
+            },
+            ScheduledOp::TwoQubitGate {
+                a: q(9),
+                b: q(1),
+                zone: 0,
+                ions_in_zone: 2,
+            },
+            ScheduledOp::FiberGate {
+                a: q(1),
+                b: q(4),
+                zone_a: 0,
+                zone_b: 7,
+            },
+        ];
+        let auto = exec.execute(&ops);
+        let sized = exec.execute_sized(&ops, 10, 8);
+        let undersized = exec.execute_sized(&ops, 0, 0);
+        for m in [&sized, &undersized] {
+            assert_eq!(m.execution_time_us, auto.execution_time_us);
+            assert_eq!(m.log_fidelity.ln(), auto.log_fidelity.ln());
+            assert_eq!(m.shuttle_count, auto.shuttle_count);
+        }
+    }
+
+    #[test]
     fn counts_every_operation_kind() {
         let exec = ScheduleExecutor::paper_defaults();
         let ops = vec![
-            ScheduledOp::SingleQubitGate { qubit: q(0), zone: 0 },
-            ScheduledOp::TwoQubitGate { a: q(0), b: q(1), zone: 0, ions_in_zone: 2 },
-            ScheduledOp::SwapGate { a: q(0), b: q(1), zone: 0, ions_in_zone: 2 },
-            ScheduledOp::FiberGate { a: q(0), b: q(2), zone_a: 0, zone_b: 4 },
-            ScheduledOp::Shuttle { qubit: q(1), from_zone: 0, to_zone: 1, distance_um: 100.0 },
+            ScheduledOp::SingleQubitGate {
+                qubit: q(0),
+                zone: 0,
+            },
+            ScheduledOp::TwoQubitGate {
+                a: q(0),
+                b: q(1),
+                zone: 0,
+                ions_in_zone: 2,
+            },
+            ScheduledOp::SwapGate {
+                a: q(0),
+                b: q(1),
+                zone: 0,
+                ions_in_zone: 2,
+            },
+            ScheduledOp::FiberGate {
+                a: q(0),
+                b: q(2),
+                zone_a: 0,
+                zone_b: 4,
+            },
+            ScheduledOp::Shuttle {
+                qubit: q(1),
+                from_zone: 0,
+                to_zone: 1,
+                distance_um: 100.0,
+            },
             ScheduledOp::ChainRearrange { zone: 1 },
-            ScheduledOp::Measurement { qubit: q(0), zone: 0 },
+            ScheduledOp::Measurement {
+                qubit: q(0),
+                zone: 0,
+            },
         ];
         let m = exec.execute(&ops);
         assert_eq!(m.single_qubit_gates, 1);

@@ -155,12 +155,18 @@ impl FidelityModel {
 
     /// The "perfect gate" idealisation of the optimality analysis (Fig. 13).
     pub fn perfect_gates() -> Self {
-        FidelityModel { perfect_gates: true, ..Self::default() }
+        FidelityModel {
+            perfect_gates: true,
+            ..Self::default()
+        }
     }
 
     /// The "perfect shuttle" idealisation of the optimality analysis (Fig. 13).
     pub fn perfect_shuttle() -> Self {
-        FidelityModel { perfect_shuttle: true, ..Self::default() }
+        FidelityModel {
+            perfect_shuttle: true,
+            ..Self::default()
+        }
     }
 
     /// Heat (motional quanta) deposited by a complete shuttle of one hop
@@ -216,7 +222,11 @@ impl FidelityModel {
     /// Fidelity of a fiber-mediated remote gate. Background heat of both
     /// optical zones applies.
     pub fn fiber_fidelity(&self, zone_heat_a: f64, zone_heat_b: f64) -> LogFidelity {
-        let raw = if self.perfect_gates { 0.9999 } else { self.fiber_fidelity };
+        let raw = if self.perfect_gates {
+            0.9999
+        } else {
+            self.fiber_fidelity
+        };
         LogFidelity::from_fidelity(raw)
             * self.background_fidelity(zone_heat_a)
             * self.background_fidelity(zone_heat_b)

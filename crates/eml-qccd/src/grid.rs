@@ -109,13 +109,19 @@ impl GridConfig {
     /// below 2.
     pub fn validate(&self) -> Result<(), DeviceError> {
         if self.rows == 0 || self.cols == 0 {
-            return Err(DeviceError::InvalidConfig("grid must have at least one trap".into()));
+            return Err(DeviceError::InvalidConfig(
+                "grid must have at least one trap".into(),
+            ));
         }
         if self.trap_capacity < 2 {
-            return Err(DeviceError::InvalidConfig("trap capacity must be at least 2".into()));
+            return Err(DeviceError::InvalidConfig(
+                "trap capacity must be at least 2".into(),
+            ));
         }
         if !self.inter_trap_distance_um.is_finite() || self.inter_trap_distance_um <= 0.0 {
-            return Err(DeviceError::InvalidConfig("inter-trap distance must be positive".into()));
+            return Err(DeviceError::InvalidConfig(
+                "inter-trap distance must be positive".into(),
+            ));
         }
         Ok(())
     }
@@ -137,7 +143,11 @@ impl GridConfig {
     /// Propagates [`GridConfig::validate`] failures.
     pub fn try_build(&self) -> Result<QccdGridDevice, DeviceError> {
         self.validate()?;
-        Ok(QccdGridDevice { config: self.clone() })
+        let traps = (0..self.rows * self.cols).map(TrapId).collect();
+        Ok(QccdGridDevice {
+            config: self.clone(),
+            traps,
+        })
     }
 }
 
@@ -154,6 +164,9 @@ impl GridConfig {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct QccdGridDevice {
     config: GridConfig,
+    /// All trap ids, row-major — precomputed so [`QccdGridDevice::traps`]
+    /// serves a borrowed slice instead of allocating per call.
+    traps: Vec<TrapId>,
 }
 
 impl QccdGridDevice {
@@ -177,14 +190,17 @@ impl QccdGridDevice {
         self.config.trap_capacity
     }
 
-    /// All trap ids, row-major.
-    pub fn traps(&self) -> Vec<TrapId> {
-        (0..self.num_traps()).map(TrapId).collect()
+    /// All trap ids, row-major (precomputed slice).
+    pub fn traps(&self) -> &[TrapId] {
+        &self.traps
     }
 
     /// The `(row, col)` coordinates of a trap.
     pub fn coordinates(&self, trap: TrapId) -> (usize, usize) {
-        (trap.index() / self.config.cols, trap.index() % self.config.cols)
+        (
+            trap.index() / self.config.cols,
+            trap.index() % self.config.cols,
+        )
     }
 
     /// The trap at `(row, col)`, if it exists.
@@ -265,7 +281,7 @@ mod tests {
     #[test]
     fn coordinates_round_trip() {
         let g = GridConfig::new(3, 4, 8).build();
-        for t in g.traps() {
+        for &t in g.traps() {
             let (r, c) = g.coordinates(t);
             assert_eq!(g.trap_at(r, c), Some(t));
         }

@@ -7,7 +7,9 @@
 //! * [`DeviceConfig`] / [`EmlQccdDevice`] — the modular architecture of the
 //!   paper: QCCD modules partitioned into storage (level 0), operation
 //!   (level 1) and optical (level 2) zones, linked pairwise by optical
-//!   fibers.
+//!   fibers. Structural queries are served from a precomputed
+//!   [`DeviceTopology`] index (borrowed slices, `O(1)` lookups, no per-query
+//!   allocation).
 //! * [`GridConfig`] / [`QccdGridDevice`] — the monolithic QCCD grid targeted
 //!   by the baseline compilers (Murali et al. style).
 //! * [`ScheduledOp`] — the operation vocabulary compilers emit (gates,
@@ -56,6 +58,7 @@ mod grid;
 mod metrics;
 mod ops;
 mod timing;
+mod topology;
 mod zone;
 
 pub use compiler::{CompiledProgram, Compiler};
@@ -68,4 +71,5 @@ pub use grid::{GridConfig, QccdGridDevice, TrapId};
 pub use metrics::ExecutionMetrics;
 pub use ops::{ResourceId, ScheduledOp};
 pub use timing::TimingModel;
+pub use topology::DeviceTopology;
 pub use zone::{ModuleId, Zone, ZoneId, ZoneLevel};

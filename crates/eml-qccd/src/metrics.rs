@@ -93,7 +93,11 @@ mod tests {
 
     #[test]
     fn display_includes_shuttles_and_time() {
-        let m = ExecutionMetrics { shuttle_count: 7, execution_time_us: 1234.0, ..Default::default() };
+        let m = ExecutionMetrics {
+            shuttle_count: 7,
+            execution_time_us: 1234.0,
+            ..Default::default()
+        };
         let text = m.to_string();
         assert!(text.contains("shuttles=7"));
         assert!(text.contains("1234"));

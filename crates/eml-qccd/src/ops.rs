@@ -106,6 +106,36 @@ impl ScheduledOp {
         )
     }
 
+    /// The qubits this operation acts on, as an allocation-free pair
+    /// (`None` slots are unused; `ChainRearrange` touches no qubit).
+    pub fn qubit_pair(&self) -> (Option<QubitId>, Option<QubitId>) {
+        match self {
+            ScheduledOp::SingleQubitGate { qubit, .. }
+            | ScheduledOp::Shuttle { qubit, .. }
+            | ScheduledOp::Measurement { qubit, .. } => (Some(*qubit), None),
+            ScheduledOp::TwoQubitGate { a, b, .. }
+            | ScheduledOp::SwapGate { a, b, .. }
+            | ScheduledOp::FiberGate { a, b, .. } => (Some(*a), Some(*b)),
+            ScheduledOp::ChainRearrange { .. } => (None, None),
+        }
+    }
+
+    /// The zone/trap resources this operation occupies, as an
+    /// allocation-free pair (every operation occupies at least one zone).
+    pub fn zone_pair(&self) -> (ResourceId, Option<ResourceId>) {
+        match self {
+            ScheduledOp::SingleQubitGate { zone, .. }
+            | ScheduledOp::TwoQubitGate { zone, .. }
+            | ScheduledOp::SwapGate { zone, .. }
+            | ScheduledOp::Measurement { zone, .. }
+            | ScheduledOp::ChainRearrange { zone } => (*zone, None),
+            ScheduledOp::FiberGate { zone_a, zone_b, .. } => (*zone_a, Some(*zone_b)),
+            ScheduledOp::Shuttle {
+                from_zone, to_zone, ..
+            } => (*from_zone, Some(*to_zone)),
+        }
+    }
+
     /// The qubits this operation acts on.
     pub fn qubits(&self) -> Vec<QubitId> {
         match self {
@@ -128,7 +158,9 @@ impl ScheduledOp {
             | ScheduledOp::Measurement { zone, .. }
             | ScheduledOp::ChainRearrange { zone } => vec![*zone],
             ScheduledOp::FiberGate { zone_a, zone_b, .. } => vec![*zone_a, *zone_b],
-            ScheduledOp::Shuttle { from_zone, to_zone, .. } => vec![*from_zone, *to_zone],
+            ScheduledOp::Shuttle {
+                from_zone, to_zone, ..
+            } => vec![*from_zone, *to_zone],
         }
     }
 }
@@ -163,5 +195,52 @@ mod tests {
         let op = ScheduledOp::ChainRearrange { zone: 3 };
         assert!(op.qubits().is_empty());
         assert_eq!(op.zones(), vec![3]);
+    }
+
+    #[test]
+    fn pair_accessors_agree_with_vec_accessors() {
+        let ops = vec![
+            ScheduledOp::SingleQubitGate {
+                qubit: QubitId::new(0),
+                zone: 0,
+            },
+            ScheduledOp::TwoQubitGate {
+                a: QubitId::new(0),
+                b: QubitId::new(1),
+                zone: 2,
+                ions_in_zone: 2,
+            },
+            ScheduledOp::SwapGate {
+                a: QubitId::new(3),
+                b: QubitId::new(4),
+                zone: 1,
+                ions_in_zone: 3,
+            },
+            ScheduledOp::FiberGate {
+                a: QubitId::new(0),
+                b: QubitId::new(5),
+                zone_a: 0,
+                zone_b: 4,
+            },
+            ScheduledOp::Shuttle {
+                qubit: QubitId::new(2),
+                from_zone: 1,
+                to_zone: 3,
+                distance_um: 100.0,
+            },
+            ScheduledOp::ChainRearrange { zone: 6 },
+            ScheduledOp::Measurement {
+                qubit: QubitId::new(1),
+                zone: 5,
+            },
+        ];
+        for op in &ops {
+            let (qa, qb) = op.qubit_pair();
+            let flat: Vec<QubitId> = [qa, qb].into_iter().flatten().collect();
+            assert_eq!(flat, op.qubits(), "{op:?}");
+            let (za, zb) = op.zone_pair();
+            let flat: Vec<usize> = std::iter::once(Some(za)).chain([zb]).flatten().collect();
+            assert_eq!(flat, op.zones(), "{op:?}");
+        }
     }
 }

@@ -1,0 +1,262 @@
+//! Precomputed device-topology index: every query the compilers ask on the
+//! hot path, answered from dense arrays built once at device construction.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{DeviceConfig, ModuleId, Zone, ZoneId, ZoneLevel};
+
+/// Dense index over an EML-QCCD device's static structure.
+///
+/// [`EmlQccdDevice`](crate::EmlQccdDevice) builds one of these in its
+/// constructor and serves every structural query from it: zones-per-module
+/// and zones-per-level come back as borrowed slices, module capacities and
+/// intra-module hop/distance lookups are `O(1)` array reads, and the fiber
+/// link matrix is a dense boolean table. Nothing here allocates per query —
+/// the contract the flat placement/execution state layer relies on.
+///
+/// The index exploits two invariants of the zone table:
+///
+/// * zones are laid out module-by-module, so one module's zones form a
+///   contiguous run of [`ZoneId`]s;
+/// * inside a module, zones are ordered optical → operation → storage, so
+///   one module's zones of a given level are contiguous too.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceTopology {
+    /// All module ids, in order.
+    modules: Vec<ModuleId>,
+    /// Zones per module (identical for every module).
+    zones_per_module: usize,
+    /// `[start, end)` offsets of each level's run inside one module's zone
+    /// slice, indexed by [`ZoneLevel::level`].
+    level_offsets: [(usize, usize); 3],
+    /// Every zone of a given level across the device, ordered by [`ZoneId`];
+    /// indexed by [`ZoneLevel::level`].
+    by_level: [Vec<Zone>; 3],
+    /// Effective ion capacity per module (bounded by the per-module cap).
+    module_capacity: Vec<usize>,
+    /// Sum of [`DeviceTopology::module_capacity`] over all modules.
+    total_capacity: usize,
+    /// Layout position of each zone within its module (0 = optical end).
+    zone_pos: Vec<usize>,
+    /// Pairwise intra-module hop table, `hops[a_pos * zones_per_module +
+    /// b_pos]`; one table serves every module because the layouts coincide.
+    intra_hops: Vec<usize>,
+    /// Physical distance of one zone-to-zone hop, in micrometres.
+    hop_um: f64,
+    /// Fiber-link matrix, `fiber[a * num_modules + b]`.
+    fiber: Vec<bool>,
+}
+
+impl DeviceTopology {
+    /// Builds the index from the validated configuration and the finished
+    /// zone table (ordered by [`ZoneId`], module-major).
+    pub(crate) fn build(config: &DeviceConfig, zones: &[Zone]) -> Self {
+        let num_modules = config.num_modules();
+        let zones_per_module = zones.len().checked_div(num_modules).unwrap_or(0);
+        let optical = config.optical_zones_per_module();
+        let operation = config.operation_zones_per_module();
+        let level_offsets = [
+            (optical + operation, zones_per_module), // storage (level 0)
+            (optical, optical + operation),          // operation (level 1)
+            (0, optical),                            // optical (level 2)
+        ];
+
+        let mut by_level: [Vec<Zone>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+        for zone in zones {
+            by_level[zone.level.level() as usize].push(*zone);
+        }
+
+        let mut module_capacity = Vec::with_capacity(num_modules);
+        for m in 0..num_modules {
+            let slots: usize = zones[m * zones_per_module..(m + 1) * zones_per_module]
+                .iter()
+                .map(|z| z.capacity)
+                .sum();
+            module_capacity.push(slots.min(config.max_qubits_per_module()));
+        }
+        let total_capacity = module_capacity.iter().sum();
+
+        let zone_pos: Vec<usize> = zones
+            .iter()
+            .map(|z| z.id.index() % zones_per_module.max(1))
+            .collect();
+        let mut intra_hops = vec![0usize; zones_per_module * zones_per_module];
+        for a in 0..zones_per_module {
+            for b in 0..zones_per_module {
+                intra_hops[a * zones_per_module + b] = a.abs_diff(b);
+            }
+        }
+
+        let linked = optical > 0;
+        let mut fiber = vec![false; num_modules * num_modules];
+        for a in 0..num_modules {
+            for b in 0..num_modules {
+                fiber[a * num_modules + b] = linked && a != b;
+            }
+        }
+
+        DeviceTopology {
+            modules: (0..num_modules).map(ModuleId).collect(),
+            zones_per_module,
+            level_offsets,
+            by_level,
+            module_capacity,
+            total_capacity,
+            zone_pos,
+            intra_hops,
+            hop_um: config.inter_zone_distance_um(),
+            fiber,
+        }
+    }
+
+    /// All module identifiers, as a borrowed slice.
+    pub fn modules(&self) -> &[ModuleId] {
+        &self.modules
+    }
+
+    /// Number of zones in each module.
+    pub fn zones_per_module(&self) -> usize {
+        self.zones_per_module
+    }
+
+    /// The contiguous [`ZoneId`] index range of one module's zones.
+    pub fn module_zone_range(&self, module: ModuleId) -> std::ops::Range<usize> {
+        let start = module.index() * self.zones_per_module;
+        start..start + self.zones_per_module
+    }
+
+    /// The index range of one module's zones of a given level, relative to
+    /// the whole zone table.
+    pub fn module_level_range(&self, module: ModuleId, level: ZoneLevel) -> std::ops::Range<usize> {
+        let base = module.index() * self.zones_per_module;
+        let (start, end) = self.level_offsets[level.level() as usize];
+        base + start..base + end
+    }
+
+    /// Every zone of a given level across the device, ordered by [`ZoneId`].
+    pub fn zones_at_level(&self, level: ZoneLevel) -> &[Zone] {
+        &self.by_level[level.level() as usize]
+    }
+
+    /// Effective ion capacity of a module (`O(1)`).
+    pub fn module_capacity(&self, module: ModuleId) -> usize {
+        self.module_capacity[module.index()]
+    }
+
+    /// Total ion capacity of the device (`O(1)`).
+    pub fn total_capacity(&self) -> usize {
+        self.total_capacity
+    }
+
+    /// Layout position of a zone within its module (`O(1)`).
+    pub fn zone_pos(&self, zone: ZoneId) -> usize {
+        self.zone_pos[zone.index()]
+    }
+
+    /// Zone-to-zone hops between two zones of the same module (`O(1)` table
+    /// read; the caller guarantees the zones share a module).
+    pub fn intra_module_hops(&self, a: ZoneId, b: ZoneId) -> usize {
+        self.intra_hops[self.zone_pos(a) * self.zones_per_module + self.zone_pos(b)]
+    }
+
+    /// Physical intra-module distance in micrometres (`O(1)`).
+    pub fn intra_module_distance_um(&self, a: ZoneId, b: ZoneId) -> f64 {
+        self.intra_module_hops(a, b) as f64 * self.hop_um
+    }
+
+    /// `true` if the two modules' optical zones are fiber-linked (`O(1)`
+    /// matrix read; out-of-range modules are never linked).
+    pub fn fiber_linked(&self, a: ModuleId, b: ModuleId) -> bool {
+        let n = self.modules.len();
+        a.index() < n && b.index() < n && self.fiber[a.index() * n + b.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topology(modules: usize) -> (crate::EmlQccdDevice, DeviceTopology) {
+        let device = DeviceConfig::default().with_modules(modules).build();
+        let topo = device.topology().clone();
+        (device, topo)
+    }
+
+    #[test]
+    fn module_zone_ranges_are_contiguous_and_cover_the_table() {
+        let (device, topo) = topology(3);
+        let mut covered = 0usize;
+        for &m in topo.modules() {
+            let range = topo.module_zone_range(m);
+            assert_eq!(range.len(), topo.zones_per_module());
+            for idx in range.clone() {
+                assert_eq!(device.zones()[idx].module, m);
+            }
+            covered += range.len();
+        }
+        assert_eq!(covered, device.zones().len());
+    }
+
+    #[test]
+    fn level_ranges_partition_each_module() {
+        let (device, topo) = topology(2);
+        for &m in topo.modules() {
+            let mut total = 0usize;
+            for level in ZoneLevel::all() {
+                let range = topo.module_level_range(m, level);
+                for idx in range.clone() {
+                    assert_eq!(device.zones()[idx].level, level);
+                    assert_eq!(device.zones()[idx].module, m);
+                }
+                total += range.len();
+            }
+            assert_eq!(total, topo.zones_per_module());
+        }
+    }
+
+    #[test]
+    fn by_level_matches_a_linear_scan() {
+        let (device, topo) = topology(4);
+        for level in ZoneLevel::all() {
+            let expected: Vec<ZoneId> = device
+                .zones()
+                .iter()
+                .filter(|z| z.level == level)
+                .map(|z| z.id)
+                .collect();
+            let actual: Vec<ZoneId> = topo.zones_at_level(level).iter().map(|z| z.id).collect();
+            assert_eq!(actual, expected);
+        }
+    }
+
+    #[test]
+    fn hop_table_matches_layout_positions() {
+        let (device, topo) = topology(2);
+        for &m in topo.modules() {
+            let range = topo.module_zone_range(m);
+            for a in range.clone() {
+                for b in range.clone() {
+                    let (za, zb) = (device.zones()[a].id, device.zones()[b].id);
+                    assert_eq!(
+                        topo.intra_module_hops(za, zb),
+                        topo.zone_pos(za).abs_diff(topo.zone_pos(zb))
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fiber_matrix_links_distinct_pairs_only_with_optical_zones() {
+        let (_, topo) = topology(3);
+        assert!(topo.fiber_linked(ModuleId(0), ModuleId(2)));
+        assert!(!topo.fiber_linked(ModuleId(1), ModuleId(1)));
+        assert!(!topo.fiber_linked(ModuleId(0), ModuleId(7)));
+
+        let no_optical = DeviceConfig::default()
+            .with_optical_zones(0)
+            .with_modules(2)
+            .build();
+        assert!(!no_optical.topology().fiber_linked(ModuleId(0), ModuleId(1)));
+    }
+}

@@ -28,7 +28,9 @@ fn main() {
                 out_path = args.get(i).expect("--out needs a path").clone();
             }
             other => {
-                eprintln!("unknown argument {other}; supported: --smoke, --iterations N, --out PATH");
+                eprintln!(
+                    "unknown argument {other}; supported: --smoke, --iterations N, --out PATH"
+                );
                 std::process::exit(2);
             }
         }
@@ -43,5 +45,8 @@ fn main() {
     print!("{}", report.render());
     std::fs::write(&out_path, report.to_json())
         .unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
-    println!("wrote {out_path} ({} measurements, {iterations} iteration(s) each)", report.rows.len());
+    println!(
+        "wrote {out_path} ({} measurements, {iterations} iteration(s) each)",
+        report.rows.len()
+    );
 }

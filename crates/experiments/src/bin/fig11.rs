@@ -3,6 +3,9 @@ fn main() {
     let result = experiments::fig11::run();
     print!("{}", result.render());
     for app in experiments::fig11::fig11_apps() {
-        println!("{app}: combined technique best = {}", result.combined_is_best(app));
+        println!(
+            "{app}: combined technique best = {}",
+            result.combined_is_best(app)
+        );
     }
 }

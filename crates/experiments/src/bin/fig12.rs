@@ -2,5 +2,8 @@
 fn main() {
     let result = experiments::fig12::run();
     print!("{}", result.render());
-    println!("Applications where two zones win: {}", result.two_zone_wins());
+    println!(
+        "Applications where two zones win: {}",
+        result.two_zone_wins()
+    );
 }

@@ -2,6 +2,12 @@
 fn main() {
     let result = experiments::fig13::run();
     print!("{}", result.render());
-    println!("Idealisations dominate the real model: {}", result.idealisations_dominate());
-    println!("Perfect-gate wins on {} applications", result.perfect_gate_wins());
+    println!(
+        "Idealisations dominate the real model: {}",
+        result.idealisations_dominate()
+    );
+    println!(
+        "Perfect-gate wins on {} applications",
+        result.perfect_gate_wins()
+    );
 }

@@ -1,60 +1,14 @@
 //! Prints an FNV-1a fingerprint of every compiler's op stream across the
-//! generator suite, for seed-vs-optimized equivalence checking.
+//! generator suite, for seed-vs-optimized equivalence checking. The suite,
+//! variants and hash live in [`experiments::fingerprint`], shared with the
+//! pinned determinism test (`tests/op_fingerprints.rs`).
 
-use baselines::{DaiCompiler, MqtStyleCompiler, MuraliCompiler};
-use eml_qccd::{Compiler, DeviceConfig};
-use ion_circuit::generators;
-use muss_ti::{MussTiCompiler, MussTiOptions};
-
-fn fnv(bytes: &[u8]) -> u64 {
-    let mut hash: u64 = 0xcbf29ce484222325;
-    for &b in bytes {
-        hash ^= b as u64;
-        hash = hash.wrapping_mul(0x100000001b3);
-    }
-    hash
-}
+use experiments::fingerprint;
 
 fn main() {
-    let circuits = vec![
-        generators::qft(24),
-        generators::qft(48),
-        generators::ghz(32),
-        generators::qaoa(24),
-        generators::adder(24),
-        generators::bv(32),
-        generators::sqrt(22),
-        generators::supremacy(25),
-        generators::random_circuit(24, 150, 5),
-        generators::random_circuit(32, 200, 17),
-    ];
-    for circuit in &circuits {
-        let n = circuit.num_qubits();
-        for (label, options) in [
-            ("full", MussTiOptions::default()),
-            ("trivial", MussTiOptions::trivial()),
-            ("swap_only", MussTiOptions::swap_insert_only()),
-        ] {
-            let program = MussTiCompiler::new(DeviceConfig::for_qubits(n).build(), options)
-                .compile(circuit)
-                .unwrap();
-            println!(
-                "{}\tMUSS-TI/{}\t{:016x}",
-                circuit.name(),
-                label,
-                fnv(format!("{:?}", program.ops()).as_bytes())
-            );
-        }
-        let murali = MuraliCompiler::for_qubits(n).compile(circuit).unwrap();
-        let dai = DaiCompiler::for_qubits(n).compile(circuit).unwrap();
-        let mqt = MqtStyleCompiler::for_qubits(n).compile(circuit).unwrap();
-        for (label, program) in [("murali", murali), ("dai", dai), ("mqt", mqt)] {
-            println!(
-                "{}\t{}\t{:016x}",
-                circuit.name(),
-                label,
-                fnv(format!("{:?}", program.ops()).as_bytes())
-            );
+    for circuit in fingerprint::suite() {
+        for (variant, hash) in fingerprint::fingerprints_for(&circuit) {
+            println!("{}\t{}\t{:016x}", circuit.name(), variant, hash);
         }
     }
 }

@@ -13,8 +13,26 @@ use std::time::Instant;
 use baselines::{DaiCompiler, MqtStyleCompiler, MuraliCompiler};
 use eml_qccd::{Compiler, DeviceConfig};
 use ion_circuit::{generators, Circuit};
-use muss_ti::{MussTiCompiler, MussTiOptions};
+use muss_ti::{MussTiCompiler, MussTiOptions, PhaseTimings};
 use serde::{Deserialize, Serialize};
+
+/// Sums `phases` into `acc`, field by field.
+fn accumulate(acc: &mut PhaseTimings, phases: &PhaseTimings) {
+    acc.placement_ms += phases.placement_ms;
+    acc.scheduling_ms += phases.scheduling_ms;
+    acc.swap_insertion_ms += phases.swap_insertion_ms;
+    acc.lowering_ms += phases.lowering_ms;
+}
+
+/// Divides every field by `iterations` to get per-compile means.
+fn averaged(mut sum: PhaseTimings, iterations: usize) -> PhaseTimings {
+    let n = iterations as f64;
+    sum.placement_ms /= n;
+    sum.scheduling_ms /= n;
+    sum.swap_insertion_ms /= n;
+    sum.lowering_ms /= n;
+    sum
+}
 
 /// Wall-clock numbers for one (circuit, compiler) pair.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -33,6 +51,10 @@ pub struct BenchRow {
     pub wall_ms_min: f64,
     /// Slowest iteration, in milliseconds.
     pub wall_ms_max: f64,
+    /// Mean per-phase breakdown (MUSS-TI only; averaged over the iterations —
+    /// baselines report `None` because they have no comparable phase
+    /// structure).
+    pub phases: Option<PhaseTimings>,
 }
 
 /// A full benchmark run: configuration plus every row.
@@ -71,14 +93,61 @@ pub fn run(iterations: usize) -> BenchReport {
 /// fit their devices) or if `iterations` is zero.
 pub fn run_with(circuits: &[Circuit], iterations: usize) -> BenchReport {
     assert!(iterations > 0, "at least one timed iteration is required");
+
+    fn finish_row(
+        circuit: &Circuit,
+        compiler: &str,
+        samples_ms: &[f64],
+        phases: Option<PhaseTimings>,
+    ) -> BenchRow {
+        let min = samples_ms.iter().cloned().fold(f64::MAX, f64::min);
+        let max = samples_ms.iter().cloned().fold(f64::MIN, f64::max);
+        let mean = samples_ms.iter().sum::<f64>() / samples_ms.len() as f64;
+        BenchRow {
+            circuit: circuit.name().to_string(),
+            qubits: circuit.num_qubits(),
+            two_qubit_gates: circuit.two_qubit_gate_count(),
+            compiler: compiler.to_string(),
+            wall_ms_mean: mean,
+            wall_ms_min: min,
+            wall_ms_max: max,
+            phases,
+        }
+    }
+
     let mut rows = Vec::new();
     for circuit in circuits {
         let n = circuit.num_qubits();
-        let muss_ti = MussTiCompiler::new(DeviceConfig::for_qubits(n).build(), MussTiOptions::default());
+
+        // MUSS-TI runs through the instrumented path so the report shows
+        // where compile time goes (placement / scheduling / swap-insertion /
+        // lowering) — that is what nominates the next hot-path candidate.
+        let muss_ti = MussTiCompiler::new(
+            DeviceConfig::for_qubits(n).build(),
+            MussTiOptions::default(),
+        );
+        let mut samples_ms = Vec::with_capacity(iterations);
+        let mut phase_sum = PhaseTimings::default();
+        for _ in 0..iterations {
+            let start = Instant::now();
+            let (program, _, phases) = muss_ti
+                .compile_with_phases(circuit)
+                .unwrap_or_else(|e| panic!("{} on {}: {e}", muss_ti.name(), circuit.name()));
+            samples_ms.push(start.elapsed().as_secs_f64() * 1e3);
+            accumulate(&mut phase_sum, &phases);
+            std::hint::black_box(program);
+        }
+        rows.push(finish_row(
+            circuit,
+            muss_ti.name(),
+            &samples_ms,
+            Some(averaged(phase_sum, iterations)),
+        ));
+
         let murali = MuraliCompiler::for_qubits(n);
         let dai = DaiCompiler::for_qubits(n);
         let mqt = MqtStyleCompiler::for_qubits(n);
-        let compilers: Vec<&dyn Compiler> = vec![&muss_ti, &murali, &dai, &mqt];
+        let compilers: Vec<&dyn Compiler> = vec![&murali, &dai, &mqt];
         for compiler in compilers {
             let mut samples_ms = Vec::with_capacity(iterations);
             for _ in 0..iterations {
@@ -89,18 +158,7 @@ pub fn run_with(circuits: &[Circuit], iterations: usize) -> BenchReport {
                 samples_ms.push(start.elapsed().as_secs_f64() * 1e3);
                 std::hint::black_box(program);
             }
-            let min = samples_ms.iter().cloned().fold(f64::MAX, f64::min);
-            let max = samples_ms.iter().cloned().fold(f64::MIN, f64::max);
-            let mean = samples_ms.iter().sum::<f64>() / samples_ms.len() as f64;
-            rows.push(BenchRow {
-                circuit: circuit.name().to_string(),
-                qubits: n,
-                two_qubit_gates: circuit.two_qubit_gate_count(),
-                compiler: compiler.name().to_string(),
-                wall_ms_mean: mean,
-                wall_ms_min: min,
-                wall_ms_max: max,
-            });
+            rows.push(finish_row(circuit, compiler.name(), &samples_ms, None));
         }
     }
     BenchReport { iterations, rows }
@@ -110,10 +168,22 @@ impl BenchReport {
     /// Serialises the report as pretty-printed JSON.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
-        out.push_str(&format!("  \"benchmark\": \"compile_time\",\n  \"iterations\": {},\n  \"results\": [\n", self.iterations));
+        out.push_str(&format!(
+            "  \"benchmark\": \"compile_time\",\n  \"iterations\": {},\n  \"results\": [\n",
+            self.iterations
+        ));
         for (i, row) in self.rows.iter().enumerate() {
+            let phases = row
+                .phases
+                .map(|p| {
+                    format!(
+                        ", \"phases\": {{\"placement_ms\": {:.3}, \"scheduling_ms\": {:.3}, \"swap_insertion_ms\": {:.3}, \"lowering_ms\": {:.3}}}",
+                        p.placement_ms, p.scheduling_ms, p.swap_insertion_ms, p.lowering_ms,
+                    )
+                })
+                .unwrap_or_default();
             out.push_str(&format!(
-                "    {{\"circuit\": {}, \"qubits\": {}, \"two_qubit_gates\": {}, \"compiler\": {}, \"wall_ms_mean\": {:.3}, \"wall_ms_min\": {:.3}, \"wall_ms_max\": {:.3}}}{}\n",
+                "    {{\"circuit\": {}, \"qubits\": {}, \"two_qubit_gates\": {}, \"compiler\": {}, \"wall_ms_mean\": {:.3}, \"wall_ms_min\": {:.3}, \"wall_ms_max\": {:.3}{}}}{}\n",
                 json_string(&row.circuit),
                 row.qubits,
                 row.two_qubit_gates,
@@ -121,6 +191,7 @@ impl BenchReport {
                 row.wall_ms_mean,
                 row.wall_ms_min,
                 row.wall_ms_max,
+                phases,
                 if i + 1 < self.rows.len() { "," } else { "" },
             ));
         }
@@ -132,7 +203,15 @@ impl BenchReport {
     pub fn render(&self) -> String {
         let mut table = crate::report::Table::new(
             "Compile-time micro-benchmark (wall-clock per compiler)",
-            &["Circuit", "Qubits", "2Q gates", "Compiler", "Mean (ms)", "Min (ms)", "Max (ms)"],
+            &[
+                "Circuit",
+                "Qubits",
+                "2Q gates",
+                "Compiler",
+                "Mean (ms)",
+                "Min (ms)",
+                "Max (ms)",
+            ],
         );
         for row in &self.rows {
             table.push_row(vec![
@@ -145,7 +224,31 @@ impl BenchReport {
                 format!("{:.3}", row.wall_ms_max),
             ]);
         }
-        table.render()
+        let mut out = table.render();
+
+        let mut phase_table = crate::report::Table::new(
+            "MUSS-TI per-phase breakdown (mean ms per compile)",
+            &[
+                "Circuit",
+                "Placement",
+                "Scheduling",
+                "SWAP insertion",
+                "Lowering",
+            ],
+        );
+        for row in self.rows.iter().filter(|r| r.phases.is_some()) {
+            let p = row.phases.expect("filtered on is_some");
+            phase_table.push_row(vec![
+                row.circuit.clone(),
+                format!("{:.3}", p.placement_ms),
+                format!("{:.3}", p.scheduling_ms),
+                format!("{:.3}", p.swap_insertion_ms),
+                format!("{:.3}", p.lowering_ms),
+            ]);
+        }
+        out.push('\n');
+        out.push_str(&phase_table.render());
+        out
     }
 }
 
@@ -180,6 +283,38 @@ mod tests {
         assert!(report.rows.iter().all(|r| r.circuit == "GHZ_16"));
         assert!(report.rows.iter().all(|r| r.wall_ms_mean >= r.wall_ms_min));
         assert!(report.rows.iter().all(|r| r.wall_ms_max >= r.wall_ms_mean));
+    }
+
+    #[test]
+    fn muss_ti_rows_carry_phase_breakdowns() {
+        let circuits = vec![generators::qft(12)];
+        let report = run_with(&circuits, 2);
+        for row in &report.rows {
+            if row.compiler == "MUSS-TI" {
+                let phases = row.phases.expect("MUSS-TI rows report phases");
+                let total = phases.placement_ms
+                    + phases.scheduling_ms
+                    + phases.swap_insertion_ms
+                    + phases.lowering_ms;
+                assert!(total > 0.0, "phase breakdown must account for some time");
+                assert!(
+                    total <= row.wall_ms_mean * 1.5 + 0.5,
+                    "phases ({total} ms) cannot dwarf the wall clock ({} ms)",
+                    row.wall_ms_mean
+                );
+            } else {
+                assert!(
+                    row.phases.is_none(),
+                    "{} has no phase structure",
+                    row.compiler
+                );
+            }
+        }
+        let json = report.to_json();
+        assert_eq!(json.matches("\"phases\"").count(), 1);
+        assert!(json.contains("\"placement_ms\""));
+        assert!(json.contains("\"swap_insertion_ms\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 
     #[test]

@@ -26,7 +26,9 @@ pub fn run() -> Fig11Result {
 
 /// Runs the trade-off experiment for explicit applications.
 pub fn run_with(apps: &[&str]) -> Fig11Result {
-    Fig11Result { points: run_ablation(apps).points }
+    Fig11Result {
+        points: run_ablation(apps).points,
+    }
 }
 
 impl Fig11Result {

@@ -29,7 +29,15 @@ pub struct Fig12Result {
 
 /// The applications of Fig. 12 (the large-scale suite).
 pub fn fig12_apps() -> Vec<&'static str> {
-    vec!["Adder_256", "BV_256", "QAOA_256", "GHZ_256", "RAN_256", "SC_274", "SQRT_299"]
+    vec![
+        "Adder_256",
+        "BV_256",
+        "QAOA_256",
+        "GHZ_256",
+        "RAN_256",
+        "SC_274",
+        "SQRT_299",
+    ]
 }
 
 /// Runs the full comparison (1 vs 2 optical zones).
@@ -82,7 +90,8 @@ impl Fig12Result {
     /// Number of applications for which two zones achieve fidelity at least
     /// as good as one zone (the paper finds this for most applications).
     pub fn two_zone_wins(&self) -> usize {
-        let apps: std::collections::BTreeSet<&str> = self.points.iter().map(|p| p.app.as_str()).collect();
+        let apps: std::collections::BTreeSet<&str> =
+            self.points.iter().map(|p| p.app.as_str()).collect();
         apps.into_iter()
             .filter(|app| {
                 let get = |zones: usize| {

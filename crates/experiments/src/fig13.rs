@@ -31,8 +31,16 @@ pub struct Fig13Result {
 /// The applications of Fig. 13 (medium suite plus ~298-qubit variants).
 pub fn fig13_apps() -> Vec<&'static str> {
     vec![
-        "Adder_128", "BV_128", "GHZ_128", "QAOA_128", "SQRT_117", "Adder_298", "BV_298",
-        "GHZ_298", "QAOA_298", "SQRT_299",
+        "Adder_128",
+        "BV_128",
+        "GHZ_128",
+        "QAOA_128",
+        "SQRT_117",
+        "Adder_298",
+        "BV_298",
+        "GHZ_298",
+        "QAOA_298",
+        "SQRT_299",
     ]
 }
 
@@ -45,10 +53,14 @@ pub fn run() -> Fig13Result {
 /// compiled once with the real models and re-evaluated under each
 /// idealisation, exactly as the paper varies only the fidelity model.
 pub fn run_with(apps: &[&str]) -> Fig13Result {
-    let perfect_gate_exec =
-        ScheduleExecutor::new(TimingModel::paper_defaults(), FidelityModel::perfect_gates());
-    let perfect_shuttle_exec =
-        ScheduleExecutor::new(TimingModel::paper_defaults(), FidelityModel::perfect_shuttle());
+    let perfect_gate_exec = ScheduleExecutor::new(
+        TimingModel::paper_defaults(),
+        FidelityModel::perfect_gates(),
+    );
+    let perfect_shuttle_exec = ScheduleExecutor::new(
+        TimingModel::paper_defaults(),
+        FidelityModel::perfect_shuttle(),
+    );
     let mut points = Vec::new();
     for app in apps {
         let circuit = circuit_for(app);
@@ -95,7 +107,10 @@ impl Fig13Result {
     /// Number of applications where the perfect-gate idealisation helps more
     /// than the perfect-shuttle one (the paper observes this is the majority).
     pub fn perfect_gate_wins(&self) -> usize {
-        self.points.iter().filter(|p| p.perfect_gate >= p.perfect_shuttle).count()
+        self.points
+            .iter()
+            .filter(|p| p.perfect_gate >= p.perfect_shuttle)
+            .count()
     }
 }
 

@@ -33,7 +33,11 @@ fn scale_name(scale: BenchmarkScale) -> &'static str {
 
 /// Runs the full Figure 6 experiment (all three scales).
 pub fn run() -> Fig6Result {
-    run_scales(&[BenchmarkScale::Small, BenchmarkScale::Medium, BenchmarkScale::Large])
+    run_scales(&[
+        BenchmarkScale::Small,
+        BenchmarkScale::Medium,
+        BenchmarkScale::Large,
+    ])
 }
 
 /// Runs Figure 6 for a subset of scales.
@@ -50,7 +54,10 @@ pub fn run_scales(scales: &[BenchmarkScale]) -> Fig6Result {
                     results.push(result);
                 }
             }
-            Fig6Column { scale: scale_name(scale).to_string(), results }
+            Fig6Column {
+                scale: scale_name(scale).to_string(),
+                results,
+            }
         })
         .collect();
     Fig6Result { columns }
@@ -63,7 +70,13 @@ impl Fig6Result {
         for column in &self.columns {
             let mut table = Table::new(
                 format!("Fig 6 — {}", column.scale),
-                &["Application", "Compiler", "Shuttles", "Time (us)", "Fidelity"],
+                &[
+                    "Application",
+                    "Compiler",
+                    "Shuttles",
+                    "Time (us)",
+                    "Fidelity",
+                ],
             );
             for r in &column.results {
                 table.push_row(vec![
@@ -135,7 +148,9 @@ impl Fig6Result {
                         .iter()
                         .filter(|r| r.app == app && !r.compiler.starts_with("MUSS-TI"))
                         .map(|r| r.execution_time_us)
-                        .fold(None, |acc: Option<f64>, t| Some(acc.map_or(t, |a| a.min(t))));
+                        .fold(None, |acc: Option<f64>, t| {
+                            Some(acc.map_or(t, |a| a.min(t)))
+                        });
                     if let (Some(ours), Some(best)) = (ours, best) {
                         reductions.push(percent_reduction(best, ours));
                     }
@@ -168,7 +183,10 @@ mod tests {
             "MUSS-TI should reduce shuttles on average: {reductions:?}"
         );
         let times = result.time_reduction_per_scale();
-        assert!(times[0].1 > 0.0, "MUSS-TI should reduce execution time: {times:?}");
+        assert!(
+            times[0].1 > 0.0,
+            "MUSS-TI should reduce execution time: {times:?}"
+        );
         // Fidelity: MUSS-TI stays within a few orders of magnitude of the
         // best baseline for every small-scale application (the paper reports
         // a net improvement; see EXPERIMENTS.md for the measured gap and the

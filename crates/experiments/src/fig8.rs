@@ -43,8 +43,18 @@ pub fn techniques() -> Vec<(&'static str, MussTiOptions)> {
 /// The applications of Fig. 8 (medium and large suites).
 pub fn fig8_apps() -> Vec<&'static str> {
     vec![
-        "Adder_128", "BV_128", "GHZ_128", "QAOA_128", "SQRT_117", "Adder_256", "BV_256",
-        "GHZ_256", "QAOA_256", "RAN_256", "SC_274", "SQRT_299",
+        "Adder_128",
+        "BV_128",
+        "GHZ_128",
+        "QAOA_128",
+        "SQRT_117",
+        "Adder_256",
+        "BV_256",
+        "GHZ_256",
+        "QAOA_256",
+        "RAN_256",
+        "SC_274",
+        "SQRT_299",
     ]
 }
 
@@ -80,7 +90,13 @@ impl Fig8Result {
     pub fn render(&self) -> String {
         let mut table = Table::new(
             "Fig 8 — Ablation of compilation techniques",
-            &["Application", "Technique", "Fidelity", "Shuttles", "Compile (s)"],
+            &[
+                "Application",
+                "Technique",
+                "Fidelity",
+                "Shuttles",
+                "Compile (s)",
+            ],
         );
         for p in &self.points {
             table.push_row(vec![
@@ -105,10 +121,14 @@ impl Fig8Result {
     /// Number of applications for which the combined configuration is at
     /// least as good as the trivial baseline.
     pub fn combined_wins(&self) -> usize {
-        let apps: std::collections::BTreeSet<&str> = self.points.iter().map(|p| p.app.as_str()).collect();
+        let apps: std::collections::BTreeSet<&str> =
+            self.points.iter().map(|p| p.app.as_str()).collect();
         apps.into_iter()
             .filter(|app| {
-                match (self.fidelity(app, "SABRE + SWAP Insert"), self.fidelity(app, "Trivial")) {
+                match (
+                    self.fidelity(app, "SABRE + SWAP Insert"),
+                    self.fidelity(app, "Trivial"),
+                ) {
                     (Some(full), Some(trivial)) => full >= trivial,
                     _ => false,
                 }
@@ -139,7 +159,10 @@ mod tests {
     #[test]
     fn technique_list_matches_paper() {
         let names: Vec<&str> = techniques().iter().map(|(n, _)| *n).collect();
-        assert_eq!(names, vec!["Trivial", "SWAP Insert", "SABRE", "SABRE + SWAP Insert"]);
+        assert_eq!(
+            names,
+            vec!["Trivial", "SWAP Insert", "SABRE", "SABRE + SWAP Insert"]
+        );
         assert_eq!(fig8_apps().len(), 12);
     }
 }

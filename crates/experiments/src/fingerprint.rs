@@ -1,0 +1,93 @@
+//! Shared op-stream fingerprinting: the FNV hash, the fingerprint suite and
+//! the MUSS-TI option variants, used by both the `op_fingerprint` bin and
+//! the pinned determinism test (`tests/op_fingerprints.rs`) so the two
+//! cannot drift apart.
+
+use baselines::{DaiCompiler, MqtStyleCompiler, MuraliCompiler};
+use eml_qccd::{CompiledProgram, Compiler, DeviceConfig};
+use ion_circuit::{generators, Circuit};
+use muss_ti::{MussTiCompiler, MussTiOptions};
+
+/// FNV-1a over a byte slice.
+pub fn fnv(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    hash
+}
+
+/// FNV-1a fingerprint of a program's exhaustive `Debug`-rendered op stream.
+pub fn fingerprint(program: &CompiledProgram) -> u64 {
+    fnv(format!("{:?}", program.ops()).as_bytes())
+}
+
+/// The circuits the fingerprints are pinned on: one per generator family
+/// plus seeded random circuits.
+pub fn suite() -> Vec<Circuit> {
+    vec![
+        generators::qft(24),
+        generators::qft(48),
+        generators::ghz(32),
+        generators::qaoa(24),
+        generators::adder(24),
+        generators::bv(32),
+        generators::sqrt(22),
+        generators::supremacy(25),
+        generators::random_circuit(24, 150, 5),
+        generators::random_circuit(32, 200, 17),
+    ]
+}
+
+/// The MUSS-TI option variants fingerprinted per circuit.
+pub fn muss_ti_variants() -> [(&'static str, MussTiOptions); 3] {
+    [
+        ("full", MussTiOptions::default()),
+        ("trivial", MussTiOptions::trivial()),
+        ("swap_only", MussTiOptions::swap_insert_only()),
+    ]
+}
+
+/// Every `(variant-label, fingerprint)` for one circuit, in the order the
+/// `op_fingerprint` bin prints them: the three MUSS-TI variants, then the
+/// three baselines.
+///
+/// # Panics
+///
+/// Panics if a compiler fails on the circuit (the suite is sized to fit).
+pub fn fingerprints_for(circuit: &Circuit) -> Vec<(String, u64)> {
+    let n = circuit.num_qubits();
+    let mut out = Vec::with_capacity(6);
+    for (label, options) in muss_ti_variants() {
+        let program = MussTiCompiler::new(DeviceConfig::for_qubits(n).build(), options)
+            .compile(circuit)
+            .unwrap_or_else(|e| panic!("{}: {e}", circuit.name()));
+        out.push((format!("MUSS-TI/{label}"), fingerprint(&program)));
+    }
+    let murali = MuraliCompiler::for_qubits(n).compile(circuit).unwrap();
+    let dai = DaiCompiler::for_qubits(n).compile(circuit).unwrap();
+    let mqt = MqtStyleCompiler::for_qubits(n).compile(circuit).unwrap();
+    for (label, program) in [("murali", murali), ("dai", dai), ("mqt", mqt)] {
+        out.push((label.to_string(), fingerprint(&program)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_reference_values() {
+        // FNV-1a test vectors.
+        assert_eq!(fnv(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv(b"a"), 0xaf63dc4c8601ec8c);
+    }
+
+    #[test]
+    fn fingerprints_are_stable_within_a_run() {
+        let circuit = generators::ghz(8);
+        assert_eq!(fingerprints_for(&circuit), fingerprints_for(&circuit));
+    }
+}

@@ -32,6 +32,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod fingerprint;
 pub mod report;
 pub mod runner;
 pub mod table2;

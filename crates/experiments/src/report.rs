@@ -54,7 +54,11 @@ impl Table {
             .map(|(i, h)| format!("{:width$}", h, width = widths[i]))
             .collect();
         let _ = writeln!(out, "{}", header_line.join("  "));
-        let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (columns - 1)));
+        let _ = writeln!(
+            out,
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * (columns - 1))
+        );
         for row in &self.rows {
             let line: Vec<String> = row
                 .iter()

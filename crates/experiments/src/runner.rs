@@ -51,7 +51,10 @@ pub fn evaluate(compiler: &dyn Compiler, circuit: &Circuit) -> Result<AppResult,
 /// Section 4 setup: one module per 32 qubits, trap capacity 16, one optical +
 /// one operation + two storage zones per module.
 pub fn muss_ti_for(circuit: &Circuit, options: MussTiOptions) -> MussTiCompiler {
-    MussTiCompiler::new(DeviceConfig::for_qubits(circuit.num_qubits()).build(), options)
+    MussTiCompiler::new(
+        DeviceConfig::for_qubits(circuit.num_qubits()).build(),
+        options,
+    )
 }
 
 /// Builds a MUSS-TI compiler whose module count and trap capacity mirror a

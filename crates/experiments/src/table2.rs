@@ -25,15 +25,23 @@ pub struct Table2Result {
 
 /// The applications of Table 2.
 pub fn table2_apps() -> Vec<&'static str> {
-    vec!["Adder_32", "BV_32", "GHZ_32", "QAOA_32", "QFT_32", "SQRT_30"]
+    vec![
+        "Adder_32", "BV_32", "GHZ_32", "QAOA_32", "QFT_32", "SQRT_30",
+    ]
 }
 
 /// The two structures of Table 2: a 2×2 grid with trap capacity 12 and a 2×3
 /// grid with trap capacity 8.
 pub fn table2_structures() -> Vec<(String, GridConfig)> {
     vec![
-        ("Grid 2x2 (capacity 12)".to_string(), GridConfig::new(2, 2, 12)),
-        ("Grid 2x3 (capacity 8)".to_string(), GridConfig::new(2, 3, 8)),
+        (
+            "Grid 2x2 (capacity 12)".to_string(),
+            GridConfig::new(2, 2, 12),
+        ),
+        (
+            "Grid 2x3 (capacity 8)".to_string(),
+            GridConfig::new(2, 3, 8),
+        ),
     ]
 }
 
@@ -52,8 +60,9 @@ pub fn run_with_apps(apps: &[&str]) -> Table2Result {
         for app in apps {
             let circuit = circuit_for(app);
             for compiler in &compilers {
-                let result = evaluate(compiler.as_ref(), &circuit)
-                    .unwrap_or_else(|e| panic!("{app} on {structure} with {}: {e}", compiler.name()));
+                let result = evaluate(compiler.as_ref(), &circuit).unwrap_or_else(|e| {
+                    panic!("{app} on {structure} with {}: {e}", compiler.name())
+                });
                 results.push(result);
             }
         }
@@ -69,7 +78,13 @@ impl Table2Result {
         for block in &self.blocks {
             let mut table = Table::new(
                 format!("Table 2 — {}", block.structure),
-                &["Application", "Compiler", "Shuttle Count", "Execution Time (us)", "Fidelity"],
+                &[
+                    "Application",
+                    "Compiler",
+                    "Shuttle Count",
+                    "Execution Time (us)",
+                    "Fidelity",
+                ],
             );
             for r in &block.results {
                 table.push_row(vec![
@@ -106,7 +121,10 @@ impl Table2Result {
                     .map(|r| r.shuttles)
                     .min();
                 if let (Some(ours), Some(base)) = (ours, best_baseline) {
-                    reductions.push(crate::report::percent_reduction(base as f64, ours.shuttles as f64));
+                    reductions.push(crate::report::percent_reduction(
+                        base as f64,
+                        ours.shuttles as f64,
+                    ));
                 }
             }
         }

@@ -131,12 +131,18 @@ impl Circuit {
 
     /// Appends an Rz rotation on qubit `q`.
     pub fn rz(&mut self, q: usize, theta: f64) -> &mut Self {
-        self.push(Gate::Rz { qubit: QubitId::new(q), theta })
+        self.push(Gate::Rz {
+            qubit: QubitId::new(q),
+            theta,
+        })
     }
 
     /// Appends an Rx rotation on qubit `q`.
     pub fn rx(&mut self, q: usize, theta: f64) -> &mut Self {
-        self.push(Gate::Rx { qubit: QubitId::new(q), theta })
+        self.push(Gate::Rx {
+            qubit: QubitId::new(q),
+            theta,
+        })
     }
 
     /// Appends a CX gate.
@@ -165,7 +171,11 @@ impl Circuit {
 
     /// Appends an Ising ZZ interaction.
     pub fn rzz(&mut self, a: usize, b: usize, theta: f64) -> &mut Self {
-        self.push(Gate::Rzz { a: QubitId::new(a), b: QubitId::new(b), theta })
+        self.push(Gate::Rzz {
+            a: QubitId::new(a),
+            b: QubitId::new(b),
+            theta,
+        })
     }
 
     /// Appends a logical SWAP gate.
@@ -252,7 +262,11 @@ impl Circuit {
                 continue;
             }
             let qs = gate.qubits();
-            let start = qs.iter().map(|q| level.get(q).copied().unwrap_or(0)).max().unwrap_or(0);
+            let start = qs
+                .iter()
+                .map(|q| level.get(q).copied().unwrap_or(0))
+                .max()
+                .unwrap_or(0);
             let end = start + 1;
             for q in qs {
                 level.insert(q, end);
@@ -369,7 +383,9 @@ mod tests {
         c.push(Gate::Ms(QubitId::new(1), QubitId::new(1)));
         assert_eq!(
             c.validate(),
-            Err(CircuitError::DuplicateOperand { qubit: QubitId::new(1) })
+            Err(CircuitError::DuplicateOperand {
+                qubit: QubitId::new(1)
+            })
         );
     }
 

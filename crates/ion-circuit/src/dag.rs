@@ -259,8 +259,7 @@ impl DependencyDag {
             }
         }
         let unexecuted_preds: Vec<usize> = predecessors.iter().map(Vec::len).collect();
-        let ready: BTreeSet<usize> =
-            (0..n).filter(|&i| unexecuted_preds[i] == 0).collect();
+        let ready: BTreeSet<usize> = (0..n).filter(|&i| unexecuted_preds[i] == 0).collect();
         let window = RefCell::new(LookaheadWindow::new(n, circuit.num_qubits()));
         DependencyDag {
             gates,
@@ -393,7 +392,13 @@ impl DependencyDag {
             }
         }
         let mut window = self.window.borrow_mut();
-        window.refresh(k, &self.ready, &self.successors, &self.unexecuted_preds, &self.gates);
+        window.refresh(
+            k,
+            &self.ready,
+            &self.successors,
+            &self.unexecuted_preds,
+            &self.gates,
+        );
     }
 
     /// Runs `f` with the cached window for `k`, refreshing it first if
@@ -479,7 +484,10 @@ impl DependencyDag {
 
     /// Iterates over every (node, gate) pair in program order.
     pub fn iter(&self) -> impl Iterator<Item = (DagNodeId, &Gate)> {
-        self.gates.iter().enumerate().map(|(i, g)| (DagNodeId(i), g))
+        self.gates
+            .iter()
+            .enumerate()
+            .map(|(i, g)| (DagNodeId(i), g))
     }
 
     /// The direct successors of a node (`O(1)`, borrowed).
@@ -572,7 +580,10 @@ impl NaiveDag {
     /// [`DependencyDag::mark_executed`].
     pub fn mark_executed(&mut self, node: DagNodeId) {
         assert!(!self.executed[node.0], "node {node:?} executed twice");
-        assert_eq!(self.unexecuted_preds[node.0], 0, "node {node:?} executed early");
+        assert_eq!(
+            self.unexecuted_preds[node.0], 0,
+            "node {node:?} executed early"
+        );
         self.executed[node.0] = true;
         self.remaining -= 1;
         for &succ in &self.successors[node.0] {

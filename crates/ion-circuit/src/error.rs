@@ -34,7 +34,9 @@ impl fmt::Display for CircuitError {
             CircuitError::DuplicateOperand { qubit } => {
                 write!(f, "two-qubit gate applied to {qubit} twice")
             }
-            CircuitError::EmptyRegister => write!(f, "circuit register must have at least one qubit"),
+            CircuitError::EmptyRegister => {
+                write!(f, "circuit register must have at least one qubit")
+            }
         }
     }
 }

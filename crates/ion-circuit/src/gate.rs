@@ -133,7 +133,9 @@ impl Gate {
             }
             Gate::U { qubit, .. } => vec![*qubit],
             Gate::Ms(a, b) | Gate::Cx(a, b) | Gate::Cz(a, b) | Gate::Swap(a, b) => vec![*a, *b],
-            Gate::Cp { control, target, .. } => vec![*control, *target],
+            Gate::Cp {
+                control, target, ..
+            } => vec![*control, *target],
             Gate::Rzz { a, b, .. } => vec![*a, *b],
             Gate::Barrier(qs) => qs.clone(),
         }
@@ -176,7 +178,9 @@ impl Gate {
     pub fn two_qubit_pair(&self) -> Option<(QubitId, QubitId)> {
         match self {
             Gate::Ms(a, b) | Gate::Cx(a, b) | Gate::Cz(a, b) | Gate::Swap(a, b) => Some((*a, *b)),
-            Gate::Cp { control, target, .. } => Some((*control, *target)),
+            Gate::Cp {
+                control, target, ..
+            } => Some((*control, *target)),
             Gate::Rzz { a, b, .. } => Some((*a, *b)),
             _ => None,
         }
@@ -232,7 +236,11 @@ mod tests {
     #[test]
     fn single_qubit_classification() {
         assert!(Gate::H(QubitId::new(0)).is_single_qubit());
-        assert!(Gate::Rz { qubit: QubitId::new(2), theta: 0.5 }.is_single_qubit());
+        assert!(Gate::Rz {
+            qubit: QubitId::new(2),
+            theta: 0.5
+        }
+        .is_single_qubit());
         assert!(!Gate::Measure(QubitId::new(0)).is_single_qubit());
         assert!(!Gate::Barrier(vec![]).is_single_qubit());
     }

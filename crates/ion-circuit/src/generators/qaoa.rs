@@ -28,7 +28,10 @@ pub fn qaoa(n: usize) -> Circuit {
 /// Panics if `n < 4` or `n` is odd.
 pub fn qaoa_with_params(n: usize, p: usize, seed: u64) -> Circuit {
     assert!(n >= 4, "QAOA requires at least four qubits");
-    assert!(n.is_multiple_of(2), "3-regular graphs require an even number of vertices");
+    assert!(
+        n.is_multiple_of(2),
+        "3-regular graphs require an even number of vertices"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let edges = random_3_regular_edges(n, &mut rng);
 

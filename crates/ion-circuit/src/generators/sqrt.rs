@@ -110,7 +110,11 @@ mod tests {
     fn sqrt_30_is_communication_heavy() {
         let c = sqrt(30);
         assert_eq!(c.num_qubits(), 30);
-        assert!(c.two_qubit_gate_count() > 200, "got {}", c.two_qubit_gate_count());
+        assert!(
+            c.two_qubit_gate_count() > 200,
+            "got {}",
+            c.two_qubit_gate_count()
+        );
         assert!(c.validate().is_ok());
     }
 

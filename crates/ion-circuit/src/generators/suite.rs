@@ -25,7 +25,9 @@ impl BenchmarkScale {
     pub fn labels(self) -> Vec<&'static str> {
         match self {
             BenchmarkScale::Small => {
-                vec!["Adder_32", "BV_32", "QAOA_32", "GHZ_32", "QFT_32", "SQRT_30"]
+                vec![
+                    "Adder_32", "BV_32", "QAOA_32", "GHZ_32", "QFT_32", "SQRT_30",
+                ]
             }
             BenchmarkScale::Medium => {
                 vec!["Adder_128", "BV_128", "QAOA_128", "GHZ_128", "SQRT_117"]
@@ -198,7 +200,9 @@ mod tests {
 
     #[test]
     fn labels_round_trip() {
-        for label in ["Adder_32", "BV_128", "GHZ_256", "QAOA_32", "QFT_32", "SQRT_30", "RAN_256", "SC_274"] {
+        for label in [
+            "Adder_32", "BV_128", "GHZ_256", "QAOA_32", "QFT_32", "SQRT_30", "RAN_256", "SC_274",
+        ] {
             let app = BenchmarkApp::from_label(label).unwrap();
             assert_eq!(app.label(), label, "label {label} should round-trip");
         }
@@ -237,9 +241,18 @@ mod tests {
 
     #[test]
     fn scales_partition_by_qubit_count() {
-        assert_eq!(BenchmarkApp::from_label("BV_32").unwrap().scale(), BenchmarkScale::Small);
-        assert_eq!(BenchmarkApp::from_label("BV_128").unwrap().scale(), BenchmarkScale::Medium);
-        assert_eq!(BenchmarkApp::from_label("BV_256").unwrap().scale(), BenchmarkScale::Large);
+        assert_eq!(
+            BenchmarkApp::from_label("BV_32").unwrap().scale(),
+            BenchmarkScale::Small
+        );
+        assert_eq!(
+            BenchmarkApp::from_label("BV_128").unwrap().scale(),
+            BenchmarkScale::Medium
+        );
+        assert_eq!(
+            BenchmarkApp::from_label("BV_256").unwrap().scale(),
+            BenchmarkScale::Large
+        );
     }
 
     #[test]

@@ -203,8 +203,10 @@ mod tests {
         let mut c = Circuit::new(4);
         c.cx(0, 1).cx(3, 2).cx(1, 0);
         let g = InteractionGraph::from_circuit(&c);
-        let edges: Vec<(usize, usize, usize)> =
-            g.iter().map(|(a, b, w)| (a.index(), b.index(), w)).collect();
+        let edges: Vec<(usize, usize, usize)> = g
+            .iter()
+            .map(|(a, b, w)| (a.index(), b.index(), w))
+            .collect();
         assert_eq!(edges, vec![(0, 1, 2), (2, 3, 1)]);
     }
 

@@ -90,23 +90,35 @@ pub(crate) fn lex(source: &str) -> Vec<Token> {
                         }
                     }
                 } else {
-                    tokens.push(Token { kind: TokenKind::Op('/'), line });
+                    tokens.push(Token {
+                        kind: TokenKind::Op('/'),
+                        line,
+                    });
                 }
             }
             '-' => {
                 chars.next();
                 if chars.peek() == Some(&'>') {
                     chars.next();
-                    tokens.push(Token { kind: TokenKind::Arrow, line });
+                    tokens.push(Token {
+                        kind: TokenKind::Arrow,
+                        line,
+                    });
                 } else {
-                    tokens.push(Token { kind: TokenKind::Op('-'), line });
+                    tokens.push(Token {
+                        kind: TokenKind::Op('-'),
+                        line,
+                    });
                 }
             }
             '=' => {
                 chars.next();
                 if chars.peek() == Some(&'=') {
                     chars.next();
-                    tokens.push(Token { kind: TokenKind::EqEq, line });
+                    tokens.push(Token {
+                        kind: TokenKind::EqEq,
+                        line,
+                    });
                 }
             }
             '"' => {
@@ -118,43 +130,73 @@ pub(crate) fn lex(source: &str) -> Vec<Token> {
                     }
                     s.push(c);
                 }
-                tokens.push(Token { kind: TokenKind::Str(s), line });
+                tokens.push(Token {
+                    kind: TokenKind::Str(s),
+                    line,
+                });
             }
             ';' => {
                 chars.next();
-                tokens.push(Token { kind: TokenKind::Semicolon, line });
+                tokens.push(Token {
+                    kind: TokenKind::Semicolon,
+                    line,
+                });
             }
             ',' => {
                 chars.next();
-                tokens.push(Token { kind: TokenKind::Comma, line });
+                tokens.push(Token {
+                    kind: TokenKind::Comma,
+                    line,
+                });
             }
             '[' => {
                 chars.next();
-                tokens.push(Token { kind: TokenKind::LBracket, line });
+                tokens.push(Token {
+                    kind: TokenKind::LBracket,
+                    line,
+                });
             }
             ']' => {
                 chars.next();
-                tokens.push(Token { kind: TokenKind::RBracket, line });
+                tokens.push(Token {
+                    kind: TokenKind::RBracket,
+                    line,
+                });
             }
             '(' => {
                 chars.next();
-                tokens.push(Token { kind: TokenKind::LParen, line });
+                tokens.push(Token {
+                    kind: TokenKind::LParen,
+                    line,
+                });
             }
             ')' => {
                 chars.next();
-                tokens.push(Token { kind: TokenKind::RParen, line });
+                tokens.push(Token {
+                    kind: TokenKind::RParen,
+                    line,
+                });
             }
             '{' => {
                 chars.next();
-                tokens.push(Token { kind: TokenKind::LBrace, line });
+                tokens.push(Token {
+                    kind: TokenKind::LBrace,
+                    line,
+                });
             }
             '}' => {
                 chars.next();
-                tokens.push(Token { kind: TokenKind::RBrace, line });
+                tokens.push(Token {
+                    kind: TokenKind::RBrace,
+                    line,
+                });
             }
             '+' | '*' => {
                 chars.next();
-                tokens.push(Token { kind: TokenKind::Op(ch), line });
+                tokens.push(Token {
+                    kind: TokenKind::Op(ch),
+                    line,
+                });
             }
             c if c.is_ascii_digit() || c == '.' => {
                 let mut text = String::new();
@@ -173,7 +215,10 @@ pub(crate) fn lex(source: &str) -> Vec<Token> {
                     }
                 }
                 let value = text.parse::<f64>().unwrap_or(0.0);
-                tokens.push(Token { kind: TokenKind::Number(value), line });
+                tokens.push(Token {
+                    kind: TokenKind::Number(value),
+                    line,
+                });
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let mut text = String::new();
@@ -185,7 +230,10 @@ pub(crate) fn lex(source: &str) -> Vec<Token> {
                         break;
                     }
                 }
-                tokens.push(Token { kind: TokenKind::Ident(text), line });
+                tokens.push(Token {
+                    kind: TokenKind::Ident(text),
+                    line,
+                });
             }
             _ => {
                 // Skip any character we do not understand (OPENQASM version dots, etc.).
@@ -220,7 +268,9 @@ mod tests {
     #[test]
     fn lexes_arrow_and_string() {
         let tokens = lex("include \"qelib1.inc\"; measure q -> c;");
-        assert!(tokens.iter().any(|t| t.kind == TokenKind::Str("qelib1.inc".to_string())));
+        assert!(tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Str("qelib1.inc".to_string())));
         assert!(tokens.iter().any(|t| t.kind == TokenKind::Arrow));
     }
 
@@ -228,7 +278,9 @@ mod tests {
     fn lexes_parameter_expressions() {
         let tokens = lex("rz(pi/2) q[1];");
         assert!(tokens.iter().any(|t| t.kind == TokenKind::Op('/')));
-        assert!(tokens.iter().any(|t| t.kind == TokenKind::Ident("pi".to_string())));
+        assert!(tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Ident("pi".to_string())));
     }
 
     #[test]

@@ -54,7 +54,11 @@ impl fmt::Display for QasmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             QasmError::UnexpectedEof => write!(f, "unexpected end of QASM source"),
-            QasmError::Unexpected { found, expected, line } => {
+            QasmError::Unexpected {
+                found,
+                expected,
+                line,
+            } => {
                 write!(f, "line {line}: expected {expected}, found '{found}'")
             }
             QasmError::UnknownRegister { name, line } => {
@@ -64,7 +68,10 @@ impl fmt::Display for QasmError {
                 write!(f, "line {line}: unsupported gate '{name}'")
             }
             QasmError::IndexOutOfRange { name, index, line } => {
-                write!(f, "line {line}: index {index} out of range for register '{name}'")
+                write!(
+                    f,
+                    "line {line}: index {index} out of range for register '{name}'"
+                )
             }
             QasmError::NoQuantumRegister => write!(f, "no quantum register declared"),
         }
@@ -121,7 +128,10 @@ impl Parser {
 
     fn expect_semicolon(&mut self) -> Result<(), QasmError> {
         match self.next() {
-            Some(Token { kind: TokenKind::Semicolon, .. }) => Ok(()),
+            Some(Token {
+                kind: TokenKind::Semicolon,
+                ..
+            }) => Ok(()),
             Some(t) => Err(QasmError::Unexpected {
                 found: t.kind.to_string(),
                 expected: ";",
@@ -238,8 +248,14 @@ impl Parser {
             let mut arg = self.parse_argument(line)?;
             qubits.append(&mut arg);
             match self.next() {
-                Some(Token { kind: TokenKind::Comma, .. }) => continue,
-                Some(Token { kind: TokenKind::Semicolon, .. }) => break,
+                Some(Token {
+                    kind: TokenKind::Comma,
+                    ..
+                }) => continue,
+                Some(Token {
+                    kind: TokenKind::Semicolon,
+                    ..
+                }) => break,
                 Some(t) => {
                     return Err(QasmError::Unexpected {
                         found: t.kind.to_string(),
@@ -256,7 +272,13 @@ impl Parser {
 
     fn parse_gate(&mut self, name: &str, line: usize) -> Result<(), QasmError> {
         // Optional parameter list.
-        let params = if matches!(self.peek(), Some(Token { kind: TokenKind::LParen, .. })) {
+        let params = if matches!(
+            self.peek(),
+            Some(Token {
+                kind: TokenKind::LParen,
+                ..
+            })
+        ) {
             self.next();
             self.parse_params(line)?
         } else {
@@ -267,8 +289,14 @@ impl Parser {
         loop {
             operands.push(self.parse_argument(line)?);
             match self.next() {
-                Some(Token { kind: TokenKind::Comma, .. }) => continue,
-                Some(Token { kind: TokenKind::Semicolon, .. }) => break,
+                Some(Token {
+                    kind: TokenKind::Comma,
+                    ..
+                }) => continue,
+                Some(Token {
+                    kind: TokenKind::Semicolon,
+                    ..
+                }) => break,
                 Some(t) => {
                     return Err(QasmError::Unexpected {
                         found: t.kind.to_string(),
@@ -335,20 +363,53 @@ impl Parser {
             "sdg" => Gate::Sdg(op(0)?),
             "t" => Gate::T(op(0)?),
             "tdg" => Gate::Tdg(op(0)?),
-            "id" => Gate::Rz { qubit: op(0)?, theta: 0.0 },
-            "rx" => Gate::Rx { qubit: op(0)?, theta: p(0) },
-            "ry" => Gate::Ry { qubit: op(0)?, theta: p(0) },
-            "rz" | "u1" | "p" => Gate::Rz { qubit: op(0)?, theta: p(0) },
-            "u2" => Gate::U { qubit: op(0)?, theta: PI / 2.0, phi: p(0), lambda: p(1) },
-            "u3" | "u" => Gate::U { qubit: op(0)?, theta: p(0), phi: p(1), lambda: p(2) },
+            "id" => Gate::Rz {
+                qubit: op(0)?,
+                theta: 0.0,
+            },
+            "rx" => Gate::Rx {
+                qubit: op(0)?,
+                theta: p(0),
+            },
+            "ry" => Gate::Ry {
+                qubit: op(0)?,
+                theta: p(0),
+            },
+            "rz" | "u1" | "p" => Gate::Rz {
+                qubit: op(0)?,
+                theta: p(0),
+            },
+            "u2" => Gate::U {
+                qubit: op(0)?,
+                theta: PI / 2.0,
+                phi: p(0),
+                lambda: p(1),
+            },
+            "u3" | "u" => Gate::U {
+                qubit: op(0)?,
+                theta: p(0),
+                phi: p(1),
+                lambda: p(2),
+            },
             "cx" | "CX" => Gate::Cx(op(0)?, op(1)?),
             "cz" => Gate::Cz(op(0)?, op(1)?),
-            "cp" | "cu1" => Gate::Cp { control: op(0)?, target: op(1)?, theta: p(0) },
-            "rzz" => Gate::Rzz { a: op(0)?, b: op(1)?, theta: p(0) },
+            "cp" | "cu1" => Gate::Cp {
+                control: op(0)?,
+                target: op(1)?,
+                theta: p(0),
+            },
+            "rzz" => Gate::Rzz {
+                a: op(0)?,
+                b: op(1)?,
+                theta: p(0),
+            },
             "swap" => Gate::Swap(op(0)?, op(1)?),
             "ms" | "rxx" => Gate::Ms(op(0)?, op(1)?),
             other => {
-                return Err(QasmError::UnsupportedGate { name: other.to_string(), line });
+                return Err(QasmError::UnsupportedGate {
+                    name: other.to_string(),
+                    line,
+                });
             }
         };
         Ok(gate)
@@ -360,19 +421,32 @@ impl Parser {
         let mut current = ExprAccumulator::new();
         loop {
             match self.next() {
-                Some(Token { kind: TokenKind::RParen, .. }) => {
+                Some(Token {
+                    kind: TokenKind::RParen,
+                    ..
+                }) => {
                     params.push(current.finish());
                     break;
                 }
-                Some(Token { kind: TokenKind::Comma, .. }) => {
+                Some(Token {
+                    kind: TokenKind::Comma,
+                    ..
+                }) => {
                     params.push(current.finish());
                     current = ExprAccumulator::new();
                 }
-                Some(Token { kind: TokenKind::Number(n), .. }) => current.push_value(n),
-                Some(Token { kind: TokenKind::Ident(word), .. }) if word == "pi" => {
-                    current.push_value(PI)
-                }
-                Some(Token { kind: TokenKind::Op(op), .. }) => current.push_op(op),
+                Some(Token {
+                    kind: TokenKind::Number(n),
+                    ..
+                }) => current.push_value(n),
+                Some(Token {
+                    kind: TokenKind::Ident(word),
+                    ..
+                }) if word == "pi" => current.push_value(PI),
+                Some(Token {
+                    kind: TokenKind::Op(op),
+                    ..
+                }) => current.push_op(op),
                 Some(t) => {
                     return Err(QasmError::Unexpected {
                         found: t.kind.to_string(),
@@ -390,7 +464,10 @@ impl Parser {
     /// Parses `reg` or `reg[i]`, returning the referenced qubits.
     fn parse_argument(&mut self, _line: usize) -> Result<Vec<QubitId>, QasmError> {
         let (name, line) = match self.next() {
-            Some(Token { kind: TokenKind::Ident(name), line }) => (name, line),
+            Some(Token {
+                kind: TokenKind::Ident(name),
+                line,
+            }) => (name, line),
             Some(t) => {
                 return Err(QasmError::Unexpected {
                     found: t.kind.to_string(),
@@ -403,8 +480,17 @@ impl Parser {
         let &(offset, size) = self
             .qregs
             .get(&name)
-            .ok_or_else(|| QasmError::UnknownRegister { name: name.clone(), line })?;
-        if matches!(self.peek(), Some(Token { kind: TokenKind::LBracket, .. })) {
+            .ok_or_else(|| QasmError::UnknownRegister {
+                name: name.clone(),
+                line,
+            })?;
+        if matches!(
+            self.peek(),
+            Some(Token {
+                kind: TokenKind::LBracket,
+                ..
+            })
+        ) {
             self.next();
             let index = self.expect_number(line)? as usize;
             self.expect_kind(TokenKind::RBracket, "]", line)?;
@@ -419,7 +505,10 @@ impl Parser {
 
     fn expect_ident(&mut self, _line: usize) -> Result<String, QasmError> {
         match self.next() {
-            Some(Token { kind: TokenKind::Ident(s), .. }) => Ok(s),
+            Some(Token {
+                kind: TokenKind::Ident(s),
+                ..
+            }) => Ok(s),
             Some(t) => Err(QasmError::Unexpected {
                 found: t.kind.to_string(),
                 expected: "identifier",
@@ -431,7 +520,10 @@ impl Parser {
 
     fn expect_number(&mut self, _line: usize) -> Result<f64, QasmError> {
         match self.next() {
-            Some(Token { kind: TokenKind::Number(n), .. }) => Ok(n),
+            Some(Token {
+                kind: TokenKind::Number(n),
+                ..
+            }) => Ok(n),
             Some(t) => Err(QasmError::Unexpected {
                 found: t.kind.to_string(),
                 expected: "number",
@@ -493,7 +585,12 @@ struct ExprAccumulator {
 
 impl ExprAccumulator {
     fn new() -> Self {
-        ExprAccumulator { total: 0.0, current: 0.0, pending_op: '+', has_value: false }
+        ExprAccumulator {
+            total: 0.0,
+            current: 0.0,
+            pending_op: '+',
+            has_value: false,
+        }
     }
 
     fn push_value(&mut self, v: f64) {
@@ -543,7 +640,8 @@ mod tests {
 
     #[test]
     fn parses_registers_and_gates() {
-        let src = format!("{HEADER}qreg q[4];\ncreg c[4];\nh q[0];\ncx q[0],q[1];\ncx q[2],q[3];\n");
+        let src =
+            format!("{HEADER}qreg q[4];\ncreg c[4];\nh q[0];\ncx q[0],q[1];\ncx q[2],q[3];\n");
         let circuit = parse(&src).unwrap();
         assert_eq!(circuit.num_qubits(), 4);
         assert_eq!(circuit.two_qubit_gate_count(), 2);
@@ -562,7 +660,9 @@ mod tests {
 
     #[test]
     fn parses_parameterised_gates() {
-        let src = format!("{HEADER}qreg q[2];\nrz(pi/2) q[0];\ncp(3*pi/4) q[0], q[1];\nu3(0.1,0.2,0.3) q[1];\n");
+        let src = format!(
+            "{HEADER}qreg q[2];\nrz(pi/2) q[0];\ncp(3*pi/4) q[0], q[1];\nu3(0.1,0.2,0.3) q[1];\n"
+        );
         let circuit = parse(&src).unwrap();
         match &circuit.gates()[0] {
             Gate::Rz { theta, .. } => assert!((theta - PI / 2.0).abs() < 1e-12),
@@ -591,19 +691,28 @@ mod tests {
     #[test]
     fn unknown_register_is_an_error() {
         let src = format!("{HEADER}qreg q[2];\nh r[0];\n");
-        assert!(matches!(parse(&src), Err(QasmError::UnknownRegister { .. })));
+        assert!(matches!(
+            parse(&src),
+            Err(QasmError::UnknownRegister { .. })
+        ));
     }
 
     #[test]
     fn out_of_range_index_is_an_error() {
         let src = format!("{HEADER}qreg q[2];\nh q[5];\n");
-        assert!(matches!(parse(&src), Err(QasmError::IndexOutOfRange { .. })));
+        assert!(matches!(
+            parse(&src),
+            Err(QasmError::IndexOutOfRange { .. })
+        ));
     }
 
     #[test]
     fn unsupported_gate_is_an_error() {
         let src = format!("{HEADER}qreg q[3];\nccz q[0],q[1],q[2];\n");
-        assert!(matches!(parse(&src), Err(QasmError::UnsupportedGate { .. })));
+        assert!(matches!(
+            parse(&src),
+            Err(QasmError::UnsupportedGate { .. })
+        ));
     }
 
     #[test]

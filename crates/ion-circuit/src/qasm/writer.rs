@@ -39,13 +39,22 @@ fn format_gate(gate: &Gate) -> String {
         Gate::Rx { qubit, theta } => format!("rx({theta}) {};", q(*qubit)),
         Gate::Ry { qubit, theta } => format!("ry({theta}) {};", q(*qubit)),
         Gate::Rz { qubit, theta } => format!("rz({theta}) {};", q(*qubit)),
-        Gate::U { qubit, theta, phi, lambda } => {
+        Gate::U {
+            qubit,
+            theta,
+            phi,
+            lambda,
+        } => {
             format!("u3({theta},{phi},{lambda}) {};", q(*qubit))
         }
         Gate::Ms(a, b) => format!("rxx(pi/2) {},{};", q(*a), q(*b)),
         Gate::Cx(a, b) => format!("cx {},{};", q(*a), q(*b)),
         Gate::Cz(a, b) => format!("cz {},{};", q(*a), q(*b)),
-        Gate::Cp { control, target, theta } => {
+        Gate::Cp {
+            control,
+            target,
+            theta,
+        } => {
             format!("cp({theta}) {},{};", q(*control), q(*target))
         }
         Gate::Rzz { a, b, theta } => format!("rzz({theta}) {},{};", q(*a), q(*b)),
@@ -74,7 +83,10 @@ mod tests {
         let text = to_qasm(&original);
         let reparsed = parse(&text).unwrap();
         assert_eq!(reparsed.num_qubits(), original.num_qubits());
-        assert_eq!(reparsed.two_qubit_gate_count(), original.two_qubit_gate_count());
+        assert_eq!(
+            reparsed.two_qubit_gate_count(),
+            original.two_qubit_gate_count()
+        );
         let original_pairs: Vec<_> = original
             .two_qubit_gates()
             .map(|g| g.two_qubit_pair().unwrap())

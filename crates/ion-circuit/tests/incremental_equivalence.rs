@@ -44,7 +44,12 @@ fn assert_equivalent_drain(circuit: &Circuit, salt: u64) {
     let mut step = 0usize;
     loop {
         let front = dag.front_layer();
-        assert_eq!(front, naive.front_layer(), "front layer diverged at step {step} of {}", circuit.name());
+        assert_eq!(
+            front,
+            naive.front_layer(),
+            "front layer diverged at step {step} of {}",
+            circuit.name()
+        );
         for &k in &ks {
             assert_eq!(
                 dag.lookahead_layers(k),
@@ -90,7 +95,12 @@ fn incremental_dag_matches_naive_reference_fcfs() {
         let mut naive = NaiveDag::from_circuit(&circuit);
         while !dag.all_executed() {
             assert_eq!(dag.front_layer(), naive.front_layer(), "{}", circuit.name());
-            assert_eq!(dag.lookahead_layers(8), naive.lookahead_layers(8), "{}", circuit.name());
+            assert_eq!(
+                dag.lookahead_layers(8),
+                naive.lookahead_layers(8),
+                "{}",
+                circuit.name()
+            );
             let node = dag.front_gate().expect("non-empty DAG has a ready gate");
             dag.mark_executed(node);
             naive.mark_executed(node);
@@ -152,8 +162,11 @@ fn naive_window_after(dag: &DependencyDag) -> Vec<Vec<ion_circuit::DagNodeId>> {
     // is a valid topological order restricted to the executed set because
     // executing a gate requires all its predecessors (earlier in program
     // order) executed first.
-    let executed: Vec<ion_circuit::DagNodeId> =
-        dag.iter().map(|(node, _)| node).filter(|&n| dag.is_executed(n)).collect();
+    let executed: Vec<ion_circuit::DagNodeId> = dag
+        .iter()
+        .map(|(node, _)| node)
+        .filter(|&n| dag.is_executed(n))
+        .collect();
     let mut naive = NaiveDag::from_circuit(&circuit_of(dag));
     for node in executed {
         naive.mark_executed(node);

@@ -6,11 +6,33 @@ use eml_qccd::{
     CompileError, CompiledProgram, Compiler, DeviceConfig, EmlQccdDevice, FidelityModel,
     ScheduleExecutor, ScheduledOp, TimingModel, ZoneId,
 };
-use ion_circuit::{Circuit, Gate, QubitId};
+use ion_circuit::{Circuit, Gate};
 
 use crate::mapping::{effective_device_capacity, initial_mapping};
 use crate::scheduler::schedule;
 use crate::MussTiOptions;
+
+/// Wall-clock breakdown of one compilation run, phase by phase, so the
+/// compile-time benchmark can show where the time goes per PR.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseTimings {
+    /// Initial placement (Section 3.4), including SABRE dry passes.
+    pub placement_ms: f64,
+    /// The main scheduling loop (Section 3.2), excluding SWAP insertion.
+    pub scheduling_ms: f64,
+    /// The cross-module SWAP-insertion pass (Section 3.3), measured inside
+    /// the scheduling loop.
+    pub swap_insertion_ms: f64,
+    /// Op-stream assembly plus metrics evaluation by the executor.
+    pub lowering_ms: f64,
+}
+
+impl PhaseTimings {
+    /// Total wall-clock across all phases, in milliseconds.
+    pub fn total_ms(&self) -> f64 {
+        self.placement_ms + self.scheduling_ms + self.swap_insertion_ms + self.lowering_ms
+    }
+}
 
 /// The MUSS-TI compiler: multi-level shuttle scheduling for EML-QCCD devices.
 ///
@@ -54,7 +76,10 @@ impl MussTiCompiler {
     /// Creates a compiler whose device is sized automatically for `circuit`
     /// (one module per 32 qubits, paper defaults otherwise).
     pub fn for_circuit(circuit: &Circuit, options: MussTiOptions) -> Self {
-        Self::new(DeviceConfig::for_qubits(circuit.num_qubits()).build(), options)
+        Self::new(
+            DeviceConfig::for_qubits(circuit.num_qubits()).build(),
+            options,
+        )
     }
 
     /// Replaces the timing/fidelity executor (e.g. for perfect-gate or
@@ -102,6 +127,21 @@ impl MussTiCompiler {
         &self,
         circuit: &Circuit,
     ) -> Result<(CompiledProgram, usize), CompileError> {
+        self.compile_with_phases(circuit)
+            .map(|(program, swaps, _)| (program, swaps))
+    }
+
+    /// Compiles and additionally reports the inserted-SWAP count and the
+    /// per-phase wall-clock breakdown (placement / scheduling /
+    /// swap-insertion / lowering).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Compiler::compile`].
+    pub fn compile_with_phases(
+        &self,
+        circuit: &Circuit,
+    ) -> Result<(CompiledProgram, usize, PhaseTimings), CompileError> {
         let start = Instant::now();
         circuit
             .validate()
@@ -114,38 +154,69 @@ impl MussTiCompiler {
             });
         }
 
+        let placement_start = Instant::now();
         let mapping = initial_mapping(&self.device, &self.options, circuit)?;
-        let outcome = schedule(&self.device, &self.options, circuit, &mapping)?;
+        let placement_ms = placement_start.elapsed().as_secs_f64() * 1e3;
 
+        let scheduling_start = Instant::now();
+        let outcome = schedule(&self.device, &self.options, circuit, &mapping)?;
+        let swap_insertion_ms = outcome.swap_insertion_time.as_secs_f64() * 1e3;
+        let scheduling_ms = scheduling_start.elapsed().as_secs_f64() * 1e3 - swap_insertion_ms;
+
+        let lowering_start = Instant::now();
         let mut ops = Vec::with_capacity(outcome.ops.len() + circuit.len());
         // Single-qubit gates execute wherever the ion sits and never force a
         // shuttle; they are accounted for up front against the initial
         // placement (their duration and fidelity contribution is
-        // position-independent).
-        let zone_at_start: std::collections::HashMap<QubitId, ZoneId> =
-            mapping.iter().copied().collect();
+        // position-independent). Qubit ids are dense, so the start/end
+        // lookups are flat arrays rather than hash maps.
+        let mut zone_at_start: Vec<Option<ZoneId>> = vec![None; circuit.num_qubits()];
+        for &(q, z) in &mapping {
+            zone_at_start[q.index()] = Some(z);
+        }
         for gate in circuit.gates() {
             if gate.is_single_qubit() {
                 let qubit = gate.qubits()[0];
-                if let Some(zone) = zone_at_start.get(&qubit) {
-                    ops.push(ScheduledOp::SingleQubitGate { qubit, zone: zone.index() });
+                if let Some(zone) = zone_at_start.get(qubit.index()).copied().flatten() {
+                    ops.push(ScheduledOp::SingleQubitGate {
+                        qubit,
+                        zone: zone.index(),
+                    });
                 }
             }
         }
         ops.extend(outcome.ops.iter().cloned());
         // Measurements happen wherever each ion ended up.
-        let zone_at_end: std::collections::HashMap<QubitId, ZoneId> =
-            outcome.final_mapping.iter().copied().collect();
+        let mut zone_at_end: Vec<Option<ZoneId>> = vec![None; circuit.num_qubits()];
+        for &(q, z) in &outcome.final_mapping {
+            zone_at_end[q.index()] = Some(z);
+        }
         for gate in circuit.gates() {
             if let Gate::Measure(qubit) = gate {
-                if let Some(zone) = zone_at_end.get(qubit) {
-                    ops.push(ScheduledOp::Measurement { qubit: *qubit, zone: zone.index() });
+                if let Some(zone) = zone_at_end.get(qubit.index()).copied().flatten() {
+                    ops.push(ScheduledOp::Measurement {
+                        qubit: *qubit,
+                        zone: zone.index(),
+                    });
                 }
             }
         }
 
-        let program = CompiledProgram::new(&self.name, circuit, ops, &self.executor, start.elapsed());
-        Ok((program, outcome.inserted_swaps))
+        let program = CompiledProgram::new_sized(
+            &self.name,
+            circuit,
+            ops,
+            &self.executor,
+            start.elapsed(),
+            self.device.zones().len(),
+        );
+        let phases = PhaseTimings {
+            placement_ms,
+            scheduling_ms,
+            swap_insertion_ms,
+            lowering_ms: lowering_start.elapsed().as_secs_f64() * 1e3,
+        };
+        Ok((program, outcome.inserted_swaps, phases))
     }
 }
 
@@ -176,7 +247,9 @@ mod tests {
                 "{label}: {} shuttles",
                 program.metrics().shuttle_count
             );
-            assert!(program.metrics().total_two_qubit_interactions() >= circuit.two_qubit_gate_count());
+            assert!(
+                program.metrics().total_two_qubit_interactions() >= circuit.two_qubit_gate_count()
+            );
         }
     }
 
@@ -253,8 +326,8 @@ mod tests {
     #[test]
     fn name_override_is_reported() {
         let circuit = generators::ghz(8);
-        let compiler =
-            MussTiCompiler::for_circuit(&circuit, MussTiOptions::trivial()).with_name("MUSS-TI (trivial)");
+        let compiler = MussTiCompiler::for_circuit(&circuit, MussTiOptions::trivial())
+            .with_name("MUSS-TI (trivial)");
         assert_eq!(compiler.name(), "MUSS-TI (trivial)");
         let program = compiler.compile(&circuit).unwrap();
         assert_eq!(program.compiler_name(), "MUSS-TI (trivial)");

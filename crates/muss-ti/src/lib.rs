@@ -43,12 +43,14 @@
 
 mod compiler;
 mod mapping;
+mod naive_placement;
 mod options;
 mod placement;
 mod scheduler;
 mod swap_insertion;
 
-pub use compiler::MussTiCompiler;
+pub use compiler::{MussTiCompiler, PhaseTimings};
+pub use naive_placement::NaivePlacement;
 pub use options::{InitialMappingStrategy, MussTiOptions};
 pub use placement::PlacementState;
 pub use swap_insertion::WeightTable;

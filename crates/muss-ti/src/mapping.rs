@@ -1,6 +1,6 @@
 //! Initial-mapping strategies (Section 3.4 of the paper).
 
-use eml_qccd::{CompileError, EmlQccdDevice, ModuleId, ZoneId};
+use eml_qccd::{CompileError, EmlQccdDevice, ModuleId, ZoneId, ZoneLevel};
 use ion_circuit::{Circuit, QubitId};
 
 use crate::scheduler::schedule;
@@ -28,8 +28,8 @@ pub(crate) fn effective_module_capacity(device: &EmlQccdDevice, module: ModuleId
 pub(crate) fn effective_device_capacity(device: &EmlQccdDevice) -> usize {
     device
         .modules()
-        .into_iter()
-        .map(|m| effective_module_capacity(device, m))
+        .iter()
+        .map(|&m| effective_module_capacity(device, m))
         .sum()
 }
 
@@ -49,7 +49,10 @@ pub(crate) fn trivial_mapping(
 ) -> Result<Vec<(QubitId, ZoneId)>, CompileError> {
     let capacity = effective_device_capacity(device);
     if num_qubits > capacity {
-        return Err(CompileError::DeviceTooSmall { required: num_qubits, capacity });
+        return Err(CompileError::DeviceTooSmall {
+            required: num_qubits,
+            capacity,
+        });
     }
 
     // Per-module quota: an even share of the qubits, bounded by the module's
@@ -58,7 +61,7 @@ pub(crate) fn trivial_mapping(
     let mut mapping = Vec::with_capacity(num_qubits);
     let mut next_qubit = 0usize;
     let num_modules = device.num_modules();
-    for (module_index, module) in device.modules().into_iter().enumerate() {
+    for (module_index, &module) in device.modules().iter().enumerate() {
         if next_qubit >= num_qubits {
             break;
         }
@@ -68,26 +71,30 @@ pub(crate) fn trivial_mapping(
             .div_ceil(remaining_modules)
             .min(effective_module_capacity(device, module));
 
-        // Zones of this module, highest level first.
-        let mut zones = device.zones_in_module(module);
-        zones.sort_by_key(|z| (std::cmp::Reverse(z.level), z.id));
-
+        // Zones of this module, highest level first: the per-level slices of
+        // the topology index already come back id-ordered, so walking the
+        // levels from optical down replaces the old allocate-and-sort.
         let mut placed_in_module = 0usize;
-        for zone in zones {
-            let mut placed_in_zone = 0usize;
-            while next_qubit < num_qubits
-                && placed_in_module < quota
-                && placed_in_zone < zone.capacity
-            {
-                mapping.push((QubitId::new(next_qubit), zone.id));
-                next_qubit += 1;
-                placed_in_module += 1;
-                placed_in_zone += 1;
+        for level in [ZoneLevel::Optical, ZoneLevel::Operation, ZoneLevel::Storage] {
+            for zone in device.zones_in_module_at_level(module, level) {
+                let mut placed_in_zone = 0usize;
+                while next_qubit < num_qubits
+                    && placed_in_module < quota
+                    && placed_in_zone < zone.capacity
+                {
+                    mapping.push((QubitId::new(next_qubit), zone.id));
+                    next_qubit += 1;
+                    placed_in_module += 1;
+                    placed_in_zone += 1;
+                }
             }
         }
     }
     if next_qubit < num_qubits {
-        return Err(CompileError::DeviceTooSmall { required: num_qubits, capacity });
+        return Err(CompileError::DeviceTooSmall {
+            required: num_qubits,
+            capacity,
+        });
     }
     Ok(mapping)
 }
@@ -112,10 +119,18 @@ pub(crate) fn initial_mapping(
     match options.initial_mapping {
         InitialMappingStrategy::Trivial => Ok(trivial),
         InitialMappingStrategy::Sabre => {
-            let dry_options = MussTiOptions { enable_swap_insertion: false, ..*options };
+            let dry_options = MussTiOptions {
+                enable_swap_insertion: false,
+                ..*options
+            };
             let forward = schedule(device, &dry_options, circuit, &trivial)?;
             let reversed_circuit = circuit.reversed();
-            let backward = schedule(device, &dry_options, &reversed_circuit, &forward.final_mapping)?;
+            let backward = schedule(
+                device,
+                &dry_options,
+                &reversed_circuit,
+                &forward.final_mapping,
+            )?;
             let candidate = backward.final_mapping;
             // Keep whichever starting placement needs the least transport: the
             // two-fold search can occasionally end in a worse placement for
@@ -161,8 +176,17 @@ mod tests {
         let levels: Vec<ZoneLevel> = mapping.iter().map(|&(_, z)| device.zone(z).level).collect();
         // Each module takes 24 qubits: 16 in its optical zone, 8 in its
         // operation zone.
-        assert_eq!(levels.iter().filter(|&&l| l == ZoneLevel::Optical).count(), 32);
-        assert_eq!(levels.iter().filter(|&&l| l == ZoneLevel::Operation).count(), 16);
+        assert_eq!(
+            levels.iter().filter(|&&l| l == ZoneLevel::Optical).count(),
+            32
+        );
+        assert_eq!(
+            levels
+                .iter()
+                .filter(|&&l| l == ZoneLevel::Operation)
+                .count(),
+            16
+        );
         assert_eq!(device.zone(mapping[16].1).level, ZoneLevel::Operation);
         assert_eq!(device.zone(mapping[16].1).module.index(), 0);
         assert_eq!(device.zone(mapping[24].1).module.index(), 1);
@@ -171,7 +195,10 @@ mod tests {
 
     #[test]
     fn trivial_mapping_respects_zone_capacity() {
-        let device = DeviceConfig::default().with_modules(4).with_trap_capacity(8).build();
+        let device = DeviceConfig::default()
+            .with_modules(4)
+            .with_trap_capacity(8)
+            .build();
         let mapping = trivial_mapping(&device, 60).unwrap();
         for zone in device.zones() {
             let count = mapping.iter().filter(|&&(_, z)| z == zone.id).count();
@@ -190,7 +217,10 @@ mod tests {
 
     #[test]
     fn effective_capacity_leaves_one_zone_of_slack() {
-        let device = DeviceConfig::default().with_modules(1).with_trap_capacity(8).build();
+        let device = DeviceConfig::default()
+            .with_modules(1)
+            .with_trap_capacity(8)
+            .build();
         // 4 zones * 8 = 32 slots, minus 8 slack = 24, below the 32 module cap.
         assert_eq!(effective_module_capacity(&device, ModuleId(0)), 24);
     }
@@ -204,11 +234,17 @@ mod tests {
         // movements and return to the trivial placement.)
         let device = DeviceConfig::default().with_modules(2).build();
         let circuit = generators::random_circuit(48, 200, 13);
-        let options = MussTiOptions { initial_mapping: InitialMappingStrategy::Sabre, ..Default::default() };
+        let options = MussTiOptions {
+            initial_mapping: InitialMappingStrategy::Sabre,
+            ..Default::default()
+        };
         let sabre = initial_mapping(&device, &options, &circuit).unwrap();
         let trivial = trivial_mapping(&device, 48).unwrap();
         assert_eq!(sabre.len(), trivial.len());
-        assert_ne!(sabre, trivial, "two-fold search should move at least one qubit");
+        assert_ne!(
+            sabre, trivial,
+            "two-fold search should move at least one qubit"
+        );
 
         // The result is still a valid placement: every qubit exactly once,
         // zone capacities respected.
@@ -228,7 +264,10 @@ mod tests {
         // scheduler never moves an ion and the two-fold search is a fixpoint.
         let device = DeviceConfig::for_qubits(16).build();
         let circuit = generators::qft(16);
-        let options = MussTiOptions { initial_mapping: InitialMappingStrategy::Sabre, ..Default::default() };
+        let options = MussTiOptions {
+            initial_mapping: InitialMappingStrategy::Sabre,
+            ..Default::default()
+        };
         let sabre = initial_mapping(&device, &options, &circuit).unwrap();
         assert_eq!(sabre, trivial_mapping(&device, 16).unwrap());
     }

@@ -1,0 +1,225 @@
+//! The retained HashMap-backed reference implementation of the placement
+//! state, kept verbatim from before the flat-array refactor.
+//!
+//! [`NaivePlacement`] exists purely as an executable specification: the
+//! `placement_equivalence` suite drives random place/touch/shuttle/swap
+//! sequences through it and [`PlacementState`](crate::PlacementState) in
+//! lock-step and asserts every query agrees — the same pattern
+//! `ion_circuit::NaiveDag` pins the incremental DAG with. It is not used on
+//! any compile path.
+
+use std::collections::HashMap;
+
+use eml_qccd::{EmlQccdDevice, ModuleId, ScheduledOp, ZoneId, ZoneLevel};
+use ion_circuit::QubitId;
+
+/// HashMap-backed placement state (reference implementation).
+///
+/// Mirrors the [`PlacementState`](crate::PlacementState) API method for
+/// method; see there for semantics.
+#[derive(Debug, Clone)]
+pub struct NaivePlacement {
+    qubit_zone: HashMap<QubitId, ZoneId>,
+    chains: HashMap<ZoneId, Vec<QubitId>>,
+    last_use: HashMap<QubitId, u64>,
+    module_count: HashMap<ModuleId, usize>,
+}
+
+impl NaivePlacement {
+    /// Creates an empty placement (no ion placed yet).
+    pub fn new(device: &EmlQccdDevice) -> Self {
+        let chains = device.zones().iter().map(|z| (z.id, Vec::new())).collect();
+        let module_count = device.modules().iter().map(|&m| (m, 0)).collect();
+        NaivePlacement {
+            qubit_zone: HashMap::new(),
+            chains,
+            last_use: HashMap::new(),
+            module_count,
+        }
+    }
+
+    /// Builds a placement from an explicit qubit → zone assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an assignment exceeds a zone's capacity.
+    pub fn from_mapping(device: &EmlQccdDevice, mapping: &[(QubitId, ZoneId)]) -> Self {
+        let mut state = Self::new(device);
+        for &(q, z) in mapping {
+            assert!(
+                state.occupancy(z) < device.zone(z).capacity,
+                "initial mapping overfills {z}"
+            );
+            state.place(device, q, z);
+        }
+        state
+    }
+
+    /// Places a not-yet-placed qubit at the edge of `zone`'s chain.
+    pub fn place(&mut self, device: &EmlQccdDevice, qubit: QubitId, zone: ZoneId) {
+        debug_assert!(
+            !self.qubit_zone.contains_key(&qubit),
+            "{qubit} placed twice"
+        );
+        self.qubit_zone.insert(qubit, zone);
+        self.chains.get_mut(&zone).expect("zone exists").push(qubit);
+        *self
+            .module_count
+            .entry(device.zone(zone).module)
+            .or_insert(0) += 1;
+    }
+
+    /// The zone currently holding `qubit`, if it has been placed.
+    pub fn zone_of(&self, qubit: QubitId) -> Option<ZoneId> {
+        self.qubit_zone.get(&qubit).copied()
+    }
+
+    /// The module currently holding `qubit`.
+    pub fn module_of(&self, device: &EmlQccdDevice, qubit: QubitId) -> Option<ModuleId> {
+        self.zone_of(qubit).map(|z| device.zone(z).module)
+    }
+
+    /// Number of ions currently in `zone`.
+    pub fn occupancy(&self, zone: ZoneId) -> usize {
+        self.chains.get(&zone).map(Vec::len).unwrap_or(0)
+    }
+
+    /// Number of ions currently in `module`.
+    pub fn module_occupancy(&self, module: ModuleId) -> usize {
+        self.module_count.get(&module).copied().unwrap_or(0)
+    }
+
+    /// The ions in `zone`, in chain order.
+    pub fn chain(&self, zone: ZoneId) -> &[QubitId] {
+        self.chains.get(&zone).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Remaining free slots in `zone`.
+    pub fn free_slots(&self, device: &EmlQccdDevice, zone: ZoneId) -> usize {
+        device
+            .zone(zone)
+            .capacity
+            .saturating_sub(self.occupancy(zone))
+    }
+
+    /// Records that `qubit` was just used by a gate at logical time `time`.
+    pub fn touch(&mut self, qubit: QubitId, time: u64) {
+        self.last_use.insert(qubit, time);
+    }
+
+    /// Logical time `qubit` was last used (0 if never).
+    pub fn last_use(&self, qubit: QubitId) -> u64 {
+        self.last_use.get(&qubit).copied().unwrap_or(0)
+    }
+
+    /// The least-recently-used ion in `zone`, excluding `protected` qubits.
+    pub fn lru_victim(&self, zone: ZoneId, protected: &[QubitId]) -> Option<QubitId> {
+        self.chain(zone)
+            .iter()
+            .copied()
+            .filter(|q| !protected.contains(q))
+            .min_by_key(|q| (self.last_use(*q), q.index()))
+    }
+
+    /// Moves `qubit` from its current zone to `to` (see
+    /// [`PlacementState::shuttle`](crate::PlacementState::shuttle)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the qubit is unplaced, the destination is full, or the move
+    /// crosses modules.
+    pub fn shuttle(
+        &mut self,
+        device: &EmlQccdDevice,
+        qubit: QubitId,
+        to: ZoneId,
+    ) -> Vec<ScheduledOp> {
+        let from = self
+            .zone_of(qubit)
+            .expect("cannot shuttle an unplaced qubit");
+        if from == to {
+            return Vec::new();
+        }
+        assert_eq!(
+            device.zone(from).module,
+            device.zone(to).module,
+            "ions never shuttle between modules"
+        );
+        assert!(
+            self.occupancy(to) < device.zone(to).capacity,
+            "shuttle destination {to} is full"
+        );
+
+        let mut ops = Vec::new();
+        let chain = self.chains.get_mut(&from).expect("zone exists");
+        let idx = chain
+            .iter()
+            .position(|&q| q == qubit)
+            .expect("qubit is in its chain");
+        let moves_to_edge = idx.min(chain.len() - 1 - idx);
+        for _ in 0..moves_to_edge {
+            ops.push(ScheduledOp::ChainRearrange { zone: from.index() });
+        }
+        chain.remove(idx);
+
+        ops.push(ScheduledOp::Shuttle {
+            qubit,
+            from_zone: from.index(),
+            to_zone: to.index(),
+            distance_um: device.intra_module_distance_um(from, to),
+        });
+
+        self.chains.get_mut(&to).expect("zone exists").push(qubit);
+        self.qubit_zone.insert(qubit, to);
+        ops
+    }
+
+    /// Logically exchanges two placed ions (see
+    /// [`PlacementState::swap_logical`](crate::PlacementState::swap_logical)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either qubit is unplaced.
+    pub fn swap_logical(&mut self, a: QubitId, b: QubitId) {
+        let za = self.zone_of(a).expect("swap operand must be placed");
+        let zb = self.zone_of(b).expect("swap operand must be placed");
+        let ia = self.chains[&za]
+            .iter()
+            .position(|&q| q == a)
+            .expect("a in chain");
+        let ib = self.chains[&zb]
+            .iter()
+            .position(|&q| q == b)
+            .expect("b in chain");
+        self.chains.get_mut(&za).expect("zone exists")[ia] = b;
+        self.chains.get_mut(&zb).expect("zone exists")[ib] = a;
+        self.qubit_zone.insert(a, zb);
+        self.qubit_zone.insert(b, za);
+    }
+
+    /// The final qubit → zone assignment, sorted by qubit.
+    pub fn mapping(&self) -> Vec<(QubitId, ZoneId)> {
+        let mut mapping: Vec<(QubitId, ZoneId)> =
+            self.qubit_zone.iter().map(|(&q, &z)| (q, z)).collect();
+        mapping.sort_by_key(|(q, _)| q.index());
+        mapping
+    }
+
+    /// Zones of a module that still have free slots, preferring higher levels.
+    pub fn zones_with_space(
+        &self,
+        device: &EmlQccdDevice,
+        module: ModuleId,
+        min_level: Option<ZoneLevel>,
+    ) -> Vec<ZoneId> {
+        let mut zones: Vec<ZoneId> = device
+            .zones_in_module(module)
+            .iter()
+            .filter(|z| min_level.is_none_or(|lvl| z.level >= lvl))
+            .filter(|z| self.free_slots(device, z.id) > 0)
+            .map(|z| z.id)
+            .collect();
+        zones.sort_by_key(|&z| std::cmp::Reverse(device.zone(z).level));
+        zones
+    }
+}

@@ -127,12 +127,17 @@ mod tests {
             InitialMappingStrategy::Trivial
         );
         assert!(!MussTiOptions::sabre_only().enable_swap_insertion);
-        assert_eq!(MussTiOptions::sabre_only().initial_mapping, InitialMappingStrategy::Sabre);
+        assert_eq!(
+            MussTiOptions::sabre_only().initial_mapping,
+            InitialMappingStrategy::Sabre
+        );
     }
 
     #[test]
     fn builders_set_sweep_parameters() {
-        let o = MussTiOptions::default().with_lookahead(12).with_swap_threshold(6);
+        let o = MussTiOptions::default()
+            .with_lookahead(12)
+            .with_swap_threshold(6);
         assert_eq!(o.lookahead_k, 12);
         assert_eq!(o.swap_threshold, 6);
     }

@@ -1,6 +1,12 @@
 //! Dynamic placement state: where every ion sits, chain order, and LRU data.
-
-use std::collections::HashMap;
+//!
+//! Storage is flat and dense — `QubitId`, `ZoneId` and `ModuleId` are
+//! contiguous indices, so every map in the hot path is a plain `Vec` and
+//! every query (`zone_of`, `occupancy`, `free_slots`, `last_use`) is an
+//! `O(1)` array read with no hashing and no per-query allocation. The
+//! HashMap-backed reference implementation is retained as
+//! [`NaivePlacement`](crate::NaivePlacement) and pinned against this one by
+//! the `placement_equivalence` suite.
 
 use eml_qccd::{EmlQccdDevice, ModuleId, ScheduledOp, ZoneId, ZoneLevel};
 use ion_circuit::QubitId;
@@ -14,23 +20,27 @@ use ion_circuit::QubitId;
 /// program.
 #[derive(Debug, Clone)]
 pub struct PlacementState {
-    qubit_zone: HashMap<QubitId, ZoneId>,
-    /// Ion chain per zone, in physical order (index 0 and `len-1` are the edges).
-    chains: HashMap<ZoneId, Vec<QubitId>>,
-    last_use: HashMap<QubitId, u64>,
-    module_count: HashMap<ModuleId, usize>,
+    /// `qubit_zone[q]` is the zone holding qubit `q` (grown on demand as
+    /// qubits are placed/touched).
+    qubit_zone: Vec<Option<ZoneId>>,
+    /// Ion chain per zone, in physical order (index 0 and `len-1` are the
+    /// edges), indexed by [`ZoneId`].
+    chains: Vec<Vec<QubitId>>,
+    /// `last_use[q]` is the logical time of the last gate on qubit `q`
+    /// (0 if never used; grown on demand).
+    last_use: Vec<u64>,
+    /// Ion count per module, indexed by [`ModuleId`].
+    module_count: Vec<usize>,
 }
 
 impl PlacementState {
     /// Creates an empty placement (no ion placed yet).
     pub fn new(device: &EmlQccdDevice) -> Self {
-        let chains = device.zones().iter().map(|z| (z.id, Vec::new())).collect();
-        let module_count = device.modules().into_iter().map(|m| (m, 0)).collect();
         PlacementState {
-            qubit_zone: HashMap::new(),
-            chains,
-            last_use: HashMap::new(),
-            module_count,
+            qubit_zone: Vec::new(),
+            chains: vec![Vec::new(); device.zones().len()],
+            last_use: Vec::new(),
+            module_count: vec![0; device.num_modules()],
         }
     }
 
@@ -41,6 +51,13 @@ impl PlacementState {
     /// Panics if an assignment exceeds a zone's capacity.
     pub fn from_mapping(device: &EmlQccdDevice, mapping: &[(QubitId, ZoneId)]) -> Self {
         let mut state = Self::new(device);
+        let max_qubit = mapping
+            .iter()
+            .map(|(q, _)| q.index() + 1)
+            .max()
+            .unwrap_or(0);
+        state.qubit_zone.resize(max_qubit, None);
+        state.last_use.resize(max_qubit, 0);
         for &(q, z) in mapping {
             assert!(
                 state.occupancy(z) < device.zone(z).capacity,
@@ -51,20 +68,29 @@ impl PlacementState {
         state
     }
 
-    /// Places a not-yet-placed qubit at the edge of `zone`'s chain.
-    pub fn place(&mut self, device: &EmlQccdDevice, qubit: QubitId, zone: ZoneId) {
-        debug_assert!(!self.qubit_zone.contains_key(&qubit), "{qubit} placed twice");
-        self.qubit_zone.insert(qubit, zone);
-        self.chains.get_mut(&zone).expect("zone exists").push(qubit);
-        *self
-            .module_count
-            .entry(device.zone(zone).module)
-            .or_insert(0) += 1;
+    /// Grows the per-qubit arrays to cover `qubit`.
+    fn ensure_qubit(&mut self, qubit: QubitId) {
+        if qubit.index() >= self.qubit_zone.len() {
+            self.qubit_zone.resize(qubit.index() + 1, None);
+            self.last_use.resize(qubit.index() + 1, 0);
+        }
     }
 
-    /// The zone currently holding `qubit`, if it has been placed.
+    /// Places a not-yet-placed qubit at the edge of `zone`'s chain.
+    pub fn place(&mut self, device: &EmlQccdDevice, qubit: QubitId, zone: ZoneId) {
+        self.ensure_qubit(qubit);
+        debug_assert!(
+            self.qubit_zone[qubit.index()].is_none(),
+            "{qubit} placed twice"
+        );
+        self.qubit_zone[qubit.index()] = Some(zone);
+        self.chains[zone.index()].push(qubit);
+        self.module_count[device.zone(zone).module.index()] += 1;
+    }
+
+    /// The zone currently holding `qubit`, if it has been placed (`O(1)`).
     pub fn zone_of(&self, qubit: QubitId) -> Option<ZoneId> {
-        self.qubit_zone.get(&qubit).copied()
+        self.qubit_zone.get(qubit.index()).copied().flatten()
     }
 
     /// The module currently holding `qubit`.
@@ -72,42 +98,55 @@ impl PlacementState {
         self.zone_of(qubit).map(|z| device.zone(z).module)
     }
 
-    /// Number of ions currently in `zone`.
+    /// Number of ions currently in `zone` (`O(1)`).
     pub fn occupancy(&self, zone: ZoneId) -> usize {
-        self.chains.get(&zone).map(Vec::len).unwrap_or(0)
+        self.chains.get(zone.index()).map(Vec::len).unwrap_or(0)
     }
 
-    /// Number of ions currently in `module`.
+    /// Number of ions currently in `module` (`O(1)`).
     pub fn module_occupancy(&self, module: ModuleId) -> usize {
-        self.module_count.get(&module).copied().unwrap_or(0)
+        self.module_count.get(module.index()).copied().unwrap_or(0)
     }
 
     /// The ions in `zone`, in chain order.
     pub fn chain(&self, zone: ZoneId) -> &[QubitId] {
-        self.chains.get(&zone).map(Vec::as_slice).unwrap_or(&[])
+        self.chains
+            .get(zone.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
-    /// Remaining free slots in `zone`.
+    /// Remaining free slots in `zone` (`O(1)`).
     pub fn free_slots(&self, device: &EmlQccdDevice, zone: ZoneId) -> usize {
-        device.zone(zone).capacity.saturating_sub(self.occupancy(zone))
+        device
+            .zone(zone)
+            .capacity
+            .saturating_sub(self.occupancy(zone))
     }
 
     /// Records that `qubit` was just used by a gate at logical time `time`.
     pub fn touch(&mut self, qubit: QubitId, time: u64) {
-        self.last_use.insert(qubit, time);
+        self.ensure_qubit(qubit);
+        self.last_use[qubit.index()] = time;
     }
 
-    /// Logical time `qubit` was last used (0 if never).
+    /// Logical time `qubit` was last used (0 if never; `O(1)`).
     pub fn last_use(&self, qubit: QubitId) -> u64 {
-        self.last_use.get(&qubit).copied().unwrap_or(0)
+        self.last_use.get(qubit.index()).copied().unwrap_or(0)
     }
 
     /// The least-recently-used ion in `zone`, excluding `protected` qubits.
+    ///
+    /// One pass over the chain with flat `last_use` reads. Membership in the
+    /// protected set is pre-filtered through a small stack bitmask over the
+    /// protected qubit indices (mod 64), so the common not-protected case
+    /// costs one bit test instead of a slice scan.
     pub fn lru_victim(&self, zone: ZoneId, protected: &[QubitId]) -> Option<QubitId> {
+        let mask = protected_mask(protected);
         self.chain(zone)
             .iter()
             .copied()
-            .filter(|q| !protected.contains(q))
+            .filter(|q| !is_protected(*q, mask, protected))
             .min_by_key(|q| (self.last_use(*q), q.index()))
     }
 
@@ -126,7 +165,9 @@ impl PlacementState {
         qubit: QubitId,
         to: ZoneId,
     ) -> Vec<ScheduledOp> {
-        let from = self.zone_of(qubit).expect("cannot shuttle an unplaced qubit");
+        let from = self
+            .zone_of(qubit)
+            .expect("cannot shuttle an unplaced qubit");
         if from == to {
             return Vec::new();
         }
@@ -142,8 +183,11 @@ impl PlacementState {
 
         let mut ops = Vec::new();
         // Bring the ion to the nearest chain edge first.
-        let chain = self.chains.get_mut(&from).expect("zone exists");
-        let idx = chain.iter().position(|&q| q == qubit).expect("qubit is in its chain");
+        let chain = &mut self.chains[from.index()];
+        let idx = chain
+            .iter()
+            .position(|&q| q == qubit)
+            .expect("qubit is in its chain");
         let moves_to_edge = idx.min(chain.len() - 1 - idx);
         for _ in 0..moves_to_edge {
             ops.push(ScheduledOp::ChainRearrange { zone: from.index() });
@@ -157,8 +201,8 @@ impl PlacementState {
             distance_um: device.intra_module_distance_um(from, to),
         });
 
-        self.chains.get_mut(&to).expect("zone exists").push(qubit);
-        self.qubit_zone.insert(qubit, to);
+        self.chains[to.index()].push(qubit);
+        self.qubit_zone[qubit.index()] = Some(to);
         ops
     }
 
@@ -174,20 +218,28 @@ impl PlacementState {
     pub fn swap_logical(&mut self, a: QubitId, b: QubitId) {
         let za = self.zone_of(a).expect("swap operand must be placed");
         let zb = self.zone_of(b).expect("swap operand must be placed");
-        let ia = self.chains[&za].iter().position(|&q| q == a).expect("a in chain");
-        let ib = self.chains[&zb].iter().position(|&q| q == b).expect("b in chain");
-        self.chains.get_mut(&za).expect("zone exists")[ia] = b;
-        self.chains.get_mut(&zb).expect("zone exists")[ib] = a;
-        self.qubit_zone.insert(a, zb);
-        self.qubit_zone.insert(b, za);
+        let ia = self.chains[za.index()]
+            .iter()
+            .position(|&q| q == a)
+            .expect("a in chain");
+        let ib = self.chains[zb.index()]
+            .iter()
+            .position(|&q| q == b)
+            .expect("b in chain");
+        self.chains[za.index()][ia] = b;
+        self.chains[zb.index()][ib] = a;
+        self.qubit_zone[a.index()] = Some(zb);
+        self.qubit_zone[b.index()] = Some(za);
     }
 
     /// The final qubit → zone assignment (used by the SABRE two-fold pass).
+    /// Already sorted by qubit — the backing array is qubit-indexed.
     pub fn mapping(&self) -> Vec<(QubitId, ZoneId)> {
-        let mut mapping: Vec<(QubitId, ZoneId)> =
-            self.qubit_zone.iter().map(|(&q, &z)| (q, z)).collect();
-        mapping.sort_by_key(|(q, _)| q.index());
-        mapping
+        self.qubit_zone
+            .iter()
+            .enumerate()
+            .filter_map(|(q, z)| z.map(|zone| (QubitId::new(q), zone)))
+            .collect()
     }
 
     /// Zones of a module that still have free slots, preferring higher levels.
@@ -199,7 +251,7 @@ impl PlacementState {
     ) -> Vec<ZoneId> {
         let mut zones: Vec<ZoneId> = device
             .zones_in_module(module)
-            .into_iter()
+            .iter()
             .filter(|z| min_level.is_none_or(|lvl| z.level >= lvl))
             .filter(|z| self.free_slots(device, z.id) > 0)
             .map(|z| z.id)
@@ -209,13 +261,31 @@ impl PlacementState {
     }
 }
 
+/// A 64-bit Bloom-style mask over the protected qubits' indices.
+pub(crate) fn protected_mask(protected: &[QubitId]) -> u64 {
+    let mut mask = 0u64;
+    for p in protected {
+        mask |= 1 << (p.index() & 63);
+    }
+    mask
+}
+
+/// `true` if `q` is in `protected`; the mask rejects the common miss in one
+/// bit test, the slice scan only runs on (rare) mask hits.
+pub(crate) fn is_protected(q: QubitId, mask: u64, protected: &[QubitId]) -> bool {
+    mask & (1 << (q.index() & 63)) != 0 && protected.contains(&q)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use eml_qccd::DeviceConfig;
 
     fn device() -> EmlQccdDevice {
-        DeviceConfig::default().with_modules(2).with_trap_capacity(4).build()
+        DeviceConfig::default()
+            .with_modules(2)
+            .with_trap_capacity(4)
+            .build()
     }
 
     fn q(i: usize) -> QubitId {
@@ -310,6 +380,21 @@ mod tests {
         assert_eq!(s.lru_victim(zone, &[]), Some(q(1)));
         assert_eq!(s.lru_victim(zone, &[q(1)]), Some(q(0)));
         assert_eq!(s.lru_victim(zone, &[q(0), q(1), q(2)]), None);
+    }
+
+    #[test]
+    fn lru_victim_handles_mask_collisions() {
+        let d = device();
+        let mut s = PlacementState::new(&d);
+        let zone = d.zones()[0].id;
+        // q64 aliases q0 in the 64-bit mask (64 & 63 == 0): the slice scan
+        // must still distinguish them.
+        s.place(&d, q(0), zone);
+        s.place(&d, q(64), zone);
+        s.touch(q(0), 1);
+        s.touch(q(64), 2);
+        assert_eq!(s.lru_victim(zone, &[q(0)]), Some(q(64)));
+        assert_eq!(s.lru_victim(zone, &[q(64)]), Some(q(0)));
     }
 
     #[test]

@@ -1,11 +1,11 @@
 //! The multi-level shuttle scheduler (Section 3.2 of the paper).
 
-use eml_qccd::{
-    CompileError, EmlQccdDevice, ModuleId, ScheduledOp, ZoneId, ZoneLevel,
-};
+use std::time::{Duration, Instant};
+
+use eml_qccd::{CompileError, EmlQccdDevice, ModuleId, ScheduledOp, ZoneId, ZoneLevel};
 use ion_circuit::{Circuit, DagNodeId, DependencyDag, QubitId};
 
-use crate::placement::PlacementState;
+use crate::placement::{is_protected, protected_mask, PlacementState};
 use crate::swap_insertion::WeightTable;
 use crate::MussTiOptions;
 
@@ -18,6 +18,9 @@ pub(crate) struct SchedulerOutcome {
     pub final_mapping: Vec<(QubitId, ZoneId)>,
     /// Number of cross-module SWAP gates inserted by the Section 3.3 pass.
     pub inserted_swaps: usize,
+    /// Wall-clock time spent inside the SWAP-insertion pass (a slice of the
+    /// scheduling phase, reported separately in the per-phase bench timings).
+    pub swap_insertion_time: Duration,
 }
 
 /// Schedules the two-qubit gates of `circuit` on `device`, starting from
@@ -48,12 +51,14 @@ pub(crate) fn schedule(
         ops: Vec::new(),
         clock: 0,
         inserted_swaps: 0,
+        swap_insertion_time: Duration::ZERO,
     };
     scheduler.run()?;
     Ok(SchedulerOutcome {
         final_mapping: scheduler.state.mapping(),
         ops: scheduler.ops,
         inserted_swaps: scheduler.inserted_swaps,
+        swap_insertion_time: scheduler.swap_insertion_time,
     })
 }
 
@@ -66,17 +71,24 @@ struct Scheduler<'a> {
     /// Logical time: increments once per executed gate; drives LRU decisions.
     clock: u64,
     inserted_swaps: usize,
+    swap_insertion_time: Duration,
 }
 
 impl Scheduler<'_> {
     fn run(&mut self) -> Result<(), CompileError> {
         while !self.dag.all_executed() {
             let front = self.dag.front_layer();
-            debug_assert!(!front.is_empty(), "a non-empty DAG always has a front layer");
+            debug_assert!(
+                !front.is_empty(),
+                "a non-empty DAG always has a front layer"
+            );
 
             // Prioritise gates that are executable right away (Section 3.2).
-            let executable: Vec<DagNodeId> =
-                front.iter().copied().filter(|&n| self.is_executable(n)).collect();
+            let executable: Vec<DagNodeId> = front
+                .iter()
+                .copied()
+                .filter(|&n| self.is_executable(n))
+                .collect();
             if !executable.is_empty() {
                 for node in executable {
                     self.execute_gate(node)?;
@@ -87,17 +99,22 @@ impl Scheduler<'_> {
             // Otherwise route the oldest (first-come-first-served) gate.
             let node = front[0];
             self.route_for_gate(node)?;
-            debug_assert!(self.is_executable(node), "routing must make the gate executable");
+            debug_assert!(
+                self.is_executable(node),
+                "routing must make the gate executable"
+            );
             self.execute_gate(node)?;
         }
         Ok(())
     }
 
     fn zone_of(&self, q: QubitId) -> Result<ZoneId, CompileError> {
-        self.state.zone_of(q).ok_or_else(|| CompileError::PlacementFailed {
-            qubit: q,
-            context: "qubit not present in the initial mapping".to_string(),
-        })
+        self.state
+            .zone_of(q)
+            .ok_or_else(|| CompileError::PlacementFailed {
+                qubit: q,
+                context: "qubit not present in the initial mapping".to_string(),
+            })
     }
 
     fn module_of(&self, q: QubitId) -> Result<ModuleId, CompileError> {
@@ -156,7 +173,14 @@ impl Scheduler<'_> {
         self.dag.mark_executed(node);
 
         if remote && self.options.enable_swap_insertion {
-            self.try_swap_insertion(a, b)?;
+            // Unconditionally timed: two monotonic clock reads per *fiber*
+            // gate (a small fraction of the gates) are noise next to the
+            // pass itself, and keeping one code path is worth more than
+            // gating the instrumentation behind the phase-reporting callers.
+            let swap_start = Instant::now();
+            let result = self.try_swap_insertion(a, b);
+            self.swap_insertion_time += swap_start.elapsed();
+            result?;
         }
         Ok(())
     }
@@ -199,16 +223,24 @@ impl Scheduler<'_> {
             if !zone.level.supports_gates() {
                 continue;
             }
-            let movers: Vec<ZoneId> = [za, zb].into_iter().filter(|&z| z != zone.id).collect();
-            let incoming = movers.len();
+            let mut incoming = 0usize;
+            let mut level_cost: u8 = 0;
+            for z in [za, zb] {
+                if z != zone.id {
+                    incoming += 1;
+                    level_cost += self.device.zone(z).level.distance(zone.level);
+                }
+            }
             let free = self.state.free_slots(self.device, zone.id);
             let evictions = incoming.saturating_sub(free);
-            let level_cost: u8 = movers
-                .iter()
-                .map(|&z| self.device.zone(z).level.distance(zone.level))
-                .sum();
             let affinity = self.zone_affinity(a, zone.id) + self.zone_affinity(b, zone.id);
-            let score = (incoming, evictions, -(affinity as i64), level_cost, zone.id.index());
+            let score = (
+                incoming,
+                evictions,
+                -(affinity as i64),
+                level_cost,
+                zone.id.index(),
+            );
             if best.is_none_or(|(s, _)| score < s) {
                 best = Some((score, zone.id));
             }
@@ -234,10 +266,17 @@ impl Scheduler<'_> {
         if self.device.zone(current).level.supports_fiber() {
             return Ok(());
         }
-        let optical_zones = self.device.zones_in_module_at_level(module, ZoneLevel::Optical);
+        let optical_zones = self
+            .device
+            .zones_in_module_at_level(module, ZoneLevel::Optical);
         let target = optical_zones
             .iter()
-            .max_by_key(|z| (self.state.free_slots(self.device, z.id), std::cmp::Reverse(z.id.index())))
+            .max_by_key(|z| {
+                (
+                    self.state.free_slots(self.device, z.id),
+                    std::cmp::Reverse(z.id.index()),
+                )
+            })
             .map(|z| z.id)
             .ok_or_else(|| CompileError::PlacementFailed {
                 qubit: q,
@@ -273,7 +312,9 @@ impl Scheduler<'_> {
     fn zone_affinity(&self, q: QubitId, zone: ZoneId) -> usize {
         let state = &self.state;
         self.dag
-            .count_window_partners(self.options.lookahead_k, q, |p| state.zone_of(p) == Some(zone))
+            .count_window_partners(self.options.lookahead_k, q, |p| {
+                state.zone_of(p) == Some(zone)
+            })
     }
 
     /// How soon `q` is needed again: the index of the first look-ahead layer
@@ -296,13 +337,14 @@ impl Scheduler<'_> {
     /// are broken in favour of the ion whose next use lies furthest in the
     /// future, which follows the same locality principle.
     fn ensure_space(&mut self, zone: ZoneId, protected: &[QubitId]) -> Result<(), CompileError> {
+        let mask = protected_mask(protected);
         while self.state.free_slots(self.device, zone) == 0 {
             let victim = self
                 .state
                 .chain(zone)
                 .iter()
                 .copied()
-                .filter(|q| !protected.contains(q))
+                .filter(|&q| !is_protected(q, mask, protected))
                 .min_by_key(|&q| {
                     (
                         self.state.last_use(q),
@@ -314,15 +356,15 @@ impl Scheduler<'_> {
                     qubit: *protected.first().unwrap_or(&QubitId::new(0)),
                     context: format!("zone {zone} is full of protected qubits"),
                 })?;
-            let destination = self.eviction_target(zone).ok_or_else(|| {
-                CompileError::PlacementFailed {
-                    qubit: victim,
-                    context: format!(
-                        "no eviction target with free space in module {}",
-                        self.device.zone(zone).module
-                    ),
-                }
-            })?;
+            let destination =
+                self.eviction_target(zone)
+                    .ok_or_else(|| CompileError::PlacementFailed {
+                        qubit: victim,
+                        context: format!(
+                            "no eviction target with free space in module {}",
+                            self.device.zone(zone).module
+                        ),
+                    })?;
             let ops = self.state.shuttle(self.device, victim, destination);
             self.ops.extend(ops);
         }
@@ -337,7 +379,7 @@ impl Scheduler<'_> {
         let from_zone = self.device.zone(from);
         self.device
             .zones_in_module(from_zone.module)
-            .into_iter()
+            .iter()
             .filter(|z| z.id != from)
             .filter(|z| self.state.free_slots(self.device, z.id) > 0)
             .min_by_key(|z| {
@@ -429,7 +471,7 @@ impl Scheduler<'_> {
     ) -> Option<QubitId> {
         self.device
             .zones_in_module(module)
-            .into_iter()
+            .iter()
             .flat_map(|z| self.state.chain(z.id).iter().copied())
             .filter(|q| !excluded.contains(q))
             .filter(|&q| table.weight(q, module) == 0)
@@ -536,7 +578,11 @@ mod tests {
         let circuit = generators::sqrt(30);
         let outcome = schedule_circuit(&circuit, &MussTiOptions::default(), &device);
         assert_eq!(outcome.final_mapping.len(), 30);
-        let mut qubits: Vec<usize> = outcome.final_mapping.iter().map(|(q, _)| q.index()).collect();
+        let mut qubits: Vec<usize> = outcome
+            .final_mapping
+            .iter()
+            .map(|(q, _)| q.index())
+            .collect();
         qubits.sort_unstable();
         qubits.dedup();
         assert_eq!(qubits.len(), 30);
@@ -544,7 +590,10 @@ mod tests {
 
     #[test]
     fn zone_capacity_is_never_exceeded_during_scheduling() {
-        let device = DeviceConfig::default().with_modules(2).with_trap_capacity(8).build();
+        let device = DeviceConfig::default()
+            .with_modules(2)
+            .with_trap_capacity(8)
+            .build();
         let circuit = generators::random_circuit(24, 200, 7);
         let mapping = trivial_mapping(&device, 24).unwrap();
         let outcome = schedule(&device, &MussTiOptions::default(), &circuit, &mapping).unwrap();
@@ -555,7 +604,10 @@ mod tests {
             *occupancy.entry(z.index()).or_insert(0) += 1;
         }
         for op in &outcome.ops {
-            if let ScheduledOp::Shuttle { from_zone, to_zone, .. } = op {
+            if let ScheduledOp::Shuttle {
+                from_zone, to_zone, ..
+            } = op
+            {
                 *occupancy.entry(*from_zone).or_insert(0) -= 1;
                 *occupancy.entry(*to_zone).or_insert(0) += 1;
             }
@@ -586,19 +638,36 @@ mod tests {
             circuit.ms(0, t);
         }
         let mapping = trivial_mapping(&device, 24).unwrap();
-        let with_swap = schedule(&device, &MussTiOptions::swap_insert_only(), &circuit, &mapping).unwrap();
+        let with_swap = schedule(
+            &device,
+            &MussTiOptions::swap_insert_only(),
+            &circuit,
+            &mapping,
+        )
+        .unwrap();
         let without = schedule(&device, &MussTiOptions::trivial(), &circuit, &mapping).unwrap();
-        assert!(with_swap.inserted_swaps >= 1, "expected at least one inserted SWAP");
+        assert!(
+            with_swap.inserted_swaps >= 1,
+            "expected at least one inserted SWAP"
+        );
         assert_eq!(without.inserted_swaps, 0);
         // After the swap the remaining hub gates are local, so fewer fiber gates.
         let fiber = |ops: &[ScheduledOp]| {
-            ops.iter().filter(|o| matches!(o, ScheduledOp::FiberGate { .. })).count()
+            ops.iter()
+                .filter(|o| matches!(o, ScheduledOp::FiberGate { .. }))
+                .count()
         };
-        assert!(fiber(&with_swap.ops) < fiber(&without.ops) + 3, "swap cost must be bounded");
+        assert!(
+            fiber(&with_swap.ops) < fiber(&without.ops) + 3,
+            "swap cost must be bounded"
+        );
         let exec = ScheduleExecutor::paper_defaults();
         let f_with = exec.execute(&with_swap.ops).log_fidelity.ln();
         let f_without = exec.execute(&without.ops).log_fidelity.ln();
-        assert!(f_with >= f_without, "swap insertion should not hurt this workload");
+        assert!(
+            f_with >= f_without,
+            "swap insertion should not hurt this workload"
+        );
     }
 
     #[test]

@@ -165,7 +165,12 @@ mod tests {
         );
         assert_eq!(table.best_remote_module(q(0), ModuleId(0), 2, 5), None);
         // The home module is never returned.
-        assert_eq!(table.best_remote_module(q(2), ModuleId(1), 2, 0).map(|(m, _)| m), Some(ModuleId(0)));
+        assert_eq!(
+            table
+                .best_remote_module(q(2), ModuleId(1), 2, 0)
+                .map(|(m, _)| m),
+            Some(ModuleId(0))
+        );
     }
 
     #[test]

@@ -1,0 +1,271 @@
+//! Equivalence suite: the flat-array [`PlacementState`] must answer every
+//! query identically to the retained HashMap-backed reference
+//! ([`NaivePlacement`]) after every step of arbitrary
+//! place/touch/shuttle/swap sequences — the same executable-specification
+//! pattern that pins the incremental DAG against `NaiveDag`.
+
+use proptest::prelude::*;
+
+use eml_qccd::{DeviceConfig, EmlQccdDevice, ZoneId, ZoneLevel};
+use ion_circuit::QubitId;
+use muss_ti::{NaivePlacement, PlacementState};
+
+/// One raw action drawn by proptest; interpreted against the current state so
+/// every drawn sequence is valid by construction.
+type RawAction = (usize, usize, usize);
+
+fn device(modules: usize, capacity: usize) -> EmlQccdDevice {
+    DeviceConfig::default()
+        .with_modules(modules)
+        .with_trap_capacity(capacity)
+        .build()
+}
+
+/// Asserts every query of the two implementations agrees.
+fn assert_states_agree(
+    device: &EmlQccdDevice,
+    flat: &PlacementState,
+    naive: &NaivePlacement,
+    num_qubits: usize,
+    step: usize,
+) {
+    for q in 0..num_qubits {
+        let qubit = QubitId::new(q);
+        assert_eq!(
+            flat.zone_of(qubit),
+            naive.zone_of(qubit),
+            "zone_of({q}) at step {step}"
+        );
+        assert_eq!(
+            flat.module_of(device, qubit),
+            naive.module_of(device, qubit),
+            "module_of({q}) at step {step}"
+        );
+        assert_eq!(
+            flat.last_use(qubit),
+            naive.last_use(qubit),
+            "last_use({q}) at step {step}"
+        );
+    }
+    for zone in device.zones() {
+        assert_eq!(
+            flat.chain(zone.id),
+            naive.chain(zone.id),
+            "chain({}) at step {step}",
+            zone.id
+        );
+        assert_eq!(
+            flat.occupancy(zone.id),
+            naive.occupancy(zone.id),
+            "occupancy({}) at step {step}",
+            zone.id
+        );
+        assert_eq!(
+            flat.free_slots(device, zone.id),
+            naive.free_slots(device, zone.id),
+            "free_slots({}) at step {step}",
+            zone.id
+        );
+        assert_eq!(
+            flat.lru_victim(zone.id, &[]),
+            naive.lru_victim(zone.id, &[]),
+            "lru_victim({}, []) at step {step}",
+            zone.id
+        );
+    }
+    for &module in device.modules() {
+        assert_eq!(
+            flat.module_occupancy(module),
+            naive.module_occupancy(module),
+            "module_occupancy({module}) at step {step}"
+        );
+        for min_level in [None, Some(ZoneLevel::Operation), Some(ZoneLevel::Optical)] {
+            assert_eq!(
+                flat.zones_with_space(device, module, min_level),
+                naive.zones_with_space(device, module, min_level),
+                "zones_with_space({module}, {min_level:?}) at step {step}"
+            );
+        }
+    }
+    assert_eq!(flat.mapping(), naive.mapping(), "mapping() at step {step}");
+}
+
+/// Runs one raw action against both states, keeping them in lock-step. The
+/// raw numbers are folded onto whatever is currently legal, so no action can
+/// panic; illegal draws degrade to no-ops on both sides symmetrically.
+fn apply_action(
+    device: &EmlQccdDevice,
+    flat: &mut PlacementState,
+    naive: &mut NaivePlacement,
+    action: RawAction,
+    num_qubits: usize,
+    clock: &mut u64,
+) {
+    let (kind, x, y) = action;
+    let placed: Vec<QubitId> = flat.mapping().iter().map(|&(q, _)| q).collect();
+    match kind % 5 {
+        // Place the first unplaced qubit into the x-th zone with space.
+        0 => {
+            let Some(qubit) = (0..num_qubits)
+                .map(QubitId::new)
+                .find(|&q| flat.zone_of(q).is_none())
+            else {
+                return;
+            };
+            let with_space: Vec<ZoneId> = device
+                .zones()
+                .iter()
+                .filter(|z| flat.free_slots(device, z.id) > 0)
+                .map(|z| z.id)
+                .collect();
+            if with_space.is_empty() {
+                return;
+            }
+            let zone = with_space[x % with_space.len()];
+            flat.place(device, qubit, zone);
+            naive.place(device, qubit, zone);
+        }
+        // Touch the x-th placed qubit at the next logical time.
+        1 => {
+            if placed.is_empty() {
+                return;
+            }
+            *clock += 1;
+            let qubit = placed[x % placed.len()];
+            flat.touch(qubit, *clock);
+            naive.touch(qubit, *clock);
+        }
+        // Shuttle the x-th placed qubit to the y-th same-module zone with
+        // space (possibly its own zone: the no-op path is covered too).
+        2 => {
+            if placed.is_empty() {
+                return;
+            }
+            let qubit = placed[x % placed.len()];
+            let home = flat.zone_of(qubit).expect("placed");
+            let module = device.zone(home).module;
+            let targets: Vec<ZoneId> = device
+                .zones_in_module(module)
+                .iter()
+                .filter(|z| z.id == home || flat.free_slots(device, z.id) > 0)
+                .map(|z| z.id)
+                .collect();
+            let to = targets[y % targets.len()];
+            let flat_ops = flat.shuttle(device, qubit, to);
+            let naive_ops = naive.shuttle(device, qubit, to);
+            assert_eq!(
+                flat_ops, naive_ops,
+                "shuttle({qubit} -> {to}) op streams diverged"
+            );
+        }
+        // Logically swap the x-th and y-th placed qubits.
+        3 => {
+            if placed.len() < 2 {
+                return;
+            }
+            let a = placed[x % placed.len()];
+            let b = placed[y % placed.len()];
+            if a == b {
+                return;
+            }
+            flat.swap_logical(a, b);
+            naive.swap_logical(a, b);
+        }
+        // Query-only step: LRU victims under a protected subset drawn from
+        // the zone's own chain.
+        _ => {
+            for zone in device.zones() {
+                let chain = flat.chain(zone.id);
+                let protected: Vec<QubitId> = chain
+                    .iter()
+                    .copied()
+                    .skip(x % (chain.len() + 1))
+                    .take(2 + y % 3)
+                    .collect();
+                assert_eq!(
+                    flat.lru_victim(zone.id, &protected),
+                    naive.lru_victim(zone.id, &protected),
+                    "lru_victim({}, {protected:?}) diverged",
+                    zone.id
+                );
+            }
+        }
+    }
+}
+
+/// Strategy: device shape plus a raw action sequence.
+fn scenario() -> impl Strategy<Value = ((usize, usize), Vec<RawAction>)> {
+    (
+        (1..4usize, 2..6usize),
+        prop::collection::vec((0..5usize, 0..64usize, 0..64usize), 1..200),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn flat_placement_matches_naive_reference(((modules, capacity), actions) in scenario()) {
+        let device = device(modules, capacity);
+        // Enough qubits to overfill zones but not the device.
+        let num_qubits = device.total_capacity().min(3 * capacity);
+        let mut flat = PlacementState::new(&device);
+        let mut naive = NaivePlacement::new(&device);
+        let mut clock = 0u64;
+        assert_states_agree(&device, &flat, &naive, num_qubits, 0);
+        for (step, &action) in actions.iter().enumerate() {
+            apply_action(&device, &mut flat, &mut naive, action, num_qubits, &mut clock);
+            assert_states_agree(&device, &flat, &naive, num_qubits, step + 1);
+        }
+    }
+
+    #[test]
+    fn from_mapping_agrees_between_implementations((modules, capacity) in (1..4usize, 2..6usize)) {
+        let device = device(modules, capacity);
+        // Fill round-robin across all zones up to half capacity each.
+        let mut mapping = Vec::new();
+        let mut next = 0usize;
+        for zone in device.zones() {
+            for _ in 0..zone.capacity / 2 {
+                mapping.push((QubitId::new(next), zone.id));
+                next += 1;
+            }
+        }
+        let flat = PlacementState::from_mapping(&device, &mapping);
+        let naive = NaivePlacement::from_mapping(&device, &mapping);
+        assert_states_agree(&device, &flat, &naive, next, 0);
+        assert_eq!(flat.mapping(), mapping);
+    }
+}
+
+/// A fixed regression scenario exercising the mask-collision path of the
+/// flat `lru_victim` (qubit indices ≥ 64 alias into the 64-bit mask).
+#[test]
+fn lru_victim_mask_collisions_match_reference() {
+    let device = DeviceConfig::default()
+        .with_modules(3)
+        .with_trap_capacity(8)
+        .build();
+    let mut flat = PlacementState::new(&device);
+    let mut naive = NaivePlacement::new(&device);
+    let zone = device.zones()[0].id;
+    for i in [0usize, 64, 128, 1, 65] {
+        let q = QubitId::new(i);
+        flat.place(&device, q, zone);
+        naive.place(&device, q, zone);
+        flat.touch(q, (i % 7) as u64);
+        naive.touch(q, (i % 7) as u64);
+    }
+    for protected in [
+        vec![],
+        vec![QubitId::new(0)],
+        vec![QubitId::new(64), QubitId::new(1)],
+        vec![QubitId::new(0), QubitId::new(64), QubitId::new(128)],
+    ] {
+        assert_eq!(
+            flat.lru_victim(zone, &protected),
+            naive.lru_victim(zone, &protected),
+            "protected = {protected:?}"
+        );
+    }
+}

@@ -62,7 +62,9 @@ impl BenchmarkGroup<'_> {
         mut f: F,
     ) -> &mut Self {
         let label = format!("{}/{}", self.name, id);
-        run_one(&label, effective_sample_size(self.sample_size), |b| f(b, input));
+        run_one(&label, effective_sample_size(self.sample_size), |b| {
+            f(b, input)
+        });
         self
     }
 
@@ -118,7 +120,10 @@ fn effective_sample_size(configured: usize) -> usize {
 }
 
 fn run_one<F: FnMut(&mut Bencher)>(label: &str, iters: usize, mut f: F) {
-    let mut bencher = Bencher { samples: Vec::new(), iters };
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+        iters,
+    };
     f(&mut bencher);
     if bencher.samples.is_empty() {
         println!("{label}: no samples");
@@ -167,7 +172,9 @@ mod tests {
         let mut c = Criterion::default();
         let mut group = c.benchmark_group("g");
         let mut runs = 0usize;
-        group.sample_size(3).bench_function("count", |b| b.iter(|| runs += 1));
+        group
+            .sample_size(3)
+            .bench_function("count", |b| b.iter(|| runs += 1));
         group.finish();
         // The closure body runs exactly sample_size times (unless overridden
         // by the environment, which tests do not set).

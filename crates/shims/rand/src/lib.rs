@@ -214,6 +214,9 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..32).collect::<Vec<_>>());
-        assert_ne!(v, sorted, "a 32-element shuffle virtually never fixes everything");
+        assert_ne!(
+            v, sorted,
+            "a 32-element shuffle virtually never fixes everything"
+        );
     }
 }

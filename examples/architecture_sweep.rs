@@ -13,7 +13,10 @@ fn main() {
         circuit.two_qubit_gate_count()
     );
 
-    println!("{:>9} {:>14} {:>10} {:>12}", "capacity", "optical zones", "shuttles", "log10 F");
+    println!(
+        "{:>9} {:>14} {:>10} {:>12}",
+        "capacity", "optical zones", "shuttles", "log10 F"
+    );
     let mut best: Option<(usize, usize, f64)> = None;
     for capacity in [12, 14, 16, 18, 20] {
         for optical_zones in [1, 2] {
@@ -39,5 +42,7 @@ fn main() {
     }
 
     let (capacity, zones, _) = best.expect("sweep is non-empty");
-    println!("\nRecommended configuration for QAOA_256: capacity {capacity}, {zones} optical zone(s)");
+    println!(
+        "\nRecommended configuration for QAOA_256: capacity {capacity}, {zones} optical zone(s)"
+    );
 }

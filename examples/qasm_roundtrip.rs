@@ -18,7 +18,10 @@ fn main() {
     // Re-import: this is the path an external QASM file would take.
     let mut imported = qasm::parse(&qasm_text).expect("valid OpenQASM");
     imported.set_name("QFT_32 (imported)");
-    assert_eq!(imported.two_qubit_gate_count(), original.two_qubit_gate_count());
+    assert_eq!(
+        imported.two_qubit_gate_count(),
+        original.two_qubit_gate_count()
+    );
 
     let device = DeviceConfig::for_qubits(imported.num_qubits()).build();
     let program = MussTiCompiler::new(device, MussTiOptions::default())

@@ -34,7 +34,10 @@ fn main() {
     let baseline = MuraliCompiler::for_qubits(circuit.num_qubits());
     let theirs = baseline.compile(&circuit).expect("baseline compilation");
 
-    println!("\n{:<22} {:>10} {:>14} {:>12}", "compiler", "shuttles", "time (us)", "log10 F");
+    println!(
+        "\n{:<22} {:>10} {:>14} {:>12}",
+        "compiler", "shuttles", "time (us)", "log10 F"
+    );
     for program in [&ours, &theirs] {
         let m = program.metrics();
         println!(

@@ -4,21 +4,15 @@
 //! the pre-optimisation behaviour — any hidden iteration-order dependence
 //! (hash maps on the hot path, cache-refresh ordering) shows up here.
 
+use muss_ti_repro::experiments::fingerprint;
 use muss_ti_repro::prelude::*;
 
-/// One small circuit per generator family, plus seeded random circuits.
+/// The shared fingerprint suite (one circuit per generator family plus
+/// seeded random circuits) — the same set the pinned op-stream fingerprints
+/// in `tests/op_fingerprints.rs` and the `op_fingerprint` bin cover, so
+/// determinism coverage cannot drift from the pins.
 fn suite() -> Vec<Circuit> {
-    vec![
-        generators::qft(24),
-        generators::ghz(32),
-        generators::qaoa(24),
-        generators::adder(24),
-        generators::bv(32),
-        generators::sqrt(22),
-        generators::supremacy(25),
-        generators::random_circuit(24, 150, 5),
-        generators::random_circuit(32, 200, 17),
-    ]
+    fingerprint::suite()
 }
 
 /// Serialises an op stream to bytes via its exhaustive `Debug` rendering.
@@ -29,7 +23,11 @@ fn op_bytes(ops: &[eml_qccd::ScheduledOp]) -> Vec<u8> {
 #[test]
 fn muss_ti_op_streams_are_byte_identical_across_runs() {
     for circuit in suite() {
-        for options in [MussTiOptions::default(), MussTiOptions::trivial(), MussTiOptions::swap_insert_only()] {
+        for options in [
+            MussTiOptions::default(),
+            MussTiOptions::trivial(),
+            MussTiOptions::swap_insert_only(),
+        ] {
             let compile = || {
                 let device = DeviceConfig::for_qubits(circuit.num_qubits()).build();
                 MussTiCompiler::new(device, options)
@@ -79,7 +77,12 @@ fn baseline_op_streams_are_byte_identical_across_runs() {
 fn generators_are_deterministic() {
     // The schedulers can only be reproducible if circuit generation is.
     for (a, b) in suite().into_iter().zip(suite()) {
-        assert_eq!(format!("{:?}", a.gates()), format!("{:?}", b.gates()), "{}", a.name());
+        assert_eq!(
+            format!("{:?}", a.gates()),
+            format!("{:?}", b.gates()),
+            "{}",
+            a.name()
+        );
     }
 }
 
@@ -92,7 +95,10 @@ fn every_two_qubit_gate_appears_in_program_order_projection() {
     // circuit gates.
     use eml_qccd::ScheduledOp;
 
-    fn partner_sequences(num_qubits: usize, pairs: impl Iterator<Item = (QubitId, QubitId)>) -> Vec<Vec<QubitId>> {
+    fn partner_sequences(
+        num_qubits: usize,
+        pairs: impl Iterator<Item = (QubitId, QubitId)>,
+    ) -> Vec<Vec<QubitId>> {
         let mut seqs = vec![Vec::new(); num_qubits];
         for (a, b) in pairs {
             seqs[a.index()].push(b);
@@ -108,7 +114,9 @@ fn every_two_qubit_gate_appears_in_program_order_projection() {
             .unwrap();
         let expected = partner_sequences(
             circuit.num_qubits(),
-            circuit.two_qubit_gates().map(|g| g.two_qubit_pair().unwrap()),
+            circuit
+                .two_qubit_gates()
+                .map(|g| g.two_qubit_pair().unwrap()),
         );
         let emitted = partner_sequences(
             circuit.num_qubits(),

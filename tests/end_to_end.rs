@@ -13,24 +13,40 @@ fn compile_muss_ti(circuit: &Circuit) -> CompiledProgram {
 
 #[test]
 fn muss_ti_compiles_the_entire_small_suite() {
-    for label in ["Adder_32", "BV_32", "GHZ_32", "QAOA_32", "QFT_32", "SQRT_30"] {
-        let circuit = generators::BenchmarkApp::from_label(label).unwrap().circuit();
+    for label in [
+        "Adder_32", "BV_32", "GHZ_32", "QAOA_32", "QFT_32", "SQRT_30",
+    ] {
+        let circuit = generators::BenchmarkApp::from_label(label)
+            .unwrap()
+            .circuit();
         let program = compile_muss_ti(&circuit);
         let metrics = program.metrics();
         assert!(
             metrics.total_two_qubit_interactions() >= circuit.two_qubit_gate_count(),
             "{label}: every circuit gate must be realised"
         );
-        assert!(metrics.execution_time_us > 0.0, "{label}: time must be positive");
-        assert!(metrics.log10_fidelity() <= 0.0, "{label}: fidelity is at most 1");
-        assert_eq!(metrics.measurements, circuit.stats().measurements, "{label}");
+        assert!(
+            metrics.execution_time_us > 0.0,
+            "{label}: time must be positive"
+        );
+        assert!(
+            metrics.log10_fidelity() <= 0.0,
+            "{label}: fidelity is at most 1"
+        );
+        assert_eq!(
+            metrics.measurements,
+            circuit.stats().measurements,
+            "{label}"
+        );
     }
 }
 
 #[test]
 fn muss_ti_beats_every_baseline_on_shuttles_for_small_apps() {
     for label in ["Adder_32", "GHZ_32", "BV_32", "SQRT_30"] {
-        let circuit = generators::BenchmarkApp::from_label(label).unwrap().circuit();
+        let circuit = generators::BenchmarkApp::from_label(label)
+            .unwrap()
+            .circuit();
         let ours = compile_muss_ti(&circuit).metrics().shuttle_count;
         let murali = MuraliCompiler::for_qubits(circuit.num_qubits())
             .compile(&circuit)
@@ -56,7 +72,9 @@ fn muss_ti_beats_every_baseline_on_shuttles_for_small_apps() {
 #[test]
 fn muss_ti_scales_to_the_medium_suite() {
     for label in ["BV_128", "GHZ_128", "QAOA_128"] {
-        let circuit = generators::BenchmarkApp::from_label(label).unwrap().circuit();
+        let circuit = generators::BenchmarkApp::from_label(label)
+            .unwrap()
+            .circuit();
         let program = compile_muss_ti(&circuit);
         assert!(
             program.metrics().total_two_qubit_interactions() >= circuit.two_qubit_gate_count(),
@@ -90,7 +108,10 @@ fn grid_and_eml_devices_report_consistent_capacity() {
 fn compiled_programs_can_be_reevaluated_under_ideal_models() {
     let circuit = generators::sqrt(30);
     let program = compile_muss_ti(&circuit);
-    let ideal = ScheduleExecutor::new(TimingModel::paper_defaults(), FidelityModel::perfect_gates());
+    let ideal = ScheduleExecutor::new(
+        TimingModel::paper_defaults(),
+        FidelityModel::perfect_gates(),
+    );
     let reevaluated = program.reevaluate(&ideal);
     assert_eq!(reevaluated.shuttle_count, program.metrics().shuttle_count);
     assert!(reevaluated.log10_fidelity() >= program.metrics().log10_fidelity());

@@ -1,0 +1,100 @@
+//! Determinism re-pin: FNV-1a fingerprints of every compiler's `ScheduledOp`
+//! stream across the generator suite, pinned to the values produced before
+//! the flat placement/topology refactor (PR 2). The suite, compiler variants
+//! and hash come from `experiments::fingerprint`, shared with the
+//! `op_fingerprint` bin — a mismatch means compiler *behaviour* changed. If
+//! that is intentional, regenerate the table with
+//! `cargo run --release -p experiments --bin op_fingerprint`.
+
+use muss_ti_repro::experiments::fingerprint;
+
+/// `(circuit, compiler-variant, fingerprint)` pinned from the pre-refactor
+/// op streams, in the order the `op_fingerprint` bin prints them.
+const PINNED: &[(&str, &str, u64)] = &[
+    ("QFT_24", "MUSS-TI/full", 0x1dcdbcedf2d0de59),
+    ("QFT_24", "MUSS-TI/trivial", 0x1dcdbcedf2d0de59),
+    ("QFT_24", "MUSS-TI/swap_only", 0x1dcdbcedf2d0de59),
+    ("QFT_24", "murali", 0x6d4e68570b47bca4),
+    ("QFT_24", "dai", 0x3c1540ec987f0aec),
+    ("QFT_24", "mqt", 0x10e67b16ce9833dd),
+    ("QFT_48", "MUSS-TI/full", 0x7f1fdd9e7ae60e87),
+    ("QFT_48", "MUSS-TI/trivial", 0xab48dcd27cc275cb),
+    ("QFT_48", "MUSS-TI/swap_only", 0x7f1fdd9e7ae60e87),
+    ("QFT_48", "murali", 0xae904e4dc45f31b7),
+    ("QFT_48", "dai", 0x77bdd01943cacca2),
+    ("QFT_48", "mqt", 0x6f0116b1186ff725),
+    ("GHZ_32", "MUSS-TI/full", 0xb77c44c32a42e95f),
+    ("GHZ_32", "MUSS-TI/trivial", 0x69c2df390a4013e4),
+    ("GHZ_32", "MUSS-TI/swap_only", 0x69c2df390a4013e4),
+    ("GHZ_32", "murali", 0x5958b02561d84506),
+    ("GHZ_32", "dai", 0x998754b26f03ffdb),
+    ("GHZ_32", "mqt", 0x07d366a698ba12b7),
+    ("QAOA_24", "MUSS-TI/full", 0xc4a6699f9df46e5c),
+    ("QAOA_24", "MUSS-TI/trivial", 0x44bcdb2d9da811d5),
+    ("QAOA_24", "MUSS-TI/swap_only", 0x44bcdb2d9da811d5),
+    ("QAOA_24", "murali", 0x010e37b38d209527),
+    ("QAOA_24", "dai", 0x38efa29a859281d6),
+    ("QAOA_24", "mqt", 0xe84c115dd92d4547),
+    ("Adder_24", "MUSS-TI/full", 0xeaffa37af504b0ea),
+    ("Adder_24", "MUSS-TI/trivial", 0xd1c270594b6485d5),
+    ("Adder_24", "MUSS-TI/swap_only", 0xd1c270594b6485d5),
+    ("Adder_24", "murali", 0x459928d78cc953f9),
+    ("Adder_24", "dai", 0x459928d78cc953f9),
+    ("Adder_24", "mqt", 0xbed85dbc96e30f7f),
+    ("BV_32", "MUSS-TI/full", 0x2254ab6f8b4b0b5b),
+    ("BV_32", "MUSS-TI/trivial", 0x693ba4fe821fb069),
+    ("BV_32", "MUSS-TI/swap_only", 0x693ba4fe821fb069),
+    ("BV_32", "murali", 0x4e55ec4da3adc794),
+    ("BV_32", "dai", 0xaf4264398b37fa62),
+    ("BV_32", "mqt", 0x13bea4a59ccd51c8),
+    ("SQRT_22", "MUSS-TI/full", 0x1439617b7b9516c5),
+    ("SQRT_22", "MUSS-TI/trivial", 0x51fc59ecb80da8ac),
+    ("SQRT_22", "MUSS-TI/swap_only", 0x51fc59ecb80da8ac),
+    ("SQRT_22", "murali", 0xb5bcf13e9e6cb657),
+    ("SQRT_22", "dai", 0x74912fdae040b083),
+    ("SQRT_22", "mqt", 0x3bcfe58545a1eecb),
+    ("SC_25", "MUSS-TI/full", 0x0d8ba089e3204735),
+    ("SC_25", "MUSS-TI/trivial", 0x50093c0bdc7d02b2),
+    ("SC_25", "MUSS-TI/swap_only", 0x50093c0bdc7d02b2),
+    ("SC_25", "murali", 0x1cdf78845047aabf),
+    ("SC_25", "dai", 0x1d6044a15db878ae),
+    ("SC_25", "mqt", 0x0cfa2262a5c2aa61),
+    ("RAN_24", "MUSS-TI/full", 0x2ba7f1057dc0e352),
+    ("RAN_24", "MUSS-TI/trivial", 0x68758321613a6cfe),
+    ("RAN_24", "MUSS-TI/swap_only", 0x68758321613a6cfe),
+    ("RAN_24", "murali", 0x8f9131265133798a),
+    ("RAN_24", "dai", 0x46cb1b6ea2b0b9c0),
+    ("RAN_24", "mqt", 0x6899232944757dec),
+    ("RAN_32", "MUSS-TI/full", 0xc0c66fb7bf8a17a0),
+    ("RAN_32", "MUSS-TI/trivial", 0x2f8da370921ca7db),
+    ("RAN_32", "MUSS-TI/swap_only", 0x2f8da370921ca7db),
+    ("RAN_32", "murali", 0x62cf5885606e9ed8),
+    ("RAN_32", "dai", 0x6c1e049766f9ec68),
+    ("RAN_32", "mqt", 0xc33e46795763cf01),
+];
+
+#[test]
+fn op_streams_match_pre_refactor_fingerprints() {
+    let mut pinned = PINNED.iter();
+    let mut checked = 0usize;
+    for circuit in fingerprint::suite() {
+        for (variant, hash) in fingerprint::fingerprints_for(&circuit) {
+            let &(pin_circuit, pin_variant, pin_hash) = pinned
+                .next()
+                .unwrap_or_else(|| panic!("no pinned entry for {}/{variant}", circuit.name()));
+            assert_eq!(
+                (circuit.name(), variant.as_str()),
+                (pin_circuit, pin_variant),
+                "suite/pin ordering diverged — regenerate the table with the op_fingerprint bin"
+            );
+            assert_eq!(
+                hash,
+                pin_hash,
+                "op stream changed on {} ({variant})",
+                circuit.name()
+            );
+            checked += 1;
+        }
+    }
+    assert_eq!(checked, PINNED.len(), "pinned table has unchecked entries");
+}

@@ -9,7 +9,10 @@ use ion_circuit::generators::BenchmarkScale;
 fn table2_muss_ti_wins_on_shuttles_for_ghz_and_bv() {
     let result = table2::run_with_apps(&["GHZ_32", "BV_32"]);
     let reduction = result.average_shuttle_reduction_vs_best_baseline();
-    assert!(reduction > 0.0, "expected a positive shuttle reduction, got {reduction:.1}%");
+    assert!(
+        reduction > 0.0,
+        "expected a positive shuttle reduction, got {reduction:.1}%"
+    );
 }
 
 #[test]
@@ -18,7 +21,10 @@ fn fig6_small_scale_shuttle_reduction_is_large() {
     let shuttle = result.shuttle_reduction_per_scale()[0].1;
     assert!(shuttle > 20.0, "shuttle reduction too small: {shuttle:.1}%");
     let time = result.time_reduction_per_scale()[0].1;
-    assert!(time > 0.0, "execution-time reduction should be positive: {time:.1}%");
+    assert!(
+        time > 0.0,
+        "execution-time reduction should be positive: {time:.1}%"
+    );
 }
 
 #[test]

@@ -6,7 +6,10 @@ use proptest::prelude::*;
 use muss_ti_repro::prelude::*;
 
 /// Strategy: a random circuit description (qubit count, gate pair list).
-fn random_pairs(max_qubits: usize, max_gates: usize) -> impl Strategy<Value = (usize, Vec<(usize, usize)>)> {
+fn random_pairs(
+    max_qubits: usize,
+    max_gates: usize,
+) -> impl Strategy<Value = (usize, Vec<(usize, usize)>)> {
     (4..max_qubits).prop_flat_map(move |n| {
         let pairs = prop::collection::vec((0..n, 0..n), 1..max_gates);
         (Just(n), pairs)
