@@ -1,11 +1,12 @@
 //! Dai et al. style baseline compiler ([13] in the paper).
 
 use eml_qccd::{
-    CompileError, CompiledProgram, Compiler, GridConfig, QccdGridDevice, ScheduleExecutor,
+    CompileContext, CompileError, CompileSession, CompiledProgram, Compiler, GridConfig,
+    QccdGridDevice, ScheduleExecutor, StagedCompiler,
 };
 use ion_circuit::Circuit;
 
-use crate::scheduler::{compile_on_grid, RoutingPolicy};
+use crate::scheduler::{compile_on_grid_in, GridContext, RoutingPolicy};
 
 /// Re-implementation of the shuttle-reduction strategy of Dai et al.
 /// ("Advanced Shuttle Strategies for Parallel QCCD Architectures"), the
@@ -56,6 +57,12 @@ impl DaiCompiler {
     pub fn device(&self) -> &QccdGridDevice {
         &self.device
     }
+
+    /// Opens a [`CompileSession`] holding this compiler and one reusable
+    /// compile context.
+    pub fn session(self) -> CompileSession<Self> {
+        CompileSession::new(self)
+    }
 }
 
 impl Compiler for DaiCompiler {
@@ -64,9 +71,27 @@ impl Compiler for DaiCompiler {
     }
 
     fn compile(&self, circuit: &Circuit) -> Result<CompiledProgram, CompileError> {
-        compile_on_grid(
+        let mut ctx = StagedCompiler::new_context(self);
+        self.compile_in(&mut ctx, circuit)
+    }
+}
+
+impl StagedCompiler for DaiCompiler {
+    fn new_context(&self) -> CompileContext {
+        CompileContext::with(GridContext::new(&self.device))
+    }
+
+    fn compile_in(
+        &self,
+        ctx: &mut CompileContext,
+        circuit: &Circuit,
+    ) -> Result<CompiledProgram, CompileError> {
+        let device = &self.device;
+        let cx = ctx.scratch_or_init(|| GridContext::new(device));
+        compile_on_grid_in(
+            cx,
             self.name(),
-            &self.device,
+            device,
             RoutingPolicy::LookaheadMeet,
             &self.executor,
             circuit,

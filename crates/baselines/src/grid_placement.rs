@@ -10,7 +10,7 @@ use ion_circuit::QubitId;
 
 /// Placement state for the grid-based baseline compilers: which trap holds
 /// each ion, chain order inside each trap, and per-qubit last-use timestamps.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct GridPlacement {
     /// `trap_of[q]` is the trap holding qubit `q` (grown on demand).
     trap_of: Vec<Option<TrapId>>,
@@ -37,21 +37,48 @@ impl GridPlacement {
     /// Panics if a trap is overfilled.
     pub fn from_mapping(device: &QccdGridDevice, mapping: &[(QubitId, TrapId)]) -> Self {
         let mut state = Self::new(device);
+        state.reset_from_mapping(device, mapping);
+        state
+    }
+
+    /// Drops every placement, chain and timestamp while keeping the backing
+    /// allocations — the state behaves exactly like a freshly built one.
+    pub fn clear(&mut self) {
+        self.trap_of.fill(None);
+        for chain in &mut self.chains {
+            chain.clear();
+        }
+        self.last_use.fill(0);
+    }
+
+    /// Re-initialises the state from an explicit assignment, reusing the
+    /// backing allocations (the grid counterpart of
+    /// `muss_ti::PlacementState::reset_from_mapping`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a trap is overfilled (like [`GridPlacement::from_mapping`]).
+    pub fn reset_from_mapping(&mut self, device: &QccdGridDevice, mapping: &[(QubitId, TrapId)]) {
+        self.clear();
+        if self.chains.len() < device.num_traps() {
+            self.chains.resize(device.num_traps(), Vec::new());
+        }
         let max_qubit = mapping
             .iter()
             .map(|(q, _)| q.index() + 1)
             .max()
             .unwrap_or(0);
-        state.trap_of.resize(max_qubit, None);
-        state.last_use.resize(max_qubit, 0);
+        if self.trap_of.len() < max_qubit {
+            self.trap_of.resize(max_qubit, None);
+            self.last_use.resize(max_qubit, 0);
+        }
         for &(q, t) in mapping {
             assert!(
-                state.occupancy(t) < device.trap_capacity(),
+                self.occupancy(t) < device.trap_capacity(),
                 "initial mapping overfills {t}"
             );
-            state.place(q, t);
+            self.place(q, t);
         }
-        state
     }
 
     /// Grows the per-qubit arrays to cover `qubit`.
@@ -132,18 +159,35 @@ impl GridPlacement {
         qubit: QubitId,
         destination: TrapId,
     ) -> Vec<ScheduledOp> {
+        let mut ops = Vec::new();
+        self.transport_into(device, qubit, destination, &mut ops);
+        ops
+    }
+
+    /// [`GridPlacement::transport`] appending the emitted operations to an
+    /// existing buffer instead of allocating a fresh `Vec` per transport.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`GridPlacement::transport`].
+    pub fn transport_into(
+        &mut self,
+        device: &QccdGridDevice,
+        qubit: QubitId,
+        destination: TrapId,
+        ops: &mut Vec<ScheduledOp>,
+    ) {
         let from = self
             .trap_of(qubit)
             .expect("cannot transport an unplaced ion");
         if from == destination {
-            return Vec::new();
+            return;
         }
         assert!(
             self.occupancy(destination) < device.trap_capacity(),
             "transport destination {destination} is full"
         );
 
-        let mut ops = Vec::new();
         let chain = &mut self.chains[from.index()];
         let idx = chain
             .iter()
@@ -167,7 +211,6 @@ impl GridPlacement {
 
         self.chains[destination.index()].push(qubit);
         self.trap_of[qubit.index()] = Some(destination);
-        ops
     }
 
     /// The nearest trap (by hop distance from `near`) that still has free

@@ -42,6 +42,7 @@ pub use dai::DaiCompiler;
 pub use grid_placement::GridPlacement;
 pub use mqt::MqtStyleCompiler;
 pub use murali::MuraliCompiler;
+pub use scheduler::GridContext;
 
 /// The `QccdGridDevice` referenced in the crate docs, re-exported for
 /// convenience so baseline users need only this crate plus `ion-circuit`.

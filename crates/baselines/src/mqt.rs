@@ -1,11 +1,12 @@
 //! MQT IonShuttler style baseline compiler ([70] in the paper).
 
 use eml_qccd::{
-    CompileError, CompiledProgram, Compiler, GridConfig, QccdGridDevice, ScheduleExecutor,
+    CompileContext, CompileError, CompileSession, CompiledProgram, Compiler, GridConfig,
+    QccdGridDevice, ScheduleExecutor, StagedCompiler,
 };
 use ion_circuit::Circuit;
 
-use crate::scheduler::{compile_on_grid, RoutingPolicy};
+use crate::scheduler::{compile_on_grid_in, GridContext, RoutingPolicy};
 
 /// Re-implementation of the Munich Quantum Toolkit shuttling compiler's
 /// architectural assumption: gates execute only in a dedicated processing
@@ -55,6 +56,12 @@ impl MqtStyleCompiler {
     pub fn device(&self) -> &QccdGridDevice {
         &self.device
     }
+
+    /// Opens a [`CompileSession`] holding this compiler and one reusable
+    /// compile context.
+    pub fn session(self) -> CompileSession<Self> {
+        CompileSession::new(self)
+    }
 }
 
 impl Compiler for MqtStyleCompiler {
@@ -63,9 +70,27 @@ impl Compiler for MqtStyleCompiler {
     }
 
     fn compile(&self, circuit: &Circuit) -> Result<CompiledProgram, CompileError> {
-        compile_on_grid(
+        let mut ctx = StagedCompiler::new_context(self);
+        self.compile_in(&mut ctx, circuit)
+    }
+}
+
+impl StagedCompiler for MqtStyleCompiler {
+    fn new_context(&self) -> CompileContext {
+        CompileContext::with(GridContext::new(&self.device))
+    }
+
+    fn compile_in(
+        &self,
+        ctx: &mut CompileContext,
+        circuit: &Circuit,
+    ) -> Result<CompiledProgram, CompileError> {
+        let device = &self.device;
+        let cx = ctx.scratch_or_init(|| GridContext::new(device));
+        compile_on_grid_in(
+            cx,
             self.name(),
-            &self.device,
+            device,
             RoutingPolicy::ProcessingZone,
             &self.executor,
             circuit,

@@ -1,9 +1,19 @@
-//! Shared scheduling loop for the grid-based baseline compilers.
+//! Shared scheduling loop for the grid-based baseline compilers, staged onto
+//! the [`eml_qccd::pipeline`] just like MUSS-TI: placement state and op
+//! buffers live in a reusable [`GridContext`] arena, and the compile path
+//! records per-stage timings so the baselines stay comparable with MUSS-TI
+//! in the experiment output.
 
+#[cfg(test)]
+use std::time::Duration;
 use std::time::Instant;
 
+#[cfg(test)]
+use eml_qccd::pipeline::Scheduled;
+use eml_qccd::pipeline::StageTimings;
 use eml_qccd::{
-    CompileError, CompiledProgram, QccdGridDevice, ScheduleExecutor, ScheduledOp, TrapId,
+    CompileError, CompiledProgram, ContextScratch, DeviceDims, ExecutorScratch, QccdGridDevice,
+    ScheduleExecutor, ScheduledOp, TrapId,
 };
 use ion_circuit::{Circuit, DagNodeId, DependencyDag, Gate, QubitId};
 
@@ -26,10 +36,34 @@ pub(crate) enum RoutingPolicy {
     ProcessingZone,
 }
 
-#[derive(Debug, Clone)]
-pub(crate) struct GridOutcome {
-    pub ops: Vec<ScheduledOp>,
-    pub final_mapping: Vec<(QubitId, TrapId)>,
+/// The reusable compile-context arena shared by the three grid baselines:
+/// grid placement state, the op buffer and the executor's clock/heat arrays,
+/// allocated once per context and recycled across compiles. Reuse is
+/// behaviour-neutral (op streams stay bit-identical to a cold compile).
+#[derive(Debug, Default)]
+pub struct GridContext {
+    state: GridPlacement,
+    ops: Vec<ScheduledOp>,
+    exec: ExecutorScratch,
+}
+
+impl GridContext {
+    /// Allocates a context sized for `device`.
+    pub fn new(device: &QccdGridDevice) -> Self {
+        GridContext {
+            state: GridPlacement::new(device),
+            ops: Vec::new(),
+            exec: ExecutorScratch::new(),
+        }
+    }
+}
+
+impl ContextScratch for GridContext {
+    fn reset(&mut self) {
+        self.state.clear();
+        self.ops.clear();
+        self.exec.clear();
+    }
 }
 
 /// Block initial mapping: consecutive logical qubits share a trap, traps are
@@ -72,31 +106,57 @@ pub(crate) fn initial_grid_mapping(
     Ok(mapping)
 }
 
-/// Runs the shared scheduling loop with the given routing policy.
+/// Runs the shared scheduling loop with the given routing policy inside the
+/// context's pooled scratch: the op stream lands in `cx.ops` and the final
+/// placement stays in `cx.state`.
+pub(crate) fn schedule_on_grid_in(
+    cx: &mut GridContext,
+    device: &QccdGridDevice,
+    policy: RoutingPolicy,
+    circuit: &Circuit,
+    initial_mapping: &[(QubitId, TrapId)],
+) -> Result<(), CompileError> {
+    cx.ops.clear();
+    cx.state.reset_from_mapping(device, initial_mapping);
+    let mut scheduler = GridScheduler {
+        device,
+        policy,
+        state: &mut cx.state,
+        dag: DependencyDag::from_circuit(circuit),
+        ops: &mut cx.ops,
+        clock: 0,
+        processing_trap: processing_trap(device),
+    };
+    scheduler.run()
+}
+
+/// One-shot wrapper over [`schedule_on_grid_in`] returning owned pipeline
+/// artifacts (test helper).
+#[cfg(test)]
 pub(crate) fn schedule_on_grid(
     device: &QccdGridDevice,
     policy: RoutingPolicy,
     circuit: &Circuit,
     initial_mapping: &[(QubitId, TrapId)],
-) -> Result<GridOutcome, CompileError> {
-    let mut scheduler = GridScheduler {
-        device,
-        policy,
-        state: GridPlacement::from_mapping(device, initial_mapping),
-        dag: DependencyDag::from_circuit(circuit),
-        ops: Vec::new(),
-        clock: 0,
-        processing_trap: processing_trap(device),
-    };
-    scheduler.run()?;
-    let final_mapping = (0..circuit.num_qubits())
-        .map(QubitId::new)
-        .filter_map(|q| scheduler.state.trap_of(q).map(|t| (q, t)))
-        .collect();
-    Ok(GridOutcome {
-        ops: scheduler.ops,
-        final_mapping,
+) -> Result<Scheduled<TrapId>, CompileError> {
+    let mut cx = GridContext::new(device);
+    schedule_on_grid_in(&mut cx, device, policy, circuit, initial_mapping)?;
+    let final_assignment = grid_final_assignment(&cx.state, circuit.num_qubits());
+    Ok(Scheduled {
+        ops: cx.ops,
+        final_assignment,
+        inserted_swaps: 0,
+        swap_insertion_time: Duration::ZERO,
     })
+}
+
+/// The final qubit → trap assignment after a pass.
+#[cfg(test)]
+fn grid_final_assignment(state: &GridPlacement, num_qubits: usize) -> Vec<(QubitId, TrapId)> {
+    (0..num_qubits)
+        .map(QubitId::new)
+        .filter_map(|q| state.trap_of(q).map(|t| (q, t)))
+        .collect()
 }
 
 /// The dedicated processing trap used by the MQT-style policy: the trap
@@ -110,9 +170,9 @@ fn processing_trap(device: &QccdGridDevice) -> TrapId {
 struct GridScheduler<'a> {
     device: &'a QccdGridDevice,
     policy: RoutingPolicy,
-    state: GridPlacement,
+    state: &'a mut GridPlacement,
     dag: DependencyDag,
-    ops: Vec<ScheduledOp>,
+    ops: &'a mut Vec<ScheduledOp>,
     clock: u64,
     processing_trap: TrapId,
 }
@@ -261,7 +321,7 @@ impl GridScheduler<'_> {
     /// API MUSS-TI uses, keeping the baseline comparison apples-to-apples):
     /// `O(gates-on-q-in-window)` per call instead of a fresh BFS.
     fn trap_affinity(&self, q: QubitId, trap: TrapId) -> usize {
-        let state = &self.state;
+        let state = &*self.state;
         self.dag
             .count_window_partners(DAI_LOOKAHEAD, q, |p| state.trap_of(p) == Some(trap))
     }
@@ -284,8 +344,8 @@ impl GridScheduler<'_> {
             return Ok(());
         }
         self.ensure_space(destination, protected)?;
-        let ops = self.state.transport(self.device, q, destination);
-        self.ops.extend(ops);
+        self.state
+            .transport_into(self.device, q, destination, self.ops);
         Ok(())
     }
 
@@ -304,15 +364,18 @@ impl GridScheduler<'_> {
                     qubit: victim,
                     context: "the whole grid is full".to_string(),
                 })?;
-            let ops = self.state.transport(self.device, victim, target);
-            self.ops.extend(ops);
+            self.state
+                .transport_into(self.device, victim, target, self.ops);
         }
         Ok(())
     }
 }
 
-/// Shared compile path for the three baseline compilers.
-pub(crate) fn compile_on_grid(
+/// Shared staged compile path for the three baseline compilers, running in
+/// the context's pooled scratch and recording per-stage timings (placement /
+/// scheduling / lowering; the baselines have no swap-insertion pass).
+pub(crate) fn compile_on_grid_in(
+    cx: &mut GridContext,
     name: &str,
     device: &QccdGridDevice,
     policy: RoutingPolicy,
@@ -323,10 +386,17 @@ pub(crate) fn compile_on_grid(
     circuit
         .validate()
         .map_err(|e| CompileError::InvalidCircuit(e.to_string()))?;
-    let mapping = initial_grid_mapping(device, circuit.num_qubits())?;
-    let outcome = schedule_on_grid(device, policy, circuit, &mapping)?;
 
-    let mut ops = Vec::with_capacity(outcome.ops.len() + circuit.len());
+    let placement_start = Instant::now();
+    let mapping = initial_grid_mapping(device, circuit.num_qubits())?;
+    let placement_ms = placement_start.elapsed().as_secs_f64() * 1e3;
+
+    let scheduling_start = Instant::now();
+    schedule_on_grid_in(cx, device, policy, circuit, &mapping)?;
+    let scheduling_ms = scheduling_start.elapsed().as_secs_f64() * 1e3;
+
+    let lowering_start = Instant::now();
+    let mut ops = Vec::with_capacity(cx.ops.len() + circuit.len());
     // Qubit ids are dense: flat arrays instead of hash maps for the
     // start/end trap lookups, mirroring the MUSS-TI lowering.
     let mut start_traps: Vec<Option<TrapId>> = vec![None; circuit.num_qubits()];
@@ -344,10 +414,10 @@ pub(crate) fn compile_on_grid(
             }
         }
     }
-    ops.extend(outcome.ops.iter().cloned());
+    ops.extend(cx.ops.iter().cloned());
     let mut end_traps: Vec<Option<TrapId>> = vec![None; circuit.num_qubits()];
-    for &(q, t) in &outcome.final_mapping {
-        end_traps[q.index()] = Some(t);
+    for q in (0..circuit.num_qubits()).map(QubitId::new) {
+        end_traps[q.index()] = cx.state.trap_of(q);
     }
     for gate in circuit.gates() {
         if let Gate::Measure(qubit) = gate {
@@ -360,14 +430,22 @@ pub(crate) fn compile_on_grid(
         }
     }
 
-    Ok(CompiledProgram::new_sized(
-        name,
-        circuit,
-        ops,
-        executor,
-        start.elapsed(),
-        device.num_traps(),
-    ))
+    let metrics = executor.execute_in(
+        &mut cx.exec,
+        &ops,
+        circuit.num_qubits(),
+        DeviceDims::from(device).num_zones,
+    );
+    let timings = StageTimings {
+        placement_ms,
+        scheduling_ms,
+        swap_insertion_ms: 0.0,
+        lowering_ms: lowering_start.elapsed().as_secs_f64() * 1e3,
+    };
+    Ok(
+        CompiledProgram::from_parts(name, circuit, ops, metrics, start.elapsed())
+            .with_stage_timings(timings),
+    )
 }
 
 #[cfg(test)]
@@ -415,7 +493,7 @@ mod tests {
         let greedy = schedule_on_grid(&device, RoutingPolicy::Greedy, &circuit, &mapping).unwrap();
         let mqt =
             schedule_on_grid(&device, RoutingPolicy::ProcessingZone, &circuit, &mapping).unwrap();
-        let count = |o: &GridOutcome| o.ops.iter().filter(|op| op.is_shuttle()).count();
+        let count = |o: &Scheduled<TrapId>| o.ops.iter().filter(|op| op.is_shuttle()).count();
         assert!(
             count(&mqt) > count(&greedy),
             "processing-zone policy should shuttle more: {} vs {}",
@@ -432,7 +510,7 @@ mod tests {
         let greedy = schedule_on_grid(&device, RoutingPolicy::Greedy, &circuit, &mapping).unwrap();
         let dai =
             schedule_on_grid(&device, RoutingPolicy::LookaheadMeet, &circuit, &mapping).unwrap();
-        let count = |o: &GridOutcome| o.ops.iter().filter(|op| op.is_shuttle()).count();
+        let count = |o: &Scheduled<TrapId>| o.ops.iter().filter(|op| op.is_shuttle()).count();
         assert!(
             count(&dai) <= count(&greedy) * 2,
             "dai {} should be in the same ballpark as greedy {}",

@@ -4,7 +4,8 @@ use std::time::Duration;
 
 use ion_circuit::Circuit;
 
-use crate::{CompileError, ExecutionMetrics, ScheduleExecutor, ScheduledOp};
+use crate::pipeline::{DeviceDims, StageTimings};
+use crate::{CompileError, ExecutionMetrics, ExecutorScratch, ScheduleExecutor, ScheduledOp};
 
 /// The artefact produced by compiling a circuit for a trapped-ion device:
 /// the scheduled operation sequence plus the metrics obtained by running it
@@ -17,11 +18,14 @@ pub struct CompiledProgram {
     ops: Vec<ScheduledOp>,
     metrics: ExecutionMetrics,
     compile_time: Duration,
+    stage_timings: Option<StageTimings>,
 }
 
 impl CompiledProgram {
     /// Assembles a compiled program, evaluating `ops` with `executor` to fill
-    /// in the metrics.
+    /// in the metrics. The executor's resource arrays are sized by a pre-scan
+    /// over the op stream; pipeline code paths that know their device use
+    /// [`CompiledProgram::evaluated`] instead.
     pub fn new(
         compiler_name: impl Into<String>,
         circuit: &Circuit,
@@ -30,25 +34,30 @@ impl CompiledProgram {
         compile_time: Duration,
     ) -> Self {
         let metrics = executor.execute(&ops);
-        Self::with_metrics(compiler_name, circuit, ops, metrics, compile_time)
+        Self::from_parts(compiler_name, circuit, ops, metrics, compile_time)
     }
 
     /// [`CompiledProgram::new`] with the executor's resource arrays sized
-    /// from the known device topology (`num_zones` zones/traps), skipping
-    /// the op-stream sizing pre-scan.
-    pub fn new_sized(
+    /// from the device-topology handle threaded through the pipeline
+    /// ([`DeviceDims`], obtained via `From<&EmlQccdDevice>` /
+    /// `From<&QccdGridDevice>`) and evaluated in caller-pooled scratch —
+    /// no sizing pre-scan and no per-evaluation allocation.
+    pub fn evaluated(
         compiler_name: impl Into<String>,
         circuit: &Circuit,
         ops: Vec<ScheduledOp>,
         executor: &ScheduleExecutor,
+        scratch: &mut ExecutorScratch,
+        dims: DeviceDims,
         compile_time: Duration,
-        num_zones: usize,
     ) -> Self {
-        let metrics = executor.execute_sized(&ops, circuit.num_qubits(), num_zones);
-        Self::with_metrics(compiler_name, circuit, ops, metrics, compile_time)
+        let metrics = executor.execute_in(scratch, &ops, circuit.num_qubits(), dims.num_zones);
+        Self::from_parts(compiler_name, circuit, ops, metrics, compile_time)
     }
 
-    fn with_metrics(
+    /// Assembles a program from already-evaluated metrics (the final pipeline
+    /// stage, where the evaluation ran in a pooled [`ExecutorScratch`]).
+    pub fn from_parts(
         compiler_name: impl Into<String>,
         circuit: &Circuit,
         ops: Vec<ScheduledOp>,
@@ -62,7 +71,20 @@ impl CompiledProgram {
             ops,
             metrics,
             compile_time,
+            stage_timings: None,
         }
+    }
+
+    /// Attaches the per-stage wall-clock breakdown recorded by the pipeline.
+    pub fn with_stage_timings(mut self, timings: StageTimings) -> Self {
+        self.stage_timings = Some(timings);
+        self
+    }
+
+    /// Per-stage wall-clock breakdown (placement / scheduling / swap
+    /// insertion / lowering), when the compiler recorded one.
+    pub fn stage_timings(&self) -> Option<&StageTimings> {
+        self.stage_timings.as_ref()
     }
 
     /// Name of the compiler that produced this program.

@@ -37,6 +37,39 @@ pub struct ScheduleExecutor {
     fidelity: FidelityModel,
 }
 
+/// Reusable clock/heat arrays for [`ScheduleExecutor::execute_in`]: the
+/// executor's only allocations, pooled in a compile context so repeated
+/// evaluations in a session or batch worker are allocation-free after warmup.
+#[derive(Debug, Clone, Default)]
+pub struct ExecutorScratch {
+    qubit_clock: Vec<f64>,
+    zone_clock: Vec<f64>,
+    zone_heat: Vec<f64>,
+}
+
+impl ExecutorScratch {
+    /// Empty scratch; arrays grow to the working-set size on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drops the recorded clocks/heat (keeping capacity). Called implicitly
+    /// at the start of every [`ScheduleExecutor::execute_in`].
+    pub fn clear(&mut self) {
+        self.qubit_clock.clear();
+        self.zone_clock.clear();
+        self.zone_heat.clear();
+    }
+
+    /// Zeroes the arrays at the requested sizes, reusing capacity.
+    fn prepare(&mut self, num_qubits: usize, num_zones: usize) {
+        self.clear();
+        self.qubit_clock.resize(num_qubits, 0.0);
+        self.zone_clock.resize(num_zones, 0.0);
+        self.zone_heat.resize(num_zones, 0.0);
+    }
+}
+
 impl ScheduleExecutor {
     /// Builds an executor from explicit timing and fidelity models.
     pub fn new(timing: TimingModel, fidelity: FidelityModel) -> Self {
@@ -92,6 +125,19 @@ impl ScheduleExecutor {
         num_qubits: usize,
         num_zones: usize,
     ) -> ExecutionMetrics {
+        self.execute_in(&mut ExecutorScratch::new(), ops, num_qubits, num_zones)
+    }
+
+    /// [`ScheduleExecutor::execute_sized`] with caller-pooled scratch arrays:
+    /// the pipeline's evaluation path, allocation-free once the scratch has
+    /// grown to the device's dimensions.
+    pub fn execute_in(
+        &self,
+        scratch: &mut ExecutorScratch,
+        ops: &[ScheduledOp],
+        num_qubits: usize,
+        num_zones: usize,
+    ) -> ExecutionMetrics {
         /// Reads `v[i]`, treating out-of-range slots as the 0.0 default.
         fn read(v: &[f64], i: usize) -> f64 {
             v.get(i).copied().unwrap_or(0.0)
@@ -105,9 +151,12 @@ impl ScheduleExecutor {
         }
 
         let mut metrics = ExecutionMetrics::default();
-        let mut qubit_clock: Vec<f64> = vec![0.0; num_qubits];
-        let mut zone_clock: Vec<f64> = vec![0.0; num_zones];
-        let mut zone_heat: Vec<f64> = vec![0.0; num_zones];
+        scratch.prepare(num_qubits, num_zones);
+        let ExecutorScratch {
+            qubit_clock,
+            zone_clock,
+            zone_heat,
+        } = scratch;
         let mut makespan = 0.0f64;
 
         for op in ops {
@@ -123,32 +172,32 @@ impl ScheduleExecutor {
                     zone, ions_in_zone, ..
                 } => {
                     metrics.two_qubit_gates += 1;
-                    let heat = read(&zone_heat, *zone);
+                    let heat = read(zone_heat, *zone);
                     self.fidelity.two_qubit_fidelity(*ions_in_zone, heat)
                 }
                 ScheduledOp::SwapGate {
                     zone, ions_in_zone, ..
                 } => {
                     metrics.swap_gates += 1;
-                    let heat = read(&zone_heat, *zone);
+                    let heat = read(zone_heat, *zone);
                     self.fidelity.swap_gate_fidelity(*ions_in_zone, heat)
                 }
                 ScheduledOp::FiberGate { zone_a, zone_b, .. } => {
                     metrics.fiber_gates += 1;
-                    let ha = read(&zone_heat, *zone_a);
-                    let hb = read(&zone_heat, *zone_b);
+                    let ha = read(zone_heat, *zone_a);
+                    let hb = read(zone_heat, *zone_b);
                     self.fidelity.fiber_fidelity(ha, hb)
                 }
                 ScheduledOp::Shuttle { to_zone, .. } => {
                     metrics.shuttle_count += 1;
                     let heat = self.fidelity.shuttle_heat();
-                    *slot(&mut zone_heat, *to_zone) += heat;
+                    *slot(zone_heat, *to_zone) += heat;
                     self.fidelity.transport_fidelity(duration, heat)
                 }
                 ScheduledOp::ChainRearrange { zone } => {
                     metrics.chain_rearrangements += 1;
                     let heat = self.fidelity.chain_rearrange_heat();
-                    *slot(&mut zone_heat, *zone) += heat;
+                    *slot(zone_heat, *zone) += heat;
                     self.fidelity.transport_fidelity(duration, heat)
                 }
                 ScheduledOp::Measurement { .. } => {
@@ -163,19 +212,19 @@ impl ScheduleExecutor {
             let (za, zb) = op.zone_pair();
             let mut start = 0.0f64;
             for q in [qa, qb].into_iter().flatten() {
-                start = start.max(read(&qubit_clock, q.index()));
+                start = start.max(read(qubit_clock, q.index()));
             }
-            start = start.max(read(&zone_clock, za));
+            start = start.max(read(zone_clock, za));
             if let Some(z) = zb {
-                start = start.max(read(&zone_clock, z));
+                start = start.max(read(zone_clock, z));
             }
             let end = start + duration;
             for q in [qa, qb].into_iter().flatten() {
-                *slot(&mut qubit_clock, q.index()) = end;
+                *slot(qubit_clock, q.index()) = end;
             }
-            *slot(&mut zone_clock, za) = end;
+            *slot(zone_clock, za) = end;
             if let Some(z) = zb {
-                *slot(&mut zone_clock, z) = end;
+                *slot(zone_clock, z) = end;
             }
             makespan = makespan.max(end);
         }

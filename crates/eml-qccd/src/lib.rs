@@ -21,6 +21,9 @@
 //!   evaluator shared by all compilers.
 //! * [`Compiler`] / [`CompiledProgram`] — the interface the experiment
 //!   harness drives.
+//! * [`pipeline`] — the staged compilation pipeline: typed stage artifacts,
+//!   reusable [`CompileContext`] arenas, [`CompileSession`]s held across
+//!   requests, and [`compile_batch`] for parallel multi-circuit compilation.
 //!
 //! # Example
 //!
@@ -57,6 +60,7 @@ mod fidelity;
 mod grid;
 mod metrics;
 mod ops;
+pub mod pipeline;
 mod timing;
 mod topology;
 mod zone;
@@ -65,11 +69,15 @@ pub use compiler::{CompiledProgram, Compiler};
 pub use config::DeviceConfig;
 pub use device::EmlQccdDevice;
 pub use error::{CompileError, DeviceError};
-pub use executor::ScheduleExecutor;
+pub use executor::{ExecutorScratch, ScheduleExecutor};
 pub use fidelity::{FidelityModel, LogFidelity};
 pub use grid::{GridConfig, QccdGridDevice, TrapId};
 pub use metrics::ExecutionMetrics;
 pub use ops::{ResourceId, ScheduledOp};
+pub use pipeline::{
+    compile_batch, compile_batch_with_threads, CompileContext, CompileSession, ContextScratch,
+    DeviceDims, StageTimings, StagedCompiler,
+};
 pub use timing::TimingModel;
 pub use topology::DeviceTopology;
 pub use zone::{ModuleId, Zone, ZoneId, ZoneLevel};

@@ -1,0 +1,580 @@
+//! The staged compilation pipeline: typed stage artifacts, reusable
+//! compile contexts, long-lived sessions and parallel batch compilation.
+//!
+//! The one-shot [`Compiler::compile`](crate::Compiler::compile) call is a
+//! facade over a staged pipeline (placement → scheduling → swap insertion →
+//! lowering) whose per-compile scratch — dependency-DAG ready sets and
+//! look-ahead windows, placement state, weight tables, executor clock/heat
+//! arrays — lives in a [`CompileContext`] arena that is allocated once and
+//! reused across runs. Three entry points expose that reuse:
+//!
+//! * [`StagedCompiler::compile_in`] — compile into a caller-held context;
+//! * [`CompileSession`] — a compiler paired with its context, held across
+//!   requests;
+//! * [`compile_batch`] — shard per-circuit contexts across
+//!   [`std::thread::scope`] workers with deterministic result ordering.
+//!
+//! Context reuse is strictly an allocation-recycling optimisation: a reused
+//! context yields op streams **bit-identical** to a fresh one (pinned by the
+//! workspace fingerprint suites).
+//!
+//! ```
+//! use eml_qccd::{CompileSession, Compiler, StagedCompiler};
+//! # use eml_qccd::{CompileContext, CompileError, CompiledProgram};
+//! # use ion_circuit::Circuit;
+//! # #[derive(Debug)] struct Echo;
+//! # impl Compiler for Echo {
+//! #     fn name(&self) -> &str { "echo" }
+//! #     fn compile(&self, c: &Circuit) -> Result<CompiledProgram, CompileError> {
+//! #         let mut ctx = StagedCompiler::new_context(self);
+//! #         self.compile_in(&mut ctx, c)
+//! #     }
+//! # }
+//! # impl StagedCompiler for Echo {
+//! #     fn new_context(&self) -> CompileContext { CompileContext::empty() }
+//! #     fn compile_in(&self, _: &mut CompileContext, c: &Circuit) -> Result<CompiledProgram, CompileError> {
+//! #         Ok(CompiledProgram::new("echo", c, Vec::new(), &eml_qccd::ScheduleExecutor::paper_defaults(), std::time::Duration::ZERO))
+//! #     }
+//! # }
+//! let mut session = CompileSession::new(Echo);
+//! let circuit = ion_circuit::generators::ghz(8);
+//! let first = session.compile(&circuit).unwrap();   // cold context
+//! let second = session.compile(&circuit).unwrap();  // reused context
+//! assert_eq!(format!("{:?}", first.ops()), format!("{:?}", second.ops()));
+//! ```
+
+use std::any::Any;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+use ion_circuit::{Circuit, QubitId};
+
+use crate::{CompileError, CompiledProgram, Compiler, EmlQccdDevice, QccdGridDevice, ScheduledOp};
+
+// ---------------------------------------------------------------------------
+// Stage artifacts
+// ---------------------------------------------------------------------------
+
+/// Artifact of the **placement** stage: the initial qubit → location
+/// assignment a scheduling pass starts from. `L` is the device's location
+/// type (`ZoneId` for EML-QCCD modules, `TrapId` for monolithic grids).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Placement<L> {
+    /// The assignment, one entry per placed qubit, in qubit order.
+    pub assignment: Vec<(QubitId, L)>,
+}
+
+impl<L> Placement<L> {
+    /// Wraps an explicit assignment.
+    pub fn new(assignment: Vec<(QubitId, L)>) -> Self {
+        Placement { assignment }
+    }
+}
+
+/// Artifact of the **scheduling + swap-insertion** stages: the transport and
+/// two-qubit-gate portion of the program, plus where every ion ended up.
+#[derive(Debug, Clone)]
+pub struct Scheduled<L> {
+    /// Scheduled transport and gate operations.
+    pub ops: Vec<ScheduledOp>,
+    /// Final qubit → location assignment when the pass finished.
+    pub final_assignment: Vec<(QubitId, L)>,
+    /// Number of cross-module SWAP gates inserted by the swap-insertion pass
+    /// (always zero for compilers without one).
+    pub inserted_swaps: usize,
+    /// Wall-clock time spent inside the swap-insertion pass (a slice of the
+    /// scheduling stage, reported separately in [`StageTimings`]).
+    pub swap_insertion_time: Duration,
+}
+
+/// Artifact of the **lowering** stage: the complete op stream (single-qubit
+/// gates and measurements accounted against the placements), ready for
+/// evaluation into a [`CompiledProgram`].
+#[derive(Debug, Clone)]
+pub struct Lowered {
+    /// The full scheduled operation sequence.
+    pub ops: Vec<ScheduledOp>,
+}
+
+/// Wall-clock breakdown of one compilation run, stage by stage, so the
+/// compile-time benchmark and the experiment harness can show where the time
+/// goes per PR.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StageTimings {
+    /// Initial placement, including SABRE dry passes where applicable.
+    pub placement_ms: f64,
+    /// The main scheduling loop, excluding swap insertion.
+    pub scheduling_ms: f64,
+    /// The swap-insertion pass, measured inside the scheduling loop.
+    pub swap_insertion_ms: f64,
+    /// Op-stream assembly plus metrics evaluation by the executor.
+    pub lowering_ms: f64,
+}
+
+impl StageTimings {
+    /// Total wall-clock across all stages, in milliseconds.
+    pub fn total_ms(&self) -> f64 {
+        self.placement_ms + self.scheduling_ms + self.swap_insertion_ms + self.lowering_ms
+    }
+}
+
+/// Sizing handle threaded through the pipeline: the resource dimensions of
+/// the target device that the executor's flat clock/heat arrays are sized
+/// from, so callers never hand-count zones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceDims {
+    /// Number of zone/trap resource slots on the device.
+    pub num_zones: usize,
+}
+
+impl From<&EmlQccdDevice> for DeviceDims {
+    fn from(device: &EmlQccdDevice) -> Self {
+        DeviceDims {
+            num_zones: device.zones().len(),
+        }
+    }
+}
+
+impl From<&QccdGridDevice> for DeviceDims {
+    fn from(device: &QccdGridDevice) -> Self {
+        DeviceDims {
+            num_zones: device.num_traps(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Compile contexts
+// ---------------------------------------------------------------------------
+
+/// Compiler-specific scratch stored inside a [`CompileContext`].
+///
+/// Implementors own every reusable per-compile allocation; [`reset`]
+/// (`ContextScratch::reset`) must drop all circuit-derived *state* while
+/// keeping the allocations, so that a reset (or freshly reused) context
+/// produces op streams bit-identical to a brand-new one.
+pub trait ContextScratch: Any + Send {
+    /// Clears all per-circuit state, keeping allocations for reuse.
+    fn reset(&mut self);
+}
+
+/// The type-erased per-compile scratch arena a [`StagedCompiler`] works in.
+///
+/// A context is cheap to create but expensive to *warm* (its buffers grow to
+/// the working-set size of the circuits compiled in it); reusing one across
+/// compiles skips the re-allocation entirely. Contexts are compiler-specific
+/// under the hood — handing a context to a different compiler type simply
+/// re-initialises it.
+#[derive(Debug, Default)]
+pub struct CompileContext {
+    scratch: Option<Box<dyn ContextScratch>>,
+}
+
+impl std::fmt::Debug for dyn ContextScratch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("ContextScratch")
+    }
+}
+
+impl CompileContext {
+    /// A context with no scratch yet; the first compile initialises it.
+    pub fn empty() -> Self {
+        CompileContext::default()
+    }
+
+    /// A context pre-loaded with compiler-specific scratch.
+    pub fn with<T: ContextScratch>(scratch: T) -> Self {
+        CompileContext {
+            scratch: Some(Box::new(scratch)),
+        }
+    }
+
+    /// Clears all per-circuit state while keeping the allocations, so the
+    /// next compile starts from a state indistinguishable from a fresh
+    /// context (pinned by the session-reuse proptest suite).
+    pub fn reset(&mut self) {
+        if let Some(scratch) = &mut self.scratch {
+            scratch.reset();
+        }
+    }
+
+    /// `true` if the context currently holds scratch of type `T`.
+    pub fn holds<T: ContextScratch>(&self) -> bool {
+        self.scratch
+            .as_deref()
+            .is_some_and(|s| (s as &dyn Any).is::<T>())
+    }
+
+    /// The typed scratch, initialising (or replacing mismatched scratch)
+    /// via `init`. This is how a [`StagedCompiler::compile_in`] implementation
+    /// recovers its concrete arena from the erased context.
+    pub fn scratch_or_init<T: ContextScratch>(&mut self, init: impl FnOnce() -> T) -> &mut T {
+        if !self.holds::<T>() {
+            self.scratch = Some(Box::new(init()));
+        }
+        let scratch = self
+            .scratch
+            .as_deref_mut()
+            .expect("scratch was just initialised");
+        (scratch as &mut dyn Any)
+            .downcast_mut::<T>()
+            .expect("scratch type was just checked")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The staged-compiler trait
+// ---------------------------------------------------------------------------
+
+/// A [`Compiler`] whose pipeline runs inside an explicit, reusable
+/// [`CompileContext`].
+///
+/// The trait is object-safe: experiment harnesses hold
+/// `Box<dyn StagedCompiler + Send + Sync>` and still get context reuse and
+/// batch compilation. `compile_in` with a fresh context must behave exactly
+/// like [`Compiler::compile`]; with a reused context it must produce
+/// bit-identical op streams (only allocations are recycled).
+pub trait StagedCompiler: Compiler {
+    /// Creates a context sized for this compiler's device.
+    fn new_context(&self) -> CompileContext;
+
+    /// Compiles `circuit`, reusing the scratch held in `ctx`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Compiler::compile`].
+    fn compile_in(
+        &self,
+        ctx: &mut CompileContext,
+        circuit: &Circuit,
+    ) -> Result<CompiledProgram, CompileError>;
+}
+
+impl<C: Compiler + ?Sized> Compiler for &C {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+    fn compile(&self, circuit: &Circuit) -> Result<CompiledProgram, CompileError> {
+        (**self).compile(circuit)
+    }
+}
+
+impl<C: StagedCompiler + ?Sized> StagedCompiler for &C {
+    fn new_context(&self) -> CompileContext {
+        (**self).new_context()
+    }
+    fn compile_in(
+        &self,
+        ctx: &mut CompileContext,
+        circuit: &Circuit,
+    ) -> Result<CompiledProgram, CompileError> {
+        (**self).compile_in(ctx, circuit)
+    }
+}
+
+impl<C: Compiler + ?Sized> Compiler for Box<C> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+    fn compile(&self, circuit: &Circuit) -> Result<CompiledProgram, CompileError> {
+        (**self).compile(circuit)
+    }
+}
+
+impl<C: StagedCompiler + ?Sized> StagedCompiler for Box<C> {
+    fn new_context(&self) -> CompileContext {
+        (**self).new_context()
+    }
+    fn compile_in(
+        &self,
+        ctx: &mut CompileContext,
+        circuit: &Circuit,
+    ) -> Result<CompiledProgram, CompileError> {
+        (**self).compile_in(ctx, circuit)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sessions
+// ---------------------------------------------------------------------------
+
+/// A compiler paired with its reusable [`CompileContext`], held across
+/// requests: the serving-path entry point for repeated compiles against one
+/// device. See the module-level example, and the `muss_ti` crate docs for an
+/// end-to-end session over a real compiler.
+#[derive(Debug)]
+pub struct CompileSession<C: StagedCompiler> {
+    compiler: C,
+    context: CompileContext,
+}
+
+impl<C: StagedCompiler> CompileSession<C> {
+    /// Opens a session, allocating the context once.
+    pub fn new(compiler: C) -> Self {
+        let context = compiler.new_context();
+        CompileSession { compiler, context }
+    }
+
+    /// The compiler this session drives.
+    pub fn compiler(&self) -> &C {
+        &self.compiler
+    }
+
+    /// Compiles `circuit` in the session's context.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Compiler::compile`].
+    pub fn compile(&mut self, circuit: &Circuit) -> Result<CompiledProgram, CompileError> {
+        self.compiler.compile_in(&mut self.context, circuit)
+    }
+
+    /// Drops all per-circuit state held in the context (keeping its
+    /// allocations), e.g. between tenants of a shared serving process.
+    pub fn reset(&mut self) {
+        self.context.reset();
+    }
+
+    /// Compiles many circuits in parallel (the session's own context is not
+    /// used; each worker gets its own). See [`compile_batch`].
+    pub fn compile_batch(&self, circuits: &[Circuit]) -> Vec<Result<CompiledProgram, CompileError>>
+    where
+        C: Sync,
+    {
+        compile_batch(&self.compiler, circuits)
+    }
+
+    /// Closes the session, returning the compiler.
+    pub fn into_compiler(self) -> C {
+        self.compiler
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel batch compilation
+// ---------------------------------------------------------------------------
+
+/// Compiles every circuit with `compiler`, sharding per-circuit contexts
+/// across [`std::thread::scope`] workers.
+///
+/// Results come back **in input order** regardless of thread interleaving,
+/// and each compile is bit-identical to its one-shot equivalent, so batch
+/// output is deterministic. Worker count defaults to the machine's available
+/// parallelism, capped at the batch size; each worker owns one context and
+/// reuses it across every circuit it pulls.
+pub fn compile_batch<C>(
+    compiler: &C,
+    circuits: &[Circuit],
+) -> Vec<Result<CompiledProgram, CompileError>>
+where
+    C: StagedCompiler + Sync + ?Sized,
+{
+    let default_threads = std::thread::available_parallelism()
+        .map(usize::from)
+        .unwrap_or(1);
+    compile_batch_with_threads(compiler, circuits, default_threads)
+}
+
+/// [`compile_batch`] with an explicit worker count (at least one; capped at
+/// the batch size). Thread count affects wall-clock only, never results.
+pub fn compile_batch_with_threads<C>(
+    compiler: &C,
+    circuits: &[Circuit],
+    threads: usize,
+) -> Vec<Result<CompiledProgram, CompileError>>
+where
+    C: StagedCompiler + Sync + ?Sized,
+{
+    let workers = threads.max(1).min(circuits.len());
+    if workers <= 1 {
+        // Sequential fallback still reuses one context across the batch.
+        let mut ctx = compiler.new_context();
+        return circuits
+            .iter()
+            .map(|circuit| compiler.compile_in(&mut ctx, circuit))
+            .collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<Result<CompiledProgram, CompileError>>> = Vec::new();
+    slots.resize_with(circuits.len(), || None);
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let next = &next;
+                scope.spawn(move || {
+                    let mut ctx = compiler.new_context();
+                    let mut produced = Vec::new();
+                    loop {
+                        let index = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(circuit) = circuits.get(index) else {
+                            break;
+                        };
+                        produced.push((index, compiler.compile_in(&mut ctx, circuit)));
+                    }
+                    produced
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (index, result) in handle.join().expect("batch worker panicked") {
+                slots[index] = Some(result);
+            }
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every batch index is claimed by exactly one worker"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ScheduleExecutor;
+
+    /// A minimal staged compiler: emits one measurement per qubit and counts
+    /// how much scratch it reused.
+    #[derive(Debug)]
+    struct CountingCompiler;
+
+    #[derive(Debug, Default)]
+    struct CountingScratch {
+        compiles: usize,
+        buffer: Vec<ScheduledOp>,
+    }
+
+    impl ContextScratch for CountingScratch {
+        fn reset(&mut self) {
+            self.buffer.clear();
+        }
+    }
+
+    impl Compiler for CountingCompiler {
+        fn name(&self) -> &str {
+            "counting"
+        }
+        fn compile(&self, circuit: &Circuit) -> Result<CompiledProgram, CompileError> {
+            let mut ctx = StagedCompiler::new_context(self);
+            self.compile_in(&mut ctx, circuit)
+        }
+    }
+
+    impl StagedCompiler for CountingCompiler {
+        fn new_context(&self) -> CompileContext {
+            CompileContext::with(CountingScratch::default())
+        }
+        fn compile_in(
+            &self,
+            ctx: &mut CompileContext,
+            circuit: &Circuit,
+        ) -> Result<CompiledProgram, CompileError> {
+            let scratch = ctx.scratch_or_init(CountingScratch::default);
+            scratch.compiles += 1;
+            scratch.buffer.clear();
+            for q in 0..circuit.num_qubits() {
+                scratch.buffer.push(ScheduledOp::Measurement {
+                    qubit: QubitId::new(q),
+                    zone: 0,
+                });
+            }
+            Ok(CompiledProgram::new(
+                self.name(),
+                circuit,
+                scratch.buffer.clone(),
+                &ScheduleExecutor::paper_defaults(),
+                Duration::ZERO,
+            ))
+        }
+    }
+
+    fn circuit(n: usize) -> Circuit {
+        let mut c = Circuit::with_name(format!("c{n}"), n);
+        for q in 0..n {
+            c.measure(q);
+        }
+        c
+    }
+
+    #[test]
+    fn session_reuses_one_context_across_compiles() {
+        let mut session = CompileSession::new(CountingCompiler);
+        session.compile(&circuit(3)).unwrap();
+        session.compile(&circuit(5)).unwrap();
+        let ctx = &mut session.context;
+        let scratch = ctx.scratch_or_init(CountingScratch::default);
+        assert_eq!(scratch.compiles, 2, "both compiles hit the same scratch");
+    }
+
+    #[test]
+    fn context_reinitialises_on_type_mismatch() {
+        #[derive(Debug, Default)]
+        struct Other;
+        impl ContextScratch for Other {
+            fn reset(&mut self) {}
+        }
+        let mut ctx = CompileContext::with(Other);
+        assert!(ctx.holds::<Other>());
+        assert!(!ctx.holds::<CountingScratch>());
+        let scratch = ctx.scratch_or_init(CountingScratch::default);
+        scratch.compiles = 7;
+        assert!(ctx.holds::<CountingScratch>());
+        assert_eq!(
+            ctx.scratch_or_init(CountingScratch::default).compiles,
+            7,
+            "matching scratch survives"
+        );
+    }
+
+    #[test]
+    fn reset_clears_state_but_keeps_scratch_type() {
+        let mut ctx = CompileContext::with(CountingScratch {
+            compiles: 3,
+            buffer: vec![ScheduledOp::ChainRearrange { zone: 0 }],
+        });
+        ctx.reset();
+        let scratch = ctx.scratch_or_init(CountingScratch::default);
+        assert!(scratch.buffer.is_empty(), "reset clears per-circuit state");
+        assert_eq!(scratch.compiles, 3, "non-circuit fields survive");
+    }
+
+    #[test]
+    fn batch_results_are_in_input_order_for_any_thread_count() {
+        let circuits: Vec<Circuit> = (1..=13).map(circuit).collect();
+        let reference: Vec<usize> = circuits.iter().map(Circuit::num_qubits).collect();
+        for threads in [1, 2, 4, 32] {
+            let results = compile_batch_with_threads(&CountingCompiler, &circuits, threads);
+            let got: Vec<usize> = results
+                .into_iter()
+                .map(|r| r.unwrap().num_qubits())
+                .collect();
+            assert_eq!(got, reference, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        assert!(compile_batch(&CountingCompiler, &[]).is_empty());
+    }
+
+    #[test]
+    fn dims_from_devices() {
+        let eml = crate::DeviceConfig::for_qubits(64).build();
+        assert_eq!(DeviceDims::from(&eml).num_zones, eml.zones().len());
+        let grid = crate::GridConfig::new(2, 3, 4).build();
+        assert_eq!(DeviceDims::from(&grid).num_zones, 6);
+    }
+
+    #[test]
+    fn stage_timings_total() {
+        let t = StageTimings {
+            placement_ms: 1.0,
+            scheduling_ms: 2.0,
+            swap_insertion_ms: 0.5,
+            lowering_ms: 0.25,
+        };
+        assert!((t.total_ms() - 3.75).abs() < 1e-12);
+    }
+}

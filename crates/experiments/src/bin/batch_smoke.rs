@@ -1,0 +1,50 @@
+//! Batch-compile smoke check (CI): compiles the fingerprint suite through
+//! the multi-threaded parallel batch path twice and asserts the op-stream
+//! fingerprints are identical across the two runs *and* identical to the
+//! one-shot path — parallelism and context reuse must never change compiler
+//! behaviour.
+//!
+//! ```text
+//! cargo run --release -p experiments --bin batch_smoke [-- --threads N]
+//! ```
+
+use experiments::fingerprint::{suite_fingerprints, FingerprintMode};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut threads = 4usize;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--threads" => {
+                i += 1;
+                threads = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .expect("--threads needs a positive integer");
+            }
+            other => {
+                eprintln!("unknown argument {other}; supported: --threads N");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let one_shot = suite_fingerprints(FingerprintMode::OneShot);
+    let first = suite_fingerprints(FingerprintMode::Batch { threads });
+    let second = suite_fingerprints(FingerprintMode::Batch { threads });
+
+    assert_eq!(
+        first, second,
+        "parallel batch compilation must be deterministic across runs"
+    );
+    assert_eq!(
+        first, one_shot,
+        "parallel batch compilation must match the one-shot path bit for bit"
+    );
+    println!(
+        "batch smoke OK: {} fingerprints identical across 2 parallel runs ({threads} threads) and the one-shot path",
+        first.len(),
+    );
+}

@@ -1,12 +1,25 @@
 //! Shared op-stream fingerprinting: the FNV hash, the fingerprint suite and
-//! the MUSS-TI option variants, used by both the `op_fingerprint` bin and
-//! the pinned determinism test (`tests/op_fingerprints.rs`) so the two
-//! cannot drift apart.
+//! the compiler variants, used by the `op_fingerprint` bin, the
+//! `batch_smoke` bin and the pinned determinism test
+//! (`tests/op_fingerprints.rs`) so they cannot drift apart.
+//!
+//! Every fingerprint can be produced through three pipeline paths —
+//! [`FingerprintMode::OneShot`], [`FingerprintMode::Session`] (one reused
+//! compile context per compiler variant and device size) and
+//! [`FingerprintMode::Batch`] (parallel [`compile_batch_with_threads`]) —
+//! which must all agree bit for bit: context reuse and parallelism are
+//! allocation/scheduling optimisations, never behaviour changes.
+
+use std::collections::BTreeMap;
 
 use baselines::{DaiCompiler, MqtStyleCompiler, MuraliCompiler};
-use eml_qccd::{CompiledProgram, Compiler, DeviceConfig};
+use eml_qccd::{
+    compile_batch_with_threads, CompileSession, CompiledProgram, Compiler, DeviceConfig,
+};
 use ion_circuit::{generators, Circuit};
 use muss_ti::{MussTiCompiler, MussTiOptions};
+
+use crate::runner::DynCompiler;
 
 /// FNV-1a over a byte slice.
 pub fn fnv(bytes: &[u8]) -> u64 {
@@ -49,29 +62,182 @@ pub fn muss_ti_variants() -> [(&'static str, MussTiOptions); 3] {
     ]
 }
 
+/// The variant labels fingerprinted per circuit, in pin order: the three
+/// MUSS-TI option sets, then the three baselines.
+pub fn variant_labels() -> [&'static str; 6] {
+    [
+        "MUSS-TI/full",
+        "MUSS-TI/trivial",
+        "MUSS-TI/swap_only",
+        "murali",
+        "dai",
+        "mqt",
+    ]
+}
+
+/// Builds the compiler a variant label denotes, sized for an `n`-qubit
+/// circuit exactly like the pinned one-shot path.
+///
+/// # Panics
+///
+/// Panics on an unknown label.
+pub fn compiler_for(variant: &str, n: usize) -> DynCompiler {
+    // The `MUSS-TI/*` labels resolve through `muss_ti_variants` so the
+    // label → options mapping has a single source of truth.
+    if let Some(label) = variant.strip_prefix("MUSS-TI/") {
+        let (_, options) = muss_ti_variants()
+            .into_iter()
+            .find(|&(l, _)| l == label)
+            .unwrap_or_else(|| panic!("unknown MUSS-TI variant {variant}"));
+        return Box::new(MussTiCompiler::new(
+            DeviceConfig::for_qubits(n).build(),
+            options,
+        ));
+    }
+    match variant {
+        "murali" => Box::new(MuraliCompiler::for_qubits(n)),
+        "dai" => Box::new(DaiCompiler::for_qubits(n)),
+        "mqt" => Box::new(MqtStyleCompiler::for_qubits(n)),
+        other => panic!("unknown fingerprint variant {other}"),
+    }
+}
+
+/// Two circuit sizes in the same bucket get byte-identical devices from
+/// `compiler_for`, so a session (or batch) may serve both. Mirrors
+/// `DeviceConfig::for_qubits` (one module per started block of 32 qubits)
+/// and `GridConfig::for_qubits` (2×2 / 3×4 / 4×5 by size class).
+fn device_bucket(variant: &str, n: usize) -> usize {
+    if variant.starts_with("MUSS-TI") {
+        n.div_ceil(32).max(1)
+    } else if n <= 48 {
+        usize::MAX
+    } else if n <= 160 {
+        usize::MAX - 1
+    } else {
+        usize::MAX - 2
+    }
+}
+
+/// Which pipeline path produces the fingerprints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FingerprintMode {
+    /// A fresh compiler + context per (circuit, variant) pair.
+    OneShot,
+    /// One [`CompileSession`] per (variant, device size), reused across every
+    /// suite circuit it fits — the context-reuse path.
+    Session,
+    /// [`compile_batch_with_threads`] over each (variant, device size) group
+    /// with the given worker count — the parallel path.
+    Batch {
+        /// Worker threads per batch call.
+        threads: usize,
+    },
+}
+
+/// Every `(circuit-name, variant-label, fingerprint)` across the suite, in
+/// pin order (circuit-major, variants in [`variant_labels`] order), produced
+/// through the requested pipeline path.
+///
+/// # Panics
+///
+/// Panics if a compiler fails on a suite circuit (the suite is sized to fit).
+pub fn suite_fingerprints(mode: FingerprintMode) -> Vec<(String, String, u64)> {
+    let circuits = suite();
+    match mode {
+        FingerprintMode::OneShot => {
+            let mut out = Vec::new();
+            for circuit in &circuits {
+                for (variant, hash) in fingerprints_for(circuit) {
+                    out.push((circuit.name().to_string(), variant, hash));
+                }
+            }
+            out
+        }
+        FingerprintMode::Session => {
+            let mut sessions: BTreeMap<(usize, usize), CompileSession<DynCompiler>> =
+                BTreeMap::new();
+            let mut out = Vec::new();
+            for circuit in &circuits {
+                let n = circuit.num_qubits();
+                for (variant_index, variant) in variant_labels().into_iter().enumerate() {
+                    let session = sessions
+                        .entry((variant_index, device_bucket(variant, n)))
+                        .or_insert_with(|| CompileSession::new(compiler_for(variant, n)));
+                    let program = session
+                        .compile(circuit)
+                        .unwrap_or_else(|e| panic!("{variant} on {}: {e}", circuit.name()));
+                    out.push((
+                        circuit.name().to_string(),
+                        variant.to_string(),
+                        fingerprint(&program),
+                    ));
+                }
+            }
+            out
+        }
+        FingerprintMode::Batch { threads } => {
+            // hashes[circuit-index][variant-index], filled group by group.
+            let mut hashes: Vec<Vec<Option<u64>>> =
+                vec![vec![None; variant_labels().len()]; circuits.len()];
+            for (variant_index, variant) in variant_labels().into_iter().enumerate() {
+                let mut groups: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+                for (i, circuit) in circuits.iter().enumerate() {
+                    groups
+                        .entry(device_bucket(variant, circuit.num_qubits()))
+                        .or_default()
+                        .push(i);
+                }
+                for indices in groups.values() {
+                    let group: Vec<Circuit> =
+                        indices.iter().map(|&i| circuits[i].clone()).collect();
+                    let compiler = compiler_for(variant, group[0].num_qubits());
+                    let programs = compile_batch_with_threads(&compiler, &group, threads);
+                    for (&i, program) in indices.iter().zip(programs) {
+                        let program = program
+                            .unwrap_or_else(|e| panic!("{variant} on {}: {e}", circuits[i].name()));
+                        hashes[i][variant_index] = Some(fingerprint(&program));
+                    }
+                }
+            }
+            circuits
+                .iter()
+                .enumerate()
+                .flat_map(|(i, circuit)| {
+                    variant_labels()
+                        .into_iter()
+                        .enumerate()
+                        .map(move |(v, variant)| (i, circuit, v, variant))
+                })
+                .map(|(i, circuit, v, variant)| {
+                    (
+                        circuit.name().to_string(),
+                        variant.to_string(),
+                        hashes[i][v].expect("every (circuit, variant) pair was batched"),
+                    )
+                })
+                .collect()
+        }
+    }
+}
+
 /// Every `(variant-label, fingerprint)` for one circuit, in the order the
 /// `op_fingerprint` bin prints them: the three MUSS-TI variants, then the
-/// three baselines.
+/// three baselines (one-shot compiles).
 ///
 /// # Panics
 ///
 /// Panics if a compiler fails on the circuit (the suite is sized to fit).
 pub fn fingerprints_for(circuit: &Circuit) -> Vec<(String, u64)> {
     let n = circuit.num_qubits();
-    let mut out = Vec::with_capacity(6);
-    for (label, options) in muss_ti_variants() {
-        let program = MussTiCompiler::new(DeviceConfig::for_qubits(n).build(), options)
-            .compile(circuit)
-            .unwrap_or_else(|e| panic!("{}: {e}", circuit.name()));
-        out.push((format!("MUSS-TI/{label}"), fingerprint(&program)));
-    }
-    let murali = MuraliCompiler::for_qubits(n).compile(circuit).unwrap();
-    let dai = DaiCompiler::for_qubits(n).compile(circuit).unwrap();
-    let mqt = MqtStyleCompiler::for_qubits(n).compile(circuit).unwrap();
-    for (label, program) in [("murali", murali), ("dai", dai), ("mqt", mqt)] {
-        out.push((label.to_string(), fingerprint(&program)));
-    }
-    out
+    variant_labels()
+        .into_iter()
+        .map(|variant| {
+            let program = compiler_for(variant, n)
+                .compile(circuit)
+                .unwrap_or_else(|e| panic!("{variant} on {}: {e}", circuit.name()));
+            (variant.to_string(), fingerprint(&program))
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -89,5 +255,26 @@ mod tests {
     fn fingerprints_are_stable_within_a_run() {
         let circuit = generators::ghz(8);
         assert_eq!(fingerprints_for(&circuit), fingerprints_for(&circuit));
+    }
+
+    #[test]
+    fn compiler_for_covers_every_variant_label() {
+        for variant in variant_labels() {
+            assert!(!compiler_for(variant, 16).name().is_empty());
+        }
+    }
+
+    #[test]
+    fn device_buckets_follow_for_qubits_thresholds() {
+        assert_eq!(
+            device_bucket("MUSS-TI/full", 22),
+            device_bucket("MUSS-TI/full", 32)
+        );
+        assert_ne!(
+            device_bucket("MUSS-TI/full", 32),
+            device_bucket("MUSS-TI/full", 48)
+        );
+        assert_eq!(device_bucket("murali", 22), device_bucket("murali", 48));
+        assert_ne!(device_bucket("dai", 48), device_bucket("dai", 64));
     }
 }

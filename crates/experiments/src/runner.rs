@@ -1,11 +1,19 @@
 //! Shared helpers for running compilers over benchmark applications.
 
 use baselines::{DaiCompiler, MqtStyleCompiler, MuraliCompiler};
-use eml_qccd::{CompileError, Compiler, DeviceConfig, GridConfig};
+use eml_qccd::{
+    compile_batch, CompileContext, CompileError, CompiledProgram, Compiler, DeviceConfig,
+    GridConfig, StageTimings, StagedCompiler,
+};
 use ion_circuit::generators::BenchmarkApp;
 use ion_circuit::Circuit;
 use muss_ti::{MussTiCompiler, MussTiOptions};
 use serde::{Deserialize, Serialize};
+
+/// The object-safe staged-compiler handle the experiment harness passes
+/// around: every compiler in the workspace fits in one of these while keeping
+/// context reuse and batch compilation available.
+pub type DynCompiler = Box<dyn StagedCompiler + Send + Sync>;
 
 /// The outcome of compiling one application with one compiler: the subset of
 /// [`ExecutionMetrics`](eml_qccd::ExecutionMetrics) the paper reports, plus
@@ -26,25 +34,69 @@ pub struct AppResult {
     pub fiber_gates: usize,
     /// Wall-clock compilation time in seconds.
     pub compile_time_s: f64,
+    /// Per-stage compile-time breakdown (placement / scheduling / swap
+    /// insertion / lowering) when the compiler's pipeline recorded one, so
+    /// one-shot, session and batch paths stay comparable in experiment
+    /// output.
+    pub phases: Option<StageTimings>,
 }
 
-/// Compiles `circuit` with `compiler` and condenses the result.
+/// Condenses a compiled program into the reported subset.
+fn condense(circuit: &Circuit, program: &CompiledProgram) -> AppResult {
+    let metrics = program.metrics();
+    AppResult {
+        app: circuit.name().to_string(),
+        compiler: program.compiler_name().to_string(),
+        shuttles: metrics.shuttle_count,
+        execution_time_us: metrics.execution_time_us,
+        log10_fidelity: metrics.log10_fidelity(),
+        fiber_gates: metrics.fiber_gates,
+        compile_time_s: program.compile_time().as_secs_f64(),
+        phases: program.stage_timings().copied(),
+    }
+}
+
+/// Compiles `circuit` with `compiler` (one-shot) and condenses the result.
 ///
 /// # Errors
 ///
 /// Propagates the compiler's [`CompileError`].
 pub fn evaluate(compiler: &dyn Compiler, circuit: &Circuit) -> Result<AppResult, CompileError> {
     let program = compiler.compile(circuit)?;
-    let metrics = program.metrics();
-    Ok(AppResult {
-        app: circuit.name().to_string(),
-        compiler: compiler.name().to_string(),
-        shuttles: metrics.shuttle_count,
-        execution_time_us: metrics.execution_time_us,
-        log10_fidelity: metrics.log10_fidelity(),
-        fiber_gates: metrics.fiber_gates,
-        compile_time_s: program.compile_time().as_secs_f64(),
-    })
+    Ok(condense(circuit, &program))
+}
+
+/// [`evaluate`] through the staged pipeline, reusing `ctx` across calls (the
+/// sequential-session path of the figure harness).
+///
+/// # Errors
+///
+/// Propagates the compiler's [`CompileError`].
+pub fn evaluate_in(
+    compiler: &dyn StagedCompiler,
+    ctx: &mut CompileContext,
+    circuit: &Circuit,
+) -> Result<AppResult, CompileError> {
+    let program = compiler.compile_in(ctx, circuit)?;
+    Ok(condense(circuit, &program))
+}
+
+/// Compiles every circuit with `compiler` through [`compile_batch`] (workers
+/// shard per-circuit contexts; results keep input order) and condenses the
+/// results.
+///
+/// # Errors
+///
+/// Propagates the first [`CompileError`] in input order.
+pub fn evaluate_batch<C>(compiler: &C, circuits: &[Circuit]) -> Result<Vec<AppResult>, CompileError>
+where
+    C: StagedCompiler + Sync + ?Sized,
+{
+    compile_batch(compiler, circuits)
+        .into_iter()
+        .zip(circuits)
+        .map(|(result, circuit)| result.map(|program| condense(circuit, &program)))
+        .collect()
 }
 
 /// Builds the MUSS-TI compiler for an application, matching the paper's
@@ -69,7 +121,7 @@ pub fn muss_ti_matching_grid(grid: &GridConfig, options: MussTiOptions) -> MussT
 }
 
 /// The three compilers compared in Fig. 6 for a given application size.
-pub fn fig6_compilers(num_qubits: usize) -> Vec<Box<dyn Compiler>> {
+pub fn fig6_compilers(num_qubits: usize) -> Vec<DynCompiler> {
     vec![
         Box::new(MussTiCompiler::new(
             DeviceConfig::for_qubits(num_qubits).build(),
@@ -81,7 +133,7 @@ pub fn fig6_compilers(num_qubits: usize) -> Vec<Box<dyn Compiler>> {
 }
 
 /// The four compilers compared in Table 2 on a given small-scale grid.
-pub fn table2_compilers(grid: &GridConfig) -> Vec<Box<dyn Compiler>> {
+pub fn table2_compilers(grid: &GridConfig) -> Vec<DynCompiler> {
     vec![
         Box::new(MuraliCompiler::new(grid.clone())),
         Box::new(DaiCompiler::new(grid.clone())),
@@ -113,6 +165,44 @@ mod tests {
         assert!(result.execution_time_us > 0.0);
         assert!(result.log10_fidelity <= 0.0);
         assert!(result.compile_time_s >= 0.0);
+        let phases = result.phases.expect("MUSS-TI reports stage timings");
+        assert!(phases.total_ms() > 0.0);
+    }
+
+    #[test]
+    fn session_and_batch_paths_agree_with_one_shot() {
+        let circuits = vec![generators::ghz(16), generators::qft(16)];
+        let compiler = muss_ti_for(&circuits[0], MussTiOptions::default());
+
+        let one_shot: Vec<AppResult> = circuits
+            .iter()
+            .map(|c| evaluate(&compiler, c).unwrap())
+            .collect();
+
+        let mut ctx = StagedCompiler::new_context(&compiler);
+        let session: Vec<AppResult> = circuits
+            .iter()
+            .map(|c| evaluate_in(&compiler, &mut ctx, c).unwrap())
+            .collect();
+
+        let batch = evaluate_batch(&compiler, &circuits).unwrap();
+
+        for ((a, b), c) in one_shot.iter().zip(&session).zip(&batch) {
+            // Wall-clock fields differ run to run; the compiled artefacts and
+            // metrics must not.
+            assert_eq!(
+                (&a.app, a.shuttles, a.fiber_gates),
+                (&b.app, b.shuttles, b.fiber_gates)
+            );
+            assert_eq!(
+                (&a.app, a.shuttles, a.fiber_gates),
+                (&c.app, c.shuttles, c.fiber_gates)
+            );
+            assert_eq!(a.execution_time_us, b.execution_time_us);
+            assert_eq!(a.execution_time_us, c.execution_time_us);
+            assert_eq!(a.log10_fidelity, b.log10_fidelity);
+            assert_eq!(a.log10_fidelity, c.log10_fidelity);
+        }
     }
 
     #[test]

@@ -242,20 +242,23 @@ impl DependencyDag {
         let n = gates.len();
         let mut successors: Vec<Vec<DagNodeId>> = vec![Vec::new(); n];
         let mut predecessors: Vec<Vec<DagNodeId>> = vec![Vec::new(); n];
-        // last_user[q] = most recent node touching qubit q.
-        let mut last_user: HashMap<QubitId, usize> = HashMap::new();
+        // last_user[q] = most recent node touching qubit q. Qubit ids are
+        // dense, so this is a flat array rather than a hash map — DAG
+        // construction is itself on the compile hot path (the SABRE search
+        // builds one DAG per direction).
+        let mut last_user: Vec<Option<usize>> = vec![None; circuit.num_qubits()];
         for (i, g) in gates.iter().enumerate() {
             let (a, b) = g
                 .two_qubit_pair()
                 .expect("only two-qubit gates are inserted into the DAG");
             for q in [a, b] {
-                if let Some(&prev) = last_user.get(&q) {
+                if let Some(prev) = last_user[q.index()] {
                     if !successors[prev].contains(&DagNodeId(i)) {
                         successors[prev].push(DagNodeId(i));
                         predecessors[i].push(DagNodeId(prev));
                     }
                 }
-                last_user.insert(q, i);
+                last_user[q.index()] = Some(i);
             }
         }
         let unexecuted_preds: Vec<usize> = predecessors.iter().map(Vec::len).collect();
@@ -273,6 +276,31 @@ impl DependencyDag {
             ready,
             window,
         }
+    }
+
+    /// Restores the DAG to its freshly-built state — every gate unexecuted,
+    /// the ready set back to the zero-predecessor gates, the cached
+    /// look-ahead window invalidated — while keeping every allocation
+    /// (edge lists, window scratch, per-qubit indexes).
+    ///
+    /// `O(n)` in the number of gates; this is what lets the SABRE two-fold
+    /// search and the final scheduling pass share one DAG instead of
+    /// rebuilding it (with its hashing edge construction) from scratch per
+    /// pass. A reset DAG answers every query identically to a newly built
+    /// one.
+    pub fn reset(&mut self) {
+        self.executed.fill(false);
+        for (i, preds) in self.predecessors.iter().enumerate() {
+            self.unexecuted_preds[i] = preds.len();
+        }
+        self.remaining = self.gates.len();
+        self.ready.clear();
+        let unexecuted_preds = &self.unexecuted_preds;
+        self.ready
+            .extend((0..self.gates.len()).filter(|&i| unexecuted_preds[i] == 0));
+        let window = self.window.get_mut();
+        window.valid_k = None;
+        window.dirty = false;
     }
 
     /// Number of two-qubit gates in the DAG (executed or not).
@@ -808,6 +836,50 @@ mod tests {
         assert_eq!(dag.lookahead_layers(3).len(), 3);
         assert_eq!(dag.lookahead_layers(5).len(), 5);
         assert_eq!(dag.lookahead_layers(3).len(), 3);
+    }
+
+    #[test]
+    fn reset_restores_a_fresh_dag_exactly() {
+        let mut c = Circuit::new(6);
+        c.cx(0, 1).cx(2, 3).cx(1, 2).cx(0, 3).cx(4, 5).cx(3, 4);
+        let mut dag = DependencyDag::from_circuit(&c);
+        let fresh_front = dag.front_layer();
+        let fresh_layers = dag.lookahead_layers(4);
+
+        // Drive the DAG to completion, then reset.
+        while let Some(node) = dag.front_gate() {
+            dag.mark_executed(node);
+        }
+        assert!(dag.all_executed());
+        dag.reset();
+
+        assert_eq!(dag.remaining(), dag.len());
+        assert!(!dag.all_executed());
+        assert_eq!(dag.front_layer(), fresh_front);
+        assert_eq!(dag.lookahead_layers(4), fresh_layers);
+        assert_eq!(dag.next_use_depth(4, QubitId::new(0)), Some(0));
+
+        // A second full run after reset behaves like the first.
+        let mut executed = 0;
+        while let Some(node) = dag.front_gate() {
+            dag.mark_executed(node);
+            executed += 1;
+        }
+        assert_eq!(executed, dag.len());
+    }
+
+    #[test]
+    fn reset_midway_rewinds_partial_execution() {
+        let mut dag = DependencyDag::from_circuit(&chain_circuit(7));
+        let reference = DependencyDag::from_circuit(&chain_circuit(7));
+        for _ in 0..3 {
+            let node = dag.front_gate().unwrap();
+            dag.mark_executed(node);
+        }
+        dag.reset();
+        assert_eq!(dag.front_layer(), reference.front_layer());
+        assert_eq!(dag.lookahead_layers(8), reference.lookahead_layers(8));
+        assert_eq!(dag.remaining(), reference.remaining());
     }
 
     #[test]

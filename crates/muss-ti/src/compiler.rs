@@ -1,38 +1,19 @@
-//! The MUSS-TI compiler front-end.
+//! The MUSS-TI compiler front-end: a staged pipeline (placement → scheduling
+//! → swap insertion → lowering) behind the one-shot [`Compiler`] facade.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
+use eml_qccd::pipeline::{Lowered, Placement, Scheduled};
 use eml_qccd::{
-    CompileError, CompiledProgram, Compiler, DeviceConfig, EmlQccdDevice, FidelityModel,
-    ScheduleExecutor, ScheduledOp, TimingModel, ZoneId,
+    CompileContext, CompileError, CompileSession, CompiledProgram, Compiler, DeviceConfig,
+    DeviceDims, EmlQccdDevice, FidelityModel, ScheduleExecutor, ScheduledOp, StagedCompiler,
+    TimingModel, ZoneId,
 };
-use ion_circuit::{Circuit, Gate};
+use ion_circuit::{Circuit, DependencyDag, Gate, QubitId};
 
-use crate::mapping::{effective_device_capacity, initial_mapping};
-use crate::scheduler::schedule;
-use crate::MussTiOptions;
-
-/// Wall-clock breakdown of one compilation run, phase by phase, so the
-/// compile-time benchmark can show where the time goes per PR.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct PhaseTimings {
-    /// Initial placement (Section 3.4), including SABRE dry passes.
-    pub placement_ms: f64,
-    /// The main scheduling loop (Section 3.2), excluding SWAP insertion.
-    pub scheduling_ms: f64,
-    /// The cross-module SWAP-insertion pass (Section 3.3), measured inside
-    /// the scheduling loop.
-    pub swap_insertion_ms: f64,
-    /// Op-stream assembly plus metrics evaluation by the executor.
-    pub lowering_ms: f64,
-}
-
-impl PhaseTimings {
-    /// Total wall-clock across all phases, in milliseconds.
-    pub fn total_ms(&self) -> f64 {
-        self.placement_ms + self.scheduling_ms + self.swap_insertion_ms + self.lowering_ms
-    }
-}
+use crate::mapping::{effective_device_capacity, initial_mapping_in};
+use crate::scheduler::schedule_in;
+use crate::{MussTiContext, MussTiOptions, PhaseTimings};
 
 /// The MUSS-TI compiler: multi-level shuttle scheduling for EML-QCCD devices.
 ///
@@ -52,6 +33,23 @@ impl PhaseTimings {
 /// let program = compiler.compile(&circuit).unwrap();
 /// assert!(program.metrics().shuttle_count <= 4);
 /// assert!(program.metrics().fidelity() > 0.5);
+/// ```
+///
+/// For repeated compiles against one device, hold a session (or a
+/// [`MussTiContext`]) so every run after the first reuses the scratch arenas
+/// — DAG ready sets and look-ahead window, placement state, weight tables,
+/// executor clock/heat arrays — instead of reallocating them:
+///
+/// ```
+/// use eml_qccd::DeviceConfig;
+/// use ion_circuit::generators;
+/// use muss_ti::{MussTiCompiler, MussTiOptions};
+///
+/// let device = DeviceConfig::for_qubits(32).build();
+/// let mut session = MussTiCompiler::new(device, MussTiOptions::default()).session();
+/// let a = session.compile(&generators::qft(32)).unwrap();
+/// let b = session.compile(&generators::qft(32)).unwrap(); // warm context
+/// assert_eq!(format!("{:?}", a.ops()), format!("{:?}", b.ops()));
 /// ```
 #[derive(Debug, Clone)]
 pub struct MussTiCompiler {
@@ -117,6 +115,18 @@ impl MussTiCompiler {
         self.executor.timing()
     }
 
+    /// Allocates a typed compile context for this compiler's device (the
+    /// scratch arena behind [`StagedCompiler::new_context`]).
+    pub fn context(&self) -> MussTiContext {
+        MussTiContext::new(&self.device)
+    }
+
+    /// Opens a [`CompileSession`] holding this compiler and one reusable
+    /// context — the entry point for serving repeated compile requests.
+    pub fn session(self) -> CompileSession<Self> {
+        CompileSession::new(self)
+    }
+
     /// Compiles and additionally returns the number of cross-module SWAP
     /// gates the Section 3.3 pass inserted.
     ///
@@ -133,7 +143,7 @@ impl MussTiCompiler {
 
     /// Compiles and additionally reports the inserted-SWAP count and the
     /// per-phase wall-clock breakdown (placement / scheduling /
-    /// swap-insertion / lowering).
+    /// swap-insertion / lowering). One-shot: allocates a fresh context.
     ///
     /// # Errors
     ///
@@ -142,7 +152,72 @@ impl MussTiCompiler {
         &self,
         circuit: &Circuit,
     ) -> Result<(CompiledProgram, usize, PhaseTimings), CompileError> {
+        self.compile_with_phases_in(&mut self.context(), circuit)
+    }
+
+    /// [`MussTiCompiler::compile_with_phases`] in a caller-held context: the
+    /// fused pipeline hot path. Every scheduling pass — the three SABRE dry
+    /// passes and the final pass — runs in `cx`'s pooled scratch, and the
+    /// forward/probe/final passes share one dependency DAG via
+    /// [`DependencyDag::reset`], so a warm compile rebuilds only what the new
+    /// circuit forces it to.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Compiler::compile`].
+    pub fn compile_with_phases_in(
+        &self,
+        cx: &mut MussTiContext,
+        circuit: &Circuit,
+    ) -> Result<(CompiledProgram, usize, PhaseTimings), CompileError> {
         let start = Instant::now();
+        self.check(circuit)?;
+
+        // Built lazily: the SABRE dry passes construct it during placement
+        // and the final pass reuses it (reset); the trivial strategy defers
+        // construction to the scheduling phase.
+        let mut dag: Option<DependencyDag> = None;
+
+        let placement_start = Instant::now();
+        let mapping = initial_mapping_in(
+            &mut cx.sched,
+            &mut dag,
+            &self.device,
+            &self.options,
+            circuit,
+        )?;
+        let placement_ms = placement_start.elapsed().as_secs_f64() * 1e3;
+
+        let scheduling_start = Instant::now();
+        let dag = dag.get_or_insert_with(|| DependencyDag::from_circuit(circuit));
+        dag.reset();
+        let stats = schedule_in(&self.device, &self.options, dag, &mapping, &mut cx.sched)?;
+        let swap_insertion_ms = stats.swap_insertion_time.as_secs_f64() * 1e3;
+        let scheduling_ms = scheduling_start.elapsed().as_secs_f64() * 1e3 - swap_insertion_ms;
+
+        let lowering_start = Instant::now();
+        let final_mapping = cx.sched.state.mapping();
+        let ops = assemble_ops(circuit, &mapping, &cx.sched.ops, &final_mapping);
+        let metrics = self.executor.execute_in(
+            &mut cx.exec,
+            &ops,
+            circuit.num_qubits(),
+            DeviceDims::from(&self.device).num_zones,
+        );
+        let phases = PhaseTimings {
+            placement_ms,
+            scheduling_ms,
+            swap_insertion_ms,
+            lowering_ms: lowering_start.elapsed().as_secs_f64() * 1e3,
+        };
+        let program =
+            CompiledProgram::from_parts(&self.name, circuit, ops, metrics, start.elapsed())
+                .with_stage_timings(phases);
+        Ok((program, stats.inserted_swaps, phases))
+    }
+
+    /// Validation and capacity checks shared by every pipeline entry point.
+    fn check(&self, circuit: &Circuit) -> Result<(), CompileError> {
         circuit
             .validate()
             .map_err(|e| CompileError::InvalidCircuit(e.to_string()))?;
@@ -153,71 +228,155 @@ impl MussTiCompiler {
                 capacity,
             });
         }
+        Ok(())
+    }
 
-        let placement_start = Instant::now();
-        let mapping = initial_mapping(&self.device, &self.options, circuit)?;
-        let placement_ms = placement_start.elapsed().as_secs_f64() * 1e3;
+    // -- The typed stage API -------------------------------------------------
+    //
+    // The granular stages trade a little of the fused path's DAG sharing for
+    // inspectable artifacts; drive them in order for one circuit. The fused
+    // `compile_with_phases_in` is the hot path the facade and sessions use.
 
-        let scheduling_start = Instant::now();
-        let outcome = schedule(&self.device, &self.options, circuit, &mapping)?;
-        let swap_insertion_ms = outcome.swap_insertion_time.as_secs_f64() * 1e3;
-        let scheduling_ms = scheduling_start.elapsed().as_secs_f64() * 1e3 - swap_insertion_ms;
+    /// **Placement stage** (Section 3.4): computes the initial qubit → zone
+    /// assignment, running the SABRE two-fold dry passes in `cx` when the
+    /// options ask for them.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Compiler::compile`].
+    pub fn place(
+        &self,
+        cx: &mut MussTiContext,
+        circuit: &Circuit,
+    ) -> Result<Placement<ZoneId>, CompileError> {
+        self.check(circuit)?;
+        let mut dag = None;
+        initial_mapping_in(
+            &mut cx.sched,
+            &mut dag,
+            &self.device,
+            &self.options,
+            circuit,
+        )
+        .map(Placement::new)
+    }
 
-        let lowering_start = Instant::now();
-        let mut ops = Vec::with_capacity(outcome.ops.len() + circuit.len());
-        // Single-qubit gates execute wherever the ion sits and never force a
-        // shuttle; they are accounted for up front against the initial
-        // placement (their duration and fidelity contribution is
-        // position-independent). Qubit ids are dense, so the start/end
-        // lookups are flat arrays rather than hash maps.
-        let mut zone_at_start: Vec<Option<ZoneId>> = vec![None; circuit.num_qubits()];
-        for &(q, z) in &mapping {
-            zone_at_start[q.index()] = Some(z);
-        }
-        for gate in circuit.gates() {
-            if gate.is_single_qubit() {
-                let qubit = gate.qubits()[0];
-                if let Some(zone) = zone_at_start.get(qubit.index()).copied().flatten() {
-                    ops.push(ScheduledOp::SingleQubitGate {
-                        qubit,
-                        zone: zone.index(),
-                    });
-                }
-            }
-        }
-        ops.extend(outcome.ops.iter().cloned());
-        // Measurements happen wherever each ion ended up.
-        let mut zone_at_end: Vec<Option<ZoneId>> = vec![None; circuit.num_qubits()];
-        for &(q, z) in &outcome.final_mapping {
-            zone_at_end[q.index()] = Some(z);
-        }
-        for gate in circuit.gates() {
-            if let Gate::Measure(qubit) = gate {
-                if let Some(zone) = zone_at_end.get(qubit.index()).copied().flatten() {
-                    ops.push(ScheduledOp::Measurement {
-                        qubit: *qubit,
-                        zone: zone.index(),
-                    });
-                }
-            }
-        }
+    /// **Scheduling + swap-insertion stages** (Sections 3.2–3.3): schedules
+    /// the two-qubit portion of `circuit` from `placement`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Compiler::compile`].
+    pub fn schedule(
+        &self,
+        cx: &mut MussTiContext,
+        circuit: &Circuit,
+        placement: &Placement<ZoneId>,
+    ) -> Result<Scheduled<ZoneId>, CompileError> {
+        self.check(circuit)?;
+        let mut dag = DependencyDag::from_circuit(circuit);
+        let stats = schedule_in(
+            &self.device,
+            &self.options,
+            &mut dag,
+            &placement.assignment,
+            &mut cx.sched,
+        )?;
+        Ok(Scheduled {
+            ops: cx.sched.ops.clone(),
+            final_assignment: cx.sched.state.mapping(),
+            inserted_swaps: stats.inserted_swaps,
+            swap_insertion_time: stats.swap_insertion_time,
+        })
+    }
 
-        let program = CompiledProgram::new_sized(
+    /// **Lowering stage**: assembles the full op stream — single-qubit gates
+    /// accounted against the initial placement, measurements against the
+    /// final one.
+    pub fn lower(
+        &self,
+        circuit: &Circuit,
+        placement: &Placement<ZoneId>,
+        scheduled: &Scheduled<ZoneId>,
+    ) -> Lowered {
+        Lowered {
+            ops: assemble_ops(
+                circuit,
+                &placement.assignment,
+                &scheduled.ops,
+                &scheduled.final_assignment,
+            ),
+        }
+    }
+
+    /// **Evaluation**: runs the lowered stream through the executor (in the
+    /// context's pooled scratch, sized from the device topology) and wraps it
+    /// into a [`CompiledProgram`].
+    pub fn evaluate(
+        &self,
+        cx: &mut MussTiContext,
+        circuit: &Circuit,
+        lowered: Lowered,
+        compile_time: Duration,
+    ) -> CompiledProgram {
+        CompiledProgram::evaluated(
             &self.name,
             circuit,
-            ops,
+            lowered.ops,
             &self.executor,
-            start.elapsed(),
-            self.device.zones().len(),
-        );
-        let phases = PhaseTimings {
-            placement_ms,
-            scheduling_ms,
-            swap_insertion_ms,
-            lowering_ms: lowering_start.elapsed().as_secs_f64() * 1e3,
-        };
-        Ok((program, outcome.inserted_swaps, phases))
+            &mut cx.exec,
+            DeviceDims::from(&self.device),
+            compile_time,
+        )
     }
+}
+
+/// Lowering: the scheduled two-qubit stream plus position-independent
+/// single-qubit gates (against the initial placement) and measurements
+/// (against the final placement). Qubit ids are dense, so the start/end
+/// lookups are flat arrays rather than hash maps.
+fn assemble_ops(
+    circuit: &Circuit,
+    initial_mapping: &[(QubitId, ZoneId)],
+    scheduled: &[ScheduledOp],
+    final_mapping: &[(QubitId, ZoneId)],
+) -> Vec<ScheduledOp> {
+    let mut ops = Vec::with_capacity(scheduled.len() + circuit.len());
+    // Single-qubit gates execute wherever the ion sits and never force a
+    // shuttle; they are accounted for up front against the initial placement
+    // (their duration and fidelity contribution is position-independent).
+    let mut zone_at_start: Vec<Option<ZoneId>> = vec![None; circuit.num_qubits()];
+    for &(q, z) in initial_mapping {
+        zone_at_start[q.index()] = Some(z);
+    }
+    for gate in circuit.gates() {
+        if gate.is_single_qubit() {
+            let qubit = gate.qubits()[0];
+            if let Some(zone) = zone_at_start.get(qubit.index()).copied().flatten() {
+                ops.push(ScheduledOp::SingleQubitGate {
+                    qubit,
+                    zone: zone.index(),
+                });
+            }
+        }
+    }
+    ops.extend(scheduled.iter().cloned());
+    // Measurements happen wherever each ion ended up.
+    let mut zone_at_end: Vec<Option<ZoneId>> = vec![None; circuit.num_qubits()];
+    for &(q, z) in final_mapping {
+        zone_at_end[q.index()] = Some(z);
+    }
+    for gate in circuit.gates() {
+        if let Gate::Measure(qubit) = gate {
+            if let Some(zone) = zone_at_end.get(qubit.index()).copied().flatten() {
+                ops.push(ScheduledOp::Measurement {
+                    qubit: *qubit,
+                    zone: zone.index(),
+                });
+            }
+        }
+    }
+    ops
 }
 
 impl Compiler for MussTiCompiler {
@@ -227,6 +386,23 @@ impl Compiler for MussTiCompiler {
 
     fn compile(&self, circuit: &Circuit) -> Result<CompiledProgram, CompileError> {
         self.compile_with_stats(circuit).map(|(program, _)| program)
+    }
+}
+
+impl StagedCompiler for MussTiCompiler {
+    fn new_context(&self) -> CompileContext {
+        CompileContext::with(self.context())
+    }
+
+    fn compile_in(
+        &self,
+        ctx: &mut CompileContext,
+        circuit: &Circuit,
+    ) -> Result<CompiledProgram, CompileError> {
+        let device = &self.device;
+        let cx = ctx.scratch_or_init(|| MussTiContext::new(device));
+        self.compile_with_phases_in(cx, circuit)
+            .map(|(program, _, _)| program)
     }
 }
 
@@ -331,5 +507,68 @@ mod tests {
         assert_eq!(compiler.name(), "MUSS-TI (trivial)");
         let program = compiler.compile(&circuit).unwrap();
         assert_eq!(program.compiler_name(), "MUSS-TI (trivial)");
+    }
+
+    #[test]
+    fn programs_carry_stage_timings() {
+        let circuit = generators::qft(16);
+        let compiler = MussTiCompiler::for_circuit(&circuit, MussTiOptions::default());
+        let program = compiler.compile(&circuit).unwrap();
+        let timings = program.stage_timings().expect("pipeline records stages");
+        assert!(timings.total_ms() > 0.0);
+    }
+
+    #[test]
+    fn session_reuse_is_bit_identical_to_one_shot() {
+        let circuits = [
+            generators::qft(24),
+            generators::ghz(16),
+            generators::random_circuit(24, 120, 3),
+        ];
+        let device = DeviceConfig::for_qubits(24).build();
+        let compiler = MussTiCompiler::new(device, MussTiOptions::default());
+        let mut cx = compiler.context();
+        for circuit in &circuits {
+            let warm = compiler.compile_with_phases_in(&mut cx, circuit).unwrap().0;
+            let cold = compiler.compile(circuit).unwrap();
+            assert_eq!(
+                format!("{:?}", warm.ops()),
+                format!("{:?}", cold.ops()),
+                "{}",
+                circuit.name()
+            );
+        }
+    }
+
+    #[test]
+    fn staged_pipeline_matches_fused_compile() {
+        let circuit = generators::random_circuit(24, 150, 9);
+        let compiler = MussTiCompiler::for_circuit(&circuit, MussTiOptions::default());
+        let mut cx = compiler.context();
+        let placement = compiler.place(&mut cx, &circuit).unwrap();
+        let scheduled = compiler.schedule(&mut cx, &circuit, &placement).unwrap();
+        let lowered = compiler.lower(&circuit, &placement, &scheduled);
+        let staged = compiler.evaluate(&mut cx, &circuit, lowered, Duration::ZERO);
+        let fused = compiler.compile(&circuit).unwrap();
+        assert_eq!(
+            format!("{:?}", staged.ops()),
+            format!("{:?}", fused.ops()),
+            "stage-by-stage and fused pipelines must agree"
+        );
+        assert_eq!(
+            staged.metrics().shuttle_count,
+            fused.metrics().shuttle_count
+        );
+    }
+
+    #[test]
+    fn compile_in_recovers_from_foreign_context() {
+        // A context initialised by a different compiler type (here: empty) is
+        // transparently re-initialised rather than rejected.
+        let circuit = generators::ghz(12);
+        let compiler = MussTiCompiler::for_circuit(&circuit, MussTiOptions::trivial());
+        let mut ctx = CompileContext::empty();
+        let program = compiler.compile_in(&mut ctx, &circuit).unwrap();
+        assert_eq!(program.circuit_name(), "GHZ_12");
     }
 }

@@ -37,11 +37,33 @@
 //! println!("{}", program.metrics());
 //! assert!(program.metrics().total_two_qubit_interactions() >= circuit.two_qubit_gate_count());
 //! ```
+//!
+//! # Sessions and batches
+//!
+//! `compile` is a facade over a staged pipeline with an explicit, reusable
+//! compile context (see [`eml_qccd::pipeline`]). Serving paths hold a
+//! [`CompileSession`](eml_qccd::CompileSession) so repeated compiles reuse
+//! one [`MussTiContext`] arena, and compile whole workloads in parallel with
+//! [`eml_qccd::compile_batch`]:
+//!
+//! ```
+//! use eml_qccd::{compile_batch_with_threads, DeviceConfig};
+//! use ion_circuit::generators;
+//! use muss_ti::{MussTiCompiler, MussTiOptions};
+//!
+//! let device = DeviceConfig::for_qubits(32).build();
+//! let compiler = MussTiCompiler::new(device, MussTiOptions::default());
+//! let circuits = vec![generators::ghz(32), generators::qft(24), generators::bv(32)];
+//! let programs = compile_batch_with_threads(&compiler, &circuits, 2);
+//! assert_eq!(programs.len(), 3); // deterministic input order
+//! assert!(programs.iter().all(|p| p.is_ok()));
+//! ```
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 mod compiler;
+mod context;
 mod mapping;
 mod naive_placement;
 mod options;
@@ -49,8 +71,14 @@ mod placement;
 mod scheduler;
 mod swap_insertion;
 
-pub use compiler::{MussTiCompiler, PhaseTimings};
+pub use compiler::MussTiCompiler;
+pub use context::MussTiContext;
 pub use naive_placement::NaivePlacement;
 pub use options::{InitialMappingStrategy, MussTiOptions};
 pub use placement::PlacementState;
 pub use swap_insertion::WeightTable;
+
+/// Wall-clock breakdown of one compilation run, phase by phase. This is the
+/// pipeline-wide [`StageTimings`](eml_qccd::StageTimings) type, re-exported
+/// under its historical MUSS-TI name.
+pub type PhaseTimings = eml_qccd::StageTimings;

@@ -1,9 +1,9 @@
 //! Initial-mapping strategies (Section 3.4 of the paper).
 
 use eml_qccd::{CompileError, EmlQccdDevice, ModuleId, ZoneId, ZoneLevel};
-use ion_circuit::{Circuit, QubitId};
+use ion_circuit::{Circuit, DependencyDag, QubitId};
 
-use crate::scheduler::schedule;
+use crate::scheduler::{schedule_in, SchedulerScratch};
 use crate::{InitialMappingStrategy, MussTiOptions};
 
 /// Maximum number of ions the mapper will load into one module.
@@ -106,11 +106,20 @@ pub(crate) fn trivial_mapping(
 /// with SWAP insertion disabled so the resulting placement reflects transport
 /// pressure only.
 ///
+/// All three dry passes share one [`SchedulerScratch`] (placement state, op
+/// buffer, weight table), and the forward and probe passes additionally share
+/// one dependency DAG via [`DependencyDag::reset`] — `dag` is built here at
+/// most once for `circuit` and handed back to the caller still usable (after
+/// another reset) for the final scheduling pass, so a SABRE compile builds
+/// two DAGs (circuit + reversed circuit) instead of four.
+///
 /// # Errors
 ///
 /// Propagates capacity errors from [`trivial_mapping`] and scheduling errors
 /// from the dry passes.
-pub(crate) fn initial_mapping(
+pub(crate) fn initial_mapping_in(
+    cx: &mut SchedulerScratch,
+    dag: &mut Option<DependencyDag>,
     device: &EmlQccdDevice,
     options: &MussTiOptions,
     circuit: &Circuit,
@@ -123,31 +132,45 @@ pub(crate) fn initial_mapping(
                 enable_swap_insertion: false,
                 ..*options
             };
-            let forward = schedule(device, &dry_options, circuit, &trivial)?;
+            let dag = dag.get_or_insert_with(|| DependencyDag::from_circuit(circuit));
+            let forward = schedule_in(device, &dry_options, dag, &trivial, cx)?;
+            let forward_mapping = cx.state.mapping();
             let reversed_circuit = circuit.reversed();
-            let backward = schedule(
+            let mut reversed_dag = DependencyDag::from_circuit(&reversed_circuit);
+            schedule_in(
                 device,
                 &dry_options,
-                &reversed_circuit,
-                &forward.final_mapping,
+                &mut reversed_dag,
+                &forward_mapping,
+                cx,
             )?;
-            let candidate = backward.final_mapping;
+            let candidate = cx.state.mapping();
             // Keep whichever starting placement needs the least transport: the
             // two-fold search can occasionally end in a worse placement for
             // highly symmetric circuits, and the pre-loading idea only pays
             // off when it actually reduces movement.
-            let shuttles = |outcome: &crate::scheduler::SchedulerOutcome| {
-                outcome.ops.iter().filter(|o| o.is_shuttle()).count()
-            };
-            let trivial_shuttles = shuttles(&forward);
-            let candidate_run = schedule(device, &dry_options, circuit, &candidate)?;
-            if shuttles(&candidate_run) <= trivial_shuttles {
+            dag.reset();
+            let probe = schedule_in(device, &dry_options, dag, &candidate, cx)?;
+            if probe.shuttles <= forward.shuttles {
                 Ok(candidate)
             } else {
                 Ok(trivial)
             }
         }
     }
+}
+
+/// One-shot wrapper over [`initial_mapping_in`] with fresh scratch (tests and
+/// context-free callers).
+#[cfg(test)]
+pub(crate) fn initial_mapping(
+    device: &EmlQccdDevice,
+    options: &MussTiOptions,
+    circuit: &Circuit,
+) -> Result<Vec<(QubitId, ZoneId)>, CompileError> {
+    let mut cx = SchedulerScratch::new(device);
+    let mut dag = None;
+    initial_mapping_in(&mut cx, &mut dag, device, options, circuit)
 }
 
 #[cfg(test)]

@@ -51,21 +51,54 @@ impl PlacementState {
     /// Panics if an assignment exceeds a zone's capacity.
     pub fn from_mapping(device: &EmlQccdDevice, mapping: &[(QubitId, ZoneId)]) -> Self {
         let mut state = Self::new(device);
+        state.reset_from_mapping(device, mapping);
+        state
+    }
+
+    /// Drops every placement, chain and timestamp while keeping the backing
+    /// allocations — the state behaves exactly like a freshly built one.
+    pub fn clear(&mut self) {
+        self.qubit_zone.fill(None);
+        for chain in &mut self.chains {
+            chain.clear();
+        }
+        self.last_use.fill(0);
+        self.module_count.fill(0);
+    }
+
+    /// Re-initialises the state from an explicit qubit → zone assignment,
+    /// reusing the backing allocations: the pipeline's replacement for
+    /// constructing a fresh [`PlacementState::from_mapping`] per scheduling
+    /// pass. The resulting state is indistinguishable from a fresh build.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an assignment exceeds a zone's capacity (like
+    /// [`PlacementState::from_mapping`]).
+    pub fn reset_from_mapping(&mut self, device: &EmlQccdDevice, mapping: &[(QubitId, ZoneId)]) {
+        self.clear();
+        if self.chains.len() < device.zones().len() {
+            self.chains.resize(device.zones().len(), Vec::new());
+        }
+        if self.module_count.len() < device.num_modules() {
+            self.module_count.resize(device.num_modules(), 0);
+        }
         let max_qubit = mapping
             .iter()
             .map(|(q, _)| q.index() + 1)
             .max()
             .unwrap_or(0);
-        state.qubit_zone.resize(max_qubit, None);
-        state.last_use.resize(max_qubit, 0);
+        if self.qubit_zone.len() < max_qubit {
+            self.qubit_zone.resize(max_qubit, None);
+            self.last_use.resize(max_qubit, 0);
+        }
         for &(q, z) in mapping {
             assert!(
-                state.occupancy(z) < device.zone(z).capacity,
+                self.occupancy(z) < device.zone(z).capacity,
                 "initial mapping overfills {z}"
             );
-            state.place(device, q, z);
+            self.place(device, q, z);
         }
-        state
     }
 
     /// Grows the per-qubit arrays to cover `qubit`.
@@ -165,11 +198,30 @@ impl PlacementState {
         qubit: QubitId,
         to: ZoneId,
     ) -> Vec<ScheduledOp> {
+        let mut ops = Vec::new();
+        self.shuttle_into(device, qubit, to, &mut ops);
+        ops
+    }
+
+    /// [`PlacementState::shuttle`] appending the emitted operations to an
+    /// existing buffer instead of allocating a fresh `Vec` per transport —
+    /// the scheduler's hot path writes straight into its pooled op stream.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`PlacementState::shuttle`].
+    pub fn shuttle_into(
+        &mut self,
+        device: &EmlQccdDevice,
+        qubit: QubitId,
+        to: ZoneId,
+        ops: &mut Vec<ScheduledOp>,
+    ) {
         let from = self
             .zone_of(qubit)
             .expect("cannot shuttle an unplaced qubit");
         if from == to {
-            return Vec::new();
+            return;
         }
         assert_eq!(
             device.zone(from).module,
@@ -181,7 +233,6 @@ impl PlacementState {
             "shuttle destination {to} is full"
         );
 
-        let mut ops = Vec::new();
         // Bring the ion to the nearest chain edge first.
         let chain = &mut self.chains[from.index()];
         let idx = chain
@@ -203,7 +254,6 @@ impl PlacementState {
 
         self.chains[to.index()].push(qubit);
         self.qubit_zone[qubit.index()] = Some(to);
-        ops
     }
 
     /// Logically exchanges two ions that sit in different modules (the effect
@@ -432,6 +482,52 @@ mod tests {
         let mapping = s.mapping();
         assert_eq!(mapping[0].0, q(0));
         assert_eq!(mapping[1].0, q(2));
+    }
+
+    #[test]
+    fn reset_from_mapping_matches_fresh_build() {
+        let d = device();
+        let zones = d.zones_in_module(ModuleId(0));
+        let first = vec![
+            (q(0), zones[0].id),
+            (q(1), zones[2].id),
+            (q(2), zones[0].id),
+        ];
+        let second = vec![(q(0), zones[1].id), (q(3), zones[0].id)];
+
+        let mut reused = PlacementState::from_mapping(&d, &first);
+        reused.touch(q(1), 42);
+        let mut ops = Vec::new();
+        reused.shuttle_into(&d, q(1), zones[1].id, &mut ops);
+        reused.reset_from_mapping(&d, &second);
+
+        let fresh = PlacementState::from_mapping(&d, &second);
+        assert_eq!(reused.mapping(), fresh.mapping());
+        for zone in d.zones() {
+            assert_eq!(reused.chain(zone.id), fresh.chain(zone.id), "{}", zone.id);
+        }
+        for i in 0..4 {
+            assert_eq!(reused.last_use(q(i)), fresh.last_use(q(i)), "q{i}");
+            assert_eq!(reused.zone_of(q(i)), fresh.zone_of(q(i)), "q{i}");
+        }
+        assert_eq!(
+            reused.module_occupancy(ModuleId(0)),
+            fresh.module_occupancy(ModuleId(0))
+        );
+    }
+
+    #[test]
+    fn shuttle_into_appends_to_an_existing_buffer() {
+        let d = device();
+        let zones = d.zones_in_module(ModuleId(0));
+        let mut s = PlacementState::from_mapping(&d, &[(q(0), zones[2].id)]);
+        let mut ops = vec![ScheduledOp::ChainRearrange { zone: 99 }];
+        s.shuttle_into(&d, q(0), zones[0].id, &mut ops);
+        assert_eq!(ops.len(), 2, "appended after the existing entry");
+        assert!(ops[1].is_shuttle());
+        // A same-zone shuttle appends nothing.
+        s.shuttle_into(&d, q(0), zones[0].id, &mut ops);
+        assert_eq!(ops.len(), 2);
     }
 
     #[test]

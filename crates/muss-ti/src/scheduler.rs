@@ -1,21 +1,62 @@
 //! The multi-level shuttle scheduler (Section 3.2 of the paper).
+//!
+//! The pass runs inside pooled scratch ([`SchedulerScratch`], owned by the
+//! compile context): placement state, op buffer and weight table are reused
+//! across passes — including the SABRE dry passes, which additionally share
+//! one [`DependencyDag`] via [`DependencyDag::reset`] — so a scheduling pass
+//! after the first allocates (almost) nothing. Scratch reuse never changes
+//! behaviour: op streams are pinned bit-identical to the cold-start path.
 
 use std::time::{Duration, Instant};
 
+#[cfg(test)]
+use eml_qccd::pipeline::Scheduled;
 use eml_qccd::{CompileError, EmlQccdDevice, ModuleId, ScheduledOp, ZoneId, ZoneLevel};
-use ion_circuit::{Circuit, DagNodeId, DependencyDag, QubitId};
+#[cfg(test)]
+use ion_circuit::Circuit;
+use ion_circuit::{DagNodeId, DependencyDag, QubitId};
 
 use crate::placement::{is_protected, protected_mask, PlacementState};
 use crate::swap_insertion::WeightTable;
 use crate::MussTiOptions;
 
-/// The result of one scheduling pass over a circuit.
+/// The reusable per-pass scratch of the scheduler: everything a pass
+/// allocates lives here and is recycled by the next pass.
 #[derive(Debug, Clone)]
-pub(crate) struct SchedulerOutcome {
-    /// Scheduled transport and gate operations (two-qubit portion of the circuit).
-    pub ops: Vec<ScheduledOp>,
-    /// Final qubit → zone assignment when the pass finished.
-    pub final_mapping: Vec<(QubitId, ZoneId)>,
+pub(crate) struct SchedulerScratch {
+    /// Dynamic placement state, re-initialised per pass via
+    /// [`PlacementState::reset_from_mapping`].
+    pub(crate) state: PlacementState,
+    /// The op stream of the most recent pass (cleared at pass start).
+    pub(crate) ops: Vec<ScheduledOp>,
+    /// Pooled Section 3.3 weight table, recomputed in place per fiber gate.
+    pub(crate) weights: WeightTable,
+}
+
+impl SchedulerScratch {
+    pub(crate) fn new(device: &EmlQccdDevice) -> Self {
+        SchedulerScratch {
+            state: PlacementState::new(device),
+            ops: Vec::new(),
+            weights: WeightTable::default(),
+        }
+    }
+
+    /// Drops all circuit-derived state, keeping allocations.
+    pub(crate) fn clear(&mut self) {
+        self.state.clear();
+        self.ops.clear();
+        self.weights.clear();
+    }
+}
+
+/// Aggregate results of one scheduling pass; the op stream itself stays in
+/// the scratch's `ops` buffer and the final placement in its `state`.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ScheduleStats {
+    /// Number of shuttle operations the pass emitted (the SABRE two-fold
+    /// search's selection criterion).
+    pub shuttles: usize,
     /// Number of cross-module SWAP gates inserted by the Section 3.3 pass.
     pub inserted_swaps: usize,
     /// Wall-clock time spent inside the SWAP-insertion pass (a slice of the
@@ -23,8 +64,9 @@ pub(crate) struct SchedulerOutcome {
     pub swap_insertion_time: Duration,
 }
 
-/// Schedules the two-qubit gates of `circuit` on `device`, starting from
-/// `initial_mapping`.
+/// Schedules the two-qubit gates of the circuit behind `dag` on `device`,
+/// starting from `initial_mapping`, writing the op stream into `cx.ops` and
+/// leaving the final placement in `cx.state`.
 ///
 /// The pass follows the paper's loop: take the DAG front layer, execute every
 /// gate that is already executable, otherwise pick the oldest gate
@@ -33,41 +75,71 @@ pub(crate) struct SchedulerOutcome {
 /// it, and — after every fiber gate — consider inserting a cross-module SWAP
 /// guided by the weight table.
 ///
+/// `dag` must be fresh (or [`reset`](DependencyDag::reset)) and built from
+/// the circuit being scheduled; passing it in is what lets the SABRE
+/// forward/probe dry passes and the final pass share one DAG.
+///
 /// # Errors
 ///
 /// Returns a [`CompileError`] if a qubit cannot be placed (which indicates the
 /// device is too small for the circuit under the effective capacity rules).
-pub(crate) fn schedule(
+pub(crate) fn schedule_in(
     device: &EmlQccdDevice,
     options: &MussTiOptions,
-    circuit: &Circuit,
+    dag: &mut DependencyDag,
     initial_mapping: &[(QubitId, ZoneId)],
-) -> Result<SchedulerOutcome, CompileError> {
+    cx: &mut SchedulerScratch,
+) -> Result<ScheduleStats, CompileError> {
+    cx.ops.clear();
+    cx.state.reset_from_mapping(device, initial_mapping);
     let mut scheduler = Scheduler {
         device,
         options,
-        state: PlacementState::from_mapping(device, initial_mapping),
-        dag: DependencyDag::from_circuit(circuit),
-        ops: Vec::new(),
+        state: &mut cx.state,
+        dag,
+        ops: &mut cx.ops,
+        weights: &mut cx.weights,
         clock: 0,
         inserted_swaps: 0,
         swap_insertion_time: Duration::ZERO,
     };
     scheduler.run()?;
-    Ok(SchedulerOutcome {
-        final_mapping: scheduler.state.mapping(),
-        ops: scheduler.ops,
-        inserted_swaps: scheduler.inserted_swaps,
-        swap_insertion_time: scheduler.swap_insertion_time,
+    let inserted_swaps = scheduler.inserted_swaps;
+    let swap_insertion_time = scheduler.swap_insertion_time;
+    Ok(ScheduleStats {
+        shuttles: cx.ops.iter().filter(|o| o.is_shuttle()).count(),
+        inserted_swaps,
+        swap_insertion_time,
+    })
+}
+
+/// One-shot wrapper over [`schedule_in`]: builds the DAG and scratch, runs
+/// one pass and returns owned artifacts (test helper).
+#[cfg(test)]
+pub(crate) fn schedule(
+    device: &EmlQccdDevice,
+    options: &MussTiOptions,
+    circuit: &Circuit,
+    initial_mapping: &[(QubitId, ZoneId)],
+) -> Result<Scheduled<ZoneId>, CompileError> {
+    let mut dag = DependencyDag::from_circuit(circuit);
+    let mut cx = SchedulerScratch::new(device);
+    let stats = schedule_in(device, options, &mut dag, initial_mapping, &mut cx)?;
+    Ok(Scheduled {
+        final_assignment: cx.state.mapping(),
+        ops: cx.ops,
+        inserted_swaps: stats.inserted_swaps,
+        swap_insertion_time: stats.swap_insertion_time,
     })
 }
 
 struct Scheduler<'a> {
     device: &'a EmlQccdDevice,
     options: &'a MussTiOptions,
-    state: PlacementState,
-    dag: DependencyDag,
-    ops: Vec<ScheduledOp>,
+    state: &'a mut PlacementState,
+    dag: &'a mut DependencyDag,
+    ops: &'a mut Vec<ScheduledOp>,
+    weights: &'a mut WeightTable,
     /// Logical time: increments once per executed gate; drives LRU decisions.
     clock: u64,
     inserted_swaps: usize,
@@ -297,8 +369,7 @@ impl Scheduler<'_> {
             return Ok(());
         }
         self.ensure_space(target, protected)?;
-        let ops = self.state.shuttle(self.device, q, target);
-        self.ops.extend(ops);
+        self.state.shuttle_into(self.device, q, target, self.ops);
         Ok(())
     }
 
@@ -310,7 +381,7 @@ impl Scheduler<'_> {
     /// DAG's cached look-ahead window, refreshed at most once per retired
     /// gate instead of rebuilt per candidate zone.
     fn zone_affinity(&self, q: QubitId, zone: ZoneId) -> usize {
-        let state = &self.state;
+        let state = &*self.state;
         self.dag
             .count_window_partners(self.options.lookahead_k, q, |p| {
                 state.zone_of(p) == Some(zone)
@@ -365,8 +436,8 @@ impl Scheduler<'_> {
                             self.device.zone(zone).module
                         ),
                     })?;
-            let ops = self.state.shuttle(self.device, victim, destination);
-            self.ops.extend(ops);
+            self.state
+                .shuttle_into(self.device, victim, destination, self.ops);
         }
         Ok(())
     }
@@ -393,26 +464,44 @@ impl Scheduler<'_> {
             .map(|z| z.id)
     }
 
-    /// Builds the Section 3.3 weight table from the current placement over
-    /// the DAG's cached look-ahead window.
-    fn weight_table(&self) -> WeightTable {
-        let state = &self.state;
+    /// Rebuilds the Section 3.3 weight table in place from the current
+    /// placement over the DAG's cached look-ahead window.
+    fn recompute_weights_into(&self, table: &mut WeightTable) {
+        let state = &*self.state;
         let device = self.device;
-        WeightTable::compute(
-            &self.dag,
+        table.recompute(
+            self.dag,
             self.options.lookahead_k,
             device.num_modules(),
             |qubit| state.module_of(device, qubit),
-        )
+        );
     }
 
     /// Section 3.3: after a fiber gate on `(a, b)`, check whether either
     /// operand should be logically swapped onto another module.
     fn try_swap_insertion(&mut self, a: QubitId, b: QubitId) -> Result<(), CompileError> {
-        // One table serves both operands; it only goes stale if an inserted
-        // SWAP actually changes qubit→module assignments, in which case it is
-        // re-derived at the end of the loop body below.
-        let mut table = self.weight_table();
+        // The pooled table is taken out of the scratch for the duration of
+        // the pass so `self` stays free for the routing calls below, and put
+        // back (allocation intact) when done.
+        let mut table = std::mem::take(self.weights);
+        self.recompute_weights_into(&mut table);
+        let result = self.swap_insertion_pass(a, b, &mut table);
+        *self.weights = table;
+        result
+    }
+
+    /// The body of [`Scheduler::try_swap_insertion`], operating on the
+    /// taken-out weight table.
+    ///
+    /// One table serves both operands; it only goes stale if an inserted
+    /// SWAP actually changes qubit→module assignments, in which case it is
+    /// re-derived at the end of the loop body below.
+    fn swap_insertion_pass(
+        &mut self,
+        a: QubitId,
+        b: QubitId,
+        table: &mut WeightTable,
+    ) -> Result<(), CompileError> {
         for q in [a, b] {
             let home = self.module_of(q)?;
             // The qubit must no longer be needed on its current module...
@@ -430,7 +519,7 @@ impl Scheduler<'_> {
             };
             // Find a partner on the target module that is itself no longer
             // needed there.
-            let Some(partner) = self.swap_partner(target_module, &table, &[a, b]) else {
+            let Some(partner) = self.swap_partner(target_module, table, &[a, b]) else {
                 continue;
             };
             // Both qubits meet in their optical zones and exchange via three
@@ -455,7 +544,7 @@ impl Scheduler<'_> {
             // The swap moved two qubits across modules, so the remaining
             // operand (if any) must decide against fresh weights.
             if q == a {
-                table = self.weight_table();
+                self.recompute_weights_into(table);
             }
         }
         Ok(())
@@ -490,7 +579,7 @@ mod tests {
         circuit: &Circuit,
         options: &MussTiOptions,
         device: &EmlQccdDevice,
-    ) -> SchedulerOutcome {
+    ) -> Scheduled<ZoneId> {
         let mapping = trivial_mapping(device, circuit.num_qubits()).unwrap();
         schedule(device, options, circuit, &mapping).unwrap()
     }
@@ -577,9 +666,9 @@ mod tests {
         let device = DeviceConfig::for_qubits(32).build();
         let circuit = generators::sqrt(30);
         let outcome = schedule_circuit(&circuit, &MussTiOptions::default(), &device);
-        assert_eq!(outcome.final_mapping.len(), 30);
+        assert_eq!(outcome.final_assignment.len(), 30);
         let mut qubits: Vec<usize> = outcome
-            .final_mapping
+            .final_assignment
             .iter()
             .map(|(q, _)| q.index())
             .collect();
@@ -677,6 +766,6 @@ mod tests {
         let a = schedule_circuit(&circuit, &MussTiOptions::default(), &device);
         let b = schedule_circuit(&circuit, &MussTiOptions::default(), &device);
         assert_eq!(a.ops, b.ops);
-        assert_eq!(a.final_mapping, b.final_mapping);
+        assert_eq!(a.final_assignment, b.final_assignment);
     }
 }

@@ -40,21 +40,35 @@ impl WeightTable {
         num_modules: usize,
         module_of: impl Fn(QubitId) -> Option<ModuleId>,
     ) -> Self {
-        let mut table = WeightTable {
-            weights: vec![0; dag.num_qubits() * num_modules],
-            num_modules,
-            nonzero: 0,
-        };
+        let mut table = WeightTable::default();
+        table.recompute(dag, lookahead_k, num_modules, module_of);
+        table
+    }
+
+    /// [`WeightTable::compute`] in place: rebuilds the table reusing the flat
+    /// weight array, so the per-fiber-gate recomputation on the scheduler's
+    /// hot path is allocation-free once the table has grown to the circuit's
+    /// `qubits × modules` footprint.
+    pub fn recompute(
+        &mut self,
+        dag: &DependencyDag,
+        lookahead_k: usize,
+        num_modules: usize,
+        module_of: impl Fn(QubitId) -> Option<ModuleId>,
+    ) {
+        self.weights.clear();
+        self.weights.resize(dag.num_qubits() * num_modules, 0);
+        self.num_modules = num_modules;
+        self.nonzero = 0;
         dag.for_each_window_gate(lookahead_k, |_, node| {
             let (a, b) = dag.operands(node);
             if let Some(module_b) = module_of(b) {
-                table.bump(a, module_b);
+                self.bump(a, module_b);
             }
             if let Some(module_a) = module_of(a) {
-                table.bump(b, module_a);
+                self.bump(b, module_a);
             }
         });
-        table
     }
 
     fn bump(&mut self, q: QubitId, module: ModuleId) {
@@ -103,6 +117,14 @@ impl WeightTable {
             .map(|m| (m, self.weight(q, m)))
             .filter(|&(_, w)| w > threshold)
             .max_by_key(|&(m, w)| (w, std::cmp::Reverse(m.index())))
+    }
+
+    /// Empties the table while keeping the flat array's allocation (the
+    /// compile-context reset path; [`WeightTable::recompute`] re-sizes it).
+    pub fn clear(&mut self) {
+        self.weights.clear();
+        self.num_modules = 0;
+        self.nonzero = 0;
     }
 
     /// Number of non-zero entries (`O(1)`, maintained counter).
@@ -212,6 +234,32 @@ mod tests {
         // A default table behaves like the empty table.
         assert!(WeightTable::default().is_empty());
         assert_eq!(WeightTable::default().weight(q(0), ModuleId(0)), 0);
+    }
+
+    #[test]
+    fn recompute_in_place_matches_fresh_compute() {
+        let mut big = Circuit::new(6);
+        big.cx(0, 2).cx(1, 3).cx(4, 5).cx(0, 4);
+        let mut small = Circuit::new(4);
+        small.cx(0, 2).cx(1, 3);
+        let big_dag = DependencyDag::from_circuit(&big);
+        let small_dag = DependencyDag::from_circuit(&small);
+
+        // Grow the table on the big circuit, then recompute on the small one:
+        // stale entries must not leak through.
+        let mut table = WeightTable::compute(&big_dag, 8, 3, |q| Some(ModuleId(q.index() % 3)));
+        table.recompute(&small_dag, 8, 2, module_of);
+        let fresh = WeightTable::compute(&small_dag, 8, 2, module_of);
+        assert_eq!(table.len(), fresh.len());
+        for qi in 0..6 {
+            for m in 0..3 {
+                assert_eq!(
+                    table.weight(q(qi), ModuleId(m)),
+                    fresh.weight(q(qi), ModuleId(m)),
+                    "q{qi}/m{m}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,83 @@
+//! Session-reuse equivalence: a compile context leaks no state between
+//! circuits. For random circuit pairs (A, B) and every MUSS-TI option
+//! variant, compiling A then B in one context — with and without an explicit
+//! `CompileContext::reset` in between — must yield op streams bit-identical
+//! to a fresh-context compile of B. This is the invariant that makes
+//! sessions and batch workers safe to reuse.
+
+use eml_qccd::{CompileContext, DeviceConfig, StagedCompiler};
+use ion_circuit::generators;
+use muss_ti::{MussTiCompiler, MussTiOptions};
+use proptest::prelude::*;
+
+/// Exhaustive `Debug` rendering of a program's op stream.
+fn op_bytes(program: &eml_qccd::CompiledProgram) -> String {
+    format!("{:?}", program.ops())
+}
+
+fn options_for(variant: usize) -> MussTiOptions {
+    match variant % 4 {
+        0 => MussTiOptions::default(),
+        1 => MussTiOptions::trivial(),
+        2 => MussTiOptions::swap_insert_only(),
+        _ => MussTiOptions::sabre_only(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// `CompileContext::reset` (and plain sequential reuse) leak no state:
+    /// compiling A then B in one session equals a fresh compile of B.
+    #[test]
+    fn context_reuse_is_bit_identical_to_fresh_context(
+        ((qubits_a, gates_a, seed_a), (qubits_b, gates_b, seed_b), variant) in (
+            (8..28usize, 20..120usize, 0..64u64),
+            (8..28usize, 20..120usize, 64..128u64),
+            0..4usize,
+        )
+    ) {
+        let a = generators::random_circuit(qubits_a, gates_a, seed_a);
+        let b = generators::random_circuit(qubits_b, gates_b, seed_b);
+        let device = DeviceConfig::for_qubits(28).build();
+        let compiler = MussTiCompiler::new(device, options_for(variant));
+
+        // Reference: B compiled in a brand-new context.
+        let fresh = compiler.compile_in(&mut StagedCompiler::new_context(&compiler), &b).unwrap();
+
+        // Path 1: A then B in one context, no explicit reset.
+        let mut ctx = StagedCompiler::new_context(&compiler);
+        compiler.compile_in(&mut ctx, &a).unwrap();
+        let warm = compiler.compile_in(&mut ctx, &b).unwrap();
+        prop_assert_eq!(
+            op_bytes(&warm),
+            op_bytes(&fresh),
+            "sequential context reuse changed the op stream (variant {})",
+            variant
+        );
+
+        // Path 2: explicit reset between tenants.
+        compiler.compile_in(&mut ctx, &a).unwrap();
+        ctx.reset();
+        let after_reset = compiler.compile_in(&mut ctx, &b).unwrap();
+        prop_assert_eq!(
+            op_bytes(&after_reset),
+            op_bytes(&fresh),
+            "reset context changed the op stream (variant {})",
+            variant
+        );
+
+        // Path 3: a context that never saw A still agrees after an empty reset.
+        let mut empty = CompileContext::empty();
+        empty.reset();
+        let from_empty = compiler.compile_in(&mut empty, &b).unwrap();
+        prop_assert_eq!(op_bytes(&from_empty), op_bytes(&fresh));
+
+        // Metrics follow the ops.
+        prop_assert_eq!(warm.metrics().shuttle_count, fresh.metrics().shuttle_count);
+        prop_assert_eq!(
+            warm.metrics().log_fidelity.ln(),
+            fresh.metrics().log_fidelity.ln()
+        );
+    }
+}

@@ -24,9 +24,10 @@ pub use muss_ti;
 pub mod prelude {
     pub use baselines::{DaiCompiler, MqtStyleCompiler, MuraliCompiler};
     pub use eml_qccd::{
-        CompiledProgram, Compiler, DeviceConfig, EmlQccdDevice, ExecutionMetrics, FidelityModel,
-        GridConfig, QccdGridDevice, ScheduleExecutor, TimingModel,
+        compile_batch, compile_batch_with_threads, CompileContext, CompileSession, CompiledProgram,
+        Compiler, DeviceConfig, EmlQccdDevice, ExecutionMetrics, FidelityModel, GridConfig,
+        QccdGridDevice, ScheduleExecutor, StageTimings, StagedCompiler, TimingModel,
     };
     pub use ion_circuit::{generators, qasm, Circuit, DependencyDag, Gate, QubitId};
-    pub use muss_ti::{InitialMappingStrategy, MussTiCompiler, MussTiOptions};
+    pub use muss_ti::{InitialMappingStrategy, MussTiCompiler, MussTiContext, MussTiOptions};
 }

@@ -5,8 +5,14 @@
 //! `op_fingerprint` bin — a mismatch means compiler *behaviour* changed. If
 //! that is intentional, regenerate the table with
 //! `cargo run --release -p experiments --bin op_fingerprint`.
+//!
+//! Since PR 3 the same pins are additionally checked through the staged
+//! pipeline's reused-session and parallel-batch paths: context reuse and
+//! multi-threaded batch compilation must reproduce every pinned stream bit
+//! for bit.
 
 use muss_ti_repro::experiments::fingerprint;
+use muss_ti_repro::experiments::fingerprint::FingerprintMode;
 
 /// `(circuit, compiler-variant, fingerprint)` pinned from the pre-refactor
 /// op streams, in the order the `op_fingerprint` bin prints them.
@@ -73,28 +79,39 @@ const PINNED: &[(&str, &str, u64)] = &[
     ("RAN_32", "mqt", 0xc33e46795763cf01),
 ];
 
+/// Checks one pipeline path's suite fingerprints against the pinned table.
+fn assert_matches_pins(mode: FingerprintMode, path: &str) {
+    let got = fingerprint::suite_fingerprints(mode);
+    assert_eq!(
+        got.len(),
+        PINNED.len(),
+        "{path}: pinned table has unchecked entries"
+    );
+    for ((circuit, variant, hash), &(pin_circuit, pin_variant, pin_hash)) in got.iter().zip(PINNED)
+    {
+        assert_eq!(
+            (circuit.as_str(), variant.as_str()),
+            (pin_circuit, pin_variant),
+            "{path}: suite/pin ordering diverged — regenerate with the op_fingerprint bin"
+        );
+        assert_eq!(
+            *hash, pin_hash,
+            "{path}: op stream changed on {circuit} ({variant})"
+        );
+    }
+}
+
 #[test]
 fn op_streams_match_pre_refactor_fingerprints() {
-    let mut pinned = PINNED.iter();
-    let mut checked = 0usize;
-    for circuit in fingerprint::suite() {
-        for (variant, hash) in fingerprint::fingerprints_for(&circuit) {
-            let &(pin_circuit, pin_variant, pin_hash) = pinned
-                .next()
-                .unwrap_or_else(|| panic!("no pinned entry for {}/{variant}", circuit.name()));
-            assert_eq!(
-                (circuit.name(), variant.as_str()),
-                (pin_circuit, pin_variant),
-                "suite/pin ordering diverged — regenerate the table with the op_fingerprint bin"
-            );
-            assert_eq!(
-                hash,
-                pin_hash,
-                "op stream changed on {} ({variant})",
-                circuit.name()
-            );
-            checked += 1;
-        }
-    }
-    assert_eq!(checked, PINNED.len(), "pinned table has unchecked entries");
+    assert_matches_pins(FingerprintMode::OneShot, "one-shot");
+}
+
+#[test]
+fn reused_session_op_streams_match_pins() {
+    assert_matches_pins(FingerprintMode::Session, "reused-session");
+}
+
+#[test]
+fn parallel_batch_op_streams_match_pins() {
+    assert_matches_pins(FingerprintMode::Batch { threads: 4 }, "parallel-batch");
 }
