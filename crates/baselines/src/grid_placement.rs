@@ -5,7 +5,7 @@
 //! is an `O(1)` array read — the baselines pay the same (lack of) bookkeeping
 //! cost as MUSS-TI, keeping the compile-time comparison apples-to-apples.
 
-use eml_qccd::{QccdGridDevice, ScheduledOp, TrapId};
+use eml_qccd::{OpSink, QccdGridDevice, ScheduledOp, TrapId};
 use ion_circuit::QubitId;
 
 /// Placement state for the grid-based baseline compilers: which trap holds
@@ -164,18 +164,19 @@ impl GridPlacement {
         ops
     }
 
-    /// [`GridPlacement::transport`] appending the emitted operations to an
-    /// existing buffer instead of allocating a fresh `Vec` per transport.
+    /// [`GridPlacement::transport`] emitting into an [`OpSink`] (typically
+    /// the pooled op buffer) instead of allocating a fresh `Vec` per
+    /// transport.
     ///
     /// # Panics
     ///
     /// Same conditions as [`GridPlacement::transport`].
-    pub fn transport_into(
+    pub fn transport_into<S: OpSink>(
         &mut self,
         device: &QccdGridDevice,
         qubit: QubitId,
         destination: TrapId,
-        ops: &mut Vec<ScheduledOp>,
+        ops: &mut S,
     ) {
         let from = self
             .trap_of(qubit)
@@ -195,13 +196,13 @@ impl GridPlacement {
             .expect("qubit is in its chain");
         let to_edge = idx.min(chain.len() - 1 - idx);
         for _ in 0..to_edge {
-            ops.push(ScheduledOp::ChainRearrange { zone: from.index() });
+            ops.push_op(ScheduledOp::ChainRearrange { zone: from.index() });
         }
         chain.remove(idx);
 
         let path = device.shortest_path(from, destination);
         for hop in path.windows(2) {
-            ops.push(ScheduledOp::Shuttle {
+            ops.push_op(ScheduledOp::Shuttle {
                 qubit,
                 from_zone: hop[0].index(),
                 to_zone: hop[1].index(),

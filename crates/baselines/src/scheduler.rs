@@ -45,6 +45,13 @@ pub struct GridContext {
     state: GridPlacement,
     ops: Vec<ScheduledOp>,
     exec: ExecutorScratch,
+    /// Pooled executable-gates buffer for the scheduling loop (the borrowed
+    /// front-layer slice must be copied out before execution mutates the
+    /// DAG) — mirrors MUSS-TI's allocation-free loop scratch.
+    executable: Vec<DagNodeId>,
+    /// Pooled (ignored) newly-ready buffer for
+    /// [`DependencyDag::mark_executed_into`].
+    newly_ready: Vec<DagNodeId>,
 }
 
 impl GridContext {
@@ -54,6 +61,8 @@ impl GridContext {
             state: GridPlacement::new(device),
             ops: Vec::new(),
             exec: ExecutorScratch::new(),
+            executable: Vec::new(),
+            newly_ready: Vec::new(),
         }
     }
 }
@@ -63,6 +72,8 @@ impl ContextScratch for GridContext {
         self.state.clear();
         self.ops.clear();
         self.exec.clear();
+        self.executable.clear();
+        self.newly_ready.clear();
     }
 }
 
@@ -124,6 +135,8 @@ pub(crate) fn schedule_on_grid_in(
         state: &mut cx.state,
         dag: DependencyDag::from_circuit(circuit),
         ops: &mut cx.ops,
+        executable: &mut cx.executable,
+        newly_ready: &mut cx.newly_ready,
         clock: 0,
         processing_trap: processing_trap(device),
     };
@@ -173,6 +186,8 @@ struct GridScheduler<'a> {
     state: &'a mut GridPlacement,
     dag: DependencyDag,
     ops: &'a mut Vec<ScheduledOp>,
+    executable: &'a mut Vec<DagNodeId>,
+    newly_ready: &'a mut Vec<DagNodeId>,
     clock: u64,
     processing_trap: TrapId,
 }
@@ -180,19 +195,33 @@ struct GridScheduler<'a> {
 impl GridScheduler<'_> {
     fn run(&mut self) -> Result<(), CompileError> {
         while !self.dag.all_executed() {
-            let front = self.dag.front_layer();
-            let executable: Vec<DagNodeId> = front
-                .iter()
-                .copied()
-                .filter(|&n| self.is_executable(n))
-                .collect();
-            if !executable.is_empty() {
-                for node in executable {
+            // Copy the executable front-layer subset into the pooled buffer
+            // first: the borrowed front slice cannot outlive the execution
+            // that mutates the DAG. The buffer is taken out of `self` only
+            // for the fill (the filter closure borrows `self`) and executed
+            // by index so `?` propagates normally; allocation-free in steady
+            // state.
+            let mut executable = std::mem::take(self.executable);
+            executable.clear();
+            executable.extend(
+                self.dag
+                    .front()
+                    .iter()
+                    .copied()
+                    .filter(|&n| self.is_executable(n)),
+            );
+            *self.executable = executable;
+            if !self.executable.is_empty() {
+                for i in 0..self.executable.len() {
+                    let node = self.executable[i];
                     self.execute_gate(node)?;
                 }
                 continue;
             }
-            let node = front[0];
+            let node = self
+                .dag
+                .front_gate()
+                .expect("a non-empty DAG always has a ready gate");
             self.route_for_gate(node)?;
             self.execute_gate(node)?;
         }
@@ -242,7 +271,8 @@ impl GridScheduler<'_> {
         self.clock += 1;
         self.state.touch(a, self.clock);
         self.state.touch(b, self.clock);
-        self.dag.mark_executed(node);
+        self.newly_ready.clear();
+        self.dag.mark_executed_into(node, self.newly_ready);
         Ok(())
     }
 
@@ -535,23 +565,25 @@ mod tests {
         let circuit = generators::random_circuit(24, 150, 3);
         let mapping = initial_grid_mapping(&device, 24).unwrap();
         let outcome = schedule_on_grid(&device, RoutingPolicy::Greedy, &circuit, &mapping).unwrap();
-        let mut occupancy: std::collections::HashMap<usize, i64> = std::collections::HashMap::new();
+        // Trap ids are dense, so the replay tracker is a flat trap-indexed
+        // array (the PR 2 flat-state contract), not a hash map.
+        let mut occupancy = vec![0i64; device.num_traps()];
         for &(_, t) in &mapping {
-            *occupancy.entry(t.index()).or_insert(0) += 1;
+            occupancy[t.index()] += 1;
         }
         for op in &outcome.ops {
             if let ScheduledOp::Shuttle {
                 from_zone, to_zone, ..
             } = op
             {
-                *occupancy.entry(*from_zone).or_insert(0) -= 1;
-                *occupancy.entry(*to_zone).or_insert(0) += 1;
+                occupancy[*from_zone] -= 1;
+                occupancy[*to_zone] += 1;
             }
         }
         // Intermediate hops pass through traps, so transient counts can touch
         // capacity; the *final* state must respect it.
         for trap in device.traps() {
-            let count = occupancy.get(&trap.index()).copied().unwrap_or(0);
+            let count = occupancy[trap.index()];
             assert!(count >= 0);
             assert!(
                 count as usize <= device.trap_capacity(),

@@ -73,7 +73,7 @@ pub use executor::{ExecutorScratch, ScheduleExecutor};
 pub use fidelity::{FidelityModel, LogFidelity};
 pub use grid::{GridConfig, QccdGridDevice, TrapId};
 pub use metrics::ExecutionMetrics;
-pub use ops::{ResourceId, ScheduledOp};
+pub use ops::{OpCounter, OpSink, ResourceId, ScheduledOp};
 pub use pipeline::{
     compile_batch, compile_batch_with_threads, CompileContext, CompileSession, ContextScratch,
     DeviceDims, StageTimings, StagedCompiler,

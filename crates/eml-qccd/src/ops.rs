@@ -165,9 +165,84 @@ impl ScheduledOp {
     }
 }
 
+/// Destination for the operations a scheduling pass emits.
+///
+/// Schedulers are generic over the sink so one loop serves two modes: the
+/// full pass appends into a pooled `Vec<ScheduledOp>`, while cost-only dry
+/// passes (the SABRE forward/backward/probe runs) hand in an [`OpCounter`]
+/// that folds each op into running totals without ever materialising the
+/// stream — the op values are constructed in registers and optimised away.
+pub trait OpSink {
+    /// Accepts one emitted operation.
+    fn push_op(&mut self, op: ScheduledOp);
+}
+
+impl OpSink for Vec<ScheduledOp> {
+    #[inline]
+    fn push_op(&mut self, op: ScheduledOp) {
+        self.push(op);
+    }
+}
+
+/// The cost-only [`OpSink`]: counts shuttles (the SABRE selection criterion)
+/// and total ops instead of storing them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpCounter {
+    /// Number of [`ScheduledOp::Shuttle`] operations seen.
+    pub shuttles: usize,
+    /// Total operations seen (any variant).
+    pub total: usize,
+}
+
+impl OpSink for OpCounter {
+    #[inline]
+    fn push_op(&mut self, op: ScheduledOp) {
+        self.total += 1;
+        if op.is_shuttle() {
+            self.shuttles += 1;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn op_counter_counts_what_a_vec_stores() {
+        let ops = [
+            ScheduledOp::Shuttle {
+                qubit: QubitId::new(0),
+                from_zone: 0,
+                to_zone: 1,
+                distance_um: 10.0,
+            },
+            ScheduledOp::ChainRearrange { zone: 0 },
+            ScheduledOp::TwoQubitGate {
+                a: QubitId::new(0),
+                b: QubitId::new(1),
+                zone: 1,
+                ions_in_zone: 2,
+            },
+            ScheduledOp::Shuttle {
+                qubit: QubitId::new(1),
+                from_zone: 1,
+                to_zone: 0,
+                distance_um: 10.0,
+            },
+        ];
+        let mut vec_sink: Vec<ScheduledOp> = Vec::new();
+        let mut counter = OpCounter::default();
+        for op in &ops {
+            vec_sink.push_op(op.clone());
+            counter.push_op(op.clone());
+        }
+        assert_eq!(counter.total, vec_sink.len());
+        assert_eq!(
+            counter.shuttles,
+            vec_sink.iter().filter(|o| o.is_shuttle()).count()
+        );
+    }
 
     #[test]
     fn classification_helpers() {

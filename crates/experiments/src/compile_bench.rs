@@ -92,8 +92,9 @@ pub struct BenchReport {
 }
 
 /// The benchmark workload set: `qft(48)` (the acceptance target), a
-/// supremacy-class circuit, and three structurally distinct mid-size
-/// applications.
+/// supremacy-class circuit, three structurally distinct mid-size
+/// applications, and two large stress circuits (`qft(96)` and a dense random
+/// 128-qubit program) that track *scaling*, not just the qft(48) spot value.
 pub fn workloads() -> Vec<Circuit> {
     vec![
         generators::qft(48),
@@ -101,6 +102,8 @@ pub fn workloads() -> Vec<Circuit> {
         generators::adder(64),
         generators::qaoa(64),
         generators::bv(128),
+        generators::qft(96),
+        generators::random_circuit(128, 2000, 25),
     ]
 }
 
@@ -333,6 +336,71 @@ impl BenchReport {
     }
 }
 
+/// The (circuit, compiler) pair the CI bench-delta gate watches.
+const GATE_CIRCUIT: &str = "QFT_48";
+const GATE_COMPILER: &str = "MUSS-TI";
+
+impl BenchReport {
+    /// This run's MUSS-TI qft(48) mean wall-clock, the bench-delta metric.
+    pub fn gate_metric(&self) -> Option<f64> {
+        self.rows
+            .iter()
+            .find(|r| r.circuit == GATE_CIRCUIT && r.compiler == GATE_COMPILER)
+            .map(|r| r.wall_ms_mean)
+    }
+
+    /// Bench-delta smoke gate: compares this run's MUSS-TI qft(48) mean
+    /// against the committed baseline report and fails when it regressed by
+    /// more than `max_ratio`× (the CI threshold is 2×, loose enough for
+    /// shared-runner noise, tight enough to catch a real hot-path
+    /// regression).
+    ///
+    /// # Errors
+    ///
+    /// An explanatory message when the metric regressed past the threshold
+    /// or either report is missing the gated row.
+    pub fn check_against_baseline(
+        &self,
+        baseline_json: &str,
+        max_ratio: f64,
+    ) -> Result<String, String> {
+        let baseline = parse_gate_metric(baseline_json).ok_or_else(|| {
+            format!("baseline report has no {GATE_COMPILER} {GATE_CIRCUIT} wall_ms_mean row")
+        })?;
+        let current = self
+            .gate_metric()
+            .ok_or_else(|| format!("this run produced no {GATE_COMPILER} {GATE_CIRCUIT} row"))?;
+        if current > baseline * max_ratio {
+            Err(format!(
+                "bench-delta gate failed: {GATE_COMPILER} {GATE_CIRCUIT} wall_ms_mean {current:.3} ms \
+                 > {max_ratio:.1}x committed baseline {baseline:.3} ms"
+            ))
+        } else {
+            Ok(format!(
+                "bench-delta gate passed: {GATE_COMPILER} {GATE_CIRCUIT} wall_ms_mean {current:.3} ms \
+                 <= {max_ratio:.1}x committed baseline {baseline:.3} ms"
+            ))
+        }
+    }
+}
+
+/// Extracts the gated `wall_ms_mean` from a serialised report without a JSON
+/// parser (the build environment has no serde_json): every result row is
+/// emitted on one line by [`BenchReport::to_json`].
+pub fn parse_gate_metric(json: &str) -> Option<f64> {
+    let circuit_key = format!("\"circuit\": \"{GATE_CIRCUIT}\"");
+    let compiler_key = format!("\"compiler\": \"{GATE_COMPILER}\"");
+    json.lines()
+        .find(|line| line.contains(&circuit_key) && line.contains(&compiler_key))
+        .and_then(|line| {
+            let key = "\"wall_ms_mean\": ";
+            let start = line.find(key)? + key.len();
+            let rest = &line[start..];
+            let end = rest.find([',', '}'])?;
+            rest[..end].trim().parse().ok()
+        })
+}
+
 /// Escapes a string for JSON embedding.
 fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
@@ -429,5 +497,76 @@ mod tests {
     #[test]
     fn json_string_escapes_specials() {
         assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn gate_metric_round_trips_through_json() {
+        let report = BenchReport {
+            iterations: 1,
+            rows: vec![
+                BenchRow {
+                    circuit: "QFT_48".into(),
+                    qubits: 48,
+                    two_qubit_gates: 1152,
+                    compiler: "QCCD-Murali et al.".into(),
+                    wall_ms_mean: 0.4,
+                    wall_ms_min: 0.4,
+                    wall_ms_max: 0.4,
+                    phases: None,
+                },
+                BenchRow {
+                    circuit: "QFT_48".into(),
+                    qubits: 48,
+                    two_qubit_gates: 1152,
+                    compiler: "MUSS-TI".into(),
+                    wall_ms_mean: 1.234,
+                    wall_ms_min: 1.1,
+                    wall_ms_max: 1.4,
+                    phases: None,
+                },
+            ],
+            batch: BatchThroughput {
+                circuits: 1,
+                threads: 2,
+                runs: 1,
+                wall_ms: 1.0,
+                circuits_per_sec: 1000.0,
+            },
+        };
+        assert_eq!(report.gate_metric(), Some(1.234));
+        let parsed = parse_gate_metric(&report.to_json()).expect("row is serialised");
+        assert!((parsed - 1.234).abs() < 1e-9);
+    }
+
+    #[test]
+    fn baseline_check_passes_within_ratio_and_fails_past_it() {
+        let mut report = BenchReport {
+            iterations: 1,
+            rows: vec![BenchRow {
+                circuit: "QFT_48".into(),
+                qubits: 48,
+                two_qubit_gates: 1152,
+                compiler: "MUSS-TI".into(),
+                wall_ms_mean: 1.9,
+                wall_ms_min: 1.9,
+                wall_ms_max: 1.9,
+                phases: None,
+            }],
+            batch: BatchThroughput {
+                circuits: 1,
+                threads: 2,
+                runs: 1,
+                wall_ms: 1.0,
+                circuits_per_sec: 1000.0,
+            },
+        };
+        let baseline = report.to_json().replace("1.900", "1.000");
+        assert!(report.check_against_baseline(&baseline, 2.0).is_ok());
+        report.rows[0].wall_ms_mean = 2.1;
+        let err = report.check_against_baseline(&baseline, 2.0).unwrap_err();
+        assert!(err.contains("bench-delta gate failed"), "{err}");
+        assert!(report
+            .check_against_baseline("{\"results\": []}", 2.0)
+            .is_err());
     }
 }

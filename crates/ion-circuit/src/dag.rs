@@ -7,10 +7,13 @@
 //! from scratch (each scheduler step costs `O(Δ)` — proportional to what
 //! changed — instead of `O(n)` in the number of gates):
 //!
-//! * [`front_layer`](DependencyDag::front_layer) — `O(|front|)`: the ready
-//!   set is a maintained ordered set, not a scan over all gates.
-//! * [`mark_executed`](DependencyDag::mark_executed) — `O(out-degree · log
-//!   |front|)`: retiring a gate touches only its direct successors.
+//! * [`front`](DependencyDag::front) — `O(1)`: a borrowed slice of the
+//!   maintained, program-ordered ready list; no allocation, no scan.
+//! * [`mark_executed_into`](DependencyDag::mark_executed_into) —
+//!   `O(out-degree + |front|)` worst case (ordered insertion into the ready
+//!   list): retiring a gate touches only its direct successors and appends
+//!   newly-ready nodes to a caller-supplied buffer, so the scheduling loop
+//!   allocates nothing in steady state.
 //! * [`lookahead_layers`](DependencyDag::lookahead_layers) /
 //!   [`next_use_depth`](DependencyDag::next_use_depth) /
 //!   [`count_window_partners`](DependencyDag::count_window_partners) /
@@ -18,9 +21,15 @@
 //!   `O(Δ)`: the first `k` layers of the remaining DAG are computed once into
 //!   a cached [`LookaheadWindow`] (together with a per-qubit next-use-depth
 //!   index) and invalidated only when a gate inside the window retires. The
-//!   refresh itself is `O(window)` via generation-stamped scratch arrays — it
-//!   never clones the `O(n)` predecessor/executed bookkeeping the way the
-//!   original implementation did.
+//!   refresh itself is `O(window)` via generation-stamped scratch arrays and
+//!   a pooled CSR layer layout — after warm-up it allocates nothing and never
+//!   clones the `O(n)` predecessor/executed bookkeeping the way the original
+//!   implementation did.
+//! * [`reset`](DependencyDag::reset) /
+//!   [`reset_reversed`](DependencyDag::reset_reversed) — `O(n + edges)`
+//!   rewind (respectively: rewind *and* flip the edge orientation, yielding
+//!   the DAG of the reversed circuit) reusing every allocation, so the SABRE
+//!   two-fold search performs one structural DAG build per compile.
 //! * [`successors`](DependencyDag::successors) /
 //!   [`predecessors`](DependencyDag::predecessors) — `O(1)`: borrowed slices,
 //!   no allocation.
@@ -30,7 +39,7 @@
 //! incremental structure is checked against.
 
 use std::cell::RefCell;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::HashMap;
 
 use crate::{Circuit, Gate, QubitId};
 
@@ -65,8 +74,14 @@ struct LookaheadWindow {
     valid_k: Option<usize>,
     /// Set when a window member retires; forces a refresh on next query.
     dirty: bool,
-    /// Node ids per layer, each layer sorted ascending (program order).
-    layers: Vec<Vec<usize>>,
+    /// Window node ids in layer order (CSR payload): the nodes of layer `d`
+    /// are `layer_nodes[layer_ends[d-1]..layer_ends[d]]`, sorted ascending
+    /// (program order). Flat storage keeps the per-retirement refresh
+    /// allocation-free — no nested `Vec<Vec<_>>` churn.
+    layer_nodes: Vec<usize>,
+    /// CSR offsets: `layer_ends[d]` is the end index of layer `d` in
+    /// `layer_nodes`; `layer_ends.len()` is the number of layers.
+    layer_ends: Vec<usize>,
     /// First window layer using each qubit (`usize::MAX` = not in window).
     next_use_depth: Vec<usize>,
     /// Per qubit: `(layer depth, partner qubit)` for every window gate on it,
@@ -89,7 +104,8 @@ impl LookaheadWindow {
         LookaheadWindow {
             valid_k: None,
             dirty: false,
-            layers: Vec::new(),
+            layer_nodes: Vec::new(),
+            layer_ends: Vec::new(),
             next_use_depth: vec![usize::MAX; num_qubits],
             partners: vec![Vec::new(); num_qubits],
             touched_qubits: Vec::new(),
@@ -105,14 +121,15 @@ impl LookaheadWindow {
         self.valid_k.is_some() && self.member_gen[node] == self.generation
     }
 
-    /// Recomputes the window by layered BFS from the ready set.
+    /// Recomputes the window by layered BFS from the ready list.
     ///
     /// Costs `O(window + frontier-out-degree)`; the generation stamps make
-    /// the scratch arrays reusable without an `O(n)` clear or clone.
+    /// the scratch arrays reusable without an `O(n)` clear or clone, and the
+    /// CSR layer layout means a warm refresh performs no allocation at all.
     fn refresh(
         &mut self,
         k: usize,
-        ready: &BTreeSet<usize>,
+        ready: &[DagNodeId],
         successors: &[Vec<DagNodeId>],
         unexecuted_preds: &[usize],
         gates: &[Gate],
@@ -124,17 +141,22 @@ impl LookaheadWindow {
             self.partners[q].clear();
         }
         self.touched_qubits.clear();
-        self.layers.clear();
+        self.layer_nodes.clear();
+        self.layer_ends.clear();
         self.valid_k = Some(k);
         self.dirty = false;
         if k == 0 {
             return;
         }
 
-        let mut current: Vec<usize> = ready.iter().copied().collect();
-        while !current.is_empty() && self.layers.len() < k {
-            let depth = self.layers.len();
-            for &node in &current {
+        // Layer 0 is the ready list (already program-ordered).
+        self.layer_nodes.extend(ready.iter().map(|n| n.index()));
+        let mut start = 0usize;
+        while start < self.layer_nodes.len() && self.layer_ends.len() < k {
+            let depth = self.layer_ends.len();
+            let end = self.layer_nodes.len();
+            for idx in start..end {
+                let node = self.layer_nodes[idx];
                 self.member_gen[node] = generation;
                 let (a, b) = gates[node]
                     .two_qubit_pair()
@@ -147,11 +169,11 @@ impl LookaheadWindow {
                     self.partners[q].push((depth, p));
                 }
             }
-            let mut next = Vec::new();
             // Expanding the frontier past the final kept layer would be pure
-            // waste (the loop condition discards it), so skip it there.
-            if self.layers.len() + 1 < k {
-                for &node in &current {
+            // waste (the loop above never visits it), so skip it there.
+            if depth + 1 < k {
+                for idx in start..end {
+                    let node = self.layer_nodes[idx];
                     for &succ in &successors[node] {
                         let s = succ.index();
                         if self.pred_gen[s] != generation {
@@ -160,14 +182,30 @@ impl LookaheadWindow {
                         }
                         self.virtual_preds[s] -= 1;
                         if self.virtual_preds[s] == 0 {
-                            next.push(s);
+                            self.layer_nodes.push(s);
                         }
                     }
                 }
-                next.sort_unstable();
+                self.layer_nodes[end..].sort_unstable();
             }
-            self.layers.push(std::mem::replace(&mut current, next));
+            self.layer_ends.push(end);
+            start = end;
         }
+    }
+
+    /// The nodes of window layer `depth` (CSR slice).
+    fn layer(&self, depth: usize) -> &[usize] {
+        let start = if depth == 0 {
+            0
+        } else {
+            self.layer_ends[depth - 1]
+        };
+        &self.layer_nodes[start..self.layer_ends[depth]]
+    }
+
+    /// Number of layers in the cached window.
+    fn num_layers(&self) -> usize {
+        self.layer_ends.len()
     }
 }
 
@@ -183,10 +221,14 @@ impl LookaheadWindow {
 /// The DAG supports the operations the schedulers need (see the module-level
 /// *Performance* section for the complexity contract of each):
 ///
-/// * [`front_layer`](DependencyDag::front_layer) — gates with no unexecuted
-///   predecessor, in program order (for FCFS tie-breaking);
-/// * [`mark_executed`](DependencyDag::mark_executed) — retire a gate and
-///   expose newly-ready successors;
+/// * [`front`](DependencyDag::front) — gates with no unexecuted predecessor,
+///   in program order (for FCFS tie-breaking), as a borrowed slice of the
+///   maintained ready list ([`front_layer`](DependencyDag::front_layer) is
+///   the allocating wrapper);
+/// * [`mark_executed_into`](DependencyDag::mark_executed_into) — retire a
+///   gate and append newly-ready successors to a caller-supplied buffer
+///   ([`mark_executed`](DependencyDag::mark_executed) is the allocating
+///   wrapper);
 /// * [`lookahead_layers`](DependencyDag::lookahead_layers) and the indexed
 ///   window queries ([`next_use_depth`](DependencyDag::next_use_depth),
 ///   [`count_window_partners`](DependencyDag::count_window_partners),
@@ -207,10 +249,14 @@ impl LookaheadWindow {
 /// ```
 #[derive(Debug, Clone)]
 pub struct DependencyDag {
-    /// Two-qubit gates in original program order.
+    /// Two-qubit gates in current program order (reversed while the DAG is in
+    /// its [`reset_reversed`](DependencyDag::reset_reversed) orientation).
     gates: Vec<Gate>,
-    /// Index of each gate in the *original* circuit gate list.
+    /// Index of each gate in the *current-orientation* circuit gate list.
     original_indices: Vec<usize>,
+    /// Total gate count (all arities) of the originating circuit; needed to
+    /// remap `original_indices` when the orientation flips.
+    total_gates: usize,
     /// successors[i] = nodes that depend on node i.
     successors: Vec<Vec<DagNodeId>>,
     /// predecessors[i] = nodes that node i depends on.
@@ -221,8 +267,13 @@ pub struct DependencyDag {
     remaining: usize,
     num_qubits: usize,
     /// Maintained front layer: unexecuted nodes with no unexecuted
-    /// predecessor, ordered (= program order, since ids are program order).
-    ready: BTreeSet<usize>,
+    /// predecessor, kept sorted ascending (= program order, since ids are
+    /// program order). A plain sorted `Vec` so [`front`](DependencyDag::front)
+    /// is a borrowed slice and insert/remove never allocate in steady state.
+    ready: Vec<DagNodeId>,
+    /// Pooled per-qubit last-user scratch for in-place edge rebuilds
+    /// (`usize::MAX` = no user yet).
+    build_scratch: Vec<usize>,
     /// Cached look-ahead window (interior mutability so `&self` query methods
     /// can refresh it lazily).
     window: RefCell<LookaheadWindow>,
@@ -240,54 +291,69 @@ impl DependencyDag {
             }
         }
         let n = gates.len();
-        let mut successors: Vec<Vec<DagNodeId>> = vec![Vec::new(); n];
-        let mut predecessors: Vec<Vec<DagNodeId>> = vec![Vec::new(); n];
-        // last_user[q] = most recent node touching qubit q. Qubit ids are
-        // dense, so this is a flat array rather than a hash map — DAG
-        // construction is itself on the compile hot path (the SABRE search
-        // builds one DAG per direction).
-        let mut last_user: Vec<Option<usize>> = vec![None; circuit.num_qubits()];
-        for (i, g) in gates.iter().enumerate() {
+        let window = RefCell::new(LookaheadWindow::new(n, circuit.num_qubits()));
+        let mut dag = DependencyDag {
+            gates,
+            original_indices,
+            total_gates: circuit.len(),
+            successors: vec![Vec::new(); n],
+            predecessors: vec![Vec::new(); n],
+            unexecuted_preds: vec![0; n],
+            executed: vec![false; n],
+            remaining: n,
+            num_qubits: circuit.num_qubits(),
+            ready: Vec::new(),
+            build_scratch: Vec::new(),
+            window,
+        };
+        dag.rebuild_edges();
+        dag.reset();
+        dag
+    }
+
+    /// (Re)derives the successor/predecessor lists from the current `gates`
+    /// order, reusing the edge-list and scratch allocations.
+    ///
+    /// `last_user[q]` = most recent node touching qubit q. Qubit ids are
+    /// dense, so this is a flat pooled array rather than a hash map — DAG
+    /// construction is itself on the compile hot path (the SABRE search
+    /// reuses one DAG across all of its passes via this rebuild).
+    fn rebuild_edges(&mut self) {
+        for succs in &mut self.successors {
+            succs.clear();
+        }
+        for preds in &mut self.predecessors {
+            preds.clear();
+        }
+        self.build_scratch.clear();
+        self.build_scratch.resize(self.num_qubits, usize::MAX);
+        let last_user = &mut self.build_scratch;
+        let successors = &mut self.successors;
+        let predecessors = &mut self.predecessors;
+        for (i, g) in self.gates.iter().enumerate() {
             let (a, b) = g
                 .two_qubit_pair()
                 .expect("only two-qubit gates are inserted into the DAG");
             for q in [a, b] {
-                if let Some(prev) = last_user[q.index()] {
-                    if !successors[prev].contains(&DagNodeId(i)) {
-                        successors[prev].push(DagNodeId(i));
-                        predecessors[i].push(DagNodeId(prev));
-                    }
+                let prev = last_user[q.index()];
+                if prev != usize::MAX && !successors[prev].contains(&DagNodeId(i)) {
+                    successors[prev].push(DagNodeId(i));
+                    predecessors[i].push(DagNodeId(prev));
                 }
-                last_user[q.index()] = Some(i);
+                last_user[q.index()] = i;
             }
-        }
-        let unexecuted_preds: Vec<usize> = predecessors.iter().map(Vec::len).collect();
-        let ready: BTreeSet<usize> = (0..n).filter(|&i| unexecuted_preds[i] == 0).collect();
-        let window = RefCell::new(LookaheadWindow::new(n, circuit.num_qubits()));
-        DependencyDag {
-            gates,
-            original_indices,
-            successors,
-            predecessors,
-            unexecuted_preds,
-            executed: vec![false; n],
-            remaining: n,
-            num_qubits: circuit.num_qubits(),
-            ready,
-            window,
         }
     }
 
     /// Restores the DAG to its freshly-built state — every gate unexecuted,
-    /// the ready set back to the zero-predecessor gates, the cached
+    /// the ready list back to the zero-predecessor gates, the cached
     /// look-ahead window invalidated — while keeping every allocation
     /// (edge lists, window scratch, per-qubit indexes).
     ///
     /// `O(n)` in the number of gates; this is what lets the SABRE two-fold
     /// search and the final scheduling pass share one DAG instead of
-    /// rebuilding it (with its hashing edge construction) from scratch per
-    /// pass. A reset DAG answers every query identically to a newly built
-    /// one.
+    /// rebuilding it from scratch per pass. A reset DAG answers every query
+    /// identically to a newly built one.
     pub fn reset(&mut self) {
         self.executed.fill(false);
         for (i, preds) in self.predecessors.iter().enumerate() {
@@ -296,11 +362,37 @@ impl DependencyDag {
         self.remaining = self.gates.len();
         self.ready.clear();
         let unexecuted_preds = &self.unexecuted_preds;
-        self.ready
-            .extend((0..self.gates.len()).filter(|&i| unexecuted_preds[i] == 0));
+        self.ready.extend(
+            (0..self.gates.len())
+                .filter(|&i| unexecuted_preds[i] == 0)
+                .map(DagNodeId),
+        );
         let window = self.window.get_mut();
         window.valid_k = None;
         window.dirty = false;
+    }
+
+    /// Flips the DAG into the dependency DAG of the *reversed* circuit by
+    /// reversing its gate order and edge orientation in place, then resetting
+    /// execution state — the result answers every query identically to
+    /// `DependencyDag::from_circuit(&circuit.reversed())`, without cloning
+    /// the circuit or allocating a second DAG.
+    ///
+    /// `O(n + edges)` reusing every allocation. Calling it twice restores the
+    /// forward orientation, so the SABRE two-fold search runs its forward,
+    /// backward and probe passes — and hands the DAG back for the final
+    /// scheduling pass — on **one** structurally-built DAG per compile.
+    pub fn reset_reversed(&mut self) {
+        self.gates.reverse();
+        // Node i of the flipped DAG is gate `total_gates - 1 - o` of the
+        // reversed circuit's full gate list, where `o` was its index in the
+        // forward list (single-qubit gates shift positions too).
+        self.original_indices.reverse();
+        for original in &mut self.original_indices {
+            *original = self.total_gates - 1 - *original;
+        }
+        self.rebuild_edges();
+        self.reset();
     }
 
     /// Number of two-qubit gates in the DAG (executed or not).
@@ -354,31 +446,43 @@ impl DependencyDag {
         self.executed[node.0]
     }
 
+    /// Nodes with no unexecuted predecessors, in program order (FCFS order),
+    /// as a borrowed slice of the maintained ready list.
+    ///
+    /// `O(1)`, allocation-free: this is the scheduling hot loop's view of the
+    /// front layer.
+    pub fn front(&self) -> &[DagNodeId] {
+        &self.ready
+    }
+
     /// Nodes with no unexecuted predecessors, in program order (FCFS order).
     ///
-    /// `O(|front|)`: served from the maintained ready set, never a scan.
+    /// Thin allocating wrapper over [`front`](DependencyDag::front); prefer
+    /// the borrowed slice on hot paths.
     pub fn front_layer(&self) -> Vec<DagNodeId> {
-        self.ready.iter().copied().map(DagNodeId).collect()
+        self.front().to_vec()
     }
 
     /// The oldest (program-order first) ready node, if any.
     ///
-    /// `O(1)`; equivalent to `front_layer().first()` without the allocation.
+    /// `O(1)`; equivalent to `front().first()`.
     pub fn front_gate(&self) -> Option<DagNodeId> {
-        self.ready.iter().next().copied().map(DagNodeId)
+        self.ready.first().copied()
     }
 
-    /// Marks a node as executed, unblocking its successors.
+    /// Marks a node as executed, unblocking its successors: the successors
+    /// that became ready (front-layer members) as a result are **appended**
+    /// to `newly_ready` (the buffer is not cleared, so callers can pool it).
     ///
-    /// Returns the successors that became ready (front-layer members) as a
-    /// result of this execution. `O(out-degree · log |front|)`; also
-    /// invalidates the cached look-ahead window iff the node was inside it.
+    /// `O(out-degree + |front|)` worst case (ordered ready-list insertion),
+    /// allocation-free in steady state; also invalidates the cached
+    /// look-ahead window iff the node was inside it.
     ///
     /// # Panics
     ///
     /// Panics if the node is already executed or still has unexecuted
     /// predecessors (executing it would violate the dependency order).
-    pub fn mark_executed(&mut self, node: DagNodeId) -> Vec<DagNodeId> {
+    pub fn mark_executed_into(&mut self, node: DagNodeId, newly_ready: &mut Vec<DagNodeId>) {
         assert!(!self.executed[node.0], "node {node:?} executed twice");
         assert_eq!(
             self.unexecuted_preds[node.0], 0,
@@ -386,12 +490,16 @@ impl DependencyDag {
         );
         self.executed[node.0] = true;
         self.remaining -= 1;
-        self.ready.remove(&node.0);
-        let mut newly_ready = Vec::new();
+        let pos = self
+            .ready
+            .binary_search(&node)
+            .expect("a zero-predecessor unexecuted node is in the ready list");
+        self.ready.remove(pos);
         for &succ in &self.successors[node.0] {
             self.unexecuted_preds[succ.0] -= 1;
             if self.unexecuted_preds[succ.0] == 0 && !self.executed[succ.0] {
-                self.ready.insert(succ.0);
+                let pos = self.ready.partition_point(|&r| r < succ);
+                self.ready.insert(pos, succ);
                 newly_ready.push(succ);
             }
         }
@@ -402,6 +510,21 @@ impl DependencyDag {
         if window.contains(node.0) {
             window.dirty = true;
         }
+    }
+
+    /// Marks a node as executed, returning the newly-ready successors as a
+    /// fresh `Vec`.
+    ///
+    /// Thin allocating wrapper over
+    /// [`mark_executed_into`](DependencyDag::mark_executed_into); prefer the
+    /// buffer-reusing form on hot paths.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`mark_executed_into`](DependencyDag::mark_executed_into).
+    pub fn mark_executed(&mut self, node: DagNodeId) -> Vec<DagNodeId> {
+        let mut newly_ready = Vec::new();
+        self.mark_executed_into(node, &mut newly_ready);
         newly_ready
     }
 
@@ -448,10 +571,8 @@ impl DependencyDag {
     /// on hot paths).
     pub fn lookahead_layers(&self, k: usize) -> Vec<Vec<DagNodeId>> {
         self.with_window(k, |window| {
-            window
-                .layers
-                .iter()
-                .map(|layer| layer.iter().copied().map(DagNodeId).collect())
+            (0..window.num_layers())
+                .map(|depth| window.layer(depth).iter().copied().map(DagNodeId).collect())
                 .collect()
         })
     }
@@ -502,8 +623,8 @@ impl DependencyDag {
     /// never materialises the nested layer vectors.
     pub fn for_each_window_gate(&self, k: usize, mut f: impl FnMut(usize, DagNodeId)) {
         self.with_window(k, |window| {
-            for (depth, layer) in window.layers.iter().enumerate() {
-                for &node in layer {
+            for depth in 0..window.num_layers() {
+                for &node in window.layer(depth) {
                     f(depth, DagNodeId(node));
                 }
             }
@@ -880,6 +1001,95 @@ mod tests {
         assert_eq!(dag.front_layer(), reference.front_layer());
         assert_eq!(dag.lookahead_layers(8), reference.lookahead_layers(8));
         assert_eq!(dag.remaining(), reference.remaining());
+    }
+
+    #[test]
+    fn front_is_a_borrowed_view_of_front_layer() {
+        let mut c = Circuit::new(6);
+        c.cx(0, 1).cx(2, 3).cx(4, 5).cx(1, 2);
+        let dag = DependencyDag::from_circuit(&c);
+        let front: &[DagNodeId] = dag.front();
+        assert_eq!(front, dag.front_layer().as_slice());
+        assert_eq!(front.first().copied(), dag.front_gate());
+        // Program order (= ascending node ids) is maintained.
+        assert!(front.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn mark_executed_into_appends_and_matches_wrapper() {
+        let mut c = Circuit::new(4);
+        c.cx(0, 1).cx(2, 3).cx(1, 2).cx(0, 3);
+        let mut dag = DependencyDag::from_circuit(&c);
+        let mut twin = DependencyDag::from_circuit(&c);
+        let mut buf = vec![DagNodeId(99)]; // sentinel: append, don't clear
+        while let Some(node) = dag.front_gate() {
+            let before = buf.len();
+            dag.mark_executed_into(node, &mut buf);
+            let newly = twin.mark_executed(node);
+            assert_eq!(&buf[before..], newly.as_slice());
+            assert_eq!(dag.front(), twin.front());
+        }
+        assert_eq!(buf[0], DagNodeId(99), "existing entries stay in place");
+        assert!(dag.all_executed());
+    }
+
+    /// Drives two DAGs in lockstep and asserts every scheduler-visible query
+    /// agrees at every step (FCFS order).
+    fn assert_dags_equivalent(a: &mut DependencyDag, b: &mut DependencyDag) {
+        assert_eq!(a.len(), b.len());
+        loop {
+            assert_eq!(a.front(), b.front());
+            assert_eq!(a.lookahead_layers(8), b.lookahead_layers(8));
+            assert_eq!(a.remaining(), b.remaining());
+            for q in 0..a.num_qubits() {
+                assert_eq!(
+                    a.next_use_depth(8, QubitId::new(q)),
+                    b.next_use_depth(8, QubitId::new(q))
+                );
+            }
+            let Some(node) = a.front_gate() else { break };
+            assert_eq!(a.operands(node), b.operands(node));
+            assert_eq!(a.original_index(node), b.original_index(node));
+            assert_eq!(a.successors(node), b.successors(node));
+            assert_eq!(a.predecessors(node), b.predecessors(node));
+            a.mark_executed(node);
+            b.mark_executed(node);
+        }
+        assert!(a.all_executed() && b.all_executed());
+    }
+
+    #[test]
+    fn reset_reversed_matches_a_dag_built_from_the_reversed_circuit() {
+        let mut c = Circuit::with_name("rev", 6);
+        c.h(0)
+            .cx(0, 1)
+            .cx(2, 3)
+            .ms(1, 2)
+            .h(3)
+            .cx(0, 3)
+            .cx(4, 5)
+            .ms(3, 4);
+        c.measure_all();
+        let mut dag = DependencyDag::from_circuit(&c);
+        // Partially drain first: reset_reversed must rewind *and* flip.
+        for _ in 0..3 {
+            let node = dag.front_gate().unwrap();
+            dag.mark_executed(node);
+        }
+        dag.reset_reversed();
+        let mut reference = DependencyDag::from_circuit(&c.reversed());
+        assert_dags_equivalent(&mut dag, &mut reference);
+    }
+
+    #[test]
+    fn reset_reversed_twice_restores_the_forward_dag() {
+        let mut c = Circuit::new(5);
+        c.cx(0, 1).cx(1, 2).cx(3, 4).cx(2, 3).cx(0, 4).cx(1, 3);
+        let mut dag = DependencyDag::from_circuit(&c);
+        dag.reset_reversed();
+        dag.reset_reversed();
+        let mut reference = DependencyDag::from_circuit(&c);
+        assert_dags_equivalent(&mut dag, &mut reference);
     }
 
     #[test]

@@ -42,8 +42,17 @@ fn assert_equivalent_drain(circuit: &Circuit, salt: u64) {
     let mut naive = NaiveDag::from_circuit(circuit);
     let ks = [0usize, 1, 4, 8];
     let mut step = 0usize;
+    let mut newly_ready_buf = Vec::new();
     loop {
+        // The borrowed ready-list slice and its allocating wrapper must agree
+        // with each other and with the naive scan.
         let front = dag.front_layer();
+        assert_eq!(
+            front.as_slice(),
+            dag.front(),
+            "front()/front_layer() diverged at step {step} of {}",
+            circuit.name()
+        );
         assert_eq!(
             front,
             naive.front_layer(),
@@ -80,7 +89,25 @@ fn assert_equivalent_drain(circuit: &Circuit, salt: u64) {
             break;
         }
         let node = pick(&front, step, salt);
-        dag.mark_executed(node);
+        // Alternate between the buffer-reusing primitive and its allocating
+        // wrapper so both stay pinned to the same semantics; the appended
+        // newly-ready nodes must be exactly the front-layer additions.
+        let before: Vec<_> = front.iter().filter(|&&n| n != node).copied().collect();
+        if step.is_multiple_of(2) {
+            newly_ready_buf.clear();
+            dag.mark_executed_into(node, &mut newly_ready_buf);
+        } else {
+            newly_ready_buf = dag.mark_executed(node);
+        }
+        let mut expected_front = before;
+        expected_front.extend(newly_ready_buf.iter().copied());
+        expected_front.sort_unstable();
+        assert_eq!(
+            dag.front(),
+            expected_front.as_slice(),
+            "newly-ready nodes diverged at step {step} of {}",
+            circuit.name()
+        );
         naive.mark_executed(node);
         step += 1;
     }
@@ -114,6 +141,50 @@ fn incremental_dag_matches_naive_reference_random_orders() {
     for circuit in suite() {
         for salt in [7u64, 1234, 999_983] {
             assert_equivalent_drain(&circuit, salt);
+        }
+    }
+}
+
+#[test]
+fn reset_reversed_matches_naive_reference_of_the_reversed_circuit() {
+    for circuit in suite() {
+        let mut dag = DependencyDag::from_circuit(&circuit);
+        // Partially drain, then flip: the rewind-and-reverse must answer
+        // every query like a naive DAG built from the reversed circuit.
+        for _ in 0..dag.len() / 3 {
+            let node = dag.front_gate().expect("non-empty front");
+            dag.mark_executed(node);
+        }
+        dag.reset_reversed();
+        let mut naive = NaiveDag::from_circuit(&circuit.reversed());
+        while !dag.all_executed() {
+            assert_eq!(dag.front_layer(), naive.front_layer(), "{}", circuit.name());
+            assert_eq!(
+                dag.lookahead_layers(8),
+                naive.lookahead_layers(8),
+                "{}",
+                circuit.name()
+            );
+            let node = dag.front_gate().expect("non-empty DAG has a ready gate");
+            dag.mark_executed(node);
+            naive.mark_executed(node);
+        }
+        assert!(naive.all_executed());
+
+        // Flipping again restores the forward orientation exactly (the DAG
+        // is currently reversed, so one more flip is a round trip).
+        dag.reset_reversed();
+        let mut forward = NaiveDag::from_circuit(&circuit);
+        while !dag.all_executed() {
+            assert_eq!(
+                dag.front_layer(),
+                forward.front_layer(),
+                "{}",
+                circuit.name()
+            );
+            let node = dag.front_gate().expect("non-empty DAG has a ready gate");
+            dag.mark_executed(node);
+            forward.mark_executed(node);
         }
     }
 }

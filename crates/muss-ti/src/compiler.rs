@@ -157,10 +157,12 @@ impl MussTiCompiler {
 
     /// [`MussTiCompiler::compile_with_phases`] in a caller-held context: the
     /// fused pipeline hot path. Every scheduling pass — the three SABRE dry
-    /// passes and the final pass — runs in `cx`'s pooled scratch, and the
-    /// forward/probe/final passes share one dependency DAG via
-    /// [`DependencyDag::reset`], so a warm compile rebuilds only what the new
-    /// circuit forces it to.
+    /// passes (cost-only, materialising no op stream) and the final full
+    /// pass — runs in `cx`'s pooled scratch, and all four passes share **one**
+    /// dependency DAG via [`DependencyDag::reset`] /
+    /// [`DependencyDag::reset_reversed`] (the backward pass flips the forward
+    /// DAG's edges in place), so a warm compile performs a single structural
+    /// DAG build and rebuilds only what the new circuit forces it to.
     ///
     /// # Errors
     ///

@@ -62,6 +62,8 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+#[cfg(test)]
+mod alloc_check;
 mod compiler;
 mod context;
 mod mapping;
@@ -73,6 +75,75 @@ mod swap_insertion;
 
 pub use compiler::MussTiCompiler;
 pub use context::MussTiContext;
+
+/// Test-support hooks for the external parity suites (not part of the API;
+/// hidden and semver-exempt). Exposes just enough of the internal scheduler
+/// to let integration tests pin `ScheduleMode::CostOnly` dry passes against
+/// full passes.
+#[doc(hidden)]
+pub mod test_support {
+    use eml_qccd::{CompileError, EmlQccdDevice, ZoneId};
+    use ion_circuit::{Circuit, DependencyDag, QubitId};
+
+    use crate::mapping::trivial_mapping;
+    use crate::scheduler::{schedule_with_mode, ScheduleMode as Mode, SchedulerScratch};
+    use crate::MussTiOptions;
+
+    /// Public mirror of the internal `ScheduleMode`.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum ScheduleMode {
+        /// Materialise the op stream.
+        Full,
+        /// Count costs only.
+        CostOnly,
+    }
+
+    /// Everything a scheduling pass decides, captured for parity checks.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct PassProbe {
+        /// Shuttle operations emitted (the SABRE selection criterion).
+        pub shuttles: usize,
+        /// Cross-module SWAPs inserted by the Section 3.3 pass.
+        pub inserted_swaps: usize,
+        /// Final logical clock (LRU timebase) of the pass.
+        pub final_clock: u64,
+        /// Final qubit → zone assignment (the chosen routes' outcome).
+        pub final_mapping: Vec<(QubitId, ZoneId)>,
+        /// Final per-qubit LRU timestamps, qubit-indexed.
+        pub last_use: Vec<u64>,
+    }
+
+    /// Runs one scheduling pass over `circuit` from its trivial mapping in
+    /// the requested mode and captures the decisions.
+    ///
+    /// # Errors
+    ///
+    /// Propagates capacity/placement errors from the scheduler.
+    pub fn probe_pass(
+        device: &EmlQccdDevice,
+        options: &MussTiOptions,
+        circuit: &Circuit,
+        mode: ScheduleMode,
+    ) -> Result<PassProbe, CompileError> {
+        let mapping = trivial_mapping(device, circuit.num_qubits())?;
+        let mut dag = DependencyDag::from_circuit(circuit);
+        let mut cx = SchedulerScratch::new(device);
+        let mode = match mode {
+            ScheduleMode::Full => Mode::Full,
+            ScheduleMode::CostOnly => Mode::CostOnly,
+        };
+        let stats = schedule_with_mode(device, options, mode, &mut dag, &mapping, &mut cx)?;
+        Ok(PassProbe {
+            shuttles: stats.shuttles,
+            inserted_swaps: stats.inserted_swaps,
+            final_clock: stats.final_clock,
+            final_mapping: cx.state.mapping(),
+            last_use: (0..circuit.num_qubits())
+                .map(|q| cx.state.last_use(QubitId::new(q)))
+                .collect(),
+        })
+    }
+}
 pub use naive_placement::NaivePlacement;
 pub use options::{InitialMappingStrategy, MussTiOptions};
 pub use placement::PlacementState;

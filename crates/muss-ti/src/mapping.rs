@@ -3,7 +3,7 @@
 use eml_qccd::{CompileError, EmlQccdDevice, ModuleId, ZoneId, ZoneLevel};
 use ion_circuit::{Circuit, DependencyDag, QubitId};
 
-use crate::scheduler::{schedule_in, SchedulerScratch};
+use crate::scheduler::{schedule_cost_only, SchedulerScratch};
 use crate::{InitialMappingStrategy, MussTiOptions};
 
 /// Maximum number of ions the mapper will load into one module.
@@ -106,12 +106,16 @@ pub(crate) fn trivial_mapping(
 /// with SWAP insertion disabled so the resulting placement reflects transport
 /// pressure only.
 ///
-/// All three dry passes share one [`SchedulerScratch`] (placement state, op
-/// buffer, weight table), and the forward and probe passes additionally share
-/// one dependency DAG via [`DependencyDag::reset`] — `dag` is built here at
-/// most once for `circuit` and handed back to the caller still usable (after
-/// another reset) for the final scheduling pass, so a SABRE compile builds
-/// two DAGs (circuit + reversed circuit) instead of four.
+/// All three dry passes run in cost-only mode
+/// ([`schedule_cost_only`](crate::scheduler::schedule_cost_only)): they
+/// track shuttle counts, clocks and placement
+/// through the shared [`SchedulerScratch`] but never materialise an op
+/// stream. They also share **one** dependency DAG: the backward pass flips
+/// the forward DAG's edges in place via [`DependencyDag::reset_reversed`]
+/// (and flips them back for the probe), so a SABRE compile performs a single
+/// structural DAG build — `dag` is built here at most once for `circuit` and
+/// handed back to the caller still usable (after a
+/// [`reset`](DependencyDag::reset)) for the final scheduling pass.
 ///
 /// # Errors
 ///
@@ -133,24 +137,20 @@ pub(crate) fn initial_mapping_in(
                 ..*options
             };
             let dag = dag.get_or_insert_with(|| DependencyDag::from_circuit(circuit));
-            let forward = schedule_in(device, &dry_options, dag, &trivial, cx)?;
+            let forward = schedule_cost_only(device, &dry_options, dag, &trivial, cx)?;
             let forward_mapping = cx.state.mapping();
-            let reversed_circuit = circuit.reversed();
-            let mut reversed_dag = DependencyDag::from_circuit(&reversed_circuit);
-            schedule_in(
-                device,
-                &dry_options,
-                &mut reversed_dag,
-                &forward_mapping,
-                cx,
-            )?;
+            // Backward pass over the reversed circuit: flip the forward DAG's
+            // edges in place instead of cloning the circuit and building a
+            // second DAG.
+            dag.reset_reversed();
+            schedule_cost_only(device, &dry_options, dag, &forward_mapping, cx)?;
             let candidate = cx.state.mapping();
             // Keep whichever starting placement needs the least transport: the
             // two-fold search can occasionally end in a worse placement for
             // highly symmetric circuits, and the pre-loading idea only pays
             // off when it actually reduces movement.
-            dag.reset();
-            let probe = schedule_in(device, &dry_options, dag, &candidate, cx)?;
+            dag.reset_reversed();
+            let probe = schedule_cost_only(device, &dry_options, dag, &candidate, cx)?;
             if probe.shuttles <= forward.shuttles {
                 Ok(candidate)
             } else {

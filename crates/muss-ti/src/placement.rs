@@ -8,7 +8,7 @@
 //! [`NaivePlacement`](crate::NaivePlacement) and pinned against this one by
 //! the `placement_equivalence` suite.
 
-use eml_qccd::{EmlQccdDevice, ModuleId, ScheduledOp, ZoneId, ZoneLevel};
+use eml_qccd::{EmlQccdDevice, ModuleId, OpSink, ScheduledOp, ZoneId, ZoneLevel};
 use ion_circuit::QubitId;
 
 /// The compiler's view of the device at a point in the schedule: which zone
@@ -203,19 +203,20 @@ impl PlacementState {
         ops
     }
 
-    /// [`PlacementState::shuttle`] appending the emitted operations to an
-    /// existing buffer instead of allocating a fresh `Vec` per transport —
-    /// the scheduler's hot path writes straight into its pooled op stream.
+    /// [`PlacementState::shuttle`] emitting into an [`OpSink`] instead of
+    /// allocating a fresh `Vec` per transport — the scheduler's full pass
+    /// writes straight into its pooled op stream, and cost-only dry passes
+    /// hand in a counting sink that materialises nothing.
     ///
     /// # Panics
     ///
     /// Same conditions as [`PlacementState::shuttle`].
-    pub fn shuttle_into(
+    pub fn shuttle_into<S: OpSink>(
         &mut self,
         device: &EmlQccdDevice,
         qubit: QubitId,
         to: ZoneId,
-        ops: &mut Vec<ScheduledOp>,
+        ops: &mut S,
     ) {
         let from = self
             .zone_of(qubit)
@@ -241,11 +242,11 @@ impl PlacementState {
             .expect("qubit is in its chain");
         let moves_to_edge = idx.min(chain.len() - 1 - idx);
         for _ in 0..moves_to_edge {
-            ops.push(ScheduledOp::ChainRearrange { zone: from.index() });
+            ops.push_op(ScheduledOp::ChainRearrange { zone: from.index() });
         }
         chain.remove(idx);
 
-        ops.push(ScheduledOp::Shuttle {
+        ops.push_op(ScheduledOp::Shuttle {
             qubit,
             from_zone: from.index(),
             to_zone: to.index(),

@@ -1,17 +1,26 @@
 //! The multi-level shuttle scheduler (Section 3.2 of the paper).
 //!
 //! The pass runs inside pooled scratch ([`SchedulerScratch`], owned by the
-//! compile context): placement state, op buffer and weight table are reused
-//! across passes — including the SABRE dry passes, which additionally share
-//! one [`DependencyDag`] via [`DependencyDag::reset`] — so a scheduling pass
-//! after the first allocates (almost) nothing. Scratch reuse never changes
-//! behaviour: op streams are pinned bit-identical to the cold-start path.
+//! compile context): placement state, op buffer, weight table and the
+//! front-layer work buffers are reused across passes — including the SABRE
+//! dry passes, which additionally share one [`DependencyDag`] via
+//! [`DependencyDag::reset`]/[`DependencyDag::reset_reversed`] — so the
+//! scheduling loop performs **zero** steady-state allocations (pinned by the
+//! allocation-regression suite in `alloc_check.rs`). The loop is generic
+//! over its [`OpSink`]: [`ScheduleMode::Full`] appends to the pooled op
+//! stream, while [`ScheduleMode::CostOnly`] (the SABRE dry passes) folds
+//! every op into an [`OpCounter`] and never materialises the stream. Neither
+//! scratch reuse nor the sink changes behaviour: op streams are pinned
+//! bit-identical to the cold-start path, and cost-only passes track shuttle
+//! counts, clocks and placement identically to a full pass.
 
 use std::time::{Duration, Instant};
 
 #[cfg(test)]
 use eml_qccd::pipeline::Scheduled;
-use eml_qccd::{CompileError, EmlQccdDevice, ModuleId, ScheduledOp, ZoneId, ZoneLevel};
+use eml_qccd::{
+    CompileError, EmlQccdDevice, ModuleId, OpCounter, OpSink, ScheduledOp, ZoneId, ZoneLevel,
+};
 #[cfg(test)]
 use ion_circuit::Circuit;
 use ion_circuit::{DagNodeId, DependencyDag, QubitId};
@@ -27,10 +36,17 @@ pub(crate) struct SchedulerScratch {
     /// Dynamic placement state, re-initialised per pass via
     /// [`PlacementState::reset_from_mapping`].
     pub(crate) state: PlacementState,
-    /// The op stream of the most recent pass (cleared at pass start).
+    /// The op stream of the most recent full pass (cleared at pass start;
+    /// cost-only passes leave it untouched).
     pub(crate) ops: Vec<ScheduledOp>,
     /// Pooled Section 3.3 weight table, recomputed in place per fiber gate.
     pub(crate) weights: WeightTable,
+    /// Pooled executable-gates buffer for the scheduling loop (the front
+    /// layer must be copied out before executing mutates the DAG).
+    pub(crate) executable: Vec<DagNodeId>,
+    /// Pooled newly-ready buffer handed to
+    /// [`DependencyDag::mark_executed_into`].
+    pub(crate) newly_ready: Vec<DagNodeId>,
 }
 
 impl SchedulerScratch {
@@ -39,6 +55,8 @@ impl SchedulerScratch {
             state: PlacementState::new(device),
             ops: Vec::new(),
             weights: WeightTable::default(),
+            executable: Vec::new(),
+            newly_ready: Vec::new(),
         }
     }
 
@@ -47,11 +65,27 @@ impl SchedulerScratch {
         self.state.clear();
         self.ops.clear();
         self.weights.clear();
+        self.executable.clear();
+        self.newly_ready.clear();
     }
 }
 
-/// Aggregate results of one scheduling pass; the op stream itself stays in
-/// the scratch's `ops` buffer and the final placement in its `state`.
+/// How a scheduling pass reports its work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ScheduleMode {
+    /// Materialise the full op stream into the scratch's pooled `ops` buffer
+    /// (the final scheduling pass of a compile).
+    Full,
+    /// Track shuttle counts, clocks, heat and placement through the scratch
+    /// but fold ops into an [`OpCounter`] instead of storing them — the SABRE
+    /// forward/backward/probe dry passes, which only consume the shuttle
+    /// count and the final placement.
+    CostOnly,
+}
+
+/// Aggregate results of one scheduling pass; in [`ScheduleMode::Full`] the op
+/// stream itself stays in the scratch's `ops` buffer, and in either mode the
+/// final placement stays in its `state`.
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct ScheduleStats {
     /// Number of shuttle operations the pass emitted (the SABRE two-fold
@@ -59,6 +93,10 @@ pub(crate) struct ScheduleStats {
     pub shuttles: usize,
     /// Number of cross-module SWAP gates inserted by the Section 3.3 pass.
     pub inserted_swaps: usize,
+    /// Final logical clock of the pass (one tick per executed gate or
+    /// inserted SWAP) — the LRU timebase, exposed so the dry-pass parity
+    /// suite can pin cost-only passes tick-identical to full passes.
+    pub final_clock: u64,
     /// Wall-clock time spent inside the SWAP-insertion pass (a slice of the
     /// scheduling phase, reported separately in the per-phase bench timings).
     pub swap_insertion_time: Duration,
@@ -91,26 +129,131 @@ pub(crate) fn schedule_in(
     cx: &mut SchedulerScratch,
 ) -> Result<ScheduleStats, CompileError> {
     cx.ops.clear();
-    cx.state.reset_from_mapping(device, initial_mapping);
+    let (clock, inserted_swaps, swap_insertion_time) = {
+        let SchedulerScratch {
+            state,
+            ops,
+            weights,
+            executable,
+            newly_ready,
+        } = cx;
+        run_pass(
+            device,
+            options,
+            dag,
+            initial_mapping,
+            state,
+            weights,
+            executable,
+            newly_ready,
+            ops,
+        )?
+    };
+    Ok(ScheduleStats {
+        shuttles: cx.ops.iter().filter(|o| o.is_shuttle()).count(),
+        inserted_swaps,
+        final_clock: clock,
+        swap_insertion_time,
+    })
+}
+
+/// [`schedule_in`] in [`ScheduleMode::CostOnly`]: runs the identical loop —
+/// same routing, same LRU clocks, same final placement in `cx.state` — but
+/// folds every emitted op into an [`OpCounter`], leaving `cx.ops` untouched
+/// and materialising nothing. This is what the SABRE forward/backward/probe
+/// dry passes run: they only consume `shuttles` and the final mapping.
+///
+/// # Errors
+///
+/// Same conditions as [`schedule_in`].
+pub(crate) fn schedule_cost_only(
+    device: &EmlQccdDevice,
+    options: &MussTiOptions,
+    dag: &mut DependencyDag,
+    initial_mapping: &[(QubitId, ZoneId)],
+    cx: &mut SchedulerScratch,
+) -> Result<ScheduleStats, CompileError> {
+    let mut counter = OpCounter::default();
+    let SchedulerScratch {
+        state,
+        weights,
+        executable,
+        newly_ready,
+        ..
+    } = cx;
+    let (clock, inserted_swaps, swap_insertion_time) = run_pass(
+        device,
+        options,
+        dag,
+        initial_mapping,
+        state,
+        weights,
+        executable,
+        newly_ready,
+        &mut counter,
+    )?;
+    Ok(ScheduleStats {
+        shuttles: counter.shuttles,
+        inserted_swaps,
+        final_clock: clock,
+        swap_insertion_time,
+    })
+}
+
+/// Dispatches a scheduling pass by [`ScheduleMode`].
+///
+/// # Errors
+///
+/// Same conditions as [`schedule_in`].
+pub(crate) fn schedule_with_mode(
+    device: &EmlQccdDevice,
+    options: &MussTiOptions,
+    mode: ScheduleMode,
+    dag: &mut DependencyDag,
+    initial_mapping: &[(QubitId, ZoneId)],
+    cx: &mut SchedulerScratch,
+) -> Result<ScheduleStats, CompileError> {
+    match mode {
+        ScheduleMode::Full => schedule_in(device, options, dag, initial_mapping, cx),
+        ScheduleMode::CostOnly => schedule_cost_only(device, options, dag, initial_mapping, cx),
+    }
+}
+
+/// The shared pass body behind both modes: resets the placement state,
+/// drives the scheduling loop into `sink` and returns `(final clock,
+/// inserted swaps, swap-insertion time)`.
+#[allow(clippy::too_many_arguments)]
+fn run_pass<S: OpSink>(
+    device: &EmlQccdDevice,
+    options: &MussTiOptions,
+    dag: &mut DependencyDag,
+    initial_mapping: &[(QubitId, ZoneId)],
+    state: &mut PlacementState,
+    weights: &mut WeightTable,
+    executable: &mut Vec<DagNodeId>,
+    newly_ready: &mut Vec<DagNodeId>,
+    sink: &mut S,
+) -> Result<(u64, usize, Duration), CompileError> {
+    state.reset_from_mapping(device, initial_mapping);
     let mut scheduler = Scheduler {
         device,
         options,
-        state: &mut cx.state,
+        state,
         dag,
-        ops: &mut cx.ops,
-        weights: &mut cx.weights,
+        ops: sink,
+        weights,
+        executable,
+        newly_ready,
         clock: 0,
         inserted_swaps: 0,
         swap_insertion_time: Duration::ZERO,
     };
     scheduler.run()?;
-    let inserted_swaps = scheduler.inserted_swaps;
-    let swap_insertion_time = scheduler.swap_insertion_time;
-    Ok(ScheduleStats {
-        shuttles: cx.ops.iter().filter(|o| o.is_shuttle()).count(),
-        inserted_swaps,
-        swap_insertion_time,
-    })
+    Ok((
+        scheduler.clock,
+        scheduler.inserted_swaps,
+        scheduler.swap_insertion_time,
+    ))
 }
 
 /// One-shot wrapper over [`schedule_in`]: builds the DAG and scratch, runs
@@ -133,43 +276,61 @@ pub(crate) fn schedule(
     })
 }
 
-struct Scheduler<'a> {
+struct Scheduler<'a, S: OpSink> {
     device: &'a EmlQccdDevice,
     options: &'a MussTiOptions,
     state: &'a mut PlacementState,
     dag: &'a mut DependencyDag,
-    ops: &'a mut Vec<ScheduledOp>,
+    ops: &'a mut S,
     weights: &'a mut WeightTable,
+    /// Pooled buffer the executable front-layer subset is copied into (the
+    /// borrowed front slice cannot outlive the execution that mutates it).
+    executable: &'a mut Vec<DagNodeId>,
+    /// Pooled (ignored) newly-ready buffer for `mark_executed_into`.
+    newly_ready: &'a mut Vec<DagNodeId>,
     /// Logical time: increments once per executed gate; drives LRU decisions.
     clock: u64,
     inserted_swaps: usize,
     swap_insertion_time: Duration,
 }
 
-impl Scheduler<'_> {
+impl<S: OpSink> Scheduler<'_, S> {
     fn run(&mut self) -> Result<(), CompileError> {
         while !self.dag.all_executed() {
-            let front = self.dag.front_layer();
             debug_assert!(
-                !front.is_empty(),
+                !self.dag.front().is_empty(),
                 "a non-empty DAG always has a front layer"
             );
 
-            // Prioritise gates that are executable right away (Section 3.2).
-            let executable: Vec<DagNodeId> = front
-                .iter()
-                .copied()
-                .filter(|&n| self.is_executable(n))
-                .collect();
-            if !executable.is_empty() {
-                for node in executable {
+            // Prioritise gates that are executable right away (Section 3.2),
+            // copied into the pooled buffer first: the borrowed front slice
+            // cannot outlive the execution that mutates the DAG. The buffer
+            // is taken out of `self` only for the fill (the filter closure
+            // borrows `self`) and executed by index so `?` propagates
+            // normally; allocation-free in steady state.
+            let mut executable = std::mem::take(self.executable);
+            executable.clear();
+            executable.extend(
+                self.dag
+                    .front()
+                    .iter()
+                    .copied()
+                    .filter(|&n| self.is_executable(n)),
+            );
+            *self.executable = executable;
+            if !self.executable.is_empty() {
+                for i in 0..self.executable.len() {
+                    let node = self.executable[i];
                     self.execute_gate(node)?;
                 }
                 continue;
             }
 
             // Otherwise route the oldest (first-come-first-served) gate.
-            let node = front[0];
+            let node = self
+                .dag
+                .front_gate()
+                .expect("a non-empty DAG always has a ready gate");
             self.route_for_gate(node)?;
             debug_assert!(
                 self.is_executable(node),
@@ -218,21 +379,21 @@ impl Scheduler<'_> {
         let zb = self.zone_of(b)?;
         let remote = za != zb;
         if remote {
-            self.ops.push(ScheduledOp::FiberGate {
+            self.ops.push_op(ScheduledOp::FiberGate {
                 a,
                 b,
                 zone_a: za.index(),
                 zone_b: zb.index(),
             });
         } else if self.dag.gate(node).is_swap() {
-            self.ops.push(ScheduledOp::SwapGate {
+            self.ops.push_op(ScheduledOp::SwapGate {
                 a,
                 b,
                 zone: za.index(),
                 ions_in_zone: self.state.occupancy(za),
             });
         } else {
-            self.ops.push(ScheduledOp::TwoQubitGate {
+            self.ops.push_op(ScheduledOp::TwoQubitGate {
                 a,
                 b,
                 zone: za.index(),
@@ -242,7 +403,8 @@ impl Scheduler<'_> {
         self.clock += 1;
         self.state.touch(a, self.clock);
         self.state.touch(b, self.clock);
-        self.dag.mark_executed(node);
+        self.newly_ready.clear();
+        self.dag.mark_executed_into(node, self.newly_ready);
 
         if remote && self.options.enable_swap_insertion {
             // Unconditionally timed: two monotonic clock reads per *fiber*
@@ -279,6 +441,14 @@ impl Scheduler<'_> {
     /// keeps e.g. a rippling carry moving forward instead of dragging whole
     /// blocks backwards), then the smallest level distance for the qubits
     /// that do move (Section 3.2, "Multi-level scheduling").
+    ///
+    /// The affinity term is a *tie-breaker* (third key), and it is the only
+    /// term that reads the DAG's look-ahead window — whose cache is
+    /// invalidated by every retired gate, making its refresh the dominant
+    /// cost of the dry passes. So the selection runs in two phases: score
+    /// every candidate on the cheap `(incoming, evictions)` prefix first, and
+    /// only consult the window when two candidates actually tie on it. The
+    /// chosen zone is identical to the one-phase lexicographic minimum.
     fn route_same_module(
         &mut self,
         a: QubitId,
@@ -287,42 +457,66 @@ impl Scheduler<'_> {
     ) -> Result<(), CompileError> {
         let za = self.zone_of(a)?;
         let zb = self.zone_of(b)?;
-        // (incoming shuttles, evictions, -affinity, level distance, zone id):
-        // lexicographically smaller is better.
-        type ZoneScore = (usize, usize, i64, u8, usize);
-        let mut best: Option<(ZoneScore, ZoneId)> = None;
-        for zone in self.device.zones_in_module(module) {
-            if !zone.level.supports_gates() {
-                continue;
-            }
+        let candidates = self.device.zones_in_module(module);
+        let cheap_score = |this: &Self, zone: &eml_qccd::Zone| {
             let mut incoming = 0usize;
             let mut level_cost: u8 = 0;
             for z in [za, zb] {
                 if z != zone.id {
                     incoming += 1;
-                    level_cost += self.device.zone(z).level.distance(zone.level);
+                    level_cost += this.device.zone(z).level.distance(zone.level);
                 }
             }
-            let free = self.state.free_slots(self.device, zone.id);
-            let evictions = incoming.saturating_sub(free);
-            let affinity = self.zone_affinity(a, zone.id) + self.zone_affinity(b, zone.id);
-            let score = (
-                incoming,
-                evictions,
-                -(affinity as i64),
-                level_cost,
-                zone.id.index(),
-            );
-            if best.is_none_or(|(s, _)| score < s) {
-                best = Some((score, zone.id));
+            let free = this.state.free_slots(this.device, zone.id);
+            (incoming, incoming.saturating_sub(free), level_cost)
+        };
+
+        // Phase 1: minimal (incoming, evictions) prefix and its tie count.
+        let mut best_prefix: Option<(usize, usize)> = None;
+        let mut ties = 0usize;
+        let mut first_tied: Option<ZoneId> = None;
+        for zone in candidates {
+            if !zone.level.supports_gates() {
+                continue;
+            }
+            let (incoming, evictions, _) = cheap_score(self, zone);
+            let prefix = (incoming, evictions);
+            if best_prefix.is_none_or(|best| prefix < best) {
+                best_prefix = Some(prefix);
+                ties = 1;
+                first_tied = Some(zone.id);
+            } else if best_prefix == Some(prefix) {
+                ties += 1;
             }
         }
-        let target = best
-            .map(|(_, z)| z)
-            .ok_or_else(|| CompileError::PlacementFailed {
-                qubit: a,
-                context: format!("module {module} has no gate-capable zone"),
-            })?;
+        let best_prefix = best_prefix.ok_or_else(|| CompileError::PlacementFailed {
+            qubit: a,
+            context: format!("module {module} has no gate-capable zone"),
+        })?;
+
+        // Phase 2: resolve ties with (-affinity, level distance, zone id) —
+        // the window is queried only on this (rarer) path.
+        let target = if ties == 1 {
+            first_tied.expect("a minimal prefix has a witness zone")
+        } else {
+            let mut best: Option<((i64, u8, usize), ZoneId)> = None;
+            for zone in candidates {
+                if !zone.level.supports_gates() {
+                    continue;
+                }
+                let (incoming, evictions, level_cost) = cheap_score(self, zone);
+                if (incoming, evictions) != best_prefix {
+                    continue;
+                }
+                let affinity = self.zone_affinity(a, zone.id) + self.zone_affinity(b, zone.id);
+                let score = (-(affinity as i64), level_cost, zone.id.index());
+                if best.is_none_or(|(s, _)| score < s) {
+                    best = Some((score, zone.id));
+                }
+            }
+            best.map(|(_, z)| z)
+                .expect("the tied prefix has at least two witness zones")
+        };
         for q in [a, b] {
             self.move_qubit(q, target, &[a, b])?;
         }
@@ -407,26 +601,51 @@ impl Scheduler<'_> {
     /// timestamp — in particular qubits that have not been used at all yet —
     /// are broken in favour of the ion whose next use lies furthest in the
     /// future, which follows the same locality principle.
+    ///
+    /// Like [`Scheduler::route_same_module`], the next-use term is a
+    /// tie-breaker that reads the look-ahead window, so the victim search
+    /// runs over the cheap LRU timestamps first and consults the window only
+    /// when two candidates actually share the minimal timestamp. The chosen
+    /// victim is identical to the one-phase lexicographic minimum.
     fn ensure_space(&mut self, zone: ZoneId, protected: &[QubitId]) -> Result<(), CompileError> {
         let mask = protected_mask(protected);
         while self.state.free_slots(self.device, zone) == 0 {
-            let victim = self
-                .state
-                .chain(zone)
-                .iter()
-                .copied()
-                .filter(|&q| !is_protected(q, mask, protected))
-                .min_by_key(|&q| {
-                    (
-                        self.state.last_use(q),
-                        std::cmp::Reverse(self.next_use_distance(q)),
-                        q.index(),
-                    )
-                })
-                .ok_or_else(|| CompileError::PlacementFailed {
-                    qubit: *protected.first().unwrap_or(&QubitId::new(0)),
-                    context: format!("zone {zone} is full of protected qubits"),
-                })?;
+            // Phase 1: minimal last-use timestamp and its tie count.
+            let mut min_last: Option<u64> = None;
+            let mut ties = 0usize;
+            let mut first_tied: Option<QubitId> = None;
+            for &q in self.state.chain(zone) {
+                if is_protected(q, mask, protected) {
+                    continue;
+                }
+                let last = self.state.last_use(q);
+                if min_last.is_none_or(|m| last < m) {
+                    min_last = Some(last);
+                    ties = 1;
+                    first_tied = Some(q);
+                } else if min_last == Some(last) {
+                    ties += 1;
+                }
+            }
+            // Phase 2: break timestamp ties by furthest next use (the only
+            // window query on this path), then qubit id. A unique minimum
+            // needs no tie-break — `first_tied` is the chain-order first, and
+            // with a unique key also the lexicographic minimum.
+            let victim = if ties > 1 {
+                self.state
+                    .chain(zone)
+                    .iter()
+                    .copied()
+                    .filter(|&q| !is_protected(q, mask, protected))
+                    .filter(|&q| Some(self.state.last_use(q)) == min_last)
+                    .min_by_key(|&q| (std::cmp::Reverse(self.next_use_distance(q)), q.index()))
+            } else {
+                first_tied
+            };
+            let victim = victim.ok_or_else(|| CompileError::PlacementFailed {
+                qubit: *protected.first().unwrap_or(&QubitId::new(0)),
+                context: format!("zone {zone} is full of protected qubits"),
+            })?;
             let destination =
                 self.eviction_target(zone)
                     .ok_or_else(|| CompileError::PlacementFailed {
@@ -529,7 +748,7 @@ impl Scheduler<'_> {
             let zq = self.zone_of(q)?;
             let zp = self.zone_of(partner)?;
             for _ in 0..3 {
-                self.ops.push(ScheduledOp::FiberGate {
+                self.ops.push_op(ScheduledOp::FiberGate {
                     a: q,
                     b: partner,
                     zone_a: zq.index(),
@@ -687,22 +906,24 @@ mod tests {
         let mapping = trivial_mapping(&device, 24).unwrap();
         let outcome = schedule(&device, &MussTiOptions::default(), &circuit, &mapping).unwrap();
 
-        // Replay the op stream and track per-zone occupancy.
-        let mut occupancy: std::collections::HashMap<usize, i64> = std::collections::HashMap::new();
+        // Replay the op stream and track per-zone occupancy in a flat
+        // zone-indexed array (zone ids are dense — the PR 2 flat-state
+        // contract applies to the test harnesses too).
+        let mut occupancy = vec![0i64; device.zones().len()];
         for &(_, z) in &mapping {
-            *occupancy.entry(z.index()).or_insert(0) += 1;
+            occupancy[z.index()] += 1;
         }
         for op in &outcome.ops {
             if let ScheduledOp::Shuttle {
                 from_zone, to_zone, ..
             } = op
             {
-                *occupancy.entry(*from_zone).or_insert(0) -= 1;
-                *occupancy.entry(*to_zone).or_insert(0) += 1;
+                occupancy[*from_zone] -= 1;
+                occupancy[*to_zone] += 1;
             }
         }
         for zone in device.zones() {
-            let count = occupancy.get(&zone.id.index()).copied().unwrap_or(0);
+            let count = occupancy[zone.id.index()];
             assert!(count >= 0, "zone {} went negative", zone.id);
             assert!(
                 count as usize <= zone.capacity,
