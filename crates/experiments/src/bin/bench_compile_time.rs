@@ -10,8 +10,10 @@
 //! `--smoke` runs a single iteration per (circuit, compiler) pair — the CI
 //! configuration; the default is 3 iterations. `--check-against` reads a
 //! committed baseline report *before* running (the out path may overwrite
-//! it) and exits non-zero if MUSS-TI's qft(48) `wall_ms_mean` regressed by
-//! more than `--max-regression` (default 2.0×) — the CI bench-delta gate.
+//! it) and exits non-zero if MUSS-TI's qft(48) **or** ran(128)
+//! `wall_ms_mean` regressed by more than `--max-regression` (default 2.0×)
+//! — the CI bench-delta gate over both the acceptance spot value and the
+//! stress workload the incremental SWAP-insertion table optimises.
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();

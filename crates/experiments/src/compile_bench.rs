@@ -22,8 +22,18 @@ use ion_circuit::{generators, Circuit};
 use muss_ti::{MussTiCompiler, MussTiOptions, PhaseTimings};
 use serde::{Deserialize, Serialize};
 
-/// Sums `phases` into `acc`, field by field.
+/// Sums `phases` into `acc`, field by field, rejecting negative phase values
+/// (the compiler clamps the derived scheduling slice at zero, so a negative
+/// value reaching the report would mean that guard regressed).
 fn accumulate(acc: &mut PhaseTimings, phases: &PhaseTimings) {
+    for (name, value) in [
+        ("placement_ms", phases.placement_ms),
+        ("scheduling_ms", phases.scheduling_ms),
+        ("swap_insertion_ms", phases.swap_insertion_ms),
+        ("lowering_ms", phases.lowering_ms),
+    ] {
+        assert!(value >= 0.0, "negative phase timing {name} = {value}");
+    }
     acc.placement_ms += phases.placement_ms;
     acc.scheduling_ms += phases.scheduling_ms;
     acc.swap_insertion_ms += phases.swap_insertion_ms;
@@ -336,59 +346,72 @@ impl BenchReport {
     }
 }
 
-/// The (circuit, compiler) pair the CI bench-delta gate watches.
-const GATE_CIRCUIT: &str = "QFT_48";
+/// The (circuit, compiler) pairs the CI bench-delta gate watches: the
+/// long-standing qft(48) acceptance spot value plus the dense random
+/// 128-qubit stress workload the incremental SWAP-insertion table optimises
+/// (PR 5) — a regression in either fails CI.
+const GATE_CIRCUITS: [&str; 2] = ["QFT_48", "RAN_128"];
 const GATE_COMPILER: &str = "MUSS-TI";
 
 impl BenchReport {
-    /// This run's MUSS-TI qft(48) mean wall-clock, the bench-delta metric.
-    pub fn gate_metric(&self) -> Option<f64> {
+    /// This run's MUSS-TI mean wall-clock for `circuit`, a bench-delta
+    /// metric.
+    pub fn gate_metric_for(&self, circuit: &str) -> Option<f64> {
         self.rows
             .iter()
-            .find(|r| r.circuit == GATE_CIRCUIT && r.compiler == GATE_COMPILER)
+            .find(|r| r.circuit == circuit && r.compiler == GATE_COMPILER)
             .map(|r| r.wall_ms_mean)
     }
 
-    /// Bench-delta smoke gate: compares this run's MUSS-TI qft(48) mean
-    /// against the committed baseline report and fails when it regressed by
-    /// more than `max_ratio`× (the CI threshold is 2×, loose enough for
-    /// shared-runner noise, tight enough to catch a real hot-path
-    /// regression).
+    /// This run's MUSS-TI qft(48) mean wall-clock, the original bench-delta
+    /// metric.
+    pub fn gate_metric(&self) -> Option<f64> {
+        self.gate_metric_for(GATE_CIRCUITS[0])
+    }
+
+    /// Bench-delta smoke gate: compares this run's MUSS-TI qft(48) *and*
+    /// ran(128) means against the committed baseline report and fails when
+    /// either regressed by more than `max_ratio`× (the CI threshold is 2×,
+    /// loose enough for shared-runner noise, tight enough to catch a real
+    /// hot-path regression).
     ///
     /// # Errors
     ///
-    /// An explanatory message when the metric regressed past the threshold
-    /// or either report is missing the gated row.
+    /// An explanatory message when a metric regressed past the threshold or
+    /// either report is missing a gated row.
     pub fn check_against_baseline(
         &self,
         baseline_json: &str,
         max_ratio: f64,
     ) -> Result<String, String> {
-        let baseline = parse_gate_metric(baseline_json).ok_or_else(|| {
-            format!("baseline report has no {GATE_COMPILER} {GATE_CIRCUIT} wall_ms_mean row")
-        })?;
-        let current = self
-            .gate_metric()
-            .ok_or_else(|| format!("this run produced no {GATE_COMPILER} {GATE_CIRCUIT} row"))?;
-        if current > baseline * max_ratio {
-            Err(format!(
-                "bench-delta gate failed: {GATE_COMPILER} {GATE_CIRCUIT} wall_ms_mean {current:.3} ms \
-                 > {max_ratio:.1}x committed baseline {baseline:.3} ms"
-            ))
-        } else {
-            Ok(format!(
-                "bench-delta gate passed: {GATE_COMPILER} {GATE_CIRCUIT} wall_ms_mean {current:.3} ms \
+        let mut lines = Vec::new();
+        for circuit in GATE_CIRCUITS {
+            let baseline = parse_gate_metric_for(baseline_json, circuit).ok_or_else(|| {
+                format!("baseline report has no {GATE_COMPILER} {circuit} wall_ms_mean row")
+            })?;
+            let current = self
+                .gate_metric_for(circuit)
+                .ok_or_else(|| format!("this run produced no {GATE_COMPILER} {circuit} row"))?;
+            if current > baseline * max_ratio {
+                return Err(format!(
+                    "bench-delta gate failed: {GATE_COMPILER} {circuit} wall_ms_mean {current:.3} ms \
+                     > {max_ratio:.1}x committed baseline {baseline:.3} ms"
+                ));
+            }
+            lines.push(format!(
+                "bench-delta gate passed: {GATE_COMPILER} {circuit} wall_ms_mean {current:.3} ms \
                  <= {max_ratio:.1}x committed baseline {baseline:.3} ms"
-            ))
+            ));
         }
+        Ok(lines.join("\n"))
     }
 }
 
-/// Extracts the gated `wall_ms_mean` from a serialised report without a JSON
+/// Extracts a gated `wall_ms_mean` from a serialised report without a JSON
 /// parser (the build environment has no serde_json): every result row is
 /// emitted on one line by [`BenchReport::to_json`].
-pub fn parse_gate_metric(json: &str) -> Option<f64> {
-    let circuit_key = format!("\"circuit\": \"{GATE_CIRCUIT}\"");
+pub fn parse_gate_metric_for(json: &str, circuit: &str) -> Option<f64> {
+    let circuit_key = format!("\"circuit\": \"{circuit}\"");
     let compiler_key = format!("\"compiler\": \"{GATE_COMPILER}\"");
     json.lines()
         .find(|line| line.contains(&circuit_key) && line.contains(&compiler_key))
@@ -399,6 +422,11 @@ pub fn parse_gate_metric(json: &str) -> Option<f64> {
             let end = rest.find([',', '}'])?;
             rest[..end].trim().parse().ok()
         })
+}
+
+/// [`parse_gate_metric_for`] on the original qft(48) gate row.
+pub fn parse_gate_metric(json: &str) -> Option<f64> {
+    parse_gate_metric_for(json, GATE_CIRCUITS[0])
 }
 
 /// Escapes a string for JSON embedding.
@@ -499,31 +527,26 @@ mod tests {
         assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
     }
 
-    #[test]
-    fn gate_metric_round_trips_through_json() {
-        let report = BenchReport {
+    fn gated_row(circuit: &str, compiler: &str, wall_ms: f64) -> BenchRow {
+        BenchRow {
+            circuit: circuit.into(),
+            qubits: 48,
+            two_qubit_gates: 1152,
+            compiler: compiler.into(),
+            wall_ms_mean: wall_ms,
+            wall_ms_min: wall_ms,
+            wall_ms_max: wall_ms,
+            phases: None,
+        }
+    }
+
+    fn gated_report(qft_ms: f64, ran_ms: f64) -> BenchReport {
+        BenchReport {
             iterations: 1,
             rows: vec![
-                BenchRow {
-                    circuit: "QFT_48".into(),
-                    qubits: 48,
-                    two_qubit_gates: 1152,
-                    compiler: "QCCD-Murali et al.".into(),
-                    wall_ms_mean: 0.4,
-                    wall_ms_min: 0.4,
-                    wall_ms_max: 0.4,
-                    phases: None,
-                },
-                BenchRow {
-                    circuit: "QFT_48".into(),
-                    qubits: 48,
-                    two_qubit_gates: 1152,
-                    compiler: "MUSS-TI".into(),
-                    wall_ms_mean: 1.234,
-                    wall_ms_min: 1.1,
-                    wall_ms_max: 1.4,
-                    phases: None,
-                },
+                gated_row("QFT_48", "QCCD-Murali et al.", 0.4),
+                gated_row("QFT_48", "MUSS-TI", qft_ms),
+                gated_row("RAN_128", "MUSS-TI", ran_ms),
             ],
             batch: BatchThroughput {
                 circuits: 1,
@@ -532,41 +555,57 @@ mod tests {
                 wall_ms: 1.0,
                 circuits_per_sec: 1000.0,
             },
-        };
+        }
+    }
+
+    #[test]
+    fn gate_metrics_round_trip_through_json() {
+        let report = gated_report(1.234, 7.5);
         assert_eq!(report.gate_metric(), Some(1.234));
-        let parsed = parse_gate_metric(&report.to_json()).expect("row is serialised");
+        assert_eq!(report.gate_metric_for("RAN_128"), Some(7.5));
+        let json = report.to_json();
+        let parsed = parse_gate_metric(&json).expect("qft row is serialised");
         assert!((parsed - 1.234).abs() < 1e-9);
+        let parsed = parse_gate_metric_for(&json, "RAN_128").expect("ran row is serialised");
+        assert!((parsed - 7.5).abs() < 1e-9);
     }
 
     #[test]
     fn baseline_check_passes_within_ratio_and_fails_past_it() {
-        let mut report = BenchReport {
-            iterations: 1,
-            rows: vec![BenchRow {
-                circuit: "QFT_48".into(),
-                qubits: 48,
-                two_qubit_gates: 1152,
-                compiler: "MUSS-TI".into(),
-                wall_ms_mean: 1.9,
-                wall_ms_min: 1.9,
-                wall_ms_max: 1.9,
-                phases: None,
-            }],
-            batch: BatchThroughput {
-                circuits: 1,
-                threads: 2,
-                runs: 1,
-                wall_ms: 1.0,
-                circuits_per_sec: 1000.0,
-            },
-        };
+        let mut report = gated_report(1.9, 1.9);
         let baseline = report.to_json().replace("1.900", "1.000");
         assert!(report.check_against_baseline(&baseline, 2.0).is_ok());
-        report.rows[0].wall_ms_mean = 2.1;
+        report.rows[1].wall_ms_mean = 2.1;
         let err = report.check_against_baseline(&baseline, 2.0).unwrap_err();
         assert!(err.contains("bench-delta gate failed"), "{err}");
+        assert!(err.contains("QFT_48"), "{err}");
         assert!(report
             .check_against_baseline("{\"results\": []}", 2.0)
             .is_err());
+    }
+
+    #[test]
+    fn baseline_check_gates_the_ran_128_stress_workload_too() {
+        // The PR 5 workload is gated independently: a QFT_48 within budget
+        // does not excuse a RAN_128 regression.
+        let mut report = gated_report(1.0, 1.9);
+        let baseline = report.to_json().replace("1.900", "1.000");
+        assert!(report.check_against_baseline(&baseline, 2.0).is_ok());
+        report.rows[2].wall_ms_mean = 2.1;
+        let err = report.check_against_baseline(&baseline, 2.0).unwrap_err();
+        assert!(err.contains("RAN_128"), "{err}");
+        // A baseline lacking the RAN_128 row is rejected, not skipped.
+        let qft_only = gated_report(1.0, 1.0);
+        let mut stripped: Vec<String> = qft_only
+            .to_json()
+            .lines()
+            .filter(|l| !l.contains("RAN_128"))
+            .map(str::to_string)
+            .collect();
+        stripped.push(String::new());
+        let err = report
+            .check_against_baseline(&stripped.join("\n"), 2.0)
+            .unwrap_err();
+        assert!(err.contains("baseline report has no"), "{err}");
     }
 }

@@ -25,6 +25,14 @@
 //!   a pooled CSR layer layout — after warm-up it allocates nothing and never
 //!   clones the `O(n)` predecessor/executed bookkeeping the way the original
 //!   implementation did.
+//! * [`sync_window_delta`](DependencyDag::sync_window_delta) /
+//!   [`for_each_window_partner`](DependencyDag::for_each_window_partner) —
+//!   the incremental feed of the SWAP-insertion weight table: an armed
+//!   [`WindowDeltaTracker`] maintains each gate's capped longest-path depth
+//!   at retirement time and records which gates entered and left the
+//!   `k`-window (pooled buffers, armed only once a consumer subscribes), so
+//!   the table applies `O(Δ)` bumps per fiber gate without forcing a
+//!   `O(window)` BFS refresh.
 //! * [`reset`](DependencyDag::reset) /
 //!   [`reset_reversed`](DependencyDag::reset_reversed) — `O(n + edges)`
 //!   rewind (respectively: rewind *and* flip the edge orientation, yielding
@@ -55,6 +63,28 @@ impl DagNodeId {
     /// The raw index of this node.
     pub const fn index(self) -> usize {
         self.0
+    }
+}
+
+/// Outcome of [`DependencyDag::sync_window_delta`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WindowSync {
+    /// The callback received the exact entered/left record since the epoch
+    /// the caller passed in; the caller is now synced at the carried epoch.
+    Delta(u64),
+    /// The record since the caller's epoch was unavailable (first sync, DAG
+    /// reset, different `k`, or a competing consumer); no callbacks ran — the
+    /// caller must rebuild from the full window, after which it is synced at
+    /// the carried epoch.
+    Rebuild(u64),
+}
+
+impl WindowSync {
+    /// The window epoch the consumer is synced at after this call.
+    pub fn epoch(self) -> u64 {
+        match self {
+            WindowSync::Delta(epoch) | WindowSync::Rebuild(epoch) => epoch,
+        }
     }
 }
 
@@ -209,6 +239,176 @@ impl LookaheadWindow {
     }
 }
 
+/// Incremental window-membership tracker: the delta feed behind
+/// [`DependencyDag::sync_window_delta`].
+///
+/// A gate belongs to the first `k` look-ahead layers iff its *longest-path
+/// depth* over unexecuted predecessors (`depth(g) = 1 + max depth(unexecuted
+/// preds)`, ready gates at 0) is `< k` — exactly the membership the
+/// [`LookaheadWindow`] BFS computes. Retiring gates only removes constraints,
+/// so depths are **monotone non-increasing**; the tracker stores each
+/// unexecuted gate's depth capped at `k` and, on every retirement, repairs
+/// just the affected cone by a min-heap worklist in node-id order (node ids
+/// are a topological order, so every predecessor's depth is final when a node
+/// is popped). Each node's capped depth can decrease at most `k` times over a
+/// whole pass, which bounds the total maintenance work at `O(n · k ·
+/// pred-degree)` — independent of how often the consumer syncs — and
+/// membership transitions are emitted into the pooled `entered`/`left`
+/// buffers as they happen, with **no** window refresh on the sync path.
+///
+/// The tracker is disarmed until a consumer subscribes (and again after every
+/// [`reset`](DependencyDag::reset)), so passes that never consult it — e.g.
+/// the SABRE dry passes — pay nothing.
+#[derive(Debug, Clone)]
+struct WindowDeltaTracker {
+    /// `false` ⇒ no bookkeeping at all; `depth`/`entered`/`left` are stale.
+    armed: bool,
+    /// The `k` the tracker is armed for.
+    k: usize,
+    /// Rebase counter handed to the consumer (0 is never handed out, so a
+    /// fresh consumer's 0 always misses). Monotone across resets.
+    token: u64,
+    /// `min(longest-path depth, k)` per node; only unexecuted entries are
+    /// meaningful.
+    depth: Vec<usize>,
+    /// Membership transitions since the consumer's last drain.
+    entered: Vec<usize>,
+    left: Vec<usize>,
+    /// Pooled min-heap worklist for the depth-repair cone.
+    worklist: std::collections::BinaryHeap<std::cmp::Reverse<usize>>,
+    /// Generation-stamped dedup for worklist pushes (one generation per
+    /// retirement).
+    queued_gen: Vec<u32>,
+    generation: u32,
+}
+
+impl WindowDeltaTracker {
+    fn new() -> Self {
+        WindowDeltaTracker {
+            armed: false,
+            k: 0,
+            token: 0,
+            depth: Vec::new(),
+            entered: Vec::new(),
+            left: Vec::new(),
+            worklist: std::collections::BinaryHeap::new(),
+            queued_gen: Vec::new(),
+            generation: 0,
+        }
+    }
+
+    /// Drops the subscription (reset paths); allocations are kept.
+    fn disarm(&mut self) {
+        self.armed = false;
+        self.entered.clear();
+        self.left.clear();
+    }
+
+    /// (Re)arms the tracker for `k`: recomputes every unexecuted gate's
+    /// capped depth in one topological sweep (node-id order) and starts a
+    /// fresh accumulation. `O(n + edges)`, allocation-free once warm.
+    fn arm(&mut self, k: usize, predecessors: &[Vec<DagNodeId>], executed: &[bool]) {
+        let n = predecessors.len();
+        self.depth.clear();
+        self.depth.resize(n, 0);
+        if self.queued_gen.len() < n {
+            self.queued_gen.resize(n, 0);
+        }
+        for i in 0..n {
+            if executed[i] {
+                continue;
+            }
+            let mut depth = 0usize;
+            for &p in &predecessors[i] {
+                if !executed[p.0] {
+                    depth = depth.max(self.depth[p.0] + 1);
+                }
+            }
+            self.depth[i] = depth.min(k);
+        }
+        self.entered.clear();
+        self.left.clear();
+        self.armed = true;
+        self.k = k;
+        self.token += 1;
+    }
+
+    /// Retirement hook: records `node` leaving the window (it is ready, so
+    /// its depth is 0) and repairs the depths of its affected cone, emitting
+    /// `entered` events for gates whose capped depth crosses below `k`.
+    fn on_retire(
+        &mut self,
+        node: usize,
+        successors: &[Vec<DagNodeId>],
+        predecessors: &[Vec<DagNodeId>],
+        executed: &[bool],
+    ) {
+        debug_assert!(self.armed);
+        debug_assert_eq!(self.depth[node], 0, "retired gates are ready");
+        if self.k > 0 {
+            self.left.push(node);
+        }
+        self.generation = self.generation.wrapping_add(1);
+        let generation = self.generation;
+        // `enqueue_if_lowered` computes a candidate's depth from its
+        // (possibly still-shrinking) predecessors and enqueues it only when
+        // the value dropped — the common no-change successor costs one
+        // predecessor scan and zero heap traffic. A node skipped now is
+        // re-examined if one of its predecessors later lowers, so nothing is
+        // missed.
+        for &succ in &successors[node] {
+            self.enqueue_if_lowered(succ.0, generation, predecessors, executed);
+        }
+        while let Some(std::cmp::Reverse(i)) = self.worklist.pop() {
+            // All predecessors have smaller ids, so by min-heap order their
+            // depths are final here.
+            let mut depth = 0usize;
+            for &p in &predecessors[i] {
+                if !executed[p.0] {
+                    depth = depth.max(self.depth[p.0] + 1);
+                }
+            }
+            let depth = depth.min(self.k);
+            if depth >= self.depth[i] {
+                debug_assert_eq!(depth, self.depth[i], "depths never increase");
+                continue;
+            }
+            if self.depth[i] >= self.k && depth < self.k {
+                self.entered.push(i);
+            }
+            self.depth[i] = depth;
+            for &succ in &successors[i] {
+                self.enqueue_if_lowered(succ.0, generation, predecessors, executed);
+            }
+        }
+    }
+
+    /// Enqueues `i` for depth repair iff its depth recomputed from the
+    /// current predecessor values is lower than its stored one (stamped so a
+    /// node sits in the worklist at most once per retirement).
+    fn enqueue_if_lowered(
+        &mut self,
+        i: usize,
+        generation: u32,
+        predecessors: &[Vec<DagNodeId>],
+        executed: &[bool],
+    ) {
+        if self.queued_gen[i] == generation {
+            return;
+        }
+        let mut depth = 0usize;
+        for &p in &predecessors[i] {
+            if !executed[p.0] {
+                depth = depth.max(self.depth[p.0] + 1);
+            }
+        }
+        if depth.min(self.k) < self.depth[i] {
+            self.queued_gen[i] = generation;
+            self.worklist.push(std::cmp::Reverse(i));
+        }
+    }
+}
+
 /// Dependency graph over the *two-qubit* gates of a circuit.
 ///
 /// Following Section 3.1 of the paper, single-qubit gates are disregarded for
@@ -277,6 +477,9 @@ pub struct DependencyDag {
     /// Cached look-ahead window (interior mutability so `&self` query methods
     /// can refresh it lazily).
     window: RefCell<LookaheadWindow>,
+    /// Incremental window-membership tracker (interior mutability so the
+    /// `&self` sync entry point can rebase it).
+    tracker: RefCell<WindowDeltaTracker>,
 }
 
 impl DependencyDag {
@@ -305,6 +508,7 @@ impl DependencyDag {
             ready: Vec::new(),
             build_scratch: Vec::new(),
             window,
+            tracker: RefCell::new(WindowDeltaTracker::new()),
         };
         dag.rebuild_edges();
         dag.reset();
@@ -370,6 +574,9 @@ impl DependencyDag {
         let window = self.window.get_mut();
         window.valid_k = None;
         window.dirty = false;
+        // The rewind invalidates any delta subscription (the consumer's
+        // token stays un-reusable because `token` is never rewound).
+        self.tracker.get_mut().disarm();
     }
 
     /// Flips the DAG into the dependency DAG of the *reversed* circuit by
@@ -510,6 +717,20 @@ impl DependencyDag {
         if window.contains(node.0) {
             window.dirty = true;
         }
+        // Armed delta subscription: record the departure and repair the
+        // affected cone's depths (amortised `O(k · pred-degree)` per node
+        // over a whole pass; skipped entirely while disarmed).
+        let DependencyDag {
+            tracker,
+            successors,
+            predecessors,
+            executed,
+            ..
+        } = self;
+        let tracker = tracker.get_mut();
+        if tracker.armed {
+            tracker.on_retire(node.0, successors, predecessors, executed);
+        }
     }
 
     /// Marks a node as executed, returning the newly-ready successors as a
@@ -614,6 +835,82 @@ impl DependencyDag {
                 })
                 .unwrap_or(0)
         })
+    }
+
+    /// Calls `f` with the partner qubit of every window gate (first `k`
+    /// layers) on `qubit`, in layer order — one call per gate, so repeated
+    /// pairs are reported repeatedly.
+    ///
+    /// `O(gates-on-qubit-in-window)` after the amortised window refresh, via
+    /// the same per-qubit partner index behind
+    /// [`count_window_partners`](DependencyDag::count_window_partners). This
+    /// is the placement-churn hook of the incremental SWAP-insertion weight
+    /// table: when `qubit` changes module, exactly these partners carry
+    /// weight towards it and must be re-attributed.
+    pub fn for_each_window_partner(&self, k: usize, qubit: QubitId, mut f: impl FnMut(QubitId)) {
+        self.with_window(k, |window| {
+            if let Some(partners) = window.partners.get(qubit.index()) {
+                for &(_, p) in partners {
+                    f(QubitId::new(p));
+                }
+            }
+        })
+    }
+
+    /// Reconciles the single window-delta consumer with the current
+    /// `k`-window's membership (maintained incrementally by the
+    /// [`WindowDeltaTracker`] — this entry point never refreshes the BFS
+    /// window cache, which is what keeps the per-fiber-gate weight-table
+    /// sync `O(Δ)` instead of `O(window)`):
+    ///
+    /// * if the tracker holds an exact entered/left record since
+    ///   `synced_epoch` (the value the consumer got from its previous call),
+    ///   it is replayed through `f` — `f(node, true)` for every gate that
+    ///   entered the window since, `f(node, false)` for every gate that left
+    ///   (a member only leaves by retiring) — and the call returns
+    ///   [`WindowSync::Delta`];
+    /// * otherwise (first sync, a [`reset`](DependencyDag::reset) /
+    ///   [`reset_reversed`](DependencyDag::reset_reversed), a different `k`,
+    ///   or another consumer rebased in between) the tracker re-arms —
+    ///   `O(n + edges)` — no callbacks run, and the call returns
+    ///   [`WindowSync::Rebuild`]: the caller must rebuild its state from the
+    ///   full window (e.g. via
+    ///   [`for_each_window_gate`](DependencyDag::for_each_window_gate), whose
+    ///   BFS membership is identical to the tracker's `depth < k` rule).
+    ///
+    /// Either way the caller is synced at the returned epoch, which it passes
+    /// back next time. The record is kept for **one** consumer: interleaving
+    /// two consumers is exact but degrades every sync to a rebuild. `f` must
+    /// not re-enter this method.
+    ///
+    /// Until the first sync arms the tracker, retirements record nothing —
+    /// passes that never consult the table (e.g. the SABRE dry passes) pay
+    /// zero overhead.
+    pub fn sync_window_delta(
+        &self,
+        k: usize,
+        synced_epoch: u64,
+        mut f: impl FnMut(DagNodeId, bool),
+    ) -> WindowSync {
+        let mut tracker = self.tracker.borrow_mut();
+        let tracker = &mut *tracker;
+        if tracker.armed && tracker.k == k && tracker.token == synced_epoch && synced_epoch != 0 {
+            // Entered before left: a gate that both entered and retired
+            // between syncs then nets to zero without any weight-table cell
+            // dipping below what it held at the previous sync.
+            for &node in &tracker.entered {
+                f(DagNodeId(node), true);
+            }
+            for &node in &tracker.left {
+                f(DagNodeId(node), false);
+            }
+            tracker.entered.clear();
+            tracker.left.clear();
+            WindowSync::Delta(tracker.token)
+        } else {
+            tracker.arm(k, &self.predecessors, &self.executed);
+            WindowSync::Rebuild(tracker.token)
+        }
     }
 
     /// Calls `f` with `(layer depth, node)` for every gate in the first `k`
@@ -1031,6 +1328,121 @@ mod tests {
         }
         assert_eq!(buf[0], DagNodeId(99), "existing entries stay in place");
         assert!(dag.all_executed());
+    }
+
+    /// Replays a `sync_window_delta` call into a sorted membership set.
+    fn apply_delta(dag: &DependencyDag, k: usize, members: &mut Vec<usize>, epoch: u64) -> u64 {
+        let sync = dag.sync_window_delta(k, epoch, |node, entered| {
+            if entered {
+                members.push(node.index());
+            } else {
+                let pos = members
+                    .iter()
+                    .position(|&n| n == node.index())
+                    .expect("a departing gate was a member");
+                members.remove(pos);
+            }
+        });
+        if let WindowSync::Rebuild(epoch) = sync {
+            members.clear();
+            dag.for_each_window_gate(k, |_, node| members.push(node.index()));
+            return epoch;
+        }
+        sync.epoch()
+    }
+
+    /// Flattens the current window into a sorted node-index set.
+    fn window_members(dag: &DependencyDag, k: usize) -> Vec<usize> {
+        let mut members: Vec<usize> = dag
+            .lookahead_layers(k)
+            .into_iter()
+            .flatten()
+            .map(DagNodeId::index)
+            .collect();
+        members.sort_unstable();
+        members
+    }
+
+    #[test]
+    fn window_delta_tracks_membership_across_a_full_run() {
+        let mut c = Circuit::new(8);
+        c.cx(0, 1).cx(2, 3).cx(4, 5).cx(6, 7);
+        c.cx(1, 2).cx(5, 6).cx(3, 4).cx(0, 7).cx(2, 5);
+        let mut dag = DependencyDag::from_circuit(&c);
+        let k = 2;
+        let mut members = Vec::new();
+        // First sync is always a rebuild.
+        let sync = dag.sync_window_delta(k, 0, |_, _| panic!("no callbacks on rebuild"));
+        assert!(matches!(sync, WindowSync::Rebuild(_)));
+        let mut epoch = apply_delta(&dag, k, &mut members, 0);
+        while let Some(node) = dag.front_gate() {
+            dag.mark_executed(node);
+            // Touch the window between syncs so deltas accumulate across
+            // multiple refreshes (the scheduler's tie-break queries do this).
+            let _ = dag.next_use_depth(k, QubitId::new(0));
+            epoch = apply_delta(&dag, k, &mut members, epoch);
+            let mut sorted = members.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, window_members(&dag, k), "after {node:?}");
+        }
+        assert!(members.is_empty());
+    }
+
+    #[test]
+    fn window_delta_is_exact_across_batched_refreshes() {
+        // Retire several gates between syncs: the accumulated record must
+        // still reconcile, including gates that entered and then retired
+        // without the consumer ever seeing them as members.
+        let mut dag = DependencyDag::from_circuit(&chain_circuit(12));
+        let k = 3;
+        let mut members = Vec::new();
+        let mut epoch = apply_delta(&dag, k, &mut members, 0);
+        for _ in 0..3 {
+            for _ in 0..3 {
+                if let Some(node) = dag.front_gate() {
+                    dag.mark_executed(node);
+                    // Force a refresh per retirement.
+                    let _ = dag.lookahead_layers(k);
+                }
+            }
+            let before = epoch;
+            epoch = apply_delta(&dag, k, &mut members, epoch);
+            assert!(epoch >= before);
+            let mut sorted = members.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, window_members(&dag, k));
+        }
+    }
+
+    #[test]
+    fn window_delta_rebuilds_after_reset_and_k_change() {
+        let mut dag = DependencyDag::from_circuit(&chain_circuit(10));
+        let mut members = Vec::new();
+        let epoch = apply_delta(&dag, 4, &mut members, 0);
+        // A different k breaks the chain.
+        let sync = dag.sync_window_delta(2, epoch, |_, _| panic!("no delta across k change"));
+        assert!(matches!(sync, WindowSync::Rebuild(_)));
+        // Rebase at k = 4 again, then reset: the chain breaks once more.
+        let epoch = apply_delta(&dag, 4, &mut members, 0);
+        dag.mark_executed(dag.front_gate().unwrap());
+        dag.reset();
+        let sync = dag.sync_window_delta(4, epoch, |_, _| panic!("no delta across reset"));
+        assert!(matches!(sync, WindowSync::Rebuild(_)));
+        members.clear();
+        dag.for_each_window_gate(4, |_, node| members.push(node.index()));
+        assert_eq!(members, window_members(&dag, 4));
+    }
+
+    #[test]
+    fn for_each_window_partner_reports_one_call_per_gate() {
+        let mut c = Circuit::new(4);
+        c.cx(0, 1).cx(0, 2).cx(0, 2).cx(0, 3);
+        let dag = DependencyDag::from_circuit(&c);
+        let mut partners = Vec::new();
+        dag.for_each_window_partner(8, QubitId::new(0), |p| partners.push(p.index()));
+        assert_eq!(partners, vec![1, 2, 2, 3]);
+        // Out-of-range qubits report nothing.
+        dag.for_each_window_partner(8, QubitId::new(42), |_| panic!("no partners"));
     }
 
     /// Drives two DAGs in lockstep and asserts every scheduler-visible query

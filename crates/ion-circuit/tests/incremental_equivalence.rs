@@ -4,7 +4,7 @@
 //! ([`NaiveDag`]) at every step of execution, across the generator suite and
 //! several execution orders.
 
-use ion_circuit::{generators, Circuit, DependencyDag, NaiveDag, QubitId};
+use ion_circuit::{generators, Circuit, DependencyDag, NaiveDag, QubitId, WindowSync};
 
 /// The circuits the suite is checked on: one per generator family plus
 /// random circuits under several seeds.
@@ -196,7 +196,7 @@ fn count_window_partners_matches_naive_window_scan() {
         // Check the partner counts against a manual scan of the naive window
         // on the initial DAG and again after retiring a quarter of the gates.
         for phase in 0..2 {
-            let window = naive_window_after(&dag);
+            let window = naive_window_after(&dag, 8);
             for q in 0..circuit.num_qubits() {
                 let qubit = QubitId::new(q);
                 let expected = window
@@ -226,9 +226,75 @@ fn count_window_partners_matches_naive_window_scan() {
     }
 }
 
+#[test]
+fn window_delta_replay_matches_naive_window_membership() {
+    // The entered/left record behind `sync_window_delta` (the incremental
+    // weight table's feed) must reconstruct exactly the membership of the
+    // naive window at every reconciliation point — across batched
+    // retirements, interleaved refreshes for a *different* k (which must not
+    // corrupt the record: it breaks the chain and forces a rebuild instead),
+    // and a mid-run reset.
+    for circuit in suite() {
+        let mut dag = DependencyDag::from_circuit(&circuit);
+        let k = 4;
+        let mut members: Vec<ion_circuit::DagNodeId> = Vec::new();
+        let mut epoch = 0u64;
+        let mut step = 0usize;
+        loop {
+            let sync = dag.sync_window_delta(k, epoch, |node, entered| {
+                if entered {
+                    members.push(node);
+                } else {
+                    let pos = members
+                        .iter()
+                        .position(|&n| n == node)
+                        .expect("departing gates were members");
+                    members.remove(pos);
+                }
+            });
+            if let WindowSync::Rebuild(_) = sync {
+                members.clear();
+                dag.for_each_window_gate(k, |_, node| members.push(node));
+            }
+            epoch = sync.epoch();
+            let mut sorted = members.clone();
+            sorted.sort_unstable();
+            let naive: Vec<ion_circuit::DagNodeId> =
+                naive_window_after(&dag, k).into_iter().flatten().collect();
+            let mut naive_sorted = naive;
+            naive_sorted.sort_unstable();
+            assert_eq!(
+                sorted,
+                naive_sorted,
+                "window membership diverged at step {step} of {}",
+                circuit.name()
+            );
+
+            if dag.all_executed() {
+                break;
+            }
+            // Retire 1–3 gates between syncs, poking queries at another k so
+            // foreign refreshes interleave with the tracked one.
+            for burst in 0..=(step % 3) {
+                if let Some(node) = dag.front_gate() {
+                    dag.mark_executed(node);
+                    if burst == 1 {
+                        let _ = dag.lookahead_layers(8);
+                    }
+                }
+            }
+            // A mid-run reset must break the chain, not corrupt the replay.
+            if step == 7 {
+                dag.reset();
+            }
+            step += 1;
+        }
+    }
+}
+
 /// The naive window corresponding to `dag`'s current progress: re-derives a
 /// fresh naive DAG and replays the executed set, then takes its window.
-fn naive_window_after(dag: &DependencyDag) -> Vec<Vec<ion_circuit::DagNodeId>> {
+fn naive_window_after(dag: &DependencyDag, k: usize) -> Vec<Vec<ion_circuit::DagNodeId>> {
     // Replay execution into a fresh naive DAG in program order; program order
     // is a valid topological order restricted to the executed set because
     // executing a gate requires all its predecessors (earlier in program
@@ -242,7 +308,7 @@ fn naive_window_after(dag: &DependencyDag) -> Vec<Vec<ion_circuit::DagNodeId>> {
     for node in executed {
         naive.mark_executed(node);
     }
-    naive.lookahead_layers(8)
+    naive.lookahead_layers(k)
 }
 
 /// Rebuilds a circuit with the same two-qubit gate stream as `dag` (the DAG

@@ -109,6 +109,46 @@ mod tests {
         );
     }
 
+    /// The same invariant on a >2-module device with the incremental
+    /// SWAP-insertion table doing real work: a dense random 96-qubit circuit
+    /// on 3 modules triggers fiber gates, per-fiber-gate table syncs (window
+    /// entered/left replays), inserted SWAPs with their `swap_logical`
+    /// re-attribution, and LRU evictions — and the warm pass must still not
+    /// allocate: the delta buffers, partner indexes and the qubits×modules
+    /// table are all pooled.
+    #[test]
+    fn warm_full_pass_with_swap_insertion_on_three_modules_is_allocation_free() {
+        let device = DeviceConfig::for_qubits(96).build();
+        assert!(
+            device.num_modules() > 2,
+            "this regression needs a >2-module device"
+        );
+        let circuit = generators::random_circuit(96, 600, 17);
+        let options = MussTiOptions::default();
+        assert!(options.enable_swap_insertion);
+        let mapping = trivial_mapping(&device, 96).unwrap();
+        let mut dag = DependencyDag::from_circuit(&circuit);
+        let mut cx = SchedulerScratch::new(&device);
+
+        for _ in 0..2 {
+            dag.reset();
+            let stats = schedule_in(&device, &options, &mut dag, &mapping, &mut cx).unwrap();
+            assert!(
+                stats.inserted_swaps > 0,
+                "the workload must actually drive the Section 3.3 pass"
+            );
+        }
+
+        dag.reset();
+        let allocs = allocations_during(|| {
+            schedule_in(&device, &options, &mut dag, &mapping, &mut cx).unwrap();
+        });
+        assert_eq!(
+            allocs, 0,
+            "steady-state swap-inserting pass on 3 modules must not allocate"
+        );
+    }
+
     /// The cost-only dry pass is likewise allocation-free after warm-up —
     /// and needs no warm op buffer at all, since it materialises nothing.
     #[test]

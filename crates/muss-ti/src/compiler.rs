@@ -195,7 +195,12 @@ impl MussTiCompiler {
         dag.reset();
         let stats = schedule_in(&self.device, &self.options, dag, &mapping, &mut cx.sched)?;
         let swap_insertion_ms = stats.swap_insertion_time.as_secs_f64() * 1e3;
-        let scheduling_ms = scheduling_start.elapsed().as_secs_f64() * 1e3 - swap_insertion_ms;
+        // The SWAP-insertion slice is measured by its own monotonic clock
+        // reads inside the pass, so subtracting it from the phase wall time
+        // can go (slightly) negative under timer jitter on sub-millisecond
+        // circuits; clamp so the reported phases are always non-negative.
+        let scheduling_ms =
+            (scheduling_start.elapsed().as_secs_f64() * 1e3 - swap_insertion_ms).max(0.0);
 
         let lowering_start = Instant::now();
         let final_mapping = cx.sched.state.mapping();

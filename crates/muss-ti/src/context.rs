@@ -12,6 +12,12 @@ use crate::scheduler::SchedulerScratch;
 /// (including the SABRE forward/backward/probe dry passes, which run in this
 /// arena back to back instead of three cold starts).
 ///
+/// The pooled weight table is *incrementally* maintained against the pass's
+/// DAG window; the context reset path clears its synced-epoch subscription
+/// along with its entries (via `SchedulerScratch::clear` →
+/// `WeightTable::clear`), so a recycled arena can never replay a previous
+/// circuit's window deltas.
+///
 /// Reuse is behaviour-neutral: compiling in a warm context yields op streams
 /// bit-identical to a cold compile (pinned by `tests/op_fingerprints.rs` and
 /// the session-reuse proptest suite).

@@ -188,6 +188,13 @@ impl PlacementState {
     /// itself. The destination must be in the same module and have free space
     /// (the scheduler guarantees both).
     ///
+    /// The same-module restriction is load-bearing beyond physics: the
+    /// incremental SWAP-insertion weight table attributes weight by *module*
+    /// and reconciles placement churn only at
+    /// [`swap_logical`](PlacementState::swap_logical) sites, so shuttles must
+    /// never change a qubit's module — the assert below is what keeps the
+    /// table exact without a per-shuttle hook.
+    ///
     /// # Panics
     ///
     /// Panics if the qubit is unplaced, the destination is full, or the move
@@ -262,6 +269,11 @@ impl PlacementState {
     /// chain slots are swapped in place; no transport op is produced because
     /// the exchange is performed by the three remote MS gates the scheduler
     /// emits alongside this call.
+    ///
+    /// This is the **only** operation that changes a qubit's module
+    /// mid-schedule (shuttles are intra-module by contract), which is why the
+    /// incremental weight table repairs placement churn exclusively at its
+    /// call sites via `WeightTable::apply_module_change`.
     ///
     /// # Panics
     ///

@@ -39,7 +39,9 @@ pub(crate) struct SchedulerScratch {
     /// The op stream of the most recent full pass (cleared at pass start;
     /// cost-only passes leave it untouched).
     pub(crate) ops: Vec<ScheduledOp>,
-    /// Pooled Section 3.3 weight table, recomputed in place per fiber gate.
+    /// Pooled Section 3.3 weight table, incrementally synced to the DAG's
+    /// look-ahead window per fiber gate (rebuilt only when the delta chain
+    /// breaks, i.e. at the first fiber gate of a pass).
     pub(crate) weights: WeightTable,
     /// Pooled executable-gates buffer for the scheduling loop (the front
     /// layer must be copied out before executing mutates the DAG).
@@ -683,12 +685,15 @@ impl<S: OpSink> Scheduler<'_, S> {
             .map(|z| z.id)
     }
 
-    /// Rebuilds the Section 3.3 weight table in place from the current
-    /// placement over the DAG's cached look-ahead window.
-    fn recompute_weights_into(&self, table: &mut WeightTable) {
+    /// Brings the Section 3.3 weight table up to date with the DAG's current
+    /// look-ahead window and the current placement: `O(Δ)` bumps for the
+    /// gates that crossed the window boundary since the previous fiber gate
+    /// (placement churn is applied eagerly at the `swap_logical` site below,
+    /// so the window record is the only drift to reconcile here).
+    fn sync_weights_into(&self, table: &mut WeightTable) {
         let state = &*self.state;
         let device = self.device;
-        table.recompute(
+        table.sync(
             self.dag,
             self.options.lookahead_k,
             device.num_modules(),
@@ -703,7 +708,7 @@ impl<S: OpSink> Scheduler<'_, S> {
         // the pass so `self` stays free for the routing calls below, and put
         // back (allocation intact) when done.
         let mut table = std::mem::take(self.weights);
-        self.recompute_weights_into(&mut table);
+        self.sync_weights_into(&mut table);
         let result = self.swap_insertion_pass(a, b, &mut table);
         *self.weights = table;
         result
@@ -712,9 +717,11 @@ impl<S: OpSink> Scheduler<'_, S> {
     /// The body of [`Scheduler::try_swap_insertion`], operating on the
     /// taken-out weight table.
     ///
-    /// One table serves both operands; it only goes stale if an inserted
-    /// SWAP actually changes qubit→module assignments, in which case it is
-    /// re-derived at the end of the loop body below.
+    /// One table serves both operands. The routing below moves ions only
+    /// within their modules (and retires no gate), so the table can only go
+    /// stale when an inserted SWAP changes qubit→module assignments — and
+    /// that churn is repaired exactly, in `O(window partners)`, by the
+    /// `apply_module_change` pair next to `swap_logical`.
     fn swap_insertion_pass(
         &mut self,
         a: QubitId,
@@ -728,12 +735,9 @@ impl<S: OpSink> Scheduler<'_, S> {
                 continue;
             }
             // ...and strongly needed on another module.
-            let Some((target_module, _)) = table.best_remote_module(
-                q,
-                home,
-                self.device.num_modules(),
-                self.options.swap_threshold,
-            ) else {
+            let Some((target_module, _)) =
+                table.best_remote_module(q, home, self.options.swap_threshold)
+            else {
                 continue;
             };
             // Find a partner on the target module that is itself no longer
@@ -756,15 +760,16 @@ impl<S: OpSink> Scheduler<'_, S> {
                 });
             }
             self.state.swap_logical(q, partner);
+            // The swap moved `q` home → target and `partner` target → home;
+            // re-attribute both qubits' window partners so the table stays
+            // exactly the one a full recompute would produce.
+            let k = self.options.lookahead_k;
+            table.apply_module_change(self.dag, k, q, home, target_module);
+            table.apply_module_change(self.dag, k, partner, target_module, home);
             self.clock += 1;
             self.state.touch(q, self.clock);
             self.state.touch(partner, self.clock);
             self.inserted_swaps += 1;
-            // The swap moved two qubits across modules, so the remaining
-            // operand (if any) must decide against fresh weights.
-            if q == a {
-                self.recompute_weights_into(table);
-            }
         }
         Ok(())
     }
