@@ -414,8 +414,16 @@ pub(crate) fn compile_on_grid_in(
 ) -> Result<CompiledProgram, CompileError> {
     let start = Instant::now();
     circuit
-        .validate()
-        .map_err(|e| CompileError::InvalidCircuit(e.to_string()))?;
+        .validate_for(device.total_capacity())
+        .map_err(|e| match e {
+            ion_circuit::CircuitError::WiderThanTarget { num_qubits, .. } => {
+                CompileError::DeviceTooSmall {
+                    required: num_qubits,
+                    capacity: device.total_capacity(),
+                }
+            }
+            other => CompileError::InvalidCircuit(other.to_string()),
+        })?;
 
     let placement_start = Instant::now();
     let mapping = initial_grid_mapping(device, circuit.num_qubits())?;

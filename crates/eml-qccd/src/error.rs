@@ -45,6 +45,11 @@ pub enum CompileError {
         /// Human-readable context.
         context: String,
     },
+    /// The compiler violated one of its own invariants (a caught panic or
+    /// equivalent). Inputs never produce this legitimately; seeing it means
+    /// a compiler bug, surfaced as an error so one bad compile cannot take
+    /// down a batch or a serving process.
+    Internal(String),
 }
 
 impl fmt::Display for CompileError {
@@ -58,6 +63,9 @@ impl fmt::Display for CompileError {
             CompileError::InvalidDevice(msg) => write!(f, "invalid device: {msg}"),
             CompileError::PlacementFailed { qubit, context } => {
                 write!(f, "could not place {qubit}: {context}")
+            }
+            CompileError::Internal(msg) => {
+                write!(f, "internal compiler error: {msg}")
             }
         }
     }

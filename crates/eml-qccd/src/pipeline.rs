@@ -391,7 +391,7 @@ where
         let mut ctx = compiler.new_context();
         return circuits
             .iter()
-            .map(|circuit| compiler.compile_in(&mut ctx, circuit))
+            .map(|circuit| compile_one_isolated(compiler, &mut ctx, circuit))
             .collect();
     }
 
@@ -411,7 +411,7 @@ where
                         let Some(circuit) = circuits.get(index) else {
                             break;
                         };
-                        produced.push((index, compiler.compile_in(&mut ctx, circuit)));
+                        produced.push((index, compile_one_isolated(compiler, &mut ctx, circuit)));
                     }
                     produced
                 })
@@ -428,6 +428,46 @@ where
         .into_iter()
         .map(|slot| slot.expect("every batch index is claimed by exactly one worker"))
         .collect()
+}
+
+/// One fault-isolated batch item: a panicking compile surfaces as
+/// [`CompileError::Internal`] in its own slot instead of unwinding through
+/// the worker and poisoning the whole batch.
+///
+/// On the happy path this is exactly `compiler.compile_in(ctx, circuit)` —
+/// `catch_unwind` allocates nothing unless a panic actually unwinds, so the
+/// zero-steady-state-allocation contract of the scheduler loop is untouched.
+/// After a caught panic the context may have been abandoned mid-mutation, so
+/// it is rebuilt from scratch before the next item.
+fn compile_one_isolated<C>(
+    compiler: &C,
+    ctx: &mut CompileContext,
+    circuit: &Circuit,
+) -> Result<CompiledProgram, CompileError>
+where
+    C: StagedCompiler + Sync + ?Sized,
+{
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        compiler.compile_in(ctx, circuit)
+    })) {
+        Ok(result) => result,
+        Err(payload) => {
+            *ctx = compiler.new_context();
+            Err(CompileError::Internal(panic_message(&*payload)))
+        }
+    }
+}
+
+/// Renders a panic payload as text (panics carry `&str` or `String` in
+/// practice; anything else gets a placeholder).
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
 }
 
 #[cfg(test)]
@@ -557,6 +597,80 @@ mod tests {
     #[test]
     fn empty_batch_is_empty() {
         assert!(compile_batch(&CountingCompiler, &[]).is_empty());
+    }
+
+    /// A compiler that panics on circuits named "poison" and otherwise
+    /// behaves like [`CountingCompiler`].
+    #[derive(Debug)]
+    struct PoisonCompiler;
+
+    impl Compiler for PoisonCompiler {
+        fn name(&self) -> &str {
+            "poison"
+        }
+        fn compile(&self, circuit: &Circuit) -> Result<CompiledProgram, CompileError> {
+            let mut ctx = StagedCompiler::new_context(self);
+            self.compile_in(&mut ctx, circuit)
+        }
+    }
+
+    impl StagedCompiler for PoisonCompiler {
+        fn new_context(&self) -> CompileContext {
+            CompileContext::with(CountingScratch::default())
+        }
+        fn compile_in(
+            &self,
+            ctx: &mut CompileContext,
+            circuit: &Circuit,
+        ) -> Result<CompiledProgram, CompileError> {
+            // Mutate the scratch *before* panicking so the test exercises a
+            // context abandoned mid-compile.
+            let scratch = ctx.scratch_or_init(CountingScratch::default);
+            scratch.buffer.push(ScheduledOp::ChainRearrange { zone: 0 });
+            assert!(circuit.name() != "poison", "poisoned circuit");
+            CountingCompiler.compile_in(ctx, circuit)
+        }
+    }
+
+    #[test]
+    fn poisoned_circuit_fails_its_slot_and_spares_the_rest() {
+        let mut circuits: Vec<Circuit> = (1..=9).map(circuit).collect();
+        circuits[4] = Circuit::with_name("poison", 4);
+        for threads in [1, 4] {
+            let results = compile_batch_with_threads(&PoisonCompiler, &circuits, threads);
+            assert_eq!(results.len(), circuits.len());
+            for (i, result) in results.iter().enumerate() {
+                if i == 4 {
+                    match result {
+                        Err(CompileError::Internal(msg)) => {
+                            assert!(msg.contains("poisoned circuit"), "{msg}")
+                        }
+                        other => panic!("expected Internal error in slot 4, got {other:?}"),
+                    }
+                } else {
+                    let program = result.as_ref().expect("healthy slot compiles");
+                    assert_eq!(program.num_qubits(), circuits[i].num_qubits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn context_is_rebuilt_after_a_caught_panic() {
+        // Sequential path: the circuit after the poison one reuses the same
+        // worker context, which must have been rebuilt, not left
+        // mid-mutation.
+        let circuits = vec![
+            Circuit::with_name("poison", 2),
+            circuit(3),
+            Circuit::with_name("poison", 2),
+            circuit(5),
+        ];
+        let results = compile_batch_with_threads(&PoisonCompiler, &circuits, 1);
+        assert!(matches!(results[0], Err(CompileError::Internal(_))));
+        assert_eq!(results[1].as_ref().unwrap().num_qubits(), 3);
+        assert!(matches!(results[2], Err(CompileError::Internal(_))));
+        assert_eq!(results[3].as_ref().unwrap().num_qubits(), 5);
     }
 
     #[test]

@@ -1,0 +1,54 @@
+//! Corpus runner (CI): batch-compiles every `.qasm` file in a directory
+//! with per-file reporting, exiting non-zero if any file misbehaves.
+//!
+//! Files named `invalid_*.qasm` are expected to be *rejected* by the parser
+//! (with structured diagnostics); every other file must parse and compile.
+//!
+//! ```text
+//! cargo run --release -p experiments --bin corpus_run [-- DIR] [--threads N]
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use experiments::corpus::run_corpus;
+
+fn main() -> ExitCode {
+    let mut dir = PathBuf::from("tests/corpus");
+    let mut threads = 4usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--threads" => {
+                threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--threads needs a positive integer");
+            }
+            "--help" | "-h" => {
+                println!("usage: corpus_run [DIR] [--threads N]");
+                return ExitCode::SUCCESS;
+            }
+            other if !other.starts_with("--") => dir = PathBuf::from(other),
+            other => {
+                eprintln!("unknown argument {other}; supported: [DIR] --threads N");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    match run_corpus(&dir, threads) {
+        Ok(report) => {
+            println!("{report}");
+            if report.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(err) => {
+            eprintln!("cannot read corpus directory {}: {err}", dir.display());
+            ExitCode::from(2)
+        }
+    }
+}

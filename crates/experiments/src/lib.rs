@@ -24,6 +24,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod compile_bench;
+pub mod corpus;
 pub mod fig10;
 pub mod fig11;
 pub mod fig12;

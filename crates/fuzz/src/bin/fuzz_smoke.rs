@@ -1,0 +1,60 @@
+//! CI-sized fuzz smoke: a deterministic adversarial-ingestion campaign and a
+//! differential-oracle campaign. Exits non-zero if any case panics or
+//! diverges.
+//!
+//! ```text
+//! fuzz_smoke [--qasm N] [--diff N] [--seed S]
+//! ```
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+fn main() -> ExitCode {
+    let mut qasm_cases = 10_000u64;
+    let mut diff_cases = 500u64;
+    let mut seed = 0x5EED_F0CCu64;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |name: &str| -> u64 {
+            args.next()
+                .and_then(|v| {
+                    let v = v.trim();
+                    v.strip_prefix("0x")
+                        .map(|h| u64::from_str_radix(h, 16).ok())
+                        .unwrap_or_else(|| v.parse().ok())
+                })
+                .unwrap_or_else(|| {
+                    eprintln!("{name} expects an integer argument");
+                    std::process::exit(2);
+                })
+        };
+        match arg.as_str() {
+            "--qasm" => qasm_cases = take("--qasm"),
+            "--diff" => diff_cases = take("--diff"),
+            "--seed" => seed = take("--seed"),
+            "--help" | "-h" => {
+                println!("usage: fuzz_smoke [--qasm N] [--diff N] [--seed S]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument '{other}' (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let start = Instant::now();
+    let qasm = fuzz::campaign::qasm_campaign(seed, qasm_cases);
+    println!("{qasm}  [{:.1}s]", start.elapsed().as_secs_f64());
+
+    let start = Instant::now();
+    let diff = fuzz::campaign::differential_campaign(seed ^ 0xD1FF_usize as u64, diff_cases);
+    println!("{diff}  [{:.1}s]", start.elapsed().as_secs_f64());
+
+    if qasm.is_clean() && diff.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

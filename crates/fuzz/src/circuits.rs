@@ -1,0 +1,215 @@
+//! Generators for arbitrary *valid* circuits.
+//!
+//! Where [`crate::bytes`] attacks the parser, this module attacks everything
+//! behind it: random well-formed [`Circuit`]s covering the whole gate set
+//! (the differential checks then compare optimised structures against their
+//! naive oracles on them), plus a fixed list of deterministic hostile shapes
+//! that historically stress compilers — width-1 programs, single-qubit-only
+//! programs, measure-only programs, empty programs.
+
+use ion_circuit::{Circuit, Gate, QubitId};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A finite rotation angle; mixes small angles with large magnitudes so the
+/// QASM round-trip exercises the full `f64` Display surface.
+fn theta(rng: &mut StdRng) -> f64 {
+    let base = rng.gen_range(-10.0..10.0f64);
+    match rng.gen_range(0..4usize) {
+        0 => base * 1e-12,
+        1 => base * 1e9,
+        _ => base,
+    }
+}
+
+/// Two distinct qubit indices below `n` (requires `n >= 2`).
+fn distinct_pair(rng: &mut StdRng, n: usize) -> (usize, usize) {
+    let a = rng.gen_range(0..n);
+    let b = (a + 1 + rng.gen_range(0..n - 1)) % n;
+    (a, b)
+}
+
+/// Pushes one random gate onto `circuit`; only gate kinds legal at the
+/// circuit's width are drawn (a width-1 circuit never sees a two-qubit gate).
+fn push_random_gate(circuit: &mut Circuit, rng: &mut StdRng) {
+    let n = circuit.num_qubits();
+    let q = QubitId::new(rng.gen_range(0..n));
+    let kind = if n >= 2 {
+        rng.gen_range(0..21usize)
+    } else {
+        rng.gen_range(0..14usize)
+    };
+    let gate = match kind {
+        0 => Gate::H(q),
+        1 => Gate::X(q),
+        2 => Gate::Y(q),
+        3 => Gate::Z(q),
+        4 => Gate::S(q),
+        5 => Gate::Sdg(q),
+        6 => Gate::T(q),
+        7 => Gate::Tdg(q),
+        8 => Gate::Rx {
+            qubit: q,
+            theta: theta(rng),
+        },
+        9 => Gate::Ry {
+            qubit: q,
+            theta: theta(rng),
+        },
+        10 => Gate::Rz {
+            qubit: q,
+            theta: theta(rng),
+        },
+        11 => Gate::U {
+            qubit: q,
+            theta: theta(rng),
+            phi: theta(rng),
+            lambda: theta(rng),
+        },
+        12 => Gate::Measure(q),
+        13 => {
+            // A non-empty barrier over a random (possibly repeating) subset.
+            // Empty barriers are deliberately never generated: the writer
+            // spells them as a whole-register `barrier q;`, which re-parses
+            // as all qubits — a legal but non-identical round trip.
+            let count = rng.gen_range(1..=n.min(4));
+            let qs = (0..count)
+                .map(|_| QubitId::new(rng.gen_range(0..n)))
+                .collect();
+            Gate::Barrier(qs)
+        }
+        two_qubit => {
+            let (a, b) = distinct_pair(rng, n);
+            let (a, b) = (QubitId::new(a), QubitId::new(b));
+            match two_qubit {
+                14 => Gate::Ms(a, b),
+                15 => Gate::Cx(a, b),
+                16 => Gate::Cz(a, b),
+                17 => Gate::Swap(a, b),
+                18 => Gate::Cp {
+                    control: a,
+                    target: b,
+                    theta: theta(rng),
+                },
+                _ => Gate::Rzz {
+                    a,
+                    b,
+                    theta: theta(rng),
+                },
+            }
+        }
+    };
+    circuit.push(gate);
+}
+
+/// A random valid circuit: 1–32 qubits, 0–120 gates drawn from the whole
+/// gate set (two-qubit kinds only when the width allows them).
+pub fn wild_circuit(rng: &mut StdRng) -> Circuit {
+    let n = rng.gen_range(1..33usize);
+    let gates = rng.gen_range(0..121usize);
+    let mut circuit = Circuit::with_name("wild", n);
+    for _ in 0..gates {
+        push_random_gate(&mut circuit, rng);
+    }
+    circuit
+}
+
+/// Deterministic hostile shapes: valid circuits whose structure degenerates
+/// one axis the schedulers normally rely on. Every differential campaign
+/// runs these before its random cases.
+pub fn hostile_circuits() -> Vec<Circuit> {
+    let mut out = Vec::new();
+
+    let mut c = Circuit::with_name("empty", 3);
+    out.push(c.clone());
+
+    c = Circuit::with_name("width_one", 1);
+    c.h(0).t(0).rz(0, 1.25).x(0).measure(0);
+    out.push(c.clone());
+
+    c = Circuit::with_name("single_qubit_only", 16);
+    for q in 0..16 {
+        c.h(q).rz(q, 0.5 + q as f64).tdg(q);
+    }
+    out.push(c.clone());
+
+    c = Circuit::with_name("measure_only", 8);
+    c.measure_all();
+    out.push(c.clone());
+
+    c = Circuit::with_name("barrier_heavy", 4);
+    for q in 0..3 {
+        c.cx(q, q + 1).barrier_all();
+    }
+    out.push(c.clone());
+
+    c = Circuit::with_name("two_qubit_chain", 2);
+    for i in 0..64 {
+        c.ms(i % 2, (i + 1) % 2);
+    }
+    out.push(c.clone());
+
+    c = Circuit::with_name("all_gates", 4);
+    c.h(0).x(1).t(2).tdg(3);
+    c.push(Gate::Y(QubitId::new(0)))
+        .push(Gate::Z(QubitId::new(1)))
+        .push(Gate::S(QubitId::new(2)))
+        .push(Gate::Sdg(QubitId::new(3)));
+    c.rx(0, 0.1).rz(1, -2.5);
+    c.push(Gate::Ry {
+        qubit: QubitId::new(2),
+        theta: 0.75,
+    })
+    .push(Gate::U {
+        qubit: QubitId::new(3),
+        theta: 0.1,
+        phi: 0.2,
+        lambda: 0.3,
+    });
+    c.ms(0, 1).cx(1, 2).cz(2, 3).swap(0, 3);
+    c.cp(0, 2, 0.4).rzz(1, 3, -0.6);
+    c.push(Gate::Barrier(vec![QubitId::new(0), QubitId::new(2)]));
+    c.ccx(0, 1, 2);
+    c.measure_all();
+    out.push(c);
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bytes::case_rng;
+
+    #[test]
+    fn wild_circuits_are_valid_and_deterministic() {
+        for index in 0..32 {
+            let a = wild_circuit(&mut case_rng(3, index));
+            let b = wild_circuit(&mut case_rng(3, index));
+            assert_eq!(a.gates(), b.gates());
+            a.validate().expect("wild circuits are valid");
+        }
+    }
+
+    #[test]
+    fn wild_circuits_cover_two_qubit_and_barrier_gates() {
+        let mut two_qubit = 0usize;
+        let mut barriers = 0usize;
+        for index in 0..64 {
+            let c = wild_circuit(&mut case_rng(9, index));
+            two_qubit += c.two_qubit_gate_count();
+            barriers += c.gates().iter().filter(|g| g.is_barrier()).count();
+        }
+        assert!(two_qubit > 0);
+        assert!(barriers > 0);
+    }
+
+    #[test]
+    fn hostile_circuits_are_valid() {
+        let hostile = hostile_circuits();
+        assert!(hostile.len() >= 6);
+        for c in &hostile {
+            c.validate().unwrap_or_else(|e| panic!("{}: {e}", c.name()));
+        }
+    }
+}

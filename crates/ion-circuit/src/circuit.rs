@@ -276,13 +276,20 @@ impl Circuit {
         max_depth
     }
 
-    /// Validates that every gate operand is in range and two-qubit gates have
-    /// distinct operands.
+    /// Validates that the register is non-empty, every gate operand is in
+    /// range and two-qubit gates have distinct operands.
+    ///
+    /// The non-empty-register check matters for circuits that bypassed the
+    /// constructors (e.g. deserialized ones): every compiler in the
+    /// workspace assumes `num_qubits >= 1` once validation passes.
     ///
     /// # Errors
     ///
     /// Returns the first [`CircuitError`] encountered, scanning gates in order.
     pub fn validate(&self) -> Result<(), CircuitError> {
+        if self.num_qubits == 0 {
+            return Err(CircuitError::EmptyRegister);
+        }
         for gate in &self.gates {
             let qs = gate.qubits();
             for q in &qs {
@@ -298,6 +305,26 @@ impl Circuit {
                     return Err(CircuitError::DuplicateOperand { qubit: a });
                 }
             }
+        }
+        Ok(())
+    }
+
+    /// [`validate`](Circuit::validate) plus a width check against a compile
+    /// target with `capacity` qubit slots — the validation boundary every
+    /// untrusted circuit crosses before entering a compiler.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::WiderThanTarget`] when the circuit declares
+    /// more qubits than `capacity`, or any error [`validate`](Circuit::validate)
+    /// reports.
+    pub fn validate_for(&self, capacity: usize) -> Result<(), CircuitError> {
+        self.validate()?;
+        if self.num_qubits > capacity {
+            return Err(CircuitError::WiderThanTarget {
+                num_qubits: self.num_qubits,
+                capacity,
+            });
         }
         Ok(())
     }

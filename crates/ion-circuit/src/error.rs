@@ -22,6 +22,13 @@ pub enum CircuitError {
     },
     /// The circuit declares zero qubits.
     EmptyRegister,
+    /// The circuit declares more qubits than its compile target provides.
+    WiderThanTarget {
+        /// Qubits the circuit declares.
+        num_qubits: usize,
+        /// Qubit slots the target provides.
+        capacity: usize,
+    },
 }
 
 impl fmt::Display for CircuitError {
@@ -37,6 +44,13 @@ impl fmt::Display for CircuitError {
             CircuitError::EmptyRegister => {
                 write!(f, "circuit register must have at least one qubit")
             }
+            CircuitError::WiderThanTarget {
+                num_qubits,
+                capacity,
+            } => write!(
+                f,
+                "circuit declares {num_qubits} qubits but the target only has {capacity} slots"
+            ),
         }
     }
 }

@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use super::parser::{Diagnostic, DiagnosticKind};
+
 /// The kind of a lexed token.
 #[derive(Debug, Clone, PartialEq)]
 pub enum TokenKind {
@@ -35,13 +37,15 @@ pub enum TokenKind {
     Op(char),
 }
 
-/// A token together with the 1-based line it starts on (for error messages).
+/// A token together with its 1-based source position (for error messages).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Token {
     /// What was lexed.
     pub kind: TokenKind,
     /// 1-based source line.
     pub line: usize,
+    /// 1-based column of the token's first character.
+    pub col: usize,
 }
 
 impl fmt::Display for TokenKind {
@@ -65,27 +69,73 @@ impl fmt::Display for TokenKind {
     }
 }
 
-/// Lexes OpenQASM 2.0 source into tokens, skipping whitespace and `//` comments.
-pub(crate) fn lex(source: &str) -> Vec<Token> {
+/// Character scanner with 1-based line/column tracking.
+struct Scanner {
+    chars: Vec<char>,
+    pos: usize,
+    line: usize,
+    col: usize,
+}
+
+impl Scanner {
+    fn new(source: &str) -> Self {
+        Scanner {
+            chars: source.chars().collect(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+}
+
+/// Lexes OpenQASM 2.0 source into tokens, skipping whitespace and `//`
+/// comments. Malformed input (unterminated strings, malformed numeric
+/// literals, characters outside the grammar) is reported as diagnostics
+/// rather than silently dropped; lexing always continues to the end of the
+/// input so the parser can report everything it finds in one pass. The
+/// diagnostic list is capped at [`MAX_LEX_DIAGNOSTICS`].
+pub(crate) fn lex(source: &str) -> (Vec<Token>, Vec<Diagnostic>) {
     let mut tokens = Vec::new();
-    let mut chars = source.chars().peekable();
-    let mut line = 1usize;
-    while let Some(&ch) = chars.peek() {
+    let mut diagnostics: Vec<Diagnostic> = Vec::new();
+    let mut scanner = Scanner::new(source);
+    let report = |diagnostics: &mut Vec<Diagnostic>, kind, line, col| {
+        if diagnostics.len() < MAX_LEX_DIAGNOSTICS {
+            diagnostics.push(Diagnostic {
+                kind,
+                line,
+                col,
+                snippet: String::new(),
+            });
+        }
+    };
+    while let Some(ch) = scanner.peek() {
+        let (line, col) = (scanner.line, scanner.col);
         match ch {
-            '\n' => {
-                line += 1;
-                chars.next();
-            }
             c if c.is_whitespace() => {
-                chars.next();
+                scanner.bump();
             }
             '/' => {
-                chars.next();
-                if chars.peek() == Some(&'/') {
+                scanner.bump();
+                if scanner.peek() == Some('/') {
                     // Line comment.
-                    for c in chars.by_ref() {
+                    while let Some(c) = scanner.bump() {
                         if c == '\n' {
-                            line += 1;
                             break;
                         }
                     }
@@ -93,114 +143,95 @@ pub(crate) fn lex(source: &str) -> Vec<Token> {
                     tokens.push(Token {
                         kind: TokenKind::Op('/'),
                         line,
+                        col,
                     });
                 }
             }
             '-' => {
-                chars.next();
-                if chars.peek() == Some(&'>') {
-                    chars.next();
+                scanner.bump();
+                if scanner.peek() == Some('>') {
+                    scanner.bump();
                     tokens.push(Token {
                         kind: TokenKind::Arrow,
                         line,
+                        col,
                     });
                 } else {
                     tokens.push(Token {
                         kind: TokenKind::Op('-'),
                         line,
+                        col,
                     });
                 }
             }
             '=' => {
-                chars.next();
-                if chars.peek() == Some(&'=') {
-                    chars.next();
+                scanner.bump();
+                if scanner.peek() == Some('=') {
+                    scanner.bump();
                     tokens.push(Token {
                         kind: TokenKind::EqEq,
                         line,
+                        col,
                     });
+                } else {
+                    report(
+                        &mut diagnostics,
+                        DiagnosticKind::InvalidCharacter { ch: '=' },
+                        line,
+                        col,
+                    );
                 }
             }
             '"' => {
-                chars.next();
+                scanner.bump();
                 let mut s = String::new();
-                for c in chars.by_ref() {
+                let mut terminated = false;
+                while let Some(c) = scanner.bump() {
                     if c == '"' {
+                        terminated = true;
                         break;
                     }
                     s.push(c);
                 }
+                if !terminated {
+                    report(
+                        &mut diagnostics,
+                        DiagnosticKind::UnterminatedString,
+                        line,
+                        col,
+                    );
+                }
                 tokens.push(Token {
                     kind: TokenKind::Str(s),
                     line,
+                    col,
                 });
             }
-            ';' => {
-                chars.next();
-                tokens.push(Token {
-                    kind: TokenKind::Semicolon,
-                    line,
-                });
-            }
-            ',' => {
-                chars.next();
-                tokens.push(Token {
-                    kind: TokenKind::Comma,
-                    line,
-                });
-            }
-            '[' => {
-                chars.next();
-                tokens.push(Token {
-                    kind: TokenKind::LBracket,
-                    line,
-                });
-            }
-            ']' => {
-                chars.next();
-                tokens.push(Token {
-                    kind: TokenKind::RBracket,
-                    line,
-                });
-            }
-            '(' => {
-                chars.next();
-                tokens.push(Token {
-                    kind: TokenKind::LParen,
-                    line,
-                });
-            }
-            ')' => {
-                chars.next();
-                tokens.push(Token {
-                    kind: TokenKind::RParen,
-                    line,
-                });
-            }
-            '{' => {
-                chars.next();
-                tokens.push(Token {
-                    kind: TokenKind::LBrace,
-                    line,
-                });
-            }
-            '}' => {
-                chars.next();
-                tokens.push(Token {
-                    kind: TokenKind::RBrace,
-                    line,
-                });
+            ';' | ',' | '[' | ']' | '(' | ')' | '{' | '}' => {
+                scanner.bump();
+                let kind = match ch {
+                    ';' => TokenKind::Semicolon,
+                    ',' => TokenKind::Comma,
+                    '[' => TokenKind::LBracket,
+                    ']' => TokenKind::RBracket,
+                    '(' => TokenKind::LParen,
+                    ')' => TokenKind::RParen,
+                    '{' => TokenKind::LBrace,
+                    _ => TokenKind::RBrace,
+                };
+                tokens.push(Token { kind, line, col });
             }
             '+' | '*' => {
-                chars.next();
+                scanner.bump();
                 tokens.push(Token {
                     kind: TokenKind::Op(ch),
                     line,
+                    col,
                 });
             }
             c if c.is_ascii_digit() || c == '.' => {
                 let mut text = String::new();
-                while let Some(&c) = chars.peek() {
+                while let Some(c) = scanner.peek() {
                     let after_exponent = matches!(text.chars().last(), Some('e') | Some('E'));
                     if c.is_ascii_digit()
                         || c == '.'
@@ -209,23 +240,38 @@ pub(crate) fn lex(source: &str) -> Vec<Token> {
                         || (after_exponent && (c == '-' || c == '+'))
                     {
                         text.push(c);
-                        chars.next();
+                        scanner.bump();
                     } else {
                         break;
                     }
                 }
-                let value = text.parse::<f64>().unwrap_or(0.0);
+                // `parse::<f64>` maps out-of-range literals like `1e309` to
+                // infinity rather than failing; treat those as malformed too
+                // so no non-finite value enters the token stream.
+                let value = match text.parse::<f64>() {
+                    Ok(v) if v.is_finite() => v,
+                    _ => {
+                        report(
+                            &mut diagnostics,
+                            DiagnosticKind::MalformedNumber { text: text.clone() },
+                            line,
+                            col,
+                        );
+                        0.0
+                    }
+                };
                 tokens.push(Token {
                     kind: TokenKind::Number(value),
                     line,
+                    col,
                 });
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let mut text = String::new();
-                while let Some(&c) = chars.peek() {
+                while let Some(c) = scanner.peek() {
                     if c.is_ascii_alphanumeric() || c == '_' || c == '.' {
                         text.push(c);
-                        chars.next();
+                        scanner.bump();
                     } else {
                         break;
                     }
@@ -233,16 +279,26 @@ pub(crate) fn lex(source: &str) -> Vec<Token> {
                 tokens.push(Token {
                     kind: TokenKind::Ident(text),
                     line,
+                    col,
                 });
             }
-            _ => {
-                // Skip any character we do not understand (OPENQASM version dots, etc.).
-                chars.next();
+            c => {
+                scanner.bump();
+                report(
+                    &mut diagnostics,
+                    DiagnosticKind::InvalidCharacter { ch: c },
+                    line,
+                    col,
+                );
             }
         }
     }
-    tokens
+    (tokens, diagnostics)
 }
+
+/// Cap on the number of lexer diagnostics recorded for one input, so a
+/// megabyte of garbage cannot amplify into a megabyte of error report.
+pub(crate) const MAX_LEX_DIAGNOSTICS: usize = 64;
 
 #[cfg(test)]
 mod tests {
@@ -250,7 +306,8 @@ mod tests {
 
     #[test]
     fn lexes_basic_statement() {
-        let tokens = lex("cx q[0], q[1];");
+        let (tokens, diags) = lex("cx q[0], q[1];");
+        assert!(diags.is_empty());
         let kinds: Vec<&TokenKind> = tokens.iter().map(|t| &t.kind).collect();
         assert_eq!(kinds[0], &TokenKind::Ident("cx".to_string()));
         assert_eq!(kinds[2], &TokenKind::LBracket);
@@ -260,14 +317,25 @@ mod tests {
 
     #[test]
     fn skips_comments_and_tracks_lines() {
-        let tokens = lex("// header\nh q[0];");
+        let (tokens, diags) = lex("// header\nh q[0];");
+        assert!(diags.is_empty());
         assert_eq!(tokens[0].kind, TokenKind::Ident("h".to_string()));
         assert_eq!(tokens[0].line, 2);
+        assert_eq!(tokens[0].col, 1);
+    }
+
+    #[test]
+    fn tracks_columns_within_a_line() {
+        let (tokens, _) = lex("cx q[0], q[1];");
+        assert_eq!(tokens[0].col, 1); // cx
+        assert_eq!(tokens[1].col, 4); // q
+        assert_eq!(tokens[2].col, 5); // [
     }
 
     #[test]
     fn lexes_arrow_and_string() {
-        let tokens = lex("include \"qelib1.inc\"; measure q -> c;");
+        let (tokens, diags) = lex("include \"qelib1.inc\"; measure q -> c;");
+        assert!(diags.is_empty());
         assert!(tokens
             .iter()
             .any(|t| t.kind == TokenKind::Str("qelib1.inc".to_string())));
@@ -276,7 +344,8 @@ mod tests {
 
     #[test]
     fn lexes_parameter_expressions() {
-        let tokens = lex("rz(pi/2) q[1];");
+        let (tokens, diags) = lex("rz(pi/2) q[1];");
+        assert!(diags.is_empty());
         assert!(tokens.iter().any(|t| t.kind == TokenKind::Op('/')));
         assert!(tokens
             .iter()
@@ -285,9 +354,50 @@ mod tests {
 
     #[test]
     fn lexes_floats_with_exponents() {
-        let tokens = lex("rx(1.5e-2) q[0];");
+        let (tokens, diags) = lex("rx(1.5e-2) q[0];");
+        assert!(diags.is_empty());
         assert!(tokens
             .iter()
             .any(|t| matches!(t.kind, TokenKind::Number(n) if (n - 1.5e-2).abs() < 1e-12)));
+    }
+
+    #[test]
+    fn unterminated_string_is_reported() {
+        let (_, diags) = lex("include \"qelib1.inc;\n");
+        assert!(diags
+            .iter()
+            .any(|d| d.kind == DiagnosticKind::UnterminatedString));
+    }
+
+    #[test]
+    fn invalid_characters_are_reported_with_position() {
+        let (_, diags) = lex("h q[0];\n@!\n");
+        assert!(diags
+            .iter()
+            .any(|d| d.kind == DiagnosticKind::InvalidCharacter { ch: '@' } && d.line == 2));
+        assert!(diags
+            .iter()
+            .any(|d| d.kind == DiagnosticKind::InvalidCharacter { ch: '!' }
+                && d.line == 2
+                && d.col == 2));
+    }
+
+    #[test]
+    fn malformed_number_is_reported() {
+        let (tokens, diags) = lex("rz(1.2.3) q[0];");
+        assert!(diags.iter().any(
+            |d| matches!(&d.kind, DiagnosticKind::MalformedNumber { text } if text == "1.2.3")
+        ));
+        // A placeholder token is still produced so the parser can continue.
+        assert!(tokens
+            .iter()
+            .any(|t| matches!(t.kind, TokenKind::Number(n) if n == 0.0)));
+    }
+
+    #[test]
+    fn diagnostic_flood_is_capped() {
+        let garbage: String = "@".repeat(10 * MAX_LEX_DIAGNOSTICS);
+        let (_, diags) = lex(&garbage);
+        assert_eq!(diags.len(), MAX_LEX_DIAGNOSTICS);
     }
 }

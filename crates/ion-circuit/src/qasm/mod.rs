@@ -7,6 +7,12 @@
 //! rzz ccx`), `measure` and `barrier`. Classical registers and `if`
 //! statements are parsed but ignored for scheduling purposes.
 //!
+//! The front-end is built for untrusted input: [`parse`] never panics, the
+//! parser recovers at statement boundaries and reports every problem it
+//! finds with line/column spans and source excerpts, and [`ParseLimits`]
+//! bounds register width, gate count and expression nesting so adversarial
+//! input cannot exhaust memory or the stack.
+//!
 //! ```
 //! use ion_circuit::qasm;
 //!
@@ -20,13 +26,34 @@
 //! cx q[1], q[2];
 //! measure q -> c;
 //! "#;
-//! let circuit = qasm::parse(source).unwrap();
+//! let circuit = match qasm::parse(source) {
+//!     Ok(circuit) => circuit,
+//!     Err(err) => {
+//!         // Each diagnostic carries a line/column span and source excerpt.
+//!         for diagnostic in err.diagnostics() {
+//!             eprintln!("{diagnostic}");
+//!         }
+//!         return;
+//!     }
+//! };
 //! assert_eq!(circuit.num_qubits(), 3);
 //! assert_eq!(circuit.two_qubit_gate_count(), 2);
 //!
 //! let emitted = qasm::to_qasm(&circuit);
-//! let reparsed = qasm::parse(&emitted).unwrap();
+//! let reparsed = qasm::parse(&emitted).expect("emitted QASM always re-parses");
 //! assert_eq!(reparsed.two_qubit_gate_count(), 2);
+//! ```
+//!
+//! Malformed input produces a structured [`QasmError`] instead of a panic:
+//!
+//! ```
+//! use ion_circuit::qasm::{self, DiagnosticKind};
+//!
+//! let err = qasm::parse("OPENQASM 2.0;\nqreg q[999999999];\n").unwrap_err();
+//! assert!(matches!(
+//!     err.first().kind,
+//!     DiagnosticKind::RegisterTooWide { .. }
+//! ));
 //! ```
 
 mod lexer;
@@ -34,5 +61,5 @@ mod parser;
 mod writer;
 
 pub use lexer::{Token, TokenKind};
-pub use parser::{parse, QasmError};
+pub use parser::{parse, parse_with_limits, Diagnostic, DiagnosticKind, ParseLimits, QasmError};
 pub use writer::to_qasm;

@@ -1,4 +1,12 @@
 //! Recursive-descent parser for the OpenQASM 2.0 subset.
+//!
+//! The parser is hardened against untrusted input: it recovers at statement
+//! boundaries and reports *every* problem it finds (capped by
+//! [`ParseLimits::max_diagnostics`]) instead of stopping at the first, every
+//! diagnostic carries a line/column span plus a source excerpt, and explicit
+//! resource limits bound register width, gate count and expression nesting so
+//! adversarial input (`qreg q[999999999];`, kilobyte-deep parentheses) is
+//! rejected with an error instead of exhausting memory or the stack.
 
 use std::collections::HashMap;
 use std::error::Error;
@@ -9,9 +17,38 @@ use crate::{Circuit, Gate, QubitId};
 
 use super::lexer::{lex, Token, TokenKind};
 
-/// Errors produced while parsing OpenQASM source.
+/// Resource limits applied while parsing untrusted OpenQASM source.
+///
+/// The defaults are far above anything in QASMBench while keeping worst-case
+/// memory and stack use small; tighten them for stricter ingestion tiers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseLimits {
+    /// Maximum total qubits across all `qreg` declarations.
+    pub max_qubits: usize,
+    /// Maximum number of gates the parsed circuit may contain (Toffoli
+    /// decomposition and whole-register broadcasts count post-expansion).
+    pub max_gates: usize,
+    /// Maximum nesting depth of parameter expressions (parentheses and unary
+    /// minus chains).
+    pub max_expr_depth: usize,
+    /// Maximum number of diagnostics collected before parsing aborts.
+    pub max_diagnostics: usize,
+}
+
+impl Default for ParseLimits {
+    fn default() -> Self {
+        ParseLimits {
+            max_qubits: 4096,
+            max_gates: 4_000_000,
+            max_expr_depth: 32,
+            max_diagnostics: 64,
+        }
+    }
+}
+
+/// What a single [`Diagnostic`] is about.
 #[derive(Debug, Clone, PartialEq)]
-pub enum QasmError {
+pub enum DiagnosticKind {
     /// The source ended unexpectedly.
     UnexpectedEof,
     /// An unexpected token was found.
@@ -20,22 +57,21 @@ pub enum QasmError {
         found: String,
         /// What the parser was looking for.
         expected: &'static str,
-        /// Source line of the offending token.
-        line: usize,
     },
     /// A gate refers to an undeclared register.
     UnknownRegister {
         /// Register name.
         name: String,
-        /// Source line.
-        line: usize,
+    },
+    /// A quantum register name was declared twice.
+    DuplicateRegister {
+        /// Register name.
+        name: String,
     },
     /// A gate name is not supported by this subset parser.
     UnsupportedGate {
         /// Gate name.
         name: String,
-        /// Source line.
-        line: usize,
     },
     /// A qubit index exceeds its register size.
     IndexOutOfRange {
@@ -43,44 +79,180 @@ pub enum QasmError {
         name: String,
         /// Offending index.
         index: usize,
-        /// Source line.
-        line: usize,
+        /// Declared register size.
+        size: usize,
     },
     /// No quantum register was declared before the first gate.
     NoQuantumRegister,
+    /// A `qreg` declaration with zero qubits.
+    EmptyRegister {
+        /// Register name.
+        name: String,
+    },
+    /// A `qreg` declaration (or the running total) exceeds
+    /// [`ParseLimits::max_qubits`].
+    RegisterTooWide {
+        /// Total qubits the declarations ask for (saturating).
+        requested: usize,
+        /// The configured limit.
+        max_qubits: usize,
+    },
+    /// The circuit exceeds [`ParseLimits::max_gates`].
+    TooManyGates {
+        /// The configured limit.
+        max_gates: usize,
+    },
+    /// A parameter expression nests deeper than
+    /// [`ParseLimits::max_expr_depth`].
+    ExpressionTooDeep {
+        /// The configured limit.
+        max_depth: usize,
+    },
+    /// A register size or qubit index literal is not a non-negative integer.
+    NonIntegerLiteral {
+        /// The literal's value.
+        value: f64,
+    },
+    /// A parameter expression evaluated to an infinity or NaN (for example
+    /// `rz(1/0)`); downstream timing and fidelity models require finite
+    /// angles.
+    NonFiniteParameter {
+        /// The evaluated value.
+        value: f64,
+    },
+    /// A string literal was not closed before end of input.
+    UnterminatedString,
+    /// A character outside the OpenQASM grammar.
+    InvalidCharacter {
+        /// The offending character.
+        ch: char,
+    },
+    /// A numeric literal that does not parse as a finite number.
+    MalformedNumber {
+        /// The literal's source text.
+        text: String,
+    },
+}
+
+impl fmt::Display for DiagnosticKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DiagnosticKind::UnexpectedEof => write!(f, "unexpected end of QASM source"),
+            DiagnosticKind::Unexpected { found, expected } => {
+                write!(f, "expected {expected}, found '{found}'")
+            }
+            DiagnosticKind::UnknownRegister { name } => write!(f, "unknown register '{name}'"),
+            DiagnosticKind::DuplicateRegister { name } => {
+                write!(f, "register '{name}' declared twice")
+            }
+            DiagnosticKind::UnsupportedGate { name } => write!(f, "unsupported gate '{name}'"),
+            DiagnosticKind::IndexOutOfRange { name, index, size } => write!(
+                f,
+                "index {index} out of range for register '{name}' of size {size}"
+            ),
+            DiagnosticKind::NoQuantumRegister => write!(f, "no quantum register declared"),
+            DiagnosticKind::EmptyRegister { name } => {
+                write!(f, "register '{name}' must have at least one qubit")
+            }
+            DiagnosticKind::RegisterTooWide {
+                requested,
+                max_qubits,
+            } => write!(
+                f,
+                "register declarations request {requested} qubits, exceeding the limit of {max_qubits}"
+            ),
+            DiagnosticKind::TooManyGates { max_gates } => {
+                write!(f, "circuit exceeds the gate limit of {max_gates}")
+            }
+            DiagnosticKind::ExpressionTooDeep { max_depth } => {
+                write!(f, "parameter expression nests deeper than {max_depth} levels")
+            }
+            DiagnosticKind::NonIntegerLiteral { value } => {
+                write!(f, "'{value}' is not a non-negative integer")
+            }
+            DiagnosticKind::NonFiniteParameter { value } => {
+                write!(f, "parameter expression evaluates to non-finite '{value}'")
+            }
+            DiagnosticKind::UnterminatedString => write!(f, "unterminated string literal"),
+            DiagnosticKind::InvalidCharacter { ch } => {
+                write!(f, "invalid character '{}'", ch.escape_default())
+            }
+            DiagnosticKind::MalformedNumber { text } => {
+                write!(f, "malformed numeric literal '{text}'")
+            }
+        }
+    }
+}
+
+/// One problem found in the source, with its position and source excerpt.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// What went wrong.
+    pub kind: DiagnosticKind,
+    /// 1-based source line (0 when the position is the end of input).
+    pub line: usize,
+    /// 1-based source column (0 when the position is the end of input).
+    pub col: usize,
+    /// The trimmed source line the diagnostic points at (may be empty).
+    pub snippet: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "error: {}", self.kind)?;
+        } else {
+            write!(
+                f,
+                "error at line {}, col {}: {}",
+                self.line, self.col, self.kind
+            )?;
+        }
+        if !self.snippet.is_empty() {
+            write!(f, "\n  {} | {}", self.line, self.snippet)?;
+        }
+        Ok(())
+    }
+}
+
+/// Errors produced while parsing OpenQASM source: one or more diagnostics,
+/// each with a line/column span and a source-line excerpt.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QasmError {
+    diagnostics: Vec<Diagnostic>,
+}
+
+impl QasmError {
+    /// Every problem found, in source order. Never empty.
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diagnostics
+    }
+
+    /// The first problem found.
+    pub fn first(&self) -> &Diagnostic {
+        &self.diagnostics[0]
+    }
 }
 
 impl fmt::Display for QasmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            QasmError::UnexpectedEof => write!(f, "unexpected end of QASM source"),
-            QasmError::Unexpected {
-                found,
-                expected,
-                line,
-            } => {
-                write!(f, "line {line}: expected {expected}, found '{found}'")
-            }
-            QasmError::UnknownRegister { name, line } => {
-                write!(f, "line {line}: unknown register '{name}'")
-            }
-            QasmError::UnsupportedGate { name, line } => {
-                write!(f, "line {line}: unsupported gate '{name}'")
-            }
-            QasmError::IndexOutOfRange { name, index, line } => {
-                write!(
-                    f,
-                    "line {line}: index {index} out of range for register '{name}'"
-                )
-            }
-            QasmError::NoQuantumRegister => write!(f, "no quantum register declared"),
+        if self.diagnostics.len() > 1 {
+            writeln!(f, "{} errors in QASM source:", self.diagnostics.len())?;
         }
+        for (i, diag) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{diag}")?;
+        }
+        Ok(())
     }
 }
 
 impl Error for QasmError {}
 
-/// Parses OpenQASM 2.0 source into a [`Circuit`].
+/// Parses OpenQASM 2.0 source into a [`Circuit`] under [default
+/// limits](ParseLimits::default).
 ///
 /// Multiple quantum registers are flattened into one contiguous register in
 /// declaration order. Classical registers, `if` conditions and custom `gate`
@@ -89,25 +261,57 @@ impl Error for QasmError {}
 ///
 /// # Errors
 ///
-/// Returns a [`QasmError`] describing the first problem encountered.
+/// Returns a [`QasmError`] collecting every problem found (the parser
+/// recovers at statement boundaries rather than stopping at the first
+/// error). This function never panics, for any input.
 pub fn parse(source: &str) -> Result<Circuit, QasmError> {
-    Parser::new(source).parse()
+    parse_with_limits(source, &ParseLimits::default())
 }
 
-struct Parser {
+/// [`parse`] with caller-chosen [`ParseLimits`].
+pub fn parse_with_limits(source: &str, limits: &ParseLimits) -> Result<Circuit, QasmError> {
+    let (tokens, lex_diagnostics) = lex(source);
+    let mut parser = Parser::new(tokens, lex_diagnostics, limits);
+    let result = parser.parse();
+    match result {
+        Ok(circuit) if parser.diagnostics.is_empty() => Ok(circuit),
+        _ => {
+            let mut diagnostics = parser.diagnostics;
+            diagnostics.sort_by_key(|d| (d.line, d.col));
+            attach_snippets(&mut diagnostics, source);
+            Err(QasmError { diagnostics })
+        }
+    }
+}
+
+/// Fills each diagnostic's `snippet` with its trimmed source line.
+fn attach_snippets(diagnostics: &mut [Diagnostic], source: &str) {
+    let lines: Vec<&str> = source.lines().collect();
+    for diag in diagnostics {
+        if diag.line >= 1 && diag.line <= lines.len() {
+            diag.snippet = lines[diag.line - 1].trim_end().to_string();
+        }
+    }
+}
+
+struct Parser<'a> {
     tokens: Vec<Token>,
     pos: usize,
+    limits: &'a ParseLimits,
+    diagnostics: Vec<Diagnostic>,
     /// name -> (offset, size)
     qregs: HashMap<String, (usize, usize)>,
     total_qubits: usize,
     gates: Vec<Gate>,
 }
 
-impl Parser {
-    fn new(source: &str) -> Self {
+impl<'a> Parser<'a> {
+    fn new(tokens: Vec<Token>, lex_diagnostics: Vec<Diagnostic>, limits: &'a ParseLimits) -> Self {
         Parser {
-            tokens: lex(source),
+            tokens,
             pos: 0,
+            limits,
+            diagnostics: lex_diagnostics,
             qregs: HashMap::new(),
             total_qubits: 0,
             gates: Vec::new(),
@@ -126,18 +330,58 @@ impl Parser {
         t
     }
 
-    fn expect_semicolon(&mut self) -> Result<(), QasmError> {
+    /// Position (line, col) for end-of-input diagnostics: the last token if
+    /// any, else unknown (0, 0).
+    fn eof_pos(&self) -> (usize, usize) {
+        self.tokens.last().map_or((0, 0), |t| (t.line, t.col))
+    }
+
+    fn diag_at(&self, kind: DiagnosticKind, line: usize, col: usize) -> Diagnostic {
+        Diagnostic {
+            kind,
+            line,
+            col,
+            snippet: String::new(),
+        }
+    }
+
+    fn eof_diag(&self) -> Diagnostic {
+        let (line, col) = self.eof_pos();
+        self.diag_at(DiagnosticKind::UnexpectedEof, line, col)
+    }
+
+    fn unexpected(&self, token: &Token, expected: &'static str) -> Diagnostic {
+        self.diag_at(
+            DiagnosticKind::Unexpected {
+                found: token.kind.to_string(),
+                expected,
+            },
+            token.line,
+            token.col,
+        )
+    }
+
+    fn report(&mut self, diag: Diagnostic) {
+        if self.diagnostics.len() < self.limits.max_diagnostics {
+            self.diagnostics.push(diag);
+        }
+    }
+
+    /// Whether the diagnostic budget is exhausted (parsing aborts then: an
+    /// input bad enough to hit the cap yields no useful extra information,
+    /// and aborting bounds work on adversarial floods).
+    fn capped(&self) -> bool {
+        self.diagnostics.len() >= self.limits.max_diagnostics
+    }
+
+    fn expect_semicolon(&mut self) -> Result<(), Diagnostic> {
         match self.next() {
             Some(Token {
                 kind: TokenKind::Semicolon,
                 ..
             }) => Ok(()),
-            Some(t) => Err(QasmError::Unexpected {
-                found: t.kind.to_string(),
-                expected: ";",
-                line: t.line,
-            }),
-            None => Err(QasmError::UnexpectedEof),
+            Some(t) => Err(self.unexpected(&t, ";")),
+            None => Err(self.eof_diag()),
         }
     }
 
@@ -147,6 +391,24 @@ impl Parser {
                 break;
             }
         }
+    }
+
+    /// Error recovery: resynchronise at the next statement boundary. If the
+    /// token just consumed already was a semicolon (the error was *at* the
+    /// boundary), nothing more is skipped.
+    fn recover_to_statement(&mut self) {
+        if self.pos > 0
+            && matches!(
+                self.tokens.get(self.pos - 1),
+                Some(Token {
+                    kind: TokenKind::Semicolon,
+                    ..
+                })
+            )
+        {
+            return;
+        }
+        self.skip_to_semicolon();
     }
 
     fn skip_block_or_statement(&mut self) {
@@ -167,73 +429,146 @@ impl Parser {
         }
     }
 
-    fn parse(mut self) -> Result<Circuit, QasmError> {
+    fn parse(&mut self) -> Result<Circuit, ()> {
         while let Some(token) = self.peek().cloned() {
-            match token.kind {
-                TokenKind::Ident(word) => match word.as_str() {
-                    "OPENQASM" | "include" | "creg" => {
-                        self.skip_to_semicolon();
-                    }
-                    "gate" | "opaque" => {
-                        self.skip_block_or_statement();
-                    }
-                    "if" => {
-                        // `if (c==0) gate ...;` — drop the condition, keep nothing
-                        // (conditioned gates are rare in the benchmarks and do not
-                        // change shuttle scheduling structure).
-                        self.skip_to_semicolon();
-                    }
-                    "qreg" => {
-                        self.next();
-                        self.parse_qreg(token.line)?;
-                    }
-                    "measure" => {
-                        self.next();
-                        self.parse_measure(token.line)?;
-                    }
-                    "barrier" => {
-                        self.next();
-                        self.parse_barrier(token.line)?;
-                    }
-                    _ => {
-                        self.next();
-                        self.parse_gate(&word, token.line)?;
-                    }
-                },
-                TokenKind::Semicolon => {
-                    self.next();
-                }
-                _ => {
-                    return Err(QasmError::Unexpected {
-                        found: token.kind.to_string(),
-                        expected: "statement",
-                        line: token.line,
-                    })
-                }
+            if self.capped() {
+                return Err(());
+            }
+            if let Err(diag) = self.parse_statement(&token) {
+                self.report(diag);
+                self.recover_to_statement();
+            }
+            if self.gates.len() > self.limits.max_gates {
+                let diag = self.diag_at(
+                    DiagnosticKind::TooManyGates {
+                        max_gates: self.limits.max_gates,
+                    },
+                    token.line,
+                    token.col,
+                );
+                self.report(diag);
+                return Err(());
             }
         }
         if self.total_qubits == 0 {
-            return Err(QasmError::NoQuantumRegister);
+            // Only worth reporting when no earlier diagnostic (e.g. a
+            // rejected `qreg`) already explains why no register exists.
+            if self.diagnostics.is_empty() {
+                let diag = self.diag_at(DiagnosticKind::NoQuantumRegister, 0, 0);
+                self.report(diag);
+            }
+            return Err(());
+        }
+        if !self.diagnostics.is_empty() {
+            return Err(());
         }
         let mut circuit = Circuit::with_name("qasm", self.total_qubits);
-        circuit.extend(self.gates);
+        circuit.extend(std::mem::take(&mut self.gates));
         Ok(circuit)
     }
 
-    fn parse_qreg(&mut self, line: usize) -> Result<(), QasmError> {
-        let name = self.expect_ident(line)?;
-        self.expect_kind(TokenKind::LBracket, "[", line)?;
-        let size = self.expect_number(line)? as usize;
-        self.expect_kind(TokenKind::RBracket, "]", line)?;
+    fn parse_statement(&mut self, token: &Token) -> Result<(), Diagnostic> {
+        match &token.kind {
+            TokenKind::Ident(word) => match word.as_str() {
+                "OPENQASM" | "include" | "creg" => {
+                    self.skip_to_semicolon();
+                    Ok(())
+                }
+                "gate" | "opaque" => {
+                    self.skip_block_or_statement();
+                    Ok(())
+                }
+                "if" => {
+                    // `if (c==0) gate ...;` — drop the condition, keep nothing
+                    // (conditioned gates are rare in the benchmarks and do not
+                    // change shuttle scheduling structure).
+                    self.skip_to_semicolon();
+                    Ok(())
+                }
+                "qreg" => {
+                    self.next();
+                    self.parse_qreg(token.line)
+                }
+                "measure" => {
+                    self.next();
+                    self.parse_measure(token.line)
+                }
+                "barrier" => {
+                    self.next();
+                    self.parse_barrier(token.line)
+                }
+                _ => {
+                    let word = word.clone();
+                    self.next();
+                    self.parse_gate(&word, token.line, token.col)
+                }
+            },
+            TokenKind::Semicolon => {
+                self.next();
+                Ok(())
+            }
+            _ => {
+                self.next();
+                Err(self.unexpected(token, "statement"))
+            }
+        }
+    }
+
+    /// Consumes a number token and checks it denotes a non-negative integer
+    /// (register sizes and qubit indices). Values beyond `usize` saturate;
+    /// callers apply their own range checks and limit diagnostics.
+    fn expect_index(&mut self) -> Result<usize, Diagnostic> {
+        let token = match self.next() {
+            Some(t) => t,
+            None => return Err(self.eof_diag()),
+        };
+        let value = match token.kind {
+            TokenKind::Number(n) => n,
+            _ => return Err(self.unexpected(&token, "non-negative integer")),
+        };
+        if value.is_finite() && value.fract() == 0.0 && value >= 0.0 {
+            // `as` saturates at usize::MAX for values beyond the type.
+            Ok(value as usize)
+        } else {
+            Err(self.diag_at(
+                DiagnosticKind::NonIntegerLiteral { value },
+                token.line,
+                token.col,
+            ))
+        }
+    }
+
+    fn parse_qreg(&mut self, line: usize) -> Result<(), Diagnostic> {
+        let (name, name_col) = self.expect_ident()?;
+        self.expect_kind(TokenKind::LBracket, "[")?;
+        let size = self.expect_index()?;
+        self.expect_kind(TokenKind::RBracket, "]")?;
         self.expect_semicolon()?;
+        if size == 0 {
+            return Err(self.diag_at(DiagnosticKind::EmptyRegister { name }, line, name_col));
+        }
+        let requested = self.total_qubits.saturating_add(size);
+        if requested > self.limits.max_qubits {
+            return Err(self.diag_at(
+                DiagnosticKind::RegisterTooWide {
+                    requested,
+                    max_qubits: self.limits.max_qubits,
+                },
+                line,
+                name_col,
+            ));
+        }
+        if self.qregs.contains_key(&name) {
+            return Err(self.diag_at(DiagnosticKind::DuplicateRegister { name }, line, name_col));
+        }
         self.qregs.insert(name, (self.total_qubits, size));
         self.total_qubits += size;
         Ok(())
     }
 
-    fn parse_measure(&mut self, line: usize) -> Result<(), QasmError> {
+    fn parse_measure(&mut self, _line: usize) -> Result<(), Diagnostic> {
         // measure q[i] -> c[i]; | measure q -> c;
-        let targets = self.parse_argument(line)?;
+        let targets = self.parse_argument()?;
         // Skip everything up to the semicolon (the classical target).
         self.skip_to_semicolon();
         for q in targets {
@@ -242,10 +577,10 @@ impl Parser {
         Ok(())
     }
 
-    fn parse_barrier(&mut self, line: usize) -> Result<(), QasmError> {
+    fn parse_barrier(&mut self, _line: usize) -> Result<(), Diagnostic> {
         let mut qubits = Vec::new();
         loop {
-            let mut arg = self.parse_argument(line)?;
+            let mut arg = self.parse_argument()?;
             qubits.append(&mut arg);
             match self.next() {
                 Some(Token {
@@ -256,21 +591,15 @@ impl Parser {
                     kind: TokenKind::Semicolon,
                     ..
                 }) => break,
-                Some(t) => {
-                    return Err(QasmError::Unexpected {
-                        found: t.kind.to_string(),
-                        expected: ", or ;",
-                        line: t.line,
-                    })
-                }
-                None => return Err(QasmError::UnexpectedEof),
+                Some(t) => return Err(self.unexpected(&t, ", or ;")),
+                None => return Err(self.eof_diag()),
             }
         }
         self.gates.push(Gate::Barrier(qubits));
         Ok(())
     }
 
-    fn parse_gate(&mut self, name: &str, line: usize) -> Result<(), QasmError> {
+    fn parse_gate(&mut self, name: &str, line: usize, col: usize) -> Result<(), Diagnostic> {
         // Optional parameter list.
         let params = if matches!(
             self.peek(),
@@ -280,14 +609,20 @@ impl Parser {
             })
         ) {
             self.next();
-            self.parse_params(line)?
+            self.parse_params()?
         } else {
             Vec::new()
         };
+        // Finite literals can still combine into infinities or NaN (`1/0`,
+        // `1e308+1e308`); reject them here so every parsed circuit carries
+        // only finite angles and survives an exact `to_qasm` round trip.
+        if let Some(bad) = params.iter().copied().find(|p| !p.is_finite()) {
+            return Err(self.diag_at(DiagnosticKind::NonFiniteParameter { value: bad }, line, col));
+        }
         // Operands: comma-separated arguments, each `reg` or `reg[i]`.
         let mut operands: Vec<Vec<QubitId>> = Vec::new();
         loop {
-            operands.push(self.parse_argument(line)?);
+            operands.push(self.parse_argument()?);
             match self.next() {
                 Some(Token {
                     kind: TokenKind::Comma,
@@ -297,41 +632,41 @@ impl Parser {
                     kind: TokenKind::Semicolon,
                     ..
                 }) => break,
-                Some(t) => {
-                    return Err(QasmError::Unexpected {
-                        found: t.kind.to_string(),
-                        expected: ", or ;",
-                        line: t.line,
-                    })
-                }
-                None => return Err(QasmError::UnexpectedEof),
+                Some(t) => return Err(self.unexpected(&t, ", or ;")),
+                None => return Err(self.eof_diag()),
             }
         }
         // Broadcast over whole-register operands (all operands must then have
-        // the same length; single-qubit operands are repeated).
+        // the same length; single-qubit operands are repeated). Registers are
+        // never empty, so every operand list has at least one entry.
         let broadcast = operands.iter().map(Vec::len).max().unwrap_or(1);
         for i in 0..broadcast {
             let pick = |op: &Vec<QubitId>| -> QubitId {
                 if op.len() == 1 {
                     op[0]
                 } else {
-                    op[i.min(op.len() - 1)]
+                    op[i.min(op.len().saturating_sub(1))]
                 }
             };
             if name == "ccx" {
                 // Decompose Toffolis here so downstream schedulers only ever
                 // see one- and two-qubit gates.
-                let need = |idx: usize| -> Result<QubitId, QasmError> {
-                    operands.get(idx).map(&pick).ok_or(QasmError::Unexpected {
-                        found: "end of operands".to_string(),
-                        expected: "qubit operand",
-                        line,
+                let need = |idx: usize| -> Result<QubitId, Diagnostic> {
+                    operands.get(idx).map(&pick).ok_or_else(|| {
+                        self.diag_at(
+                            DiagnosticKind::Unexpected {
+                                found: "end of operands".to_string(),
+                                expected: "qubit operand",
+                            },
+                            line,
+                            col,
+                        )
                     })
                 };
                 let (a, b, c) = (need(0)?, need(1)?, need(2)?);
                 self.gates.extend(toffoli_decomposition(a, b, c));
             } else {
-                let gate = self.build_gate(name, &params, &operands, pick, line)?;
+                let gate = self.build_gate(name, &params, &operands, pick, line, col)?;
                 self.gates.push(gate);
             }
         }
@@ -345,12 +680,18 @@ impl Parser {
         operands: &[Vec<QubitId>],
         pick: impl Fn(&Vec<QubitId>) -> QubitId,
         line: usize,
-    ) -> Result<Gate, QasmError> {
-        let op = |idx: usize| -> Result<QubitId, QasmError> {
-            operands.get(idx).map(&pick).ok_or(QasmError::Unexpected {
-                found: "end of operands".to_string(),
-                expected: "qubit operand",
-                line,
+        col: usize,
+    ) -> Result<Gate, Diagnostic> {
+        let op = |idx: usize| -> Result<QubitId, Diagnostic> {
+            operands.get(idx).map(&pick).ok_or_else(|| {
+                self.diag_at(
+                    DiagnosticKind::Unexpected {
+                        found: "end of operands".to_string(),
+                        expected: "qubit operand",
+                    },
+                    line,
+                    col,
+                )
             })
         };
         let p = |idx: usize| params.get(idx).copied().unwrap_or(0.0);
@@ -406,84 +747,131 @@ impl Parser {
             "swap" => Gate::Swap(op(0)?, op(1)?),
             "ms" | "rxx" => Gate::Ms(op(0)?, op(1)?),
             other => {
-                return Err(QasmError::UnsupportedGate {
-                    name: other.to_string(),
+                return Err(self.diag_at(
+                    DiagnosticKind::UnsupportedGate {
+                        name: other.to_string(),
+                    },
                     line,
-                });
+                    col,
+                ));
             }
         };
         Ok(gate)
     }
 
-    fn parse_params(&mut self, line: usize) -> Result<Vec<f64>, QasmError> {
-        // Parse a comma-separated list of constant expressions terminated by ')'.
+    /// Parses a comma-separated list of constant expressions terminated by
+    /// `)` (the opening `(` has already been consumed).
+    fn parse_params(&mut self) -> Result<Vec<f64>, Diagnostic> {
         let mut params = Vec::new();
-        let mut current = ExprAccumulator::new();
+        if matches!(
+            self.peek(),
+            Some(Token {
+                kind: TokenKind::RParen,
+                ..
+            })
+        ) {
+            self.next();
+            return Ok(params);
+        }
         loop {
+            params.push(self.parse_expr(0)?);
             match self.next() {
                 Some(Token {
                     kind: TokenKind::RParen,
                     ..
-                }) => {
-                    params.push(current.finish());
-                    break;
-                }
+                }) => break,
                 Some(Token {
                     kind: TokenKind::Comma,
                     ..
-                }) => {
-                    params.push(current.finish());
-                    current = ExprAccumulator::new();
-                }
-                Some(Token {
-                    kind: TokenKind::Number(n),
-                    ..
-                }) => current.push_value(n),
-                Some(Token {
-                    kind: TokenKind::Ident(word),
-                    ..
-                }) if word == "pi" => current.push_value(PI),
-                Some(Token {
-                    kind: TokenKind::Op(op),
-                    ..
-                }) => current.push_op(op),
-                Some(t) => {
-                    return Err(QasmError::Unexpected {
-                        found: t.kind.to_string(),
-                        expected: "parameter expression",
-                        line: t.line,
-                    })
-                }
-                None => return Err(QasmError::UnexpectedEof),
+                }) => continue,
+                Some(t) => return Err(self.unexpected(&t, ", or )")),
+                None => return Err(self.eof_diag()),
             }
         }
-        let _ = line;
         Ok(params)
     }
 
+    /// `expr := term (('+'|'-') term)*` with left-to-right association.
+    fn parse_expr(&mut self, depth: usize) -> Result<f64, Diagnostic> {
+        let mut value = self.parse_term(depth)?;
+        while let Some(Token {
+            kind: TokenKind::Op(op @ ('+' | '-')),
+            ..
+        }) = self.peek()
+        {
+            let op = *op;
+            self.next();
+            let rhs = self.parse_term(depth)?;
+            value = if op == '+' { value + rhs } else { value - rhs };
+        }
+        Ok(value)
+    }
+
+    /// `term := unary (('*'|'/') unary)*` with left-to-right association.
+    fn parse_term(&mut self, depth: usize) -> Result<f64, Diagnostic> {
+        let mut value = self.parse_unary(depth)?;
+        while let Some(Token {
+            kind: TokenKind::Op(op @ ('*' | '/')),
+            ..
+        }) = self.peek()
+        {
+            let op = *op;
+            self.next();
+            let rhs = self.parse_unary(depth)?;
+            value = if op == '*' { value * rhs } else { value / rhs };
+        }
+        Ok(value)
+    }
+
+    /// `unary := '-' unary | atom`, `atom := number | 'pi' | '(' expr ')'`.
+    /// `depth` counts recursion (unary minus chains and parentheses) and is
+    /// bounded by [`ParseLimits::max_expr_depth`] so adversarial nesting
+    /// cannot overflow the stack.
+    fn parse_unary(&mut self, depth: usize) -> Result<f64, Diagnostic> {
+        let token = match self.next() {
+            Some(t) => t,
+            None => return Err(self.eof_diag()),
+        };
+        if depth >= self.limits.max_expr_depth {
+            return Err(self.diag_at(
+                DiagnosticKind::ExpressionTooDeep {
+                    max_depth: self.limits.max_expr_depth,
+                },
+                token.line,
+                token.col,
+            ));
+        }
+        match token.kind {
+            TokenKind::Op('-') => Ok(-self.parse_unary(depth + 1)?),
+            TokenKind::Number(n) => Ok(n),
+            TokenKind::Ident(ref word) if word == "pi" => Ok(PI),
+            TokenKind::LParen => {
+                let value = self.parse_expr(depth + 1)?;
+                self.expect_kind(TokenKind::RParen, ")")?;
+                Ok(value)
+            }
+            _ => Err(self.unexpected(&token, "parameter expression")),
+        }
+    }
+
     /// Parses `reg` or `reg[i]`, returning the referenced qubits.
-    fn parse_argument(&mut self, _line: usize) -> Result<Vec<QubitId>, QasmError> {
-        let (name, line) = match self.next() {
+    fn parse_argument(&mut self) -> Result<Vec<QubitId>, Diagnostic> {
+        let (name, line, col) = match self.next() {
             Some(Token {
                 kind: TokenKind::Ident(name),
                 line,
-            }) => (name, line),
-            Some(t) => {
-                return Err(QasmError::Unexpected {
-                    found: t.kind.to_string(),
-                    expected: "register name",
-                    line: t.line,
-                })
-            }
-            None => return Err(QasmError::UnexpectedEof),
+                col,
+            }) => (name, line, col),
+            Some(t) => return Err(self.unexpected(&t, "register name")),
+            None => return Err(self.eof_diag()),
         };
-        let &(offset, size) = self
-            .qregs
-            .get(&name)
-            .ok_or_else(|| QasmError::UnknownRegister {
-                name: name.clone(),
+        let &(offset, size) = self.qregs.get(&name).ok_or_else(|| {
+            self.diag_at(
+                DiagnosticKind::UnknownRegister { name: name.clone() },
                 line,
-            })?;
+                col,
+            )
+        })?;
         if matches!(
             self.peek(),
             Some(Token {
@@ -492,10 +880,14 @@ impl Parser {
             })
         ) {
             self.next();
-            let index = self.expect_number(line)? as usize;
-            self.expect_kind(TokenKind::RBracket, "]", line)?;
+            let index = self.expect_index()?;
+            self.expect_kind(TokenKind::RBracket, "]")?;
             if index >= size {
-                return Err(QasmError::IndexOutOfRange { name, index, line });
+                return Err(self.diag_at(
+                    DiagnosticKind::IndexOutOfRange { name, index, size },
+                    line,
+                    col,
+                ));
             }
             Ok(vec![QubitId::new(offset + index)])
         } else {
@@ -503,50 +895,23 @@ impl Parser {
         }
     }
 
-    fn expect_ident(&mut self, _line: usize) -> Result<String, QasmError> {
+    fn expect_ident(&mut self) -> Result<(String, usize), Diagnostic> {
         match self.next() {
             Some(Token {
                 kind: TokenKind::Ident(s),
+                col,
                 ..
-            }) => Ok(s),
-            Some(t) => Err(QasmError::Unexpected {
-                found: t.kind.to_string(),
-                expected: "identifier",
-                line: t.line,
-            }),
-            None => Err(QasmError::UnexpectedEof),
+            }) => Ok((s, col)),
+            Some(t) => Err(self.unexpected(&t, "identifier")),
+            None => Err(self.eof_diag()),
         }
     }
 
-    fn expect_number(&mut self, _line: usize) -> Result<f64, QasmError> {
-        match self.next() {
-            Some(Token {
-                kind: TokenKind::Number(n),
-                ..
-            }) => Ok(n),
-            Some(t) => Err(QasmError::Unexpected {
-                found: t.kind.to_string(),
-                expected: "number",
-                line: t.line,
-            }),
-            None => Err(QasmError::UnexpectedEof),
-        }
-    }
-
-    fn expect_kind(
-        &mut self,
-        kind: TokenKind,
-        expected: &'static str,
-        _line: usize,
-    ) -> Result<(), QasmError> {
+    fn expect_kind(&mut self, kind: TokenKind, expected: &'static str) -> Result<(), Diagnostic> {
         match self.next() {
             Some(t) if t.kind == kind => Ok(()),
-            Some(t) => Err(QasmError::Unexpected {
-                found: t.kind.to_string(),
-                expected,
-                line: t.line,
-            }),
-            None => Err(QasmError::UnexpectedEof),
+            Some(t) => Err(self.unexpected(&t, expected)),
+            None => Err(self.eof_diag()),
         }
     }
 }
@@ -573,70 +938,15 @@ fn toffoli_decomposition(a: QubitId, b: QubitId, c: QubitId) -> Vec<Gate> {
     ]
 }
 
-/// Evaluates the flat constant expressions found in gate parameter lists
-/// (`pi/2`, `3*pi/4`, `-0.5`, …) with left-to-right application of `* /`
-/// over an additive accumulator. This matches how QASMBench writes angles.
-struct ExprAccumulator {
-    total: f64,
-    current: f64,
-    pending_op: char,
-    has_value: bool,
-}
-
-impl ExprAccumulator {
-    fn new() -> Self {
-        ExprAccumulator {
-            total: 0.0,
-            current: 0.0,
-            pending_op: '+',
-            has_value: false,
-        }
-    }
-
-    fn push_value(&mut self, v: f64) {
-        if !self.has_value {
-            self.current = v;
-            self.has_value = true;
-            return;
-        }
-        match self.pending_op {
-            '*' => self.current *= v,
-            '/' => self.current /= v,
-            '+' => {
-                self.total += self.current;
-                self.current = v;
-            }
-            '-' => {
-                self.total += self.current;
-                self.current = -v;
-            }
-            _ => self.current = v,
-        }
-        self.pending_op = '+';
-    }
-
-    fn push_op(&mut self, op: char) {
-        if !self.has_value && op == '-' {
-            // Unary minus.
-            self.current = 0.0;
-            self.has_value = true;
-            self.pending_op = '-';
-            return;
-        }
-        self.pending_op = op;
-    }
-
-    fn finish(mut self) -> f64 {
-        self.total += self.current;
-        self.total
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
 
     const HEADER: &str = "OPENQASM 2.0;\ninclude \"qelib1.inc\";\n";
+
+    fn first_kind(src: &str) -> DiagnosticKind {
+        parse(src).unwrap_err().first().kind.clone()
+    }
 
     #[test]
     fn parses_registers_and_gates() {
@@ -675,6 +985,20 @@ mod tests {
     }
 
     #[test]
+    fn parses_parenthesised_expressions() {
+        let src = format!("{HEADER}qreg q[1];\nrz(-(pi/2 + 1)*2) q[0];\nrz(-pi) q[0];\n");
+        let circuit = parse(&src).unwrap();
+        match &circuit.gates()[0] {
+            Gate::Rz { theta, .. } => assert!((theta - -(PI / 2.0 + 1.0) * 2.0).abs() < 1e-12),
+            g => panic!("expected rz, got {g:?}"),
+        }
+        match &circuit.gates()[1] {
+            Gate::Rz { theta, .. } => assert!((theta + PI).abs() < 1e-12),
+            g => panic!("expected rz, got {g:?}"),
+        }
+    }
+
+    #[test]
     fn measure_whole_register_expands() {
         let src = format!("{HEADER}qreg q[3];\ncreg c[3];\nmeasure q -> c;\n");
         let circuit = parse(&src).unwrap();
@@ -692,32 +1016,38 @@ mod tests {
     fn unknown_register_is_an_error() {
         let src = format!("{HEADER}qreg q[2];\nh r[0];\n");
         assert!(matches!(
-            parse(&src),
-            Err(QasmError::UnknownRegister { .. })
+            first_kind(&src),
+            DiagnosticKind::UnknownRegister { .. }
         ));
     }
 
     #[test]
     fn out_of_range_index_is_an_error() {
         let src = format!("{HEADER}qreg q[2];\nh q[5];\n");
+        let err = parse(&src).unwrap_err();
         assert!(matches!(
-            parse(&src),
-            Err(QasmError::IndexOutOfRange { .. })
+            err.first().kind,
+            DiagnosticKind::IndexOutOfRange {
+                index: 5,
+                size: 2,
+                ..
+            }
         ));
+        assert_eq!(err.first().line, 4);
     }
 
     #[test]
     fn unsupported_gate_is_an_error() {
         let src = format!("{HEADER}qreg q[3];\nccz q[0],q[1],q[2];\n");
         assert!(matches!(
-            parse(&src),
-            Err(QasmError::UnsupportedGate { .. })
+            first_kind(&src),
+            DiagnosticKind::UnsupportedGate { .. }
         ));
     }
 
     #[test]
     fn missing_register_is_an_error() {
-        assert_eq!(parse(HEADER), Err(QasmError::NoQuantumRegister));
+        assert_eq!(first_kind(HEADER), DiagnosticKind::NoQuantumRegister);
     }
 
     #[test]
@@ -735,5 +1065,217 @@ mod tests {
         let circuit = parse(&src).unwrap();
         assert_eq!(circuit.len(), 1);
         assert!(circuit.gates()[0].is_barrier());
+    }
+
+    #[test]
+    fn multiple_errors_are_all_reported() {
+        let src = format!("{HEADER}qreg q[2];\nh r[0];\nfoo q[0];\nh q[9];\n");
+        let err = parse(&src).unwrap_err();
+        let kinds: Vec<&DiagnosticKind> = err.diagnostics().iter().map(|d| &d.kind).collect();
+        assert_eq!(err.diagnostics().len(), 3, "{kinds:?}");
+        assert!(matches!(kinds[0], DiagnosticKind::UnknownRegister { .. }));
+        assert!(matches!(kinds[1], DiagnosticKind::UnsupportedGate { .. }));
+        assert!(matches!(kinds[2], DiagnosticKind::IndexOutOfRange { .. }));
+    }
+
+    #[test]
+    fn recovery_resumes_after_bad_statement() {
+        // The bad statement must not eat the following good ones.
+        let src = format!("{HEADER}qreg q[2];\nfoo q[0];\ncx q[0],q[1];\n");
+        let err = parse(&src).unwrap_err();
+        assert_eq!(err.diagnostics().len(), 1);
+    }
+
+    #[test]
+    fn huge_register_is_rejected_without_allocation() {
+        let src = format!("{HEADER}qreg q[999999999];\nh q[0];\n");
+        let err = parse(&src).unwrap_err();
+        assert!(matches!(
+            err.first().kind,
+            DiagnosticKind::RegisterTooWide {
+                max_qubits: 4096,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn cumulative_register_width_is_bounded() {
+        let mut src = String::from(HEADER);
+        for i in 0..3 {
+            src.push_str(&format!("qreg r{i}[2048];\n"));
+        }
+        let err = parse(&src).unwrap_err();
+        assert!(err
+            .diagnostics()
+            .iter()
+            .any(|d| matches!(d.kind, DiagnosticKind::RegisterTooWide { .. })));
+    }
+
+    #[test]
+    fn absurd_register_width_does_not_overflow() {
+        let src = format!("{HEADER}qreg q[1e300];\n");
+        let err = parse(&src).unwrap_err();
+        assert!(matches!(
+            err.first().kind,
+            DiagnosticKind::RegisterTooWide { .. }
+        ));
+    }
+
+    #[test]
+    fn non_integer_register_size_is_an_error() {
+        let src = format!("{HEADER}qreg q[2.5];\n");
+        assert!(matches!(
+            first_kind(&src),
+            DiagnosticKind::NonIntegerLiteral { .. }
+        ));
+    }
+
+    #[test]
+    fn overflowing_literal_parameter_is_an_error() {
+        let src = format!("{HEADER}qreg q[1];\nrz(1e309) q[0];\n");
+        assert!(matches!(
+            first_kind(&src),
+            DiagnosticKind::MalformedNumber { .. }
+        ));
+    }
+
+    #[test]
+    fn non_finite_parameter_expression_is_an_error() {
+        for expr in ["1/0", "0/0", "-1/0"] {
+            let src = format!("{HEADER}qreg q[1];\nrz({expr}) q[0];\n");
+            let err = parse(&src).unwrap_err();
+            assert!(
+                matches!(err.first().kind, DiagnosticKind::NonFiniteParameter { .. }),
+                "{expr}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_size_register_is_an_error() {
+        let src = format!("{HEADER}qreg q[0];\nqreg r[1];\ncx q, r[0];\n");
+        let err = parse(&src).unwrap_err();
+        assert!(err
+            .diagnostics()
+            .iter()
+            .any(|d| matches!(d.kind, DiagnosticKind::EmptyRegister { .. })));
+    }
+
+    #[test]
+    fn duplicate_register_is_an_error() {
+        let src = format!("{HEADER}qreg q[2];\nqreg q[3];\nh q[0];\n");
+        let err = parse(&src).unwrap_err();
+        assert!(err
+            .diagnostics()
+            .iter()
+            .any(|d| matches!(d.kind, DiagnosticKind::DuplicateRegister { .. })));
+    }
+
+    #[test]
+    fn deep_expression_nesting_is_rejected() {
+        let depth = 10_000;
+        let expr = format!("{}pi{}", "(".repeat(depth), ")".repeat(depth));
+        let src = format!("{HEADER}qreg q[1];\nrz({expr}) q[0];\n");
+        let err = parse(&src).unwrap_err();
+        assert!(err
+            .diagnostics()
+            .iter()
+            .any(|d| matches!(d.kind, DiagnosticKind::ExpressionTooDeep { .. })));
+    }
+
+    #[test]
+    fn deep_unary_minus_chain_is_rejected() {
+        let src = format!("{HEADER}qreg q[1];\nrz({}1) q[0];\n", "-".repeat(10_000));
+        let err = parse(&src).unwrap_err();
+        assert!(err
+            .diagnostics()
+            .iter()
+            .any(|d| matches!(d.kind, DiagnosticKind::ExpressionTooDeep { .. })));
+    }
+
+    #[test]
+    fn gate_count_limit_aborts_parsing() {
+        let limits = ParseLimits {
+            max_gates: 10,
+            ..ParseLimits::default()
+        };
+        let mut src = format!("{HEADER}qreg q[2];\n");
+        for _ in 0..50 {
+            src.push_str("h q[0];\n");
+        }
+        let err = parse_with_limits(&src, &limits).unwrap_err();
+        assert!(err
+            .diagnostics()
+            .iter()
+            .any(|d| matches!(d.kind, DiagnosticKind::TooManyGates { max_gates: 10 })));
+    }
+
+    #[test]
+    fn diagnostics_carry_position_and_snippet() {
+        let src = format!("{HEADER}qreg q[2];\nh r[0];\n");
+        let err = parse(&src).unwrap_err();
+        let diag = err.first();
+        assert_eq!(diag.line, 4);
+        assert_eq!(diag.col, 3);
+        assert_eq!(diag.snippet, "h r[0];");
+        let rendered = err.to_string();
+        assert!(rendered.contains("line 4, col 3"), "{rendered}");
+        assert!(rendered.contains("h r[0];"), "{rendered}");
+    }
+
+    #[test]
+    fn truncated_source_reports_eof() {
+        let src = format!("{HEADER}qreg q[2];\ncx q[0],");
+        let err = parse(&src).unwrap_err();
+        assert!(err
+            .diagnostics()
+            .iter()
+            .any(|d| d.kind == DiagnosticKind::UnexpectedEof));
+    }
+
+    #[test]
+    fn lexer_diagnostics_surface_through_parse() {
+        let src = format!("{HEADER}qreg q[2];\nh q[0]; @\n");
+        let err = parse(&src).unwrap_err();
+        assert!(err
+            .diagnostics()
+            .iter()
+            .any(|d| matches!(d.kind, DiagnosticKind::InvalidCharacter { ch: '@' })));
+    }
+
+    #[test]
+    fn diagnostic_count_is_capped() {
+        let limits = ParseLimits {
+            max_diagnostics: 8,
+            ..ParseLimits::default()
+        };
+        let mut src = format!("{HEADER}qreg q[2];\n");
+        for _ in 0..100 {
+            src.push_str("h r[0];\n");
+        }
+        let err = parse_with_limits(&src, &limits).unwrap_err();
+        assert_eq!(err.diagnostics().len(), 8);
+    }
+
+    #[test]
+    fn parse_never_panics_on_weird_but_valid_recovery_paths() {
+        for src in [
+            "",
+            ";",
+            "qreg",
+            "qreg q",
+            "qreg q[",
+            "qreg q[2",
+            "qreg q[2]",
+            "[ ] ( ) { }",
+            "measure",
+            "barrier",
+            "OPENQASM 2.0; qreg q[1]; h q[0]",
+            "qreg q[1]; rz() q[0];",
+            "qreg q[1]; rz(pi +) q[0];",
+        ] {
+            let _ = parse(src);
+        }
     }
 }

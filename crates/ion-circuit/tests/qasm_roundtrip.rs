@@ -1,0 +1,79 @@
+//! Exact QASM round-trip: `qasm::parse(qasm::to_qasm(&c))` must reproduce
+//! `c`'s gate stream gate-for-gate (including every `f64` parameter, which
+//! Rust's shortest-roundtrip `Display` guarantees) for every circuit in the
+//! generator suite and for arbitrary random circuits.
+
+use ion_circuit::{generators, qasm, Circuit};
+use proptest::prelude::*;
+
+fn assert_exact_roundtrip(circuit: &Circuit) {
+    let text = qasm::to_qasm(circuit);
+    let reparsed = qasm::parse(&text).unwrap_or_else(|e| {
+        panic!(
+            "emitted QASM for '{}' failed to re-parse: {e}",
+            circuit.name()
+        )
+    });
+    assert_eq!(
+        reparsed.num_qubits(),
+        circuit.num_qubits(),
+        "width of '{}'",
+        circuit.name()
+    );
+    assert_eq!(
+        reparsed.gates(),
+        circuit.gates(),
+        "gate stream of '{}'",
+        circuit.name()
+    );
+}
+
+#[test]
+fn generator_suite_roundtrips_exactly() {
+    let suite = vec![
+        generators::qft(10),
+        generators::ghz(12),
+        generators::bv(12),
+        generators::qaoa(10),
+        generators::adder(12),
+        generators::sqrt(10),
+        generators::supremacy(12),
+        generators::random_circuit(8, 60, 1),
+        generators::random_circuit(16, 120, 2),
+        generators::random_circuit(24, 200, 3),
+    ];
+    for circuit in &suite {
+        assert_exact_roundtrip(circuit);
+    }
+}
+
+#[test]
+fn small_and_degenerate_circuits_roundtrip_exactly() {
+    assert_exact_roundtrip(&Circuit::with_name("empty", 1));
+    let mut c = Circuit::with_name("width_one", 1);
+    c.h(0).rz(0, -0.0).rx(0, 1e-300).measure(0);
+    assert_exact_roundtrip(&c);
+    let mut c = Circuit::with_name("measure_only", 4);
+    c.measure_all();
+    assert_exact_roundtrip(&c);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random circuits across the whole generator parameter space round-trip
+    /// exactly.
+    #[test]
+    fn random_circuits_roundtrip_exactly(
+        (n, gates, seed) in (2..32usize, 1..200usize, 0..1024u64)
+    ) {
+        assert_exact_roundtrip(&generators::random_circuit(n, gates, seed));
+    }
+
+    /// QAOA circuits carry irrational parameters through the round trip
+    /// bit-for-bit (the generator's 3-regular graphs need an even width).
+    #[test]
+    fn qaoa_parameters_roundtrip_exactly((half, p, seed) in (2..12usize, 1..4usize, 0..256u64)) {
+        assert_exact_roundtrip(&generators::qaoa_with_params(2 * half, p, seed));
+    }
+}

@@ -223,19 +223,20 @@ impl MussTiCompiler {
         Ok((program, stats.inserted_swaps, phases))
     }
 
-    /// Validation and capacity checks shared by every pipeline entry point.
+    /// Validation and capacity checks shared by every pipeline entry point —
+    /// the boundary every untrusted circuit crosses before any sizing or
+    /// scheduling code runs on it.
     fn check(&self, circuit: &Circuit) -> Result<(), CompileError> {
-        circuit
-            .validate()
-            .map_err(|e| CompileError::InvalidCircuit(e.to_string()))?;
         let capacity = effective_device_capacity(&self.device);
-        if circuit.num_qubits() > capacity {
-            return Err(CompileError::DeviceTooSmall {
-                required: circuit.num_qubits(),
-                capacity,
-            });
-        }
-        Ok(())
+        circuit.validate_for(capacity).map_err(|e| match e {
+            ion_circuit::CircuitError::WiderThanTarget { num_qubits, .. } => {
+                CompileError::DeviceTooSmall {
+                    required: num_qubits,
+                    capacity,
+                }
+            }
+            other => CompileError::InvalidCircuit(other.to_string()),
+        })
     }
 
     // -- The typed stage API -------------------------------------------------

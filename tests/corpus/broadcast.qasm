@@ -1,0 +1,8 @@
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[6];
+creg c[6];
+h q;
+rz(-3*pi/4) q;
+barrier q;
+measure q -> c;

@@ -1,0 +1,4 @@
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[999999999];
+h q[0];

@@ -1,0 +1,4 @@
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[1];
+rz(1/0) q[0];
