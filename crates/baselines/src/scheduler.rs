@@ -443,7 +443,9 @@ pub(crate) fn compile_on_grid_in(
     }
     for gate in circuit.gates() {
         if gate.is_single_qubit() {
-            let qubit = gate.qubits()[0];
+            let qubit = gate
+                .single_qubit_target()
+                .expect("single-qubit gates have a target");
             if let Some(trap) = start_traps.get(qubit.index()).copied().flatten() {
                 ops.push(ScheduledOp::SingleQubitGate {
                     qubit,
@@ -480,9 +482,11 @@ pub(crate) fn compile_on_grid_in(
         swap_insertion_ms: 0.0,
         lowering_ms: lowering_start.elapsed().as_secs_f64() * 1e3,
     };
+    let initial_placement = mapping.iter().map(|&(q, t)| (q, t.index())).collect();
     Ok(
         CompiledProgram::from_parts(name, circuit, ops, metrics, start.elapsed())
-            .with_stage_timings(timings),
+            .with_stage_timings(timings)
+            .with_initial_placement(initial_placement),
     )
 }
 

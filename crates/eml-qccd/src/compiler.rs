@@ -2,8 +2,9 @@
 
 use std::time::Duration;
 
-use ion_circuit::Circuit;
+use ion_circuit::{Circuit, QubitId};
 
+use crate::ops::ResourceId;
 use crate::pipeline::{DeviceDims, StageTimings};
 use crate::{CompileError, ExecutionMetrics, ExecutorScratch, ScheduleExecutor, ScheduledOp};
 
@@ -19,6 +20,7 @@ pub struct CompiledProgram {
     metrics: ExecutionMetrics,
     compile_time: Duration,
     stage_timings: Option<StageTimings>,
+    initial_placement: Option<Vec<(QubitId, ResourceId)>>,
 }
 
 impl CompiledProgram {
@@ -72,6 +74,7 @@ impl CompiledProgram {
             metrics,
             compile_time,
             stage_timings: None,
+            initial_placement: None,
         }
     }
 
@@ -79,6 +82,22 @@ impl CompiledProgram {
     pub fn with_stage_timings(mut self, timings: StageTimings) -> Self {
         self.stage_timings = Some(timings);
         self
+    }
+
+    /// Attaches the initial qubit → zone/trap assignment the scheduler
+    /// started from. The translation-validation analyzer (`crates/verify`)
+    /// uses it to replay the op stream in strict mode (exact occupancy and
+    /// `ions_in_zone` checks); without it the analyzer falls back to
+    /// inferring start locations from each qubit's first mention.
+    pub fn with_initial_placement(mut self, placement: Vec<(QubitId, ResourceId)>) -> Self {
+        self.initial_placement = Some(placement);
+        self
+    }
+
+    /// The initial qubit → zone/trap assignment, when the compiler recorded
+    /// one. See [`CompiledProgram::with_initial_placement`].
+    pub fn initial_placement(&self) -> Option<&[(QubitId, ResourceId)]> {
+        self.initial_placement.as_deref()
     }
 
     /// Per-stage wall-clock breakdown (placement / scheduling / swap

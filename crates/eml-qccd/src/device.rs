@@ -96,6 +96,13 @@ impl EmlQccdDevice {
         &self.zones
     }
 
+    /// Number of zones on the device (`zones().len()` without borrowing the
+    /// zone table — usable from hot paths under the allocation lint, which
+    /// denies the slice accessor wholesale).
+    pub fn num_zones(&self) -> usize {
+        self.zones.len()
+    }
+
     /// Looks up a zone by id.
     ///
     /// # Panics

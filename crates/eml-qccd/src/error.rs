@@ -50,6 +50,12 @@ pub enum CompileError {
     /// a compiler bug, surfaced as an error so one bad compile cannot take
     /// down a batch or a serving process.
     Internal(String),
+    /// A post-compile schedule check (the `crates/verify` translation
+    /// validator) rejected the emitted op stream. Like
+    /// [`CompileError::Internal`], this indicates a compiler bug — a
+    /// physically invalid or source-divergent schedule — caught before the
+    /// program reaches a caller.
+    VerificationFailed(String),
 }
 
 impl fmt::Display for CompileError {
@@ -66,6 +72,9 @@ impl fmt::Display for CompileError {
             }
             CompileError::Internal(msg) => {
                 write!(f, "internal compiler error: {msg}")
+            }
+            CompileError::VerificationFailed(msg) => {
+                write!(f, "schedule verification failed: {msg}")
             }
         }
     }

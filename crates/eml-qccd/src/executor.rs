@@ -1,5 +1,7 @@
 //! The schedule executor: turns an operation sequence into metrics.
 
+// lint: hot-path
+
 use crate::{ExecutionMetrics, FidelityModel, ScheduledOp, TimingModel};
 
 /// Folds timing, heat and fidelity models over a sequence of

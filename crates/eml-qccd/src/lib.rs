@@ -75,8 +75,9 @@ pub use grid::{GridConfig, QccdGridDevice, TrapId};
 pub use metrics::ExecutionMetrics;
 pub use ops::{OpCounter, OpSink, ResourceId, ScheduledOp};
 pub use pipeline::{
-    compile_batch, compile_batch_with_threads, CompileContext, CompileSession, ContextScratch,
-    DeviceDims, StageTimings, StagedCompiler,
+    compile_batch, compile_batch_with_threads, compile_batch_with_threads_checked, compile_checked,
+    CompileContext, CompileSession, ContextScratch, DeviceDims, ScheduleCheck, StageTimings,
+    StagedCompiler,
 };
 pub use timing::TimingModel;
 pub use topology::DeviceTopology;

@@ -136,7 +136,11 @@ impl ScheduledOp {
         }
     }
 
-    /// The qubits this operation acts on.
+    /// The qubits this operation acts on, as a freshly allocated `Vec`.
+    ///
+    /// Test-only convenience: production code uses the allocation-free
+    /// [`ScheduledOp::qubit_pair`] (the hot-path lint denies this accessor).
+    #[doc(hidden)]
     pub fn qubits(&self) -> Vec<QubitId> {
         match self {
             ScheduledOp::SingleQubitGate { qubit, .. }
@@ -149,7 +153,12 @@ impl ScheduledOp {
         }
     }
 
-    /// The zone/trap resources this operation occupies.
+    /// The zone/trap resources this operation occupies, as a freshly
+    /// allocated `Vec`.
+    ///
+    /// Test-only convenience: production code uses the allocation-free
+    /// [`ScheduledOp::zone_pair`] (the hot-path lint denies this accessor).
+    #[doc(hidden)]
     pub fn zones(&self) -> Vec<ResourceId> {
         match self {
             ScheduledOp::SingleQubitGate { zone, .. }

@@ -295,6 +295,41 @@ impl<C: StagedCompiler + ?Sized> StagedCompiler for Box<C> {
 }
 
 // ---------------------------------------------------------------------------
+// Post-compile schedule checks
+// ---------------------------------------------------------------------------
+
+/// A post-compile validation hook: inspects the compiled program against its
+/// source circuit and vetoes it with [`CompileError::VerificationFailed`] if
+/// the op stream is invalid.
+///
+/// The concrete check is supplied by callers (the `verify` crate builds one
+/// from a device model) so the pipeline stays free of a dependency on the
+/// analyzer. Checks run strictly **after** compilation, only on the
+/// `*_checked` entry points — the unchecked compile paths pay zero cost.
+pub type ScheduleCheck<'a> =
+    &'a (dyn Fn(&Circuit, &CompiledProgram) -> Result<(), CompileError> + Sync);
+
+/// One-shot [`Compiler::compile`] followed by a [`ScheduleCheck`] on the
+/// result.
+///
+/// # Errors
+///
+/// Everything [`Compiler::compile`] returns, plus whatever the check vetoes
+/// (by convention [`CompileError::VerificationFailed`]).
+pub fn compile_checked<C>(
+    compiler: &C,
+    circuit: &Circuit,
+    check: ScheduleCheck<'_>,
+) -> Result<CompiledProgram, CompileError>
+where
+    C: Compiler + ?Sized,
+{
+    let program = compiler.compile(circuit)?;
+    check(circuit, &program)?;
+    Ok(program)
+}
+
+// ---------------------------------------------------------------------------
 // Sessions
 // ---------------------------------------------------------------------------
 
@@ -329,6 +364,23 @@ impl<C: StagedCompiler> CompileSession<C> {
         self.compiler.compile_in(&mut self.context, circuit)
     }
 
+    /// [`CompileSession::compile`] followed by a [`ScheduleCheck`] on the
+    /// result — context reuse with the same verification guarantee as
+    /// [`compile_checked`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`compile_checked`].
+    pub fn compile_checked(
+        &mut self,
+        circuit: &Circuit,
+        check: ScheduleCheck<'_>,
+    ) -> Result<CompiledProgram, CompileError> {
+        let program = self.compiler.compile_in(&mut self.context, circuit)?;
+        check(circuit, &program)?;
+        Ok(program)
+    }
+
     /// Drops all per-circuit state held in the context (keeping its
     /// allocations), e.g. between tenants of a shared serving process.
     pub fn reset(&mut self) {
@@ -342,6 +394,24 @@ impl<C: StagedCompiler> CompileSession<C> {
         C: Sync,
     {
         compile_batch(&self.compiler, circuits)
+    }
+
+    /// [`CompileSession::compile_batch`] with a [`ScheduleCheck`] applied to
+    /// every successfully compiled slot; see
+    /// [`compile_batch_with_threads_checked`] for the fault-isolation
+    /// guarantees.
+    pub fn compile_batch_checked(
+        &self,
+        circuits: &[Circuit],
+        check: ScheduleCheck<'_>,
+    ) -> Vec<Result<CompiledProgram, CompileError>>
+    where
+        C: Sync,
+    {
+        let default_threads = std::thread::available_parallelism()
+            .map(usize::from)
+            .unwrap_or(1);
+        compile_batch_with_threads_checked(&self.compiler, circuits, default_threads, check)
     }
 
     /// Closes the session, returning the compiler.
@@ -385,13 +455,45 @@ pub fn compile_batch_with_threads<C>(
 where
     C: StagedCompiler + Sync + ?Sized,
 {
+    batch_with_threads_inner(compiler, circuits, threads, None)
+}
+
+/// [`compile_batch_with_threads`] with a [`ScheduleCheck`] applied to every
+/// successfully compiled slot.
+///
+/// The check runs inside the same fault-isolation boundary as the compile
+/// itself: a check that *panics* fails only its own slot (as
+/// [`CompileError::Internal`]), and a check that vetoes yields
+/// [`CompileError::VerificationFailed`] in that slot, sparing the rest of the
+/// batch either way.
+pub fn compile_batch_with_threads_checked<C>(
+    compiler: &C,
+    circuits: &[Circuit],
+    threads: usize,
+    check: ScheduleCheck<'_>,
+) -> Vec<Result<CompiledProgram, CompileError>>
+where
+    C: StagedCompiler + Sync + ?Sized,
+{
+    batch_with_threads_inner(compiler, circuits, threads, Some(check))
+}
+
+fn batch_with_threads_inner<C>(
+    compiler: &C,
+    circuits: &[Circuit],
+    threads: usize,
+    check: Option<ScheduleCheck<'_>>,
+) -> Vec<Result<CompiledProgram, CompileError>>
+where
+    C: StagedCompiler + Sync + ?Sized,
+{
     let workers = threads.max(1).min(circuits.len());
     if workers <= 1 {
         // Sequential fallback still reuses one context across the batch.
         let mut ctx = compiler.new_context();
         return circuits
             .iter()
-            .map(|circuit| compile_one_isolated(compiler, &mut ctx, circuit))
+            .map(|circuit| compile_one_isolated(compiler, &mut ctx, circuit, check))
             .collect();
     }
 
@@ -411,7 +513,10 @@ where
                         let Some(circuit) = circuits.get(index) else {
                             break;
                         };
-                        produced.push((index, compile_one_isolated(compiler, &mut ctx, circuit)));
+                        produced.push((
+                            index,
+                            compile_one_isolated(compiler, &mut ctx, circuit, check),
+                        ));
                     }
                     produced
                 })
@@ -443,12 +548,17 @@ fn compile_one_isolated<C>(
     compiler: &C,
     ctx: &mut CompileContext,
     circuit: &Circuit,
+    check: Option<ScheduleCheck<'_>>,
 ) -> Result<CompiledProgram, CompileError>
 where
     C: StagedCompiler + Sync + ?Sized,
 {
     match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        compiler.compile_in(ctx, circuit)
+        let program = compiler.compile_in(ctx, circuit)?;
+        if let Some(check) = check {
+            check(circuit, &program)?;
+        }
+        Ok(program)
     })) {
         Ok(result) => result,
         Err(payload) => {
@@ -671,6 +781,67 @@ mod tests {
         assert_eq!(results[1].as_ref().unwrap().num_qubits(), 3);
         assert!(matches!(results[2], Err(CompileError::Internal(_))));
         assert_eq!(results[3].as_ref().unwrap().num_qubits(), 5);
+    }
+
+    #[test]
+    fn checked_paths_veto_via_the_schedule_check() {
+        // Rejects every program whose circuit is named "bad".
+        let check: &(dyn Fn(&Circuit, &CompiledProgram) -> Result<(), CompileError> + Sync) =
+            &|circuit, _program| {
+                if circuit.name() == "bad" {
+                    Err(CompileError::VerificationFailed("seeded veto".into()))
+                } else {
+                    Ok(())
+                }
+            };
+
+        let good = circuit(3);
+        let bad = Circuit::with_name("bad", 2);
+
+        // One-shot.
+        assert!(compile_checked(&CountingCompiler, &good, check).is_ok());
+        assert!(matches!(
+            compile_checked(&CountingCompiler, &bad, check),
+            Err(CompileError::VerificationFailed(_))
+        ));
+
+        // Session.
+        let mut session = CompileSession::new(CountingCompiler);
+        assert!(session.compile_checked(&good, check).is_ok());
+        assert!(matches!(
+            session.compile_checked(&bad, check),
+            Err(CompileError::VerificationFailed(_))
+        ));
+
+        // Batch: the vetoed slot fails alone, in input order.
+        let circuits = vec![good.clone(), bad, circuit(5)];
+        for threads in [1, 4] {
+            let results =
+                compile_batch_with_threads_checked(&CountingCompiler, &circuits, threads, check);
+            assert!(results[0].is_ok());
+            assert!(matches!(
+                results[1],
+                Err(CompileError::VerificationFailed(_))
+            ));
+            assert!(results[2].is_ok());
+        }
+    }
+
+    #[test]
+    fn panicking_check_fails_only_its_slot() {
+        let check: &(dyn Fn(&Circuit, &CompiledProgram) -> Result<(), CompileError> + Sync) =
+            &|circuit, _program| {
+                assert!(circuit.name() != "explosive", "check blew up");
+                Ok(())
+            };
+        let circuits = vec![circuit(3), Circuit::with_name("explosive", 2), circuit(4)];
+        let results = compile_batch_with_threads_checked(&CountingCompiler, &circuits, 1, check);
+        assert!(results[0].is_ok());
+        match &results[1] {
+            Err(CompileError::Internal(msg)) => assert!(msg.contains("check blew up"), "{msg}"),
+            other => panic!("expected Internal from panicking check, got {other:?}"),
+        }
+        assert!(results[2].is_ok());
     }
 
     #[test]

@@ -4,18 +4,23 @@
 //! Files named `invalid_*.qasm` are expected to be *rejected* by the parser
 //! (with structured diagnostics); every other file must parse and compile.
 //!
+//! With `--verify`, every compiled program is additionally replayed through
+//! the `verify` translation validator; a schedule that violates the device
+//! contract fails its file (and only its file).
+//!
 //! ```text
-//! cargo run --release -p experiments --bin corpus_run [-- DIR] [--threads N]
+//! cargo run --release -p experiments --bin corpus_run [-- DIR] [--threads N] [--verify]
 //! ```
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use experiments::corpus::run_corpus;
+use experiments::corpus::run_corpus_with;
 
 fn main() -> ExitCode {
     let mut dir = PathBuf::from("tests/corpus");
     let mut threads = 4usize;
+    let mut verify_schedules = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -25,19 +30,20 @@ fn main() -> ExitCode {
                     .and_then(|v| v.parse().ok())
                     .expect("--threads needs a positive integer");
             }
+            "--verify" => verify_schedules = true,
             "--help" | "-h" => {
-                println!("usage: corpus_run [DIR] [--threads N]");
+                println!("usage: corpus_run [DIR] [--threads N] [--verify]");
                 return ExitCode::SUCCESS;
             }
             other if !other.starts_with("--") => dir = PathBuf::from(other),
             other => {
-                eprintln!("unknown argument {other}; supported: [DIR] --threads N");
+                eprintln!("unknown argument {other}; supported: [DIR] --threads N --verify");
                 return ExitCode::from(2);
             }
         }
     }
 
-    match run_corpus(&dir, threads) {
+    match run_corpus_with(&dir, threads, verify_schedules) {
         Ok(report) => {
             println!("{report}");
             if report.is_clean() {

@@ -14,9 +14,10 @@ use std::fs;
 use std::io;
 use std::path::Path;
 
-use eml_qccd::{compile_batch_with_threads, DeviceConfig};
+use eml_qccd::{compile_batch_with_threads, compile_batch_with_threads_checked, DeviceConfig};
 use ion_circuit::{qasm, Circuit};
 use muss_ti::{MussTiCompiler, MussTiOptions};
+use verify::{DeviceModel, ScheduleVerifier};
 
 /// What happened to one corpus file.
 #[derive(Debug, Clone)]
@@ -114,6 +115,19 @@ impl fmt::Display for CorpusReport {
 /// Runs the corpus in `dir`: parses every `.qasm` file, then batch-compiles
 /// all accepted circuits with `threads` workers.
 pub fn run_corpus(dir: &Path, threads: usize) -> io::Result<CorpusReport> {
+    run_corpus_with(dir, threads, false)
+}
+
+/// [`run_corpus`] with an optional translation-validation pass: when
+/// `verify_schedules` is set, every compiled program is replayed through the
+/// [`verify::ScheduleVerifier`] inside the batch (still fault-isolated — a
+/// verifier veto fails only its own file, as
+/// [`eml_qccd::CompileError::VerificationFailed`]).
+pub fn run_corpus_with(
+    dir: &Path,
+    threads: usize,
+    verify_schedules: bool,
+) -> io::Result<CorpusReport> {
     let mut files: Vec<_> = fs::read_dir(dir)?
         .filter_map(|entry| entry.ok())
         .map(|entry| entry.path())
@@ -162,9 +176,15 @@ pub fn run_corpus(dir: &Path, threads: usize) -> io::Result<CorpusReport> {
             .max()
             .unwrap_or(1);
         let device = DeviceConfig::for_qubits(widest).build();
+        let verifier = ScheduleVerifier::new(DeviceModel::from(&device));
         let compiler = MussTiCompiler::new(device, MussTiOptions::default());
         let circuits: Vec<Circuit> = accepted.iter().map(|(_, c)| c.clone()).collect();
-        let results = compile_batch_with_threads(&compiler, &circuits, threads);
+        let results = if verify_schedules {
+            let check = verifier.as_check();
+            compile_batch_with_threads_checked(&compiler, &circuits, threads, &check)
+        } else {
+            compile_batch_with_threads(&compiler, &circuits, threads)
+        };
         for ((slot, circuit), result) in accepted.iter().zip(results) {
             outcomes[*slot].status = match result {
                 Ok(program) => FileStatus::Compiled {
@@ -194,6 +214,12 @@ mod tests {
     fn committed_corpus_is_clean() {
         let report = run_corpus(&corpus_dir(), 2).expect("corpus directory exists");
         assert!(report.outcomes.len() >= 10, "{report}");
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn committed_corpus_verifies_clean() {
+        let report = run_corpus_with(&corpus_dir(), 2, true).expect("corpus directory exists");
         assert!(report.is_clean(), "{report}");
     }
 

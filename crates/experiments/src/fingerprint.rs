@@ -14,10 +14,12 @@ use std::collections::BTreeMap;
 
 use baselines::{DaiCompiler, MqtStyleCompiler, MuraliCompiler};
 use eml_qccd::{
-    compile_batch_with_threads, CompileSession, CompiledProgram, Compiler, DeviceConfig,
+    compile_batch_with_threads, compile_batch_with_threads_checked, compile_checked,
+    CompileSession, CompiledProgram, Compiler, DeviceConfig,
 };
 use ion_circuit::{generators, Circuit};
 use muss_ti::{MussTiCompiler, MussTiOptions};
+use verify::ScheduleVerifier;
 
 use crate::runner::DynCompiler;
 
@@ -102,6 +104,26 @@ pub fn compiler_for(variant: &str, n: usize) -> DynCompiler {
     }
 }
 
+/// Builds the [`verify::DeviceModel`] matching the device `compiler_for`
+/// gives a variant at size `n`, so the translation validator replays
+/// fingerprint programs against exactly the topology they were compiled for.
+///
+/// # Panics
+///
+/// Panics on an unknown label.
+pub fn device_model_for(variant: &str, n: usize) -> verify::DeviceModel {
+    if variant.starts_with("MUSS-TI/") {
+        verify::DeviceModel::from(&DeviceConfig::for_qubits(n).build())
+    } else {
+        match variant {
+            "murali" | "dai" | "mqt" => {
+                verify::DeviceModel::from(&eml_qccd::GridConfig::for_qubits(n).build())
+            }
+            other => panic!("unknown fingerprint variant {other}"),
+        }
+    }
+}
+
 /// Two circuit sizes in the same bucket get byte-identical devices from
 /// `compiler_for`, so a session (or batch) may serve both. Mirrors
 /// `DeviceConfig::for_qubits` (one module per started block of 32 qubits)
@@ -142,13 +164,48 @@ pub enum FingerprintMode {
 ///
 /// Panics if a compiler fails on a suite circuit (the suite is sized to fit).
 pub fn suite_fingerprints(mode: FingerprintMode) -> Vec<(String, String, u64)> {
+    suite_fingerprints_inner(mode, false)
+}
+
+/// [`suite_fingerprints`] with the translation validator in the loop: every
+/// compile goes through the *checked* pipeline entry point
+/// ([`compile_checked`], [`CompileSession::compile_checked`] or
+/// [`compile_batch_with_threads_checked`]) with a [`ScheduleVerifier`] built
+/// for the variant's device via [`device_model_for`]. A violating schedule
+/// panics with the verifier's summary; the returned pins must equal the
+/// unverified ones bit for bit (verification never alters compilation).
+///
+/// # Panics
+///
+/// Panics if a compiler fails on a suite circuit or a schedule fails
+/// verification.
+pub fn suite_fingerprints_verified(mode: FingerprintMode) -> Vec<(String, String, u64)> {
+    suite_fingerprints_inner(mode, true)
+}
+
+fn suite_fingerprints_inner(mode: FingerprintMode, verified: bool) -> Vec<(String, String, u64)> {
     let circuits = suite();
     match mode {
         FingerprintMode::OneShot => {
             let mut out = Vec::new();
             for circuit in &circuits {
-                for (variant, hash) in fingerprints_for(circuit) {
-                    out.push((circuit.name().to_string(), variant, hash));
+                let n = circuit.num_qubits();
+                for variant in variant_labels() {
+                    let compiler = compiler_for(variant, n);
+                    let result = if verified {
+                        let verifier = ScheduleVerifier::new(device_model_for(variant, n));
+                        let check = verifier.as_check();
+                        compile_checked(&compiler, circuit, &check)
+                    } else {
+                        compiler.compile(circuit)
+                    };
+                    let program =
+                        result.unwrap_or_else(|e| panic!("{variant} on {}: {e}", circuit.name()));
+                    out.push((
+                        circuit.name().to_string(),
+                        variant.to_string(),
+                        fingerprint(&program),
+                    ));
                 }
             }
             out
@@ -163,9 +220,15 @@ pub fn suite_fingerprints(mode: FingerprintMode) -> Vec<(String, String, u64)> {
                     let session = sessions
                         .entry((variant_index, device_bucket(variant, n)))
                         .or_insert_with(|| CompileSession::new(compiler_for(variant, n)));
-                    let program = session
-                        .compile(circuit)
-                        .unwrap_or_else(|e| panic!("{variant} on {}: {e}", circuit.name()));
+                    let result = if verified {
+                        let verifier = ScheduleVerifier::new(device_model_for(variant, n));
+                        let check = verifier.as_check();
+                        session.compile_checked(circuit, &check)
+                    } else {
+                        session.compile(circuit)
+                    };
+                    let program =
+                        result.unwrap_or_else(|e| panic!("{variant} on {}: {e}", circuit.name()));
                     out.push((
                         circuit.name().to_string(),
                         variant.to_string(),
@@ -191,7 +254,14 @@ pub fn suite_fingerprints(mode: FingerprintMode) -> Vec<(String, String, u64)> {
                     let group: Vec<Circuit> =
                         indices.iter().map(|&i| circuits[i].clone()).collect();
                     let compiler = compiler_for(variant, group[0].num_qubits());
-                    let programs = compile_batch_with_threads(&compiler, &group, threads);
+                    let programs = if verified {
+                        let verifier =
+                            ScheduleVerifier::new(device_model_for(variant, group[0].num_qubits()));
+                        let check = verifier.as_check();
+                        compile_batch_with_threads_checked(&compiler, &group, threads, &check)
+                    } else {
+                        compile_batch_with_threads(&compiler, &group, threads)
+                    };
                     for (&i, program) in indices.iter().zip(programs) {
                         let program = program
                             .unwrap_or_else(|e| panic!("{variant} on {}: {e}", circuits[i].name()));

@@ -7,11 +7,13 @@
 //! `NaivePlacement` and `WeightTable::compute` — plus the QASM writer/parser
 //! pair and a full `parse → compile` differential.
 
+use baselines::{DaiCompiler, GridConfig, MqtStyleCompiler, MuraliCompiler};
 use eml_qccd::{Compiler, DeviceConfig, ModuleId};
 use ion_circuit::{generators, qasm, Circuit, DependencyDag, NaiveDag, QubitId};
 use muss_ti::{MussTiCompiler, MussTiOptions, NaivePlacement, PlacementState, WeightTable};
 use rand::rngs::StdRng;
 use rand::Rng;
+use verify::{DeviceModel, ScheduleVerifier};
 
 /// The look-ahead window depth used by the scheduler (and therefore by the
 /// weight-table and DAG oracle checks).
@@ -416,6 +418,65 @@ pub fn check_differential_compile(circuit: &Circuit) -> Result<(), String> {
     }
 }
 
+/// Compiles under `compiler` and replays any successful schedule through the
+/// translation validator. A structured [`eml_qccd::CompileError`] is
+/// tolerated (generated circuits may legitimately not fit a device); a panic
+/// escapes to the campaign harness; a verifier violation is a divergence.
+fn compile_verified<C: Compiler>(
+    label: &str,
+    compiler: &C,
+    model: DeviceModel,
+    circuit: &Circuit,
+) -> Result<(), String> {
+    match compiler.compile(circuit) {
+        Err(_) => Ok(()),
+        Ok(program) => {
+            let report = ScheduleVerifier::new(model).verify(circuit, &program);
+            if report.is_clean() {
+                Ok(())
+            } else {
+                Err(format!(
+                    "{label} schedule for '{}' failed verification: {}",
+                    circuit.name(),
+                    report.summary()
+                ))
+            }
+        }
+    }
+}
+
+/// Every compiler in the repo — MUSS-TI and the Murali / Dai / MQT-style
+/// grid baselines — must compile the circuit without panicking, and every
+/// schedule it *does* produce must pass the translation validator against
+/// the device it was compiled for.
+pub fn check_all_compilers_verified(circuit: &Circuit) -> Result<(), String> {
+    let n = circuit.num_qubits().max(1);
+
+    let eml = DeviceConfig::for_qubits(n).build();
+    let muss_ti = MussTiCompiler::new(eml.clone(), MussTiOptions::default());
+    compile_verified("MUSS-TI", &muss_ti, DeviceModel::from(&eml), circuit)?;
+
+    let grid = GridConfig::for_qubits(n).build();
+    compile_verified(
+        "murali",
+        &MuraliCompiler::for_qubits(n),
+        DeviceModel::from(&grid),
+        circuit,
+    )?;
+    compile_verified(
+        "dai",
+        &DaiCompiler::for_qubits(n),
+        DeviceModel::from(&grid),
+        circuit,
+    )?;
+    compile_verified(
+        "mqt",
+        &MqtStyleCompiler::for_qubits(n),
+        DeviceModel::from(&grid),
+        circuit,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -428,6 +489,7 @@ mod tests {
             check_qasm_roundtrip(c).unwrap();
             check_dag_oracle(c, i as u64).unwrap();
             check_differential_compile(c).unwrap();
+            check_all_compilers_verified(c).unwrap();
         }
     }
 

@@ -46,8 +46,10 @@
 //! for the equivalence test suite; it is the executable specification the
 //! incremental structure is checked against.
 
+// lint: hot-path
+
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::HashMap; // lint: allow (NaiveDag reference implementation)
 
 use crate::{Circuit, Gate, QubitId};
 
@@ -489,7 +491,7 @@ impl DependencyDag {
         let mut original_indices = Vec::new();
         for (i, g) in circuit.gates().iter().enumerate() {
             if g.is_two_qubit() {
-                gates.push(g.clone());
+                gates.push(g.clone()); // lint: allow (one-time construction, not the scheduling loop)
                 original_indices.push(i);
             }
         }
@@ -675,6 +677,22 @@ impl DependencyDag {
     /// `O(1)`; equivalent to `front().first()`.
     pub fn front_gate(&self) -> Option<DagNodeId> {
         self.ready.first().copied()
+    }
+
+    /// The ready (front-layer) node whose gate acts on exactly the qubit set
+    /// `{a, b}`, in either operand order, or `None` if no ready gate touches
+    /// that pair.
+    ///
+    /// `O(|front|)`. At most one ready node can match: two front-layer gates
+    /// never share a qubit (the later one would depend on the earlier). This
+    /// is the replay primitive of the translation-validation analyzer
+    /// (`crates/verify`), which re-executes a scheduled op stream against the
+    /// source circuit's dependency order.
+    pub fn ready_node_on(&self, a: QubitId, b: QubitId) -> Option<DagNodeId> {
+        self.ready.iter().copied().find(|&node| {
+            let (x, y) = self.operands(node);
+            (x == a && y == b) || (x == b && y == a)
+        })
     }
 
     /// Marks a node as executed, unblocking its successors: the successors
@@ -977,7 +995,7 @@ impl NaiveDag {
         let n = gates.len();
         let mut successors = vec![Vec::new(); n];
         let mut predecessors: Vec<Vec<usize>> = vec![Vec::new(); n];
-        let mut last_user: HashMap<QubitId, usize> = HashMap::new();
+        let mut last_user: HashMap<QubitId, usize> = HashMap::new(); // lint: allow (naive reference)
         for (i, g) in gates.iter().enumerate() {
             let (a, b) = g.two_qubit_pair().expect("two-qubit gate");
             for q in [a, b] {
@@ -1045,8 +1063,8 @@ impl NaiveDag {
         if k == 0 {
             return layers;
         }
-        let mut virtual_preds = self.unexecuted_preds.clone();
-        let mut visited = self.executed.clone();
+        let mut virtual_preds = self.unexecuted_preds.clone(); // lint: allow (naive reference)
+        let mut visited = self.executed.clone(); // lint: allow (naive reference)
         let mut current: Vec<usize> = (0..self.gates.len())
             .filter(|&i| !visited[i] && virtual_preds[i] == 0)
             .collect();
@@ -1189,6 +1207,24 @@ mod tests {
         let n = dag.front_layer()[0];
         assert_eq!(dag.operands(n), (QubitId::new(2), QubitId::new(0)));
         assert_eq!(dag.original_index(n), 0);
+    }
+
+    #[test]
+    fn ready_node_on_finds_the_pair_in_either_order() {
+        let mut c = Circuit::new(6);
+        c.cx(0, 1).cx(2, 3).cx(1, 2);
+        let mut dag = DependencyDag::from_circuit(&c);
+        let q = QubitId::new;
+        let first = dag.ready_node_on(q(0), q(1)).expect("cx(0,1) is ready");
+        assert_eq!(dag.operands(first), (q(0), q(1)));
+        // Reversed query order finds the same node.
+        assert_eq!(dag.ready_node_on(q(1), q(0)), Some(first));
+        // cx(1,2) is blocked by both front gates, and (0,2) never interacts.
+        assert_eq!(dag.ready_node_on(q(1), q(2)), None);
+        assert_eq!(dag.ready_node_on(q(0), q(2)), None);
+        dag.mark_executed(first);
+        dag.mark_executed(dag.ready_node_on(q(2), q(3)).unwrap());
+        assert!(dag.ready_node_on(q(1), q(2)).is_some());
     }
 
     #[test]

@@ -174,6 +174,28 @@ impl Gate {
         matches!(self, Gate::Swap(..))
     }
 
+    /// The single operand of a one-qubit gate or measurement, or `None` for
+    /// two-qubit gates and barriers — the allocation-free counterpart of
+    /// [`Gate::qubits`] for the lowering passes.
+    pub fn single_qubit_target(&self) -> Option<QubitId> {
+        match self {
+            Gate::H(q)
+            | Gate::X(q)
+            | Gate::Y(q)
+            | Gate::Z(q)
+            | Gate::S(q)
+            | Gate::Sdg(q)
+            | Gate::T(q)
+            | Gate::Tdg(q)
+            | Gate::Measure(q) => Some(*q),
+            Gate::Rx { qubit, .. }
+            | Gate::Ry { qubit, .. }
+            | Gate::Rz { qubit, .. }
+            | Gate::U { qubit, .. } => Some(*qubit),
+            _ => None,
+        }
+    }
+
     /// Returns the two operands of a two-qubit gate, or `None` otherwise.
     pub fn two_qubit_pair(&self) -> Option<(QubitId, QubitId)> {
         match self {
@@ -243,6 +265,32 @@ mod tests {
         .is_single_qubit());
         assert!(!Gate::Measure(QubitId::new(0)).is_single_qubit());
         assert!(!Gate::Barrier(vec![]).is_single_qubit());
+    }
+
+    #[test]
+    fn single_qubit_target_matches_qubits_vec() {
+        let gates = [
+            Gate::H(QubitId::new(3)),
+            Gate::Rz {
+                qubit: QubitId::new(1),
+                theta: 0.25,
+            },
+            Gate::U {
+                qubit: QubitId::new(2),
+                theta: 0.1,
+                phi: 0.2,
+                lambda: 0.3,
+            },
+            Gate::Measure(QubitId::new(0)),
+        ];
+        for g in &gates {
+            assert_eq!(g.single_qubit_target(), Some(g.qubits()[0]), "{g}");
+        }
+        assert_eq!(Gate::cx(0, 1).single_qubit_target(), None);
+        assert_eq!(
+            Gate::Barrier(vec![QubitId::new(0)]).single_qubit_target(),
+            None
+        );
     }
 
     #[test]

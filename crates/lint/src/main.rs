@@ -1,0 +1,255 @@
+//! Hot-path contract lint.
+//!
+//! The scheduler loop, placement search, swap-insertion pass, dependency DAG
+//! and executor hold a zero-steady-state-allocation contract (ROADMAP
+//! performance contracts, PRs 1–5). This binary enforces it *textually*: any
+//! file annotated with a `// lint: hot-path` marker line may not use the
+//! allocating idioms below outside its `#[cfg(test)]` module. It is a
+//! token-level scan on purpose — no dependencies, no syn, fast enough for a
+//! pre-commit hook — with per-line `// lint: allow (reason)` escapes for the
+//! few deliberate exceptions (e.g. the `NaiveDag` reference implementation).
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p lint              # scan the workspace; exit 1 on violations
+//! cargo run -p lint -- --self-test   # prove the scanner catches seeded violations
+//! ```
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// The marker that opts a file into the lint.
+const HOT_PATH_MARKER: &str = "// lint: hot-path";
+
+/// The per-line escape hatch (must carry a reason in practice; the scanner
+/// only keys on the prefix).
+const ALLOW_MARKER: &str = "lint: allow";
+
+/// Denied tokens and why. `.mark_executed(` does not match
+/// `.mark_executed_into(` and `.clone()` does not match `.cloned()` — plain
+/// substring search is exact enough for this vocabulary.
+const DENIED: &[(&str, &str)] = &[
+    ("HashMap", "use flat Vec-indexed tables on hot paths"),
+    ("BTreeMap", "use flat Vec-indexed tables on hot paths"),
+    ("format!", "allocates a String per call"),
+    (".clone()", "allocates; restructure to borrow or Copy"),
+    (".front_layer(", "allocates a Vec; use front()"),
+    (
+        ".mark_executed(",
+        "allocates a Vec; use mark_executed_into()",
+    ),
+    (".qubits()", "allocates a Vec; use qubit_pair()"),
+    (".zones()", "allocates a Vec; use zone_pair() / num_zones()"),
+];
+
+/// `true` if the file opts into the lint: the marker must be a whole
+/// (trimmed) line of its own, so merely *mentioning* the marker — in a
+/// string literal or prose, as this file does — never annotates a file.
+fn is_annotated(source: &str) -> bool {
+    source.lines().any(|line| line.trim() == HOT_PATH_MARKER)
+}
+
+/// One lint finding.
+struct Finding {
+    file: PathBuf,
+    line: usize,
+    token: &'static str,
+    hint: &'static str,
+    text: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: denied token `{}` in hot-path file ({})\n    {}",
+            self.file.display(),
+            self.line,
+            self.token,
+            self.hint,
+            self.text.trim()
+        )
+    }
+}
+
+/// Scans one file's contents. Returns nothing for files without the
+/// hot-path marker. Scanning stops at the test *module* — a `#[cfg(test)]`
+/// attribute whose next line declares a `mod` — since test code may allocate
+/// freely (a `#[cfg(test)]` on a lone `use` near the top does not end the
+/// scan).
+fn scan_source(path: &Path, source: &str, findings: &mut Vec<Finding>) {
+    if !is_annotated(source) {
+        return;
+    }
+    let lines: Vec<&str> = source.lines().collect();
+    for (index, &line) in lines.iter().enumerate() {
+        if line.trim_start().starts_with("#[cfg(test)]")
+            && lines
+                .get(index + 1)
+                .is_some_and(|next| next.trim_start().starts_with("mod "))
+        {
+            break;
+        }
+        // The allow check runs on the raw line so the escape can live in a
+        // trailing comment next to the offending token.
+        if line.contains(ALLOW_MARKER) {
+            continue;
+        }
+        // Strip line comments so tokens *mentioned* in docs don't trip the
+        // scan; string literals are not stripped (a denied token inside a
+        // string is suspicious enough to flag).
+        let code = match line.find("//") {
+            Some(pos) => &line[..pos],
+            None => line,
+        };
+        for &(token, hint) in DENIED {
+            if code.contains(token) {
+                findings.push(Finding {
+                    file: path.to_path_buf(),
+                    line: index + 1,
+                    token,
+                    hint,
+                    text: line.to_string(),
+                });
+            }
+        }
+    }
+}
+
+/// Recursively collects `.rs` files under `dir` (skipping `target/`).
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        if path.is_dir() {
+            if name != "target" && name != ".git" {
+                collect_rs_files(&path, out)?;
+            }
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Proves the scanner works: a seeded hot-path violation must be caught, a
+/// clean file and an escaped line must not, and an un-annotated file is
+/// never scanned. Run by CI before trusting a green lint.
+fn self_test() -> Result<(), String> {
+    // Snippets assemble the marker via format! so this file's own lines
+    // never equal the marker (which would annotate the lint itself).
+    let seeded = format!(
+        "{HOT_PATH_MARKER}\nuse std::collections::HashMap;\n\
+         fn hot() {{ let x = vec![1]; let _y = x.clone(); }}\n"
+    );
+    let mut findings = Vec::new();
+    scan_source(Path::new("seeded.rs"), &seeded, &mut findings);
+    if findings.len() != 2 {
+        return Err(format!(
+            "seeded violation: expected 2 findings (HashMap, .clone()), got {}",
+            findings.len()
+        ));
+    }
+
+    let escaped = format!(
+        "{HOT_PATH_MARKER}\n\
+         use std::collections::HashMap; // lint: allow (reference implementation)\n\
+         /// Doc that mentions .clone() and format! is fine.\n\
+         fn hot() {{}}\n\
+         #[cfg(test)]\n\
+         mod tests {{ fn t() {{ let _ = format!(\"tests may allocate\"); }} }}\n"
+    );
+    let mut findings = Vec::new();
+    scan_source(Path::new("escaped.rs"), &escaped, &mut findings);
+    if !findings.is_empty() {
+        return Err(format!(
+            "escape hatches: expected 0 findings, got {} ({})",
+            findings.len(),
+            findings[0]
+        ));
+    }
+
+    // A cfg(test)-gated import near the top must NOT end the scan early.
+    let gated_import = format!(
+        "{HOT_PATH_MARKER}\n\
+         #[cfg(test)]\n\
+         use std::fmt::Debug;\n\
+         fn hot() {{ let _ = format!(\"still scanned\"); }}\n"
+    );
+    let mut findings = Vec::new();
+    scan_source(Path::new("gated.rs"), &gated_import, &mut findings);
+    if findings.len() != 1 {
+        return Err(format!(
+            "cfg(test) import: expected the format! after it to be caught, got {} finding(s)",
+            findings.len()
+        ));
+    }
+
+    let unannotated = "use std::collections::HashMap;\n";
+    let mut findings = Vec::new();
+    scan_source(Path::new("free.rs"), unannotated, &mut findings);
+    if !findings.is_empty() {
+        return Err("un-annotated file must not be scanned".to_string());
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--self-test") {
+        return match self_test() {
+            Ok(()) => {
+                println!("lint self-test passed");
+                ExitCode::SUCCESS
+            }
+            Err(msg) => {
+                eprintln!("lint self-test FAILED: {msg}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    // The workspace root is two levels above this crate's manifest.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint sits two levels below the workspace root")
+        .to_path_buf();
+
+    let mut files = Vec::new();
+    if let Err(err) = collect_rs_files(&root.join("crates"), &mut files) {
+        eprintln!("lint: cannot walk {}: {err}", root.join("crates").display());
+        return ExitCode::from(2);
+    }
+    files.sort();
+
+    let mut findings = Vec::new();
+    let mut scanned = 0usize;
+    for file in &files {
+        let source = match std::fs::read_to_string(file) {
+            Ok(s) => s,
+            Err(err) => {
+                eprintln!("lint: cannot read {}: {err}", file.display());
+                return ExitCode::from(2);
+            }
+        };
+        if is_annotated(&source) {
+            scanned += 1;
+        }
+        scan_source(file, &source, &mut findings);
+    }
+
+    if findings.is_empty() {
+        println!("lint: {scanned} hot-path file(s) clean");
+        ExitCode::SUCCESS
+    } else {
+        for finding in &findings {
+            eprintln!("{finding}");
+        }
+        eprintln!("lint: {} violation(s) in hot-path files", findings.len());
+        ExitCode::FAILURE
+    }
+}

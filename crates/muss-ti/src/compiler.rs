@@ -217,9 +217,11 @@ impl MussTiCompiler {
             swap_insertion_ms,
             lowering_ms: lowering_start.elapsed().as_secs_f64() * 1e3,
         };
+        let initial_placement = mapping.iter().map(|&(q, z)| (q, z.index())).collect();
         let program =
             CompiledProgram::from_parts(&self.name, circuit, ops, metrics, start.elapsed())
-                .with_stage_timings(phases);
+                .with_stage_timings(phases)
+                .with_initial_placement(initial_placement);
         Ok((program, stats.inserted_swaps, phases))
     }
 
@@ -359,7 +361,9 @@ fn assemble_ops(
     }
     for gate in circuit.gates() {
         if gate.is_single_qubit() {
-            let qubit = gate.qubits()[0];
+            let qubit = gate
+                .single_qubit_target()
+                .expect("single-qubit gates have a target");
             if let Some(zone) = zone_at_start.get(qubit.index()).copied().flatten() {
                 ops.push(ScheduledOp::SingleQubitGate {
                     qubit,

@@ -8,6 +8,8 @@
 //! [`NaivePlacement`](crate::NaivePlacement) and pinned against this one by
 //! the `placement_equivalence` suite.
 
+// lint: hot-path
+
 use eml_qccd::{EmlQccdDevice, ModuleId, OpSink, ScheduledOp, ZoneId, ZoneLevel};
 use ion_circuit::QubitId;
 
@@ -38,7 +40,7 @@ impl PlacementState {
     pub fn new(device: &EmlQccdDevice) -> Self {
         PlacementState {
             qubit_zone: Vec::new(),
-            chains: vec![Vec::new(); device.zones().len()],
+            chains: vec![Vec::new(); device.num_zones()],
             last_use: Vec::new(),
             module_count: vec![0; device.num_modules()],
         }
@@ -77,8 +79,8 @@ impl PlacementState {
     /// [`PlacementState::from_mapping`]).
     pub fn reset_from_mapping(&mut self, device: &EmlQccdDevice, mapping: &[(QubitId, ZoneId)]) {
         self.clear();
-        if self.chains.len() < device.zones().len() {
-            self.chains.resize(device.zones().len(), Vec::new());
+        if self.chains.len() < device.num_zones() {
+            self.chains.resize(device.num_zones(), Vec::new());
         }
         if self.module_count.len() < device.num_modules() {
             self.module_count.resize(device.num_modules(), 0);

@@ -14,6 +14,8 @@
 //! bit-identical to the cold-start path, and cost-only passes track shuttle
 //! counts, clocks and placement identically to a full pass.
 
+// lint: hot-path
+
 use std::time::{Duration, Instant};
 
 #[cfg(test)]
@@ -493,7 +495,7 @@ impl<S: OpSink> Scheduler<'_, S> {
         }
         let best_prefix = best_prefix.ok_or_else(|| CompileError::PlacementFailed {
             qubit: a,
-            context: format!("module {module} has no gate-capable zone"),
+            context: format!("module {module} has no gate-capable zone"), // lint: allow (cold error path)
         })?;
 
         // Phase 2: resolve ties with (-affinity, level distance, zone id) —
@@ -548,7 +550,7 @@ impl<S: OpSink> Scheduler<'_, S> {
             .map(|z| z.id)
             .ok_or_else(|| CompileError::PlacementFailed {
                 qubit: q,
-                context: format!("module {module} has no optical zone"),
+                context: format!("module {module} has no optical zone"), // lint: allow (cold error path)
             })?;
         self.move_qubit(q, target, &[q])
     }
@@ -646,17 +648,15 @@ impl<S: OpSink> Scheduler<'_, S> {
             };
             let victim = victim.ok_or_else(|| CompileError::PlacementFailed {
                 qubit: *protected.first().unwrap_or(&QubitId::new(0)),
-                context: format!("zone {zone} is full of protected qubits"),
+                context: format!("zone {zone} is full of protected qubits"), // lint: allow (cold error path)
             })?;
-            let destination =
-                self.eviction_target(zone)
-                    .ok_or_else(|| CompileError::PlacementFailed {
-                        qubit: victim,
-                        context: format!(
-                            "no eviction target with free space in module {}",
-                            self.device.zone(zone).module
-                        ),
-                    })?;
+            let destination = self.eviction_target(zone).ok_or_else(|| {
+                let module = self.device.zone(zone).module;
+                CompileError::PlacementFailed {
+                    qubit: victim,
+                    context: format!("no eviction target in module {module}"), // lint: allow (cold error path)
+                }
+            })?;
             self.state
                 .shuttle_into(self.device, victim, destination, self.ops);
         }

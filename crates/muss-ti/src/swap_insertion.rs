@@ -1,5 +1,7 @@
 //! The SWAP-insertion weight table (Section 3.3 of the paper).
 
+// lint: hot-path
+
 use eml_qccd::ModuleId;
 use ion_circuit::{DagNodeId, DependencyDag, QubitId, WindowSync};
 

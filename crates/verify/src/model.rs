@@ -1,0 +1,222 @@
+//! The abstract device machine the analyzer replays schedules against.
+
+use eml_qccd::{EmlQccdDevice, QccdGridDevice, ResourceId, TrapId};
+
+/// A flattened, device-agnostic description of the target hardware: which
+/// zone belongs to which module, what each zone and module can hold, which
+/// zones can run gates or fiber links, and which shuttle moves the topology
+/// permits at what physical distance.
+///
+/// Both device families of the workspace lower into the same model:
+///
+/// * [`EmlQccdDevice`] — zones keep their module structure; shuttles are
+///   legal between any two distinct zones of one module at the topology's
+///   intra-module distance; fiber links follow the device's module-pair
+///   matrix.
+/// * [`QccdGridDevice`] — every trap becomes its own single-zone "module";
+///   shuttles are legal only between adjacent traps at the grid's hop
+///   distance; no fiber links exist, so *any* `FiberGate` in a grid schedule
+///   is a violation.
+#[derive(Debug, Clone)]
+pub struct DeviceModel {
+    zone_module: Vec<usize>,
+    zone_capacity: Vec<usize>,
+    zone_supports_gates: Vec<bool>,
+    zone_supports_fiber: Vec<bool>,
+    module_capacity: Vec<usize>,
+    /// Row-major `num_modules × num_modules` fiber-link matrix.
+    fiber: Vec<bool>,
+    /// Row-major `num_zones × num_zones` shuttle-distance table; `NaN`
+    /// means the move is not allowed by the topology.
+    shuttle_um: Vec<f64>,
+}
+
+impl DeviceModel {
+    /// Number of zone/trap resource slots.
+    pub fn num_zones(&self) -> usize {
+        self.zone_module.len()
+    }
+
+    /// Number of modules (for grids: one per trap).
+    pub fn num_modules(&self) -> usize {
+        self.module_capacity.len()
+    }
+
+    /// The module a zone belongs to, or `None` for an out-of-range zone id.
+    pub fn zone_module(&self, zone: ResourceId) -> Option<usize> {
+        self.zone_module.get(zone).copied()
+    }
+
+    /// Ion capacity of one zone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the zone id is out of range (callers range-check first).
+    pub fn zone_capacity(&self, zone: ResourceId) -> usize {
+        self.zone_capacity[zone]
+    }
+
+    /// `true` if two-qubit gates may execute in `zone`.
+    pub fn supports_gates(&self, zone: ResourceId) -> bool {
+        self.zone_supports_gates[zone]
+    }
+
+    /// `true` if `zone` has an ion–photon interface for fiber gates.
+    pub fn supports_fiber(&self, zone: ResourceId) -> bool {
+        self.zone_supports_fiber[zone]
+    }
+
+    /// Ion capacity of one module.
+    pub fn module_capacity(&self, module: usize) -> usize {
+        self.module_capacity[module]
+    }
+
+    /// `true` if the optical zones of modules `a` and `b` are fiber-linked.
+    pub fn fiber_linked(&self, a: usize, b: usize) -> bool {
+        self.fiber[a * self.num_modules() + b]
+    }
+
+    /// The physical distance of the shuttle move `from → to`, or `None` if
+    /// the topology does not permit that move (cross-module on EML devices,
+    /// non-adjacent traps on grids, or a zero-length "move").
+    pub fn shuttle_distance_um(&self, from: ResourceId, to: ResourceId) -> Option<f64> {
+        let d = self.shuttle_um[from * self.num_zones() + to];
+        if d.is_nan() {
+            None
+        } else {
+            Some(d)
+        }
+    }
+}
+
+impl From<&EmlQccdDevice> for DeviceModel {
+    fn from(device: &EmlQccdDevice) -> Self {
+        let nz = device.num_zones();
+        let nm = device.num_modules();
+        let mut zone_module = Vec::with_capacity(nz);
+        let mut zone_capacity = Vec::with_capacity(nz);
+        let mut zone_supports_gates = Vec::with_capacity(nz);
+        let mut zone_supports_fiber = Vec::with_capacity(nz);
+        for zone in device.zones() {
+            zone_module.push(zone.module.index());
+            zone_capacity.push(zone.capacity);
+            zone_supports_gates.push(zone.level.supports_gates());
+            zone_supports_fiber.push(zone.level.supports_fiber());
+        }
+        let module_capacity: Vec<usize> = device
+            .modules()
+            .iter()
+            .map(|&m| device.module_capacity(m))
+            .collect();
+        let mut fiber = vec![false; nm * nm];
+        for &a in device.modules() {
+            for &b in device.modules() {
+                fiber[a.index() * nm + b.index()] = a != b && device.fiber_linked(a, b);
+            }
+        }
+        let mut shuttle_um = vec![f64::NAN; nz * nz];
+        let zones = device.zones();
+        for from in zones {
+            for to in zones {
+                if from.id != to.id && from.module == to.module {
+                    shuttle_um[from.id.index() * nz + to.id.index()] =
+                        device.intra_module_distance_um(from.id, to.id);
+                }
+            }
+        }
+        DeviceModel {
+            zone_module,
+            zone_capacity,
+            zone_supports_gates,
+            zone_supports_fiber,
+            module_capacity,
+            fiber,
+            shuttle_um,
+        }
+    }
+}
+
+impl From<&QccdGridDevice> for DeviceModel {
+    fn from(device: &QccdGridDevice) -> Self {
+        let nz = device.num_traps();
+        let cap = device.trap_capacity();
+        let mut shuttle_um = vec![f64::NAN; nz * nz];
+        for a in 0..nz {
+            for b in 0..nz {
+                if device.hop_distance(TrapId(a), TrapId(b)) == 1 {
+                    shuttle_um[a * nz + b] = device.hop_distance_um();
+                }
+            }
+        }
+        DeviceModel {
+            zone_module: (0..nz).collect(),
+            zone_capacity: vec![cap; nz],
+            zone_supports_gates: vec![true; nz],
+            zone_supports_fiber: vec![false; nz],
+            module_capacity: vec![cap; nz],
+            fiber: vec![false; nz * nz],
+            shuttle_um,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eml_qccd::{DeviceConfig, GridConfig, ZoneLevel};
+
+    #[test]
+    fn eml_model_mirrors_the_device() {
+        let device = DeviceConfig::for_qubits(64).build();
+        let model = DeviceModel::from(&device);
+        assert_eq!(model.num_zones(), device.num_zones());
+        assert_eq!(model.num_modules(), device.num_modules());
+        for zone in device.zones() {
+            let z = zone.id.index();
+            assert_eq!(model.zone_module(z), Some(zone.module.index()));
+            assert_eq!(model.zone_capacity(z), zone.capacity);
+            assert_eq!(model.supports_gates(z), zone.level != ZoneLevel::Storage);
+            assert_eq!(model.supports_fiber(z), zone.level == ZoneLevel::Optical);
+        }
+        // Same-module shuttles carry the topology distance; cross-module
+        // and self moves are rejected.
+        let m0 = device.zones_in_module(device.modules()[0]);
+        let (a, b) = (m0[0].id, m0[1].id);
+        assert_eq!(
+            model.shuttle_distance_um(a.index(), b.index()),
+            Some(device.intra_module_distance_um(a, b))
+        );
+        assert_eq!(model.shuttle_distance_um(a.index(), a.index()), None);
+        if device.num_modules() > 1 {
+            let other = device.zones_in_module(device.modules()[1])[0].id;
+            assert_eq!(model.shuttle_distance_um(a.index(), other.index()), None);
+            assert!(model.fiber_linked(0, 1));
+        }
+        assert!(!model.fiber_linked(0, 0));
+    }
+
+    #[test]
+    fn grid_model_allows_only_adjacent_hops_and_no_fiber() {
+        let device = GridConfig::new(2, 3, 4).build();
+        let model = DeviceModel::from(&device);
+        assert_eq!(model.num_zones(), 6);
+        assert_eq!(model.num_modules(), 6);
+        for z in 0..6 {
+            assert!(model.supports_gates(z));
+            assert!(!model.supports_fiber(z));
+            assert_eq!(model.zone_capacity(z), 4);
+        }
+        // Trap 0 is adjacent to 1 (same row) and 3 (next row), not to 4.
+        assert_eq!(
+            model.shuttle_distance_um(0, 1),
+            Some(device.hop_distance_um())
+        );
+        assert_eq!(
+            model.shuttle_distance_um(0, 3),
+            Some(device.hop_distance_um())
+        );
+        assert_eq!(model.shuttle_distance_um(0, 4), None);
+        assert_eq!(model.shuttle_distance_um(0, 0), None);
+        assert!(!model.fiber_linked(0, 1));
+    }
+}

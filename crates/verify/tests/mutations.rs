@@ -1,0 +1,217 @@
+//! Mutation-style negative tests: take a known-good compiled schedule,
+//! corrupt it by hand in a specific way, and assert the verifier reports the
+//! exact violation class that mutation plants. This is the proof the
+//! analyzer has teeth — a verifier that never fires is indistinguishable
+//! from no verifier.
+
+use eml_qccd::{Compiler, DeviceConfig, GridConfig, ScheduledOp};
+use ion_circuit::generators;
+use muss_ti::{MussTiCompiler, MussTiOptions};
+use verify::{DeviceModel, ScheduleVerifier, ViolationKind};
+
+/// A known-good MUSS-TI compile of a circuit big enough to exercise
+/// shuttles, fiber gates and measurements, plus its verifier.
+fn compiled_qft48() -> (
+    ion_circuit::Circuit,
+    eml_qccd::CompiledProgram,
+    ScheduleVerifier,
+) {
+    let circuit = generators::qft(48);
+    let device = DeviceConfig::for_qubits(48).build();
+    let verifier = ScheduleVerifier::new(DeviceModel::from(&device));
+    let program = MussTiCompiler::new(device, MussTiOptions::default())
+        .compile(&circuit)
+        .expect("qft48 compiles");
+    let clean = verifier.verify(&circuit, &program);
+    assert!(clean.is_clean(), "baseline must be clean:\n{clean}");
+    (circuit, program, verifier)
+}
+
+fn has<F: Fn(&ViolationKind) -> bool>(report: &verify::VerifyReport, pred: F) -> bool {
+    report.violations.iter().any(|v| pred(&v.kind))
+}
+
+#[test]
+fn inference_mode_without_placement_is_clean() {
+    // Stripping the initial placement downgrades the verifier to inference
+    // mode (first-mention seeding, no occupancy checks) — still clean, so
+    // callers without placement metadata get the full tracking checks.
+    let (circuit, program, verifier) = compiled_qft48();
+    let report = verifier.verify_ops(&circuit, None, program.ops());
+    assert!(report.is_clean(), "{report}");
+}
+
+#[test]
+fn dropping_a_shuttle_is_detected() {
+    let (circuit, program, verifier) = compiled_qft48();
+    let mut ops = program.ops().to_vec();
+    let at = ops
+        .iter()
+        .position(|op| matches!(op, ScheduledOp::Shuttle { .. }))
+        .expect("qft48 schedules shuttles");
+    ops.remove(at);
+    let report = verifier.verify_ops(&circuit, program.initial_placement(), &ops);
+    assert!(!report.is_clean());
+    // The ion never moved: its next mention is either at a zone it is not in
+    // (a gate or measurement) or the origin of a shuttle it cannot start.
+    assert!(
+        has(&report, |k| matches!(
+            k,
+            ViolationKind::QubitZoneMismatch { .. } | ViolationKind::ShuttleFromWrongZone { .. }
+        )),
+        "{report}"
+    );
+}
+
+#[test]
+fn swapping_two_dependent_gates_is_detected() {
+    let (circuit, program, verifier) = compiled_qft48();
+    let mut ops = program.ops().to_vec();
+    // Find adjacent two-qubit gates in the same zone sharing a qubit: after
+    // exchanging them the later gate runs before its DAG predecessor.
+    let at = ops
+        .windows(2)
+        .position(|w| match (&w[0], &w[1]) {
+            (
+                ScheduledOp::TwoQubitGate { a, b, zone: z1, .. },
+                ScheduledOp::TwoQubitGate {
+                    a: c,
+                    b: d,
+                    zone: z2,
+                    ..
+                },
+            ) => z1 == z2 && (a == c || a == d || b == c || b == d),
+            _ => false,
+        })
+        .expect("qft48 chains same-zone gates");
+    ops.swap(at, at + 1);
+    let report = verifier.verify_ops(&circuit, program.initial_placement(), &ops);
+    assert!(!report.is_clean());
+    assert!(
+        has(&report, |k| matches!(k, ViolationKind::GateNotReady { .. })),
+        "{report}"
+    );
+}
+
+#[test]
+fn off_by_one_ions_in_zone_is_detected() {
+    let (circuit, program, verifier) = compiled_qft48();
+    let mut ops = program.ops().to_vec();
+    let at = ops
+        .iter()
+        .position(|op| matches!(op, ScheduledOp::TwoQubitGate { .. }))
+        .expect("qft48 schedules two-qubit gates");
+    if let ScheduledOp::TwoQubitGate { ions_in_zone, .. } = &mut ops[at] {
+        *ions_in_zone += 1;
+    }
+    let report = verifier.verify_ops(&circuit, program.initial_placement(), &ops);
+    assert!(!report.is_clean());
+    assert!(
+        has(&report, |k| matches!(
+            k,
+            ViolationKind::IonsInZoneMismatch { .. }
+        )),
+        "{report}"
+    );
+}
+
+#[test]
+fn rerouting_a_fiber_gate_into_one_module_is_detected() {
+    let (circuit, program, verifier) = compiled_qft48();
+    let mut ops = program.ops().to_vec();
+    let at = ops
+        .iter()
+        .position(|op| matches!(op, ScheduledOp::FiberGate { .. }))
+        .expect("qft48 schedules fiber gates");
+    // Collapse the gate onto one optical zone. Identical consecutive copies
+    // (an inserted-swap triple) are rewritten too, so the mutation changes
+    // the gate's routing rather than the triple's shape.
+    let original = ops[at].clone();
+    let mut i = at;
+    while ops.get(i) == Some(&original) {
+        if let ScheduledOp::FiberGate { zone_a, zone_b, .. } = &mut ops[i] {
+            *zone_b = *zone_a;
+        }
+        i += 1;
+    }
+    let report = verifier.verify_ops(&circuit, program.initial_placement(), &ops);
+    assert!(!report.is_clean());
+    assert!(
+        has(&report, |k| matches!(
+            k,
+            ViolationKind::FiberSameModule { .. }
+        )),
+        "{report}"
+    );
+}
+
+#[test]
+fn fiber_gate_between_unlinked_modules_is_detected() {
+    // Grid devices have no fiber links at all: injecting a fiber gate into a
+    // baseline schedule must flag both the missing link and the non-optical
+    // endpoints.
+    let circuit = generators::qft(16);
+    let grid = GridConfig::for_qubits(16).build();
+    let verifier = ScheduleVerifier::new(DeviceModel::from(&grid));
+    let program = baselines::MuraliCompiler::for_qubits(16)
+        .compile(&circuit)
+        .expect("qft16 compiles on the grid");
+    assert!(verifier.verify(&circuit, &program).is_clean());
+
+    let mut ops = program.ops().to_vec();
+    let (a, b, zone_a, zone_b) = ops
+        .iter()
+        .find_map(|op| match op {
+            ScheduledOp::TwoQubitGate { a, b, zone, .. } => Some((*a, *b, *zone, (*zone + 1) % 4)),
+            _ => None,
+        })
+        .expect("grid schedule has two-qubit gates");
+    ops.insert(
+        0,
+        ScheduledOp::FiberGate {
+            a,
+            b,
+            zone_a,
+            zone_b,
+        },
+    );
+    let report = verifier.verify_ops(&circuit, program.initial_placement(), &ops);
+    assert!(!report.is_clean());
+    assert!(
+        has(&report, |k| matches!(
+            k,
+            ViolationKind::FiberNotLinked { .. }
+        )),
+        "{report}"
+    );
+    assert!(
+        has(&report, |k| matches!(
+            k,
+            ViolationKind::FiberZoneNotOptical { .. }
+        )),
+        "{report}"
+    );
+}
+
+#[test]
+fn gate_after_measurement_is_detected() {
+    let (circuit, program, verifier) = compiled_qft48();
+    let mut ops = program.ops().to_vec();
+    let (qubit, zone) = ops
+        .iter()
+        .find_map(|op| match op {
+            ScheduledOp::Measurement { qubit, zone } => Some((*qubit, *zone)),
+            _ => None,
+        })
+        .expect("qft48 measures");
+    ops.push(ScheduledOp::SingleQubitGate { qubit, zone });
+    let report = verifier.verify_ops(&circuit, program.initial_placement(), &ops);
+    assert!(!report.is_clean());
+    assert!(
+        has(&report, |k| matches!(
+            k,
+            ViolationKind::GateAfterMeasurement { .. }
+        )),
+        "{report}"
+    );
+}
