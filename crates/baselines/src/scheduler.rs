@@ -481,6 +481,10 @@ pub(crate) fn compile_on_grid_in(
         scheduling_ms,
         swap_insertion_ms: 0.0,
         lowering_ms: lowering_start.elapsed().as_secs_f64() * 1e3,
+        // Hot-path counters are MUSS-TI specific; the baselines have no
+        // look-ahead window or SABRE probe.
+        window_refreshes: 0,
+        probe_skips: 0,
     };
     let initial_placement = mapping.iter().map(|&(q, t)| (q, t.index())).collect();
     Ok(

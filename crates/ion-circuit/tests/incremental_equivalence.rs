@@ -5,6 +5,7 @@
 //! several execution orders.
 
 use ion_circuit::{generators, Circuit, DependencyDag, NaiveDag, QubitId, WindowSync};
+use proptest::prelude::*;
 
 /// The circuits the suite is checked on: one per generator family plus
 /// random circuits under several seeds.
@@ -289,6 +290,111 @@ fn window_delta_replay_matches_naive_window_membership() {
             }
             step += 1;
         }
+    }
+}
+
+/// Drains two DAGs built from the same circuit in lockstep — one with the
+/// window-delta tracker armed at depth `k`, one left on the BFS fallback —
+/// asserting every window query is answer-identical at every step. This pins
+/// the tentpole contract: arming the tracker changes how the window is
+/// *served*, never what it *contains*.
+fn assert_armed_matches_bfs(circuit: &Circuit, k: usize, salt: u64) {
+    let mut armed = DependencyDag::from_circuit(circuit);
+    let mut bfs = DependencyDag::from_circuit(circuit);
+    armed.arm_window_tracker(k);
+    let mut step = 0usize;
+    loop {
+        assert_eq!(
+            armed.lookahead_layers(k),
+            bfs.lookahead_layers(k),
+            "armed/BFS lookahead(k={k}) diverged at step {step} of {} (salt {salt})",
+            circuit.name()
+        );
+        for q in 0..circuit.num_qubits() {
+            let qubit = QubitId::new(q);
+            assert_eq!(
+                armed.next_use_depth(k, qubit),
+                bfs.next_use_depth(k, qubit),
+                "armed/BFS next_use_depth(q{q}, k={k}) diverged at step {step} of {} (salt {salt})",
+                circuit.name()
+            );
+            assert_eq!(
+                armed.count_window_partners(k, qubit, |_| true),
+                bfs.count_window_partners(k, qubit, |_| true),
+                "armed/BFS partner count (q{q}, k={k}) diverged at step {step} of {} (salt {salt})",
+                circuit.name()
+            );
+            // Partner *sets* must match too, not just counts. The two
+            // implementations may walk the window in different orders, so
+            // compare as sorted multisets.
+            let mut armed_partners = Vec::new();
+            armed.for_each_window_partner(k, qubit, |p| armed_partners.push(p));
+            let mut bfs_partners = Vec::new();
+            bfs.for_each_window_partner(k, qubit, |p| bfs_partners.push(p));
+            armed_partners.sort_unstable();
+            bfs_partners.sort_unstable();
+            assert_eq!(
+                armed_partners,
+                bfs_partners,
+                "armed/BFS partner set (q{q}, k={k}) diverged at step {step} of {} (salt {salt})",
+                circuit.name()
+            );
+        }
+        let mut armed_gates = Vec::new();
+        armed.for_each_window_gate(k, |depth, node| armed_gates.push((depth, node)));
+        let mut bfs_gates = Vec::new();
+        bfs.for_each_window_gate(k, |depth, node| bfs_gates.push((depth, node)));
+        armed_gates.sort_unstable();
+        bfs_gates.sort_unstable();
+        assert_eq!(
+            armed_gates,
+            bfs_gates,
+            "armed/BFS window gates (k={k}) diverged at step {step} of {} (salt {salt})",
+            circuit.name()
+        );
+
+        let front = bfs.front_layer();
+        assert_eq!(
+            armed.front_layer(),
+            front,
+            "armed/BFS front layer diverged at step {step} of {} (salt {salt})",
+            circuit.name()
+        );
+        if front.is_empty() {
+            break;
+        }
+        let node = pick(&front, step, salt);
+        armed.mark_executed(node);
+        bfs.mark_executed(node);
+        step += 1;
+    }
+    assert!(armed.all_executed());
+    assert!(bfs.all_executed());
+}
+
+#[test]
+fn armed_window_matches_bfs_window_on_the_generator_suite() {
+    for circuit in suite() {
+        for k in [1usize, 4, 8] {
+            assert_armed_matches_bfs(&circuit, k, 42);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random circuits, random retire orders, several window depths: the
+    /// armed (tracker-derived) window must stay answer-identical to the BFS
+    /// window throughout the drain.
+    #[test]
+    fn armed_window_matches_bfs_window_on_random_circuits(
+        ((qubits, gates, seed), (salt, k_index)) in
+            ((4usize..20, 10usize..140, 0u64..64), (0u64..1 << 60, 0usize..4))
+    ) {
+        let k = [1usize, 2, 4, 8][k_index];
+        let circuit = generators::random_circuit(qubits, gates, seed);
+        assert_armed_matches_bfs(&circuit, k, salt);
     }
 }
 

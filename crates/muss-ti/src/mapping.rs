@@ -117,6 +117,10 @@ pub(crate) fn trivial_mapping(
 /// handed back to the caller still usable (after a
 /// [`reset`](DependencyDag::reset)) for the final scheduling pass.
 ///
+/// Returns the chosen mapping plus whether the probe early-exit fired
+/// (always `false` for the trivial strategy), so the caller can surface the
+/// skip in the bench's per-phase counters.
+///
 /// # Errors
 ///
 /// Propagates capacity errors from [`trivial_mapping`] and scheduling errors
@@ -127,37 +131,96 @@ pub(crate) fn initial_mapping_in(
     device: &EmlQccdDevice,
     options: &MussTiOptions,
     circuit: &Circuit,
-) -> Result<Vec<(QubitId, ZoneId)>, CompileError> {
+) -> Result<(Vec<(QubitId, ZoneId)>, bool), CompileError> {
     let trivial = trivial_mapping(device, circuit.num_qubits())?;
     match options.initial_mapping {
-        InitialMappingStrategy::Trivial => Ok(trivial),
+        InitialMappingStrategy::Trivial => Ok((trivial, false)),
         InitialMappingStrategy::Sabre => {
-            let dry_options = MussTiOptions {
-                enable_swap_insertion: false,
-                ..*options
-            };
             let dag = dag.get_or_insert_with(|| DependencyDag::from_circuit(circuit));
-            let forward = schedule_cost_only(device, &dry_options, dag, &trivial, cx)?;
-            let forward_mapping = cx.state.mapping();
-            // Backward pass over the reversed circuit: flip the forward DAG's
-            // edges in place instead of cloning the circuit and building a
-            // second DAG.
-            dag.reset_reversed();
-            schedule_cost_only(device, &dry_options, dag, &forward_mapping, cx)?;
-            let candidate = cx.state.mapping();
-            // Keep whichever starting placement needs the least transport: the
-            // two-fold search can occasionally end in a worse placement for
-            // highly symmetric circuits, and the pre-loading idea only pays
-            // off when it actually reduces movement.
-            dag.reset_reversed();
-            let probe = schedule_cost_only(device, &dry_options, dag, &candidate, cx)?;
-            if probe.shuttles <= forward.shuttles {
-                Ok(candidate)
+            let (candidate, outcome) = sabre_dry_chain(device, options, dag, &trivial, cx, |_| {})?;
+            let mapping = if outcome.chosen_is_candidate {
+                candidate
             } else {
-                Ok(trivial)
-            }
+                trivial
+            };
+            Ok((mapping, outcome.probe_skipped))
         }
     }
+}
+
+/// How the SABRE two-fold search concluded (diagnostics for the bench's
+/// per-phase counters ride along with the decision).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct DryChainOutcome {
+    /// `true` → the backward pass's final mapping (the candidate) won;
+    /// `false` → the trivial mapping is kept.
+    pub chosen_is_candidate: bool,
+    /// `true` when the forward and backward passes converged back onto the
+    /// trivial mapping and the probe pass was skipped as provably redundant.
+    pub probe_skipped: bool,
+}
+
+/// The SABRE forward → backward → probe chain (Section 3.4), shared by the
+/// sequential [`initial_mapping_in`] path and the overlapped driver in
+/// `compiler.rs`. Returns the candidate mapping plus the decision; the caller
+/// owns `trivial` and picks by [`DryChainOutcome::chosen_is_candidate`].
+///
+/// `on_candidate` fires as soon as the backward pass's final mapping is known
+/// — before the probe runs — so the overlapped driver can hand the candidate
+/// to its speculative final-pass worker while the probe is still in flight.
+///
+/// **Probe early-exit**: when the backward pass lands exactly back on the
+/// trivial mapping, the probe would replay the forward pass move for move —
+/// same DAG orientation (two `reset_reversed` calls round-trip exactly), same
+/// start mapping, same options, scratch state fully re-initialised per pass —
+/// so `probe.shuttles == forward.shuttles` and the `<=` decision picks the
+/// candidate unconditionally. The chain returns right there, skipping the
+/// redundant third dry pass (the DAG is still restored to its forward
+/// orientation first). Decision-identical to running the probe, pinned by the
+/// op-fingerprint suite.
+pub(crate) fn sabre_dry_chain(
+    device: &EmlQccdDevice,
+    options: &MussTiOptions,
+    dag: &mut DependencyDag,
+    trivial: &[(QubitId, ZoneId)],
+    cx: &mut SchedulerScratch,
+    mut on_candidate: impl FnMut(&[(QubitId, ZoneId)]),
+) -> Result<(Vec<(QubitId, ZoneId)>, DryChainOutcome), CompileError> {
+    let dry_options = MussTiOptions {
+        enable_swap_insertion: false,
+        ..*options
+    };
+    let forward = schedule_cost_only(device, &dry_options, dag, trivial, cx)?;
+    let forward_mapping = cx.state.mapping();
+    // Backward pass over the reversed circuit: flip the forward DAG's
+    // edges in place instead of cloning the circuit and building a
+    // second DAG.
+    dag.reset_reversed();
+    schedule_cost_only(device, &dry_options, dag, &forward_mapping, cx)?;
+    let candidate = cx.state.mapping();
+    dag.reset_reversed();
+    on_candidate(&candidate);
+    if candidate == trivial {
+        return Ok((
+            candidate,
+            DryChainOutcome {
+                chosen_is_candidate: true,
+                probe_skipped: true,
+            },
+        ));
+    }
+    // Keep whichever starting placement needs the least transport: the
+    // two-fold search can occasionally end in a worse placement for
+    // highly symmetric circuits, and the pre-loading idea only pays
+    // off when it actually reduces movement.
+    let probe = schedule_cost_only(device, &dry_options, dag, &candidate, cx)?;
+    Ok((
+        candidate,
+        DryChainOutcome {
+            chosen_is_candidate: probe.shuttles <= forward.shuttles,
+            probe_skipped: false,
+        },
+    ))
 }
 
 /// One-shot wrapper over [`initial_mapping_in`] with fresh scratch (tests and
@@ -170,7 +233,7 @@ pub(crate) fn initial_mapping(
 ) -> Result<Vec<(QubitId, ZoneId)>, CompileError> {
     let mut cx = SchedulerScratch::new(device);
     let mut dag = None;
-    initial_mapping_in(&mut cx, &mut dag, device, options, circuit)
+    initial_mapping_in(&mut cx, &mut dag, device, options, circuit).map(|(mapping, _)| mapping)
 }
 
 #[cfg(test)]

@@ -33,6 +33,13 @@ pub struct PlacementState {
     last_use: Vec<u64>,
     /// Ion count per module, indexed by [`ModuleId`].
     module_count: Vec<usize>,
+    /// `move_epoch[q]` counts placements of qubit `q` (initial placement,
+    /// shuttles, logical swaps) since the last [`PlacementState::clear`]; 0
+    /// means "never placed". The scheduler's executability cache keys on the
+    /// operands' epochs: a cached verdict is exact for as long as neither
+    /// operand has moved, because executability reads nothing but the two
+    /// operand zones (and static device topology).
+    move_epoch: Vec<u32>,
 }
 
 impl PlacementState {
@@ -43,6 +50,7 @@ impl PlacementState {
             chains: vec![Vec::new(); device.num_zones()],
             last_use: Vec::new(),
             module_count: vec![0; device.num_modules()],
+            move_epoch: Vec::new(),
         }
     }
 
@@ -66,6 +74,7 @@ impl PlacementState {
         }
         self.last_use.fill(0);
         self.module_count.fill(0);
+        self.move_epoch.fill(0);
     }
 
     /// Re-initialises the state from an explicit qubit → zone assignment,
@@ -93,6 +102,7 @@ impl PlacementState {
         if self.qubit_zone.len() < max_qubit {
             self.qubit_zone.resize(max_qubit, None);
             self.last_use.resize(max_qubit, 0);
+            self.move_epoch.resize(max_qubit, 0);
         }
         for &(q, z) in mapping {
             assert!(
@@ -108,6 +118,7 @@ impl PlacementState {
         if qubit.index() >= self.qubit_zone.len() {
             self.qubit_zone.resize(qubit.index() + 1, None);
             self.last_use.resize(qubit.index() + 1, 0);
+            self.move_epoch.resize(qubit.index() + 1, 0);
         }
     }
 
@@ -121,6 +132,15 @@ impl PlacementState {
         self.qubit_zone[qubit.index()] = Some(zone);
         self.chains[zone.index()].push(qubit);
         self.module_count[device.zone(zone).module.index()] += 1;
+        self.move_epoch[qubit.index()] += 1;
+    }
+
+    /// Number of times `qubit` has been (re)placed since the last
+    /// [`PlacementState::clear`]; 0 if it was never placed (`O(1)`). Any
+    /// change of [`PlacementState::zone_of`]'s answer for a qubit bumps this,
+    /// which is what makes it a sound cache key for per-gate executability.
+    pub fn move_epoch(&self, qubit: QubitId) -> u32 {
+        self.move_epoch.get(qubit.index()).copied().unwrap_or(0)
     }
 
     /// The zone currently holding `qubit`, if it has been placed (`O(1)`).
@@ -264,6 +284,7 @@ impl PlacementState {
 
         self.chains[to.index()].push(qubit);
         self.qubit_zone[qubit.index()] = Some(to);
+        self.move_epoch[qubit.index()] += 1;
     }
 
     /// Logically exchanges two ions that sit in different modules (the effect
@@ -295,6 +316,8 @@ impl PlacementState {
         self.chains[zb.index()][ib] = a;
         self.qubit_zone[a.index()] = Some(zb);
         self.qubit_zone[b.index()] = Some(za);
+        self.move_epoch[a.index()] += 1;
+        self.move_epoch[b.index()] += 1;
     }
 
     /// The final qubit → zone assignment (used by the SABRE two-fold pass).

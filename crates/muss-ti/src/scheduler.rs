@@ -16,6 +16,7 @@
 
 // lint: hot-path
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 #[cfg(test)]
@@ -51,6 +52,14 @@ pub(crate) struct SchedulerScratch {
     /// Pooled newly-ready buffer handed to
     /// [`DependencyDag::mark_executed_into`].
     pub(crate) newly_ready: Vec<DagNodeId>,
+    /// Pooled per-gate executability cache, keyed by the operands' placement
+    /// move epochs: `exec_cache[node] = (epoch_a, epoch_b, executable)`. A
+    /// slot is exact while neither operand has moved — executability reads
+    /// nothing but the two operand zones — so the front-layer scan recomputes
+    /// a gate's verdict only after a shuttle/SWAP actually touched one of its
+    /// operands, instead of on every loop iteration. `(0, 0, _)` is the
+    /// never-computed sentinel (a placed qubit's epoch is always ≥ 1).
+    pub(crate) exec_cache: Vec<(u32, u32, bool)>,
 }
 
 impl SchedulerScratch {
@@ -61,6 +70,7 @@ impl SchedulerScratch {
             weights: WeightTable::default(),
             executable: Vec::new(),
             newly_ready: Vec::new(),
+            exec_cache: Vec::new(),
         }
     }
 
@@ -71,6 +81,7 @@ impl SchedulerScratch {
         self.weights.clear();
         self.executable.clear();
         self.newly_ready.clear();
+        self.exec_cache.clear();
     }
 }
 
@@ -140,6 +151,7 @@ pub(crate) fn schedule_in(
             weights,
             executable,
             newly_ready,
+            exec_cache,
         } = cx;
         run_pass(
             device,
@@ -150,8 +162,11 @@ pub(crate) fn schedule_in(
             weights,
             executable,
             newly_ready,
+            exec_cache,
+            None,
             ops,
         )?
+        .expect("a pass without an abort flag always runs to completion")
     };
     Ok(ScheduleStats {
         shuttles: cx.ops.iter().filter(|o| o.is_shuttle()).count(),
@@ -159,6 +174,59 @@ pub(crate) fn schedule_in(
         final_clock: clock,
         swap_insertion_time,
     })
+}
+
+/// [`schedule_in`] with a cooperative cancellation flag, for the speculative
+/// final pass the overlapped SABRE driver runs on a worker thread: the flag
+/// is checked once per scheduling-loop iteration and a raised flag makes the
+/// pass return `Ok(None)` (aborted — `cx` holds partial, unusable state).
+/// `Ok(Some(stats))` is bit-identical to a plain [`schedule_in`] run: the
+/// flag check reads no scheduling state and the loop body is unchanged.
+///
+/// # Errors
+///
+/// Same conditions as [`schedule_in`].
+pub(crate) fn schedule_in_abortable(
+    device: &EmlQccdDevice,
+    options: &MussTiOptions,
+    dag: &mut DependencyDag,
+    initial_mapping: &[(QubitId, ZoneId)],
+    cx: &mut SchedulerScratch,
+    abort: &AtomicBool,
+) -> Result<Option<ScheduleStats>, CompileError> {
+    cx.ops.clear();
+    let outcome = {
+        let SchedulerScratch {
+            state,
+            ops,
+            weights,
+            executable,
+            newly_ready,
+            exec_cache,
+        } = cx;
+        run_pass(
+            device,
+            options,
+            dag,
+            initial_mapping,
+            state,
+            weights,
+            executable,
+            newly_ready,
+            exec_cache,
+            Some(abort),
+            ops,
+        )?
+    };
+    let Some((clock, inserted_swaps, swap_insertion_time)) = outcome else {
+        return Ok(None);
+    };
+    Ok(Some(ScheduleStats {
+        shuttles: cx.ops.iter().filter(|o| o.is_shuttle()).count(),
+        inserted_swaps,
+        final_clock: clock,
+        swap_insertion_time,
+    }))
 }
 
 /// [`schedule_in`] in [`ScheduleMode::CostOnly`]: runs the identical loop —
@@ -183,6 +251,7 @@ pub(crate) fn schedule_cost_only(
         weights,
         executable,
         newly_ready,
+        exec_cache,
         ..
     } = cx;
     let (clock, inserted_swaps, swap_insertion_time) = run_pass(
@@ -194,8 +263,11 @@ pub(crate) fn schedule_cost_only(
         weights,
         executable,
         newly_ready,
+        exec_cache,
+        None,
         &mut counter,
-    )?;
+    )?
+    .expect("a pass without an abort flag always runs to completion");
     Ok(ScheduleStats {
         shuttles: counter.shuttles,
         inserted_swaps,
@@ -224,8 +296,9 @@ pub(crate) fn schedule_with_mode(
 }
 
 /// The shared pass body behind both modes: resets the placement state,
-/// drives the scheduling loop into `sink` and returns `(final clock,
-/// inserted swaps, swap-insertion time)`.
+/// drives the scheduling loop into `sink` and returns `Some((final clock,
+/// inserted swaps, swap-insertion time))`, or `None` if the optional
+/// cancellation flag was raised mid-pass (speculative worker passes only).
 #[allow(clippy::too_many_arguments)]
 fn run_pass<S: OpSink>(
     device: &EmlQccdDevice,
@@ -236,9 +309,29 @@ fn run_pass<S: OpSink>(
     weights: &mut WeightTable,
     executable: &mut Vec<DagNodeId>,
     newly_ready: &mut Vec<DagNodeId>,
+    exec_cache: &mut Vec<(u32, u32, bool)>,
+    abort: Option<&AtomicBool>,
     sink: &mut S,
-) -> Result<(u64, usize, Duration), CompileError> {
+) -> Result<Option<(u64, usize, Duration)>, CompileError> {
     state.reset_from_mapping(device, initial_mapping);
+    // Reset the executability cache to the never-computed sentinel for every
+    // gate of this pass's DAG (the fill reuses the pooled capacity; a warm
+    // pass allocates only if the DAG outgrew every previous one).
+    exec_cache.clear();
+    exec_cache.resize(dag.len(), (0, 0, false));
+    // Swap-inserting passes maintain the incremental window tracker for the
+    // weight table anyway; arming it up front lets every tie-break look-ahead
+    // query (zone affinity, LRU next-use distance) ride the same maintained
+    // depth/member index `O(Δ)` instead of re-running the layered BFS when a
+    // window gate retires. Answer-identical to the BFS path (pinned by the
+    // ion-circuit equivalence suite); disarmed automatically by the DAG
+    // resets between passes. Cost-only dry passes stay on the lazy BFS
+    // window: their two-phase tie-breaking consults the window far too
+    // rarely to amortise the tracker's per-retirement cone repair (measured
+    // ~2x placement regression when armed there).
+    if options.enable_swap_insertion {
+        dag.arm_window_tracker(options.lookahead_k);
+    }
     let mut scheduler = Scheduler {
         device,
         options,
@@ -248,16 +341,20 @@ fn run_pass<S: OpSink>(
         weights,
         executable,
         newly_ready,
+        exec_cache,
+        abort,
         clock: 0,
         inserted_swaps: 0,
         swap_insertion_time: Duration::ZERO,
     };
-    scheduler.run()?;
-    Ok((
+    if !scheduler.run()? {
+        return Ok(None);
+    }
+    Ok(Some((
         scheduler.clock,
         scheduler.inserted_swaps,
         scheduler.swap_insertion_time,
-    ))
+    )))
 }
 
 /// One-shot wrapper over [`schedule_in`]: builds the DAG and scratch, runs
@@ -292,6 +389,12 @@ struct Scheduler<'a, S: OpSink> {
     executable: &'a mut Vec<DagNodeId>,
     /// Pooled (ignored) newly-ready buffer for `mark_executed_into`.
     newly_ready: &'a mut Vec<DagNodeId>,
+    /// Pooled epoch-keyed executability cache (see
+    /// [`SchedulerScratch::exec_cache`]), reset per pass.
+    exec_cache: &'a mut Vec<(u32, u32, bool)>,
+    /// Cooperative cancellation flag for speculative worker passes (`None`
+    /// on every pass whose result is unconditionally consumed).
+    abort: Option<&'a AtomicBool>,
     /// Logical time: increments once per executed gate; drives LRU decisions.
     clock: u64,
     inserted_swaps: usize,
@@ -299,8 +402,18 @@ struct Scheduler<'a, S: OpSink> {
 }
 
 impl<S: OpSink> Scheduler<'_, S> {
-    fn run(&mut self) -> Result<(), CompileError> {
+    /// Returns `Ok(true)` on completion, `Ok(false)` if the abort flag was
+    /// raised (the only early exit; scheduling state is then half-built).
+    fn run(&mut self) -> Result<bool, CompileError> {
         while !self.dag.all_executed() {
+            if let Some(abort) = self.abort {
+                // Relaxed suffices: the flag is a pure go/stop signal and the
+                // thread-scope join provides the synchronising edge for any
+                // state the aborted pass leaves behind.
+                if abort.load(Ordering::Relaxed) {
+                    return Ok(false);
+                }
+            }
             debug_assert!(
                 !self.dag.front().is_empty(),
                 "a non-empty DAG always has a front layer"
@@ -308,19 +421,44 @@ impl<S: OpSink> Scheduler<'_, S> {
 
             // Prioritise gates that are executable right away (Section 3.2),
             // copied into the pooled buffer first: the borrowed front slice
-            // cannot outlive the execution that mutates the DAG. The buffer
-            // is taken out of `self` only for the fill (the filter closure
-            // borrows `self`) and executed by index so `?` propagates
-            // normally; allocation-free in steady state.
+            // cannot outlive the execution that mutates the DAG. The buffers
+            // are taken out of `self` for the fill (the scan borrows `self`)
+            // and executed by index so `?` propagates normally;
+            // allocation-free in steady state.
+            //
+            // The scan is the loop's hottest code: the whole front layer is
+            // re-examined every iteration, but a gate's executability can
+            // only change when one of its operands moves. The epoch-keyed
+            // cache turns the common re-visit (front gate unchanged since the
+            // last iteration, e.g. blocked gates that stay blocked across an
+            // execute batch or an unrelated route) into two epoch loads and a
+            // compare, recomputing the zone-level verdict only for gates an
+            // actual shuttle/SWAP touched. Answer-identical to an uncached
+            // scan by construction (asserted in debug builds).
             let mut executable = std::mem::take(self.executable);
+            let mut cache = std::mem::take(self.exec_cache);
             executable.clear();
-            executable.extend(
-                self.dag
-                    .front()
-                    .iter()
-                    .copied()
-                    .filter(|&n| self.is_executable(n)),
-            );
+            for &n in self.dag.front() {
+                let (a, b) = self.dag.operands(n);
+                let stamp = (self.state.move_epoch(a), self.state.move_epoch(b));
+                let slot = &mut cache[n.index()];
+                let verdict = if (slot.0, slot.1) == stamp {
+                    slot.2
+                } else {
+                    let fresh = self.is_executable(n);
+                    *slot = (stamp.0, stamp.1, fresh);
+                    fresh
+                };
+                debug_assert_eq!(
+                    verdict,
+                    self.is_executable(n),
+                    "executability cache out of sync for node {n:?}"
+                );
+                if verdict {
+                    executable.push(n);
+                }
+            }
+            *self.exec_cache = cache;
             *self.executable = executable;
             if !self.executable.is_empty() {
                 for i in 0..self.executable.len() {
@@ -342,7 +480,7 @@ impl<S: OpSink> Scheduler<'_, S> {
             );
             self.execute_gate(node)?;
         }
-        Ok(())
+        Ok(true)
     }
 
     fn zone_of(&self, q: QubitId) -> Result<ZoneId, CompileError> {

@@ -1,0 +1,116 @@
+//! Parallel≡sequential driver parity: the overlapped SABRE driver (dry-pass
+//! chain on the main thread, speculative final passes on a scoped worker)
+//! must be decision-identical to the single-threaded driver — same initial
+//! placement, same op stream, same inserted-SWAP count, same metrics. The
+//! `parallel_sabre_threshold` knob selects the driver without touching any
+//! scheduling decision: `0` force-enables the overlap (even on single-core
+//! machines), `usize::MAX` disables it, so comparing the two extremes pins
+//! the drivers against each other on any host.
+
+use eml_qccd::{Compiler, DeviceConfig};
+use ion_circuit::generators;
+use muss_ti::{MussTiCompiler, MussTiOptions};
+use proptest::prelude::*;
+
+/// Compiles `circuit` under both drivers and asserts the programs match.
+fn assert_driver_parity(circuit: &ion_circuit::Circuit, options: MussTiOptions, label: &str) {
+    let device = DeviceConfig::for_qubits(circuit.num_qubits()).build();
+    let sequential = MussTiCompiler::new(
+        device.clone(),
+        options.with_parallel_sabre_threshold(usize::MAX),
+    );
+    let parallel = MussTiCompiler::new(device, options.with_parallel_sabre_threshold(0));
+
+    let (seq_program, seq_swaps) = sequential.compile_with_stats(circuit).unwrap();
+    let (par_program, par_swaps) = parallel.compile_with_stats(circuit).unwrap();
+
+    assert_eq!(
+        par_program.initial_placement(),
+        seq_program.initial_placement(),
+        "{label}: initial placements diverged"
+    );
+    assert_eq!(
+        format!("{:?}", par_program.ops()),
+        format!("{:?}", seq_program.ops()),
+        "{label}: op streams diverged"
+    );
+    assert_eq!(
+        par_swaps, seq_swaps,
+        "{label}: inserted-SWAP counts diverged"
+    );
+    assert_eq!(
+        par_program.metrics().shuttle_count,
+        seq_program.metrics().shuttle_count,
+        "{label}: shuttle counts diverged"
+    );
+}
+
+#[test]
+fn overlapped_driver_matches_sequential_on_the_generator_suite() {
+    let circuits = vec![
+        generators::qft(48),
+        generators::qft(96),
+        generators::ghz(32),
+        generators::adder(64),
+        generators::qaoa(64),
+        generators::supremacy(36),
+        generators::random_circuit(128, 2000, 42),
+    ];
+    for circuit in &circuits {
+        assert_driver_parity(circuit, MussTiOptions::default(), circuit.name());
+        assert_driver_parity(
+            circuit,
+            MussTiOptions::sabre_only(),
+            &format!("{} (sabre_only)", circuit.name()),
+        );
+    }
+}
+
+#[test]
+fn overlapped_driver_matches_sequential_in_warm_sessions() {
+    // Scratch recycling across overlapped compiles: the same session serves
+    // alternating circuits; every program must match its one-shot twin from
+    // the sequential driver (covers the sched2/sched3 pools and the
+    // post-compile scratch swap).
+    let device = DeviceConfig::for_qubits(96).build();
+    let options = MussTiOptions::default();
+    let mut session =
+        MussTiCompiler::new(device.clone(), options.with_parallel_sabre_threshold(0)).session();
+    let sequential = MussTiCompiler::new(device, options.with_parallel_sabre_threshold(usize::MAX));
+    let circuits = [
+        generators::qft(96),
+        generators::random_circuit(96, 600, 17),
+        generators::qft(96),
+        generators::adder(64),
+        generators::random_circuit(96, 600, 17),
+    ];
+    for (i, circuit) in circuits.iter().enumerate() {
+        let warm = session.compile(circuit).unwrap();
+        let cold = sequential.compile(circuit).unwrap();
+        assert_eq!(
+            format!("{:?}", warm.ops()),
+            format!("{:?}", cold.ops()),
+            "session compile #{i} ({}) diverged from the sequential driver",
+            circuit.name()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random circuits: the overlapped driver is program-identical to the
+    /// sequential one (both decision outcomes — candidate and trivial — and
+    /// the probe early-exit all occur across this input space).
+    #[test]
+    fn overlapped_driver_matches_sequential_on_random_circuits(
+        (qubits, gates, seed) in (8..64usize, 20..400usize, 0..128u64)
+    ) {
+        let circuit = generators::random_circuit(qubits, gates, seed);
+        assert_driver_parity(
+            &circuit,
+            MussTiOptions::default(),
+            &format!("random({qubits},{gates},{seed})"),
+        );
+    }
+}
