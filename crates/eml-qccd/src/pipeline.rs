@@ -43,6 +43,8 @@
 //! assert_eq!(format!("{:?}", first.ops()), format!("{:?}", second.ops()));
 //! ```
 
+// lint: concurrency
+
 use std::any::Any;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Duration;
@@ -519,6 +521,10 @@ where
                     let mut ctx = compiler.new_context();
                     let mut produced = Vec::new();
                     loop {
+                        // sync: Relaxed work-stealing ticket — the counter
+                        // only partitions indices (each value claimed once);
+                        // results are ordered by index and published through
+                        // the scope join, not through this atomic.
                         let index = next.fetch_add(1, Ordering::Relaxed);
                         let Some(circuit) = circuits.get(index) else {
                             break;

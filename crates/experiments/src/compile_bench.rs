@@ -575,6 +575,33 @@ mod tests {
     }
 
     #[test]
+    fn window_refreshes_is_a_per_compile_delta_not_a_cumulative_counter() {
+        // `DependencyDag::window_refreshes()` is cumulative per DAG and the
+        // overlapped driver runs two speculative passes on one worker DAG, so
+        // the phases block only stays meaningful if every compile reports its
+        // own delta (dry chain + winning pass). If a cumulative count (or a
+        // discarded speculation) ever leaked through, the warm-session mean
+        // over three iterations would exceed the single-compile value.
+        let circuits = vec![generators::qft(48)];
+        let refreshes = |report: &BenchReport| {
+            report
+                .rows
+                .iter()
+                .find(|r| r.compiler == "MUSS-TI")
+                .and_then(|r| r.phases)
+                .expect("MUSS-TI row reports phases")
+                .window_refreshes
+        };
+        let one = refreshes(&run_with(&circuits, 1));
+        let three = refreshes(&run_with(&circuits, 3));
+        assert!(one > 0, "qft(48) refreshes the look-ahead window");
+        assert_eq!(
+            one, three,
+            "per-compile refresh count must not grow across warm iterations"
+        );
+    }
+
+    #[test]
     fn json_is_well_formed_enough_to_round_trip_keys() {
         let circuits = vec![generators::ghz(8)];
         let report = run_with(&circuits, 1);

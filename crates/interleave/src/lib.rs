@@ -1,0 +1,703 @@
+//! A miniature loom: bounded exhaustive interleaving exploration for the
+//! overlapped SABRE driver's hand-off protocol.
+//!
+//! The production protocol lives in `muss-ti`'s `handoff` module behind the
+//! `SyncOps` trait: a mutex-guarded one-shot slot with a condvar for the
+//! candidate hand-off, plus one cooperative abort flag per speculative lane.
+//! The parity suite exercises it dynamically, but only under whatever
+//! interleavings the host happens to produce. This crate re-runs the same
+//! two-thread protocol as **explicit step functions** over a small explicit
+//! state (the model mirrors `handoff.rs` step for step — every program
+//! counter below names the protocol action it models) and drives a DFS over
+//! *all* bounded schedules, asserting in every interleaving:
+//!
+//! * **no lost wakeup** — the worker never parks forever on the candidate
+//!   hand-off (a schedule with no runnable thread is reported as a
+//!   deadlock, which is exactly what a lost `notify_one` produces);
+//! * **aborts are eventually observed** — a speculative pass whose abort
+//!   flag is raised while it still has abort checks ahead of it must finish
+//!   `Aborted`, never `Done`;
+//! * **exactly one winner** — the happy path swaps exactly one speculative
+//!   scratch into the compile context, and none is swapped after a dry-chain
+//!   failure;
+//! * **the winner matches the sequential driver** — the swapped lane equals
+//!   the value-based decision (`chosen_is_candidate && candidate != trivial`)
+//!   the single-threaded driver would make, and the winning pass ran to
+//!   completion.
+//!
+//! The condvar model is deliberately conservative: `notify_one` on a condvar
+//! nobody waits on is *lost*, waits can wake **spuriously** (budgeted per
+//! schedule), and the check-then-park in `receive` is atomic under the slot
+//! mutex exactly like the real `Condvar::wait`. Mutations ([`Mutation`])
+//! deliberately break the protocol — drop a notify, skip the abort checks,
+//! notify before publishing outside the lock, take the slot after a wakeup
+//! without re-checking it — and the mutation suite asserts the checker
+//! catches every one, so the model cannot silently rot into vacuity.
+
+/// Which speculative lane a flag or pass belongs to; mirrors
+/// `handoff::Lane`.
+pub const TRIVIAL: usize = 0;
+/// See [`TRIVIAL`].
+pub const CANDIDATE: usize = 1;
+
+/// A deliberate protocol bug for mutation testing the checker itself.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Mutation {
+    /// The faithful protocol.
+    None,
+    /// `publish` / `publish_if_empty` store the message but never notify —
+    /// the classic lost-wakeup bug. Expected: deadlock.
+    DropNotify,
+    /// The speculative passes never poll their abort flag. Expected: an
+    /// abort is raised but the pass still completes.
+    SkipAbortCheck,
+    /// The publisher notifies *before* storing the message, outside the
+    /// lock: the wakeup can be consumed (or lost) while the slot is still
+    /// empty, and the store is never re-announced. Expected: deadlock.
+    NotifyBeforePublish,
+    /// After any wakeup the worker takes the slot without re-checking it —
+    /// the missing `while`-loop around `Condvar::wait`. Expected: a spurious
+    /// wakeup hands the worker an empty slot.
+    WaitWithoutRecheck,
+}
+
+impl Mutation {
+    /// Every deliberate bug, for the mutation sweep.
+    pub const ALL: [Mutation; 4] = [
+        Mutation::DropNotify,
+        Mutation::SkipAbortCheck,
+        Mutation::NotifyBeforePublish,
+        Mutation::WaitWithoutRecheck,
+    ];
+}
+
+/// Where (if anywhere) the main thread's dry chain fails in this scenario.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Failure {
+    /// The dry chain succeeds and a decision is made.
+    None,
+    /// The chain errors before the candidate publish (forward/backward pass
+    /// failure): the worker is unblocked via `MainFailed`.
+    BeforePublish,
+    /// The chain errors after the candidate publish (probe failure): the
+    /// published candidate stays in the slot and the raised aborts make the
+    /// worker discard it.
+    AfterPublish,
+}
+
+/// One bounded configuration of the protocol: pass lengths (in abort-check
+/// granules), the decision inputs, the failure point and the spurious-wakeup
+/// budget. The DFS explores every schedule of every scenario.
+#[derive(Clone, Copy, Debug)]
+pub struct Scenario {
+    /// Abort-check granules in the speculative from-trivial pass (≥ 1).
+    pub trivial_pass_steps: u8,
+    /// Abort-check granules in the speculative from-candidate pass (≥ 1).
+    pub candidate_pass_steps: u8,
+    /// The published candidate equals the trivial mapping (probe early-exit
+    /// shape): the from-candidate pass must not run.
+    pub candidate_equals_trivial: bool,
+    /// The dry chain's two-fold decision picked the candidate.
+    pub chosen_is_candidate: bool,
+    /// Where the dry chain fails, if at all.
+    pub failure: Failure,
+    /// How many spurious condvar wakeups the scheduler may inject.
+    pub spurious_wakeups: u8,
+}
+
+impl Scenario {
+    /// The value-based winner the sequential driver would pick.
+    fn use_candidate(&self) -> bool {
+        self.chosen_is_candidate && !self.candidate_equals_trivial
+    }
+
+    /// The bounded scenario space the checker sweeps: every combination of
+    /// pass lengths 1–2, both decision outcomes, candidate≡trivial or not,
+    /// all three failure points and 0–1 spurious wakeups, with redundant
+    /// combinations pruned (a failure before publish never reads the
+    /// decision inputs; a candidate equal to trivial never runs the second
+    /// pass, so its length is irrelevant).
+    pub fn sweep() -> Vec<Scenario> {
+        let mut out = Vec::new();
+        for trivial_pass_steps in 1..=2u8 {
+            for spurious_wakeups in 0..=1u8 {
+                for failure in [Failure::None, Failure::BeforePublish, Failure::AfterPublish] {
+                    if failure == Failure::BeforePublish {
+                        out.push(Scenario {
+                            trivial_pass_steps,
+                            candidate_pass_steps: 1,
+                            candidate_equals_trivial: false,
+                            chosen_is_candidate: false,
+                            failure,
+                            spurious_wakeups,
+                        });
+                        continue;
+                    }
+                    for chosen_is_candidate in [false, true] {
+                        for candidate_equals_trivial in [false, true] {
+                            let cand_steps: &[u8] = if candidate_equals_trivial {
+                                &[1]
+                            } else {
+                                &[1, 2]
+                            };
+                            for &candidate_pass_steps in cand_steps {
+                                out.push(Scenario {
+                                    trivial_pass_steps,
+                                    candidate_pass_steps,
+                                    candidate_equals_trivial,
+                                    chosen_is_candidate,
+                                    failure,
+                                    spurious_wakeups,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A protocol invariant broken in some explored interleaving.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Violation {
+    /// No thread can run but the protocol has not finished — the model's
+    /// rendering of a lost wakeup / permanently parked worker.
+    Deadlock { main: MainPc, worker: WorkerPc },
+    /// A pass completed `Done` although its abort flag was raised while it
+    /// still had abort checks ahead of it.
+    AbortNotObserved { lane: usize },
+    /// The worker consumed the hand-off slot while it was empty (broken
+    /// wait loop + spurious wakeup).
+    TookEmptySlot,
+    /// The happy path swapped a number of scratches other than one.
+    SwapCount { count: u8 },
+    /// A scratch was swapped in even though the dry chain failed.
+    SwapAfterFailure,
+    /// The swapped lane disagrees with the sequential driver's value-based
+    /// decision.
+    WrongWinner { swapped: usize, expected: usize },
+    /// The winning pass did not run to completion.
+    WinnerIncomplete { lane: usize },
+}
+
+/// The message in the hand-off slot; mirrors `handoff::HandoffMsg` with the
+/// candidate abstracted to whether it equals the trivial mapping (the only
+/// property the protocol inspects).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Msg {
+    Ready { equals_trivial: bool },
+    MainFailed,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum PassResult {
+    Done,
+    Aborted,
+}
+
+/// Outcome of the from-candidate speculation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum CandPass {
+    NotRun,
+    Ran(PassResult),
+}
+
+/// Main-thread program counter. Each value models one atomic protocol
+/// action of `sabre_overlapped_passes` / `handoff.rs`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MainPc {
+    /// Dry chain running (forward/backward pass work before the publish).
+    Dry,
+    /// `publish`: acquire the slot lock.
+    PubLock,
+    /// `publish`: store the candidate and notify, under the lock.
+    PubStore,
+    /// `publish`: release the lock.
+    PubUnlock,
+    /// [`Mutation::NotifyBeforePublish`] only: the early unlocked notify.
+    PubNotifyEarly,
+    /// [`Mutation::NotifyBeforePublish`] only: the unlocked store.
+    PubStoreUnlocked,
+    /// `decide`: raise the losing lane's abort flag.
+    Decide,
+    /// `main_failed`: acquire the slot lock.
+    FailLock,
+    /// `main_failed`: publish `MainFailed` if the slot is empty.
+    FailStore,
+    /// `main_failed`: release the lock.
+    FailUnlock,
+    /// `main_failed`: raise the trivial lane's abort.
+    FailAbortTriv,
+    /// `main_failed`: raise the candidate lane's abort.
+    FailAbortCand,
+    /// Join the worker (happy path) — enabled once the worker is done.
+    Join,
+    /// Swap the winning scratch into the compile context.
+    Swap,
+    /// Compile returned successfully.
+    DoneOk,
+    /// Join the worker on the error path.
+    JoinFail,
+    /// Compile returned the dry-chain error.
+    DoneErr,
+}
+
+/// Worker-thread program counter; models the worker closure in
+/// `sabre_overlapped_passes` plus `SyncOps::worker_candidate`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum WorkerPc {
+    /// Speculative final pass from the trivial mapping.
+    RunTrivial,
+    /// `receive`: acquire the slot lock.
+    Acquire,
+    /// `receive`: check the slot under the lock; take the message or park
+    /// (atomically releasing the lock, like `Condvar::wait`).
+    CheckSlot,
+    /// Parked on the condvar.
+    Parked,
+    /// `worker_candidate`: interpret the received message.
+    Interpret,
+    /// `worker_candidate`: the pre-pass abort check on the candidate lane.
+    PreCheck,
+    /// Speculative final pass from the published candidate.
+    RunCandidate,
+    /// Worker finished.
+    Done,
+}
+
+/// The full explicit protocol state one DFS node explores from.
+#[derive(Clone)]
+struct State {
+    main: MainPc,
+    worker: WorkerPc,
+    /// The one-shot hand-off slot (`StdSync::slot`).
+    slot: Option<Msg>,
+    /// Who holds the slot mutex; `Acquire`/`PubLock`/`FailLock` are only
+    /// enabled while this is `None`.
+    lock_held: bool,
+    /// Per-lane cooperative abort flags.
+    abort: [bool; 2],
+    /// A mutated pass sailed past a raised abort flag (diagnosis only).
+    missed_abort: [bool; 2],
+    /// Remaining abort-check granules per speculative pass.
+    remaining: [u8; 2],
+    /// The worker woke from a park at least once (drives
+    /// [`Mutation::WaitWithoutRecheck`]).
+    woke: bool,
+    /// Spurious wakeups the scheduler may still inject.
+    spurious_left: u8,
+    msg: Option<Msg>,
+    from_trivial: Option<PassResult>,
+    from_candidate: CandPass,
+    swapped: Option<usize>,
+    swap_count: u8,
+}
+
+impl State {
+    fn initial(sc: &Scenario) -> State {
+        State {
+            main: MainPc::Dry,
+            worker: WorkerPc::RunTrivial,
+            slot: None,
+            lock_held: false,
+            abort: [false; 2],
+            missed_abort: [false; 2],
+            remaining: [sc.trivial_pass_steps, sc.candidate_pass_steps],
+            woke: false,
+            spurious_left: sc.spurious_wakeups,
+            msg: None,
+            from_trivial: None,
+            from_candidate: CandPass::NotRun,
+            swapped: None,
+            swap_count: 0,
+        }
+    }
+
+    /// `notify_one`: wakes the worker if it is parked; lost otherwise —
+    /// exactly the hazard the lock-held publish closes.
+    fn notify(&mut self) {
+        if self.worker == WorkerPc::Parked {
+            self.worker = WorkerPc::Acquire;
+            self.woke = true;
+        }
+    }
+
+    /// One granule of a speculative pass: an abort check followed by a unit
+    /// of scheduling work. Returns the pass result once it terminates.
+    fn pass_step(&mut self, lane: usize, mutation: Mutation) -> Option<PassResult> {
+        if self.abort[lane] {
+            if mutation == Mutation::SkipAbortCheck {
+                self.missed_abort[lane] = true;
+            } else {
+                return Some(PassResult::Aborted);
+            }
+        }
+        self.remaining[lane] -= 1;
+        if self.remaining[lane] == 0 {
+            Some(PassResult::Done)
+        } else {
+            None
+        }
+    }
+
+    fn worker_enabled(&self) -> bool {
+        match self.worker {
+            WorkerPc::Done | WorkerPc::Parked => false,
+            WorkerPc::Acquire => !self.lock_held,
+            _ => true,
+        }
+    }
+
+    fn worker_step(&mut self, mutation: Mutation) -> Result<(), Violation> {
+        match self.worker {
+            WorkerPc::RunTrivial => {
+                if let Some(result) = self.pass_step(TRIVIAL, mutation) {
+                    if result == PassResult::Done && self.missed_abort[TRIVIAL] {
+                        return Err(Violation::AbortNotObserved { lane: TRIVIAL });
+                    }
+                    self.from_trivial = Some(result);
+                    self.worker = WorkerPc::Acquire;
+                }
+            }
+            WorkerPc::Acquire => {
+                self.lock_held = true;
+                self.worker = WorkerPc::CheckSlot;
+            }
+            WorkerPc::CheckSlot => {
+                if mutation == Mutation::WaitWithoutRecheck && self.woke {
+                    // The broken wait loop: whatever woke us must mean the
+                    // slot is full — except a spurious wakeup means no such
+                    // thing.
+                    match self.slot.take() {
+                        None => return Err(Violation::TookEmptySlot),
+                        some => {
+                            self.msg = some;
+                            self.lock_held = false;
+                            self.worker = WorkerPc::Interpret;
+                        }
+                    }
+                } else if self.slot.is_some() {
+                    self.msg = self.slot.take();
+                    self.lock_held = false;
+                    self.worker = WorkerPc::Interpret;
+                } else {
+                    // Condvar wait: release the lock and park in one atomic
+                    // step, so no store+notify under the lock can fall in
+                    // between.
+                    self.lock_held = false;
+                    self.worker = WorkerPc::Parked;
+                }
+            }
+            WorkerPc::Interpret => match self.msg {
+                Some(Msg::MainFailed)
+                | Some(Msg::Ready {
+                    equals_trivial: true,
+                }) => {
+                    self.worker = WorkerPc::Done;
+                }
+                Some(Msg::Ready {
+                    equals_trivial: false,
+                }) => {
+                    self.worker = WorkerPc::PreCheck;
+                }
+                None => unreachable!("Interpret is only reached with a message"),
+            },
+            WorkerPc::PreCheck => {
+                if self.abort[CANDIDATE] {
+                    self.worker = WorkerPc::Done;
+                } else {
+                    self.worker = WorkerPc::RunCandidate;
+                }
+            }
+            WorkerPc::RunCandidate => {
+                if let Some(result) = self.pass_step(CANDIDATE, mutation) {
+                    if result == PassResult::Done && self.missed_abort[CANDIDATE] {
+                        return Err(Violation::AbortNotObserved { lane: CANDIDATE });
+                    }
+                    self.from_candidate = CandPass::Ran(result);
+                    self.worker = WorkerPc::Done;
+                }
+            }
+            WorkerPc::Parked | WorkerPc::Done => {
+                unreachable!("disabled worker states are never stepped")
+            }
+        }
+        Ok(())
+    }
+
+    fn main_enabled(&self) -> bool {
+        match self.main {
+            MainPc::DoneOk | MainPc::DoneErr => false,
+            MainPc::PubLock | MainPc::FailLock => !self.lock_held,
+            MainPc::Join | MainPc::JoinFail => self.worker == WorkerPc::Done,
+            _ => true,
+        }
+    }
+
+    fn main_step(&mut self, sc: &Scenario, mutation: Mutation) {
+        match self.main {
+            MainPc::Dry => {
+                self.main = if sc.failure == Failure::BeforePublish {
+                    MainPc::FailLock
+                } else if mutation == Mutation::NotifyBeforePublish {
+                    MainPc::PubNotifyEarly
+                } else {
+                    MainPc::PubLock
+                };
+            }
+            MainPc::PubLock => {
+                self.lock_held = true;
+                self.main = MainPc::PubStore;
+            }
+            MainPc::PubStore => {
+                self.slot = Some(Msg::Ready {
+                    equals_trivial: sc.candidate_equals_trivial,
+                });
+                if mutation != Mutation::DropNotify {
+                    self.notify();
+                }
+                self.main = MainPc::PubUnlock;
+            }
+            MainPc::PubUnlock => {
+                self.lock_held = false;
+                self.main = self.after_publish(sc);
+            }
+            MainPc::PubNotifyEarly => {
+                self.notify();
+                self.main = MainPc::PubStoreUnlocked;
+            }
+            MainPc::PubStoreUnlocked => {
+                self.slot = Some(Msg::Ready {
+                    equals_trivial: sc.candidate_equals_trivial,
+                });
+                self.main = self.after_publish(sc);
+            }
+            MainPc::Decide => {
+                let loser = if sc.use_candidate() {
+                    TRIVIAL
+                } else {
+                    CANDIDATE
+                };
+                self.abort[loser] = true;
+                self.main = MainPc::Join;
+            }
+            MainPc::FailLock => {
+                self.lock_held = true;
+                self.main = MainPc::FailStore;
+            }
+            MainPc::FailStore => {
+                if self.slot.is_none() {
+                    self.slot = Some(Msg::MainFailed);
+                    if mutation != Mutation::DropNotify {
+                        self.notify();
+                    }
+                }
+                self.main = MainPc::FailUnlock;
+            }
+            MainPc::FailUnlock => {
+                self.lock_held = false;
+                self.main = MainPc::FailAbortTriv;
+            }
+            MainPc::FailAbortTriv => {
+                self.abort[TRIVIAL] = true;
+                self.main = MainPc::FailAbortCand;
+            }
+            MainPc::FailAbortCand => {
+                self.abort[CANDIDATE] = true;
+                self.main = MainPc::JoinFail;
+            }
+            MainPc::Join => {
+                self.main = MainPc::Swap;
+            }
+            MainPc::Swap => {
+                self.swap_count += 1;
+                self.swapped = Some(if sc.use_candidate() {
+                    CANDIDATE
+                } else {
+                    TRIVIAL
+                });
+                self.main = MainPc::DoneOk;
+            }
+            MainPc::JoinFail => {
+                self.main = MainPc::DoneErr;
+            }
+            MainPc::DoneOk | MainPc::DoneErr => {
+                unreachable!("disabled main states are never stepped")
+            }
+        }
+    }
+
+    fn after_publish(&self, sc: &Scenario) -> MainPc {
+        if sc.failure == Failure::AfterPublish {
+            MainPc::FailLock
+        } else {
+            MainPc::Decide
+        }
+    }
+
+    /// Invariants every *complete* interleaving must satisfy.
+    fn terminal_check(&self, sc: &Scenario) -> Result<(), Violation> {
+        if sc.failure != Failure::None {
+            if self.swap_count != 0 {
+                return Err(Violation::SwapAfterFailure);
+            }
+            return Ok(());
+        }
+        if self.swap_count != 1 {
+            return Err(Violation::SwapCount {
+                count: self.swap_count,
+            });
+        }
+        let expected = if sc.use_candidate() {
+            CANDIDATE
+        } else {
+            TRIVIAL
+        };
+        match self.swapped {
+            Some(lane) if lane == expected => {}
+            Some(lane) => {
+                return Err(Violation::WrongWinner {
+                    swapped: lane,
+                    expected,
+                })
+            }
+            None => unreachable!("swap_count == 1 implies a swapped lane"),
+        }
+        let winner_completed = if sc.use_candidate() {
+            self.from_candidate == CandPass::Ran(PassResult::Done)
+        } else {
+            self.from_trivial == Some(PassResult::Done)
+        };
+        if !winner_completed {
+            return Err(Violation::WinnerIncomplete { lane: expected });
+        }
+        Ok(())
+    }
+}
+
+/// What one exhaustive exploration found.
+#[derive(Clone, Copy, Debug)]
+pub struct Outcome {
+    /// Complete interleavings explored before a violation (or all of them).
+    pub interleavings: u64,
+    /// The first broken invariant, if any schedule exhibits one.
+    pub violation: Option<Violation>,
+}
+
+/// Exhaustively explores every bounded schedule of `scenario` under
+/// `mutation`, stopping at the first violated invariant.
+pub fn explore(scenario: &Scenario, mutation: Mutation) -> Outcome {
+    let mut interleavings = 0;
+    let violation = dfs(
+        &State::initial(scenario),
+        scenario,
+        mutation,
+        &mut interleavings,
+    )
+    .err();
+    Outcome {
+        interleavings,
+        violation,
+    }
+}
+
+fn dfs(
+    state: &State,
+    sc: &Scenario,
+    mutation: Mutation,
+    interleavings: &mut u64,
+) -> Result<(), Violation> {
+    let worker_enabled = state.worker_enabled();
+    let main_enabled = state.main_enabled();
+    if !worker_enabled && !main_enabled {
+        // A spurious wakeup is *possible* here, but real condvars guarantee
+        // none will ever arrive: a state that only a spurious wakeup could
+        // rescue is a lost wakeup, i.e. a deadlock.
+        if state.worker == WorkerPc::Done && matches!(state.main, MainPc::DoneOk | MainPc::DoneErr)
+        {
+            *interleavings += 1;
+            return state.terminal_check(sc);
+        }
+        return Err(Violation::Deadlock {
+            main: state.main,
+            worker: state.worker,
+        });
+    }
+    if worker_enabled {
+        let mut next = state.clone();
+        next.worker_step(mutation)?;
+        dfs(&next, sc, mutation, interleavings)?;
+    }
+    if main_enabled {
+        let mut next = state.clone();
+        next.main_step(sc, mutation);
+        dfs(&next, sc, mutation, interleavings)?;
+    }
+    if state.worker == WorkerPc::Parked && state.spurious_left > 0 {
+        let mut next = state.clone();
+        next.spurious_left -= 1;
+        next.worker = WorkerPc::Acquire;
+        next.woke = true;
+        dfs(&next, sc, mutation, interleavings)?;
+    }
+    Ok(())
+}
+
+/// Runs the full scenario sweep under `mutation`, summing interleavings and
+/// returning the first violation found (if any) with its scenario.
+pub fn sweep(mutation: Mutation) -> (u64, Option<(Scenario, Violation)>) {
+    let mut total = 0;
+    for scenario in Scenario::sweep() {
+        let outcome = explore(&scenario, mutation);
+        total += outcome.interleavings;
+        if let Some(violation) = outcome.violation {
+            return (total, Some((scenario, violation)));
+        }
+    }
+    (total, None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn faithful_protocol_holds_in_every_bounded_interleaving() {
+        let (interleavings, violation) = sweep(Mutation::None);
+        assert!(violation.is_none(), "unexpected violation: {violation:?}");
+        assert!(
+            interleavings >= 1_000,
+            "expected an exhaustive sweep (≥ 1k interleavings), got {interleavings}"
+        );
+    }
+
+    #[test]
+    fn every_scenario_contributes_interleavings() {
+        for scenario in Scenario::sweep() {
+            let outcome = explore(&scenario, Mutation::None);
+            assert!(
+                outcome.interleavings > 0,
+                "scenario explored no complete schedule: {scenario:?}"
+            );
+            assert!(outcome.violation.is_none(), "{scenario:?}");
+        }
+    }
+
+    #[test]
+    fn spurious_wakeups_are_harmless_to_the_faithful_protocol() {
+        // The wait loop re-checks the slot, so a schedule that injects a
+        // spurious wakeup mid-park must reach the same terminal invariants.
+        let scenario = Scenario {
+            trivial_pass_steps: 1,
+            candidate_pass_steps: 1,
+            candidate_equals_trivial: false,
+            chosen_is_candidate: true,
+            failure: Failure::None,
+            spurious_wakeups: 1,
+        };
+        let outcome = explore(&scenario, Mutation::None);
+        assert!(outcome.violation.is_none(), "{:?}", outcome.violation);
+    }
+}

@@ -1,0 +1,48 @@
+//! `interleave` — runs the bounded exhaustive sweep over the hand-off
+//! protocol (every scenario × every schedule), reports the interleaving
+//! count, and re-runs the sweep under each deliberate mutation to prove the
+//! checker still catches broken protocols. Exits non-zero if the faithful
+//! protocol violates an invariant in any schedule, or if any mutation goes
+//! undetected (a vacuous checker is as bad as a broken protocol).
+
+use std::process::ExitCode;
+
+use interleave::{sweep, Mutation, Scenario};
+
+fn main() -> ExitCode {
+    let scenarios = Scenario::sweep().len();
+    let (interleavings, violation) = sweep(Mutation::None);
+    match violation {
+        None => {
+            println!(
+                "interleave: explored {interleavings} interleavings across {scenarios} scenarios — \
+                 no lost wakeup, aborts observed, exactly one winner, decision matches sequential"
+            );
+        }
+        Some((scenario, violation)) => {
+            eprintln!("interleave: VIOLATION {violation:?} in {scenario:?}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let mut failed = false;
+    for mutation in Mutation::ALL {
+        let (explored, violation) = sweep(mutation);
+        match violation {
+            Some((_, violation)) => {
+                println!("interleave: mutation {mutation:?} caught after {explored} interleavings ({violation:?})");
+            }
+            None => {
+                eprintln!(
+                    "interleave: mutation {mutation:?} was NOT caught — the checker is vacuous"
+                );
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

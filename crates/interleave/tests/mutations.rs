@@ -1,0 +1,99 @@
+//! Mutation tests for the model checker itself, mirroring
+//! `crates/verify/tests/mutations.rs`: each test plants one deliberate bug
+//! in the hand-off protocol and asserts the bounded exhaustive sweep
+//! catches it with the *expected* violation. If the checker ever stops
+//! distinguishing a broken protocol from the faithful one, these fail —
+//! the exhaustiveness claim is only worth anything if it can detect the
+//! bugs it exists to rule out.
+
+use interleave::{explore, sweep, Failure, Mutation, Scenario, Violation};
+
+/// The first violation the sweep finds under `mutation`, which must exist.
+fn first_violation(mutation: Mutation) -> Violation {
+    let (_, found) = sweep(mutation);
+    let (scenario, violation) =
+        found.unwrap_or_else(|| panic!("mutation {mutation:?} was not caught by any scenario"));
+    eprintln!("{mutation:?} caught in {scenario:?}: {violation:?}");
+    violation
+}
+
+#[test]
+fn dropping_the_notify_is_caught_as_a_lost_wakeup() {
+    // Publish stores the candidate but never notifies: the worker parks on
+    // the hand-off and nothing ever wakes it — a deadlock in every schedule
+    // where the worker reaches `receive` after the store.
+    assert!(matches!(
+        first_violation(Mutation::DropNotify),
+        Violation::Deadlock { .. }
+    ));
+}
+
+#[test]
+fn skipping_the_abort_checks_is_caught_as_an_unobserved_abort() {
+    // The losing pass never polls its flag, so it runs to completion even
+    // though the decision aborted it.
+    assert!(matches!(
+        first_violation(Mutation::SkipAbortCheck),
+        Violation::AbortNotObserved { .. }
+    ));
+}
+
+#[test]
+fn notifying_before_the_store_outside_the_lock_is_caught() {
+    // The classic inverted publish: the wakeup is delivered (or lost) while
+    // the slot is still empty, and the store is never re-announced — some
+    // schedule parks the worker forever.
+    assert!(matches!(
+        first_violation(Mutation::NotifyBeforePublish),
+        Violation::Deadlock { .. }
+    ));
+}
+
+#[test]
+fn taking_the_slot_without_rechecking_is_caught_under_spurious_wakeups() {
+    // The missing while-loop around `Condvar::wait`: a spurious wakeup hands
+    // the worker an empty slot.
+    assert!(matches!(
+        first_violation(Mutation::WaitWithoutRecheck),
+        Violation::TookEmptySlot
+    ));
+}
+
+#[test]
+fn the_specific_lost_wakeup_schedule_is_reachable() {
+    // Not just "some scenario fails": the minimal hand-off scenario alone
+    // exhibits the DropNotify deadlock, proving the DFS reaches the
+    // park-after-store schedule.
+    let scenario = Scenario {
+        trivial_pass_steps: 1,
+        candidate_pass_steps: 1,
+        candidate_equals_trivial: false,
+        chosen_is_candidate: true,
+        failure: Failure::None,
+        spurious_wakeups: 0,
+    };
+    let outcome = explore(&scenario, Mutation::DropNotify);
+    assert!(matches!(
+        outcome.violation,
+        Some(Violation::Deadlock { .. })
+    ));
+}
+
+#[test]
+fn the_error_path_also_depends_on_its_notify() {
+    // `main_failed` must wake the parked worker too: dropping its notify
+    // deadlocks the wind-down path.
+    let scenario = Scenario {
+        trivial_pass_steps: 1,
+        candidate_pass_steps: 1,
+        candidate_equals_trivial: false,
+        chosen_is_candidate: false,
+        failure: Failure::BeforePublish,
+        spurious_wakeups: 0,
+    };
+    let outcome = explore(&scenario, Mutation::DropNotify);
+    assert!(matches!(
+        outcome.violation,
+        Some(Violation::Deadlock { .. })
+    ));
+}

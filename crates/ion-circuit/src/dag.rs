@@ -145,14 +145,14 @@ impl LookaheadWindow {
         LookaheadWindow {
             valid_k: None,
             dirty: false,
-            layer_nodes: Vec::new(),
-            layer_ends: Vec::new(),
-            next_use_depth: vec![usize::MAX; num_qubits],
-            partners: vec![Vec::new(); num_qubits],
-            touched_qubits: Vec::new(),
-            member_gen: vec![0; num_nodes],
-            pred_gen: vec![0; num_nodes],
-            virtual_preds: vec![0; num_nodes],
+            layer_nodes: Vec::new(), // lint: allow (pooled-buffer setup, grown once and recycled)
+            layer_ends: Vec::new(),  // lint: allow (pooled-buffer setup, grown once and recycled)
+            next_use_depth: vec![usize::MAX; num_qubits], // lint: allow (pooled-buffer setup, grown once and recycled)
+            partners: vec![Vec::new(); num_qubits], // lint: allow (pooled-buffer setup, grown once and recycled)
+            touched_qubits: Vec::new(), // lint: allow (pooled-buffer setup, grown once and recycled)
+            member_gen: vec![0; num_nodes], // lint: allow (pooled-buffer setup, grown once and recycled)
+            pred_gen: vec![0; num_nodes], // lint: allow (pooled-buffer setup, grown once and recycled)
+            virtual_preds: vec![0; num_nodes], // lint: allow (pooled-buffer setup, grown once and recycled)
             generation: 0,
             refreshes: 0,
         }
@@ -315,12 +315,12 @@ impl WindowDeltaTracker {
             armed: false,
             k: 0,
             token: 0,
-            depth: Vec::new(),
-            entered: Vec::new(),
-            left: Vec::new(),
-            gates_on: Vec::new(),
+            depth: Vec::new(), // lint: allow (pooled-buffer setup, grown once and recycled)
+            entered: Vec::new(), // lint: allow (pooled-buffer setup, grown once and recycled)
+            left: Vec::new(),  // lint: allow (pooled-buffer setup, grown once and recycled)
+            gates_on: Vec::new(), // lint: allow (pooled-buffer setup, grown once and recycled)
             worklist: std::collections::BinaryHeap::new(),
-            queued_gen: Vec::new(),
+            queued_gen: Vec::new(), // lint: allow (pooled-buffer setup, grown once and recycled)
             generation: 0,
         }
     }
@@ -592,8 +592,8 @@ pub struct DependencyDag {
 impl DependencyDag {
     /// Builds the dependency DAG over the two-qubit gates of `circuit`.
     pub fn from_circuit(circuit: &Circuit) -> Self {
-        let mut gates = Vec::new();
-        let mut original_indices = Vec::new();
+        let mut gates = Vec::new(); // lint: allow (one-time construction, not the scheduling loop)
+        let mut original_indices = Vec::new(); // lint: allow (one-time construction, not the scheduling loop)
         for (i, g) in circuit.gates().iter().enumerate() {
             if g.is_two_qubit() {
                 gates.push(g.clone()); // lint: allow (one-time construction, not the scheduling loop)
@@ -606,14 +606,14 @@ impl DependencyDag {
             gates,
             original_indices,
             total_gates: circuit.len(),
-            successors: vec![Vec::new(); n],
-            predecessors: vec![Vec::new(); n],
-            unexecuted_preds: vec![0; n],
-            executed: vec![false; n],
+            successors: vec![Vec::new(); n], // lint: allow (one-time construction, not the scheduling loop)
+            predecessors: vec![Vec::new(); n], // lint: allow (one-time construction, not the scheduling loop)
+            unexecuted_preds: vec![0; n], // lint: allow (one-time construction, not the scheduling loop)
+            executed: vec![false; n], // lint: allow (one-time construction, not the scheduling loop)
             remaining: n,
             num_qubits: circuit.num_qubits(),
-            ready: Vec::new(),
-            build_scratch: Vec::new(),
+            ready: Vec::new(), // lint: allow (one-time construction, not the scheduling loop)
+            build_scratch: Vec::new(), // lint: allow (one-time construction, not the scheduling loop)
             window,
             tracker: RefCell::new(WindowDeltaTracker::new()),
         };
@@ -774,7 +774,7 @@ impl DependencyDag {
     /// Thin allocating wrapper over [`front`](DependencyDag::front); prefer
     /// the borrowed slice on hot paths.
     pub fn front_layer(&self) -> Vec<DagNodeId> {
-        self.front().to_vec()
+        self.front().to_vec() // lint: allow (documented allocating wrapper; hot paths use the pooled form)
     }
 
     /// The oldest (program-order first) ready node, if any.
@@ -868,7 +868,7 @@ impl DependencyDag {
     ///
     /// Same conditions as [`mark_executed_into`](DependencyDag::mark_executed_into).
     pub fn mark_executed(&mut self, node: DagNodeId) -> Vec<DagNodeId> {
-        let mut newly_ready = Vec::new();
+        let mut newly_ready = Vec::new(); // lint: allow (documented allocating wrapper; hot paths use the pooled form)
         self.mark_executed_into(node, &mut newly_ready);
         newly_ready
     }
@@ -998,10 +998,10 @@ impl DependencyDag {
     /// indexed queries on hot paths).
     pub fn lookahead_layers(&self, k: usize) -> Vec<Vec<DagNodeId>> {
         if let Some(tracker) = self.armed_tracker(k) {
-            let mut layers: Vec<Vec<DagNodeId>> = Vec::new();
+            let mut layers: Vec<Vec<DagNodeId>> = Vec::new(); // lint: allow (cold path: materialises the returned nesting by design)
             self.for_each_tracked_gate(&tracker, |depth, node| {
                 if depth == layers.len() {
-                    layers.push(Vec::new());
+                    layers.push(Vec::new()); // lint: allow (cold path: materialises the returned nesting by design)
                 }
                 layers[depth].push(DagNodeId(node));
             });
@@ -1237,8 +1237,8 @@ impl NaiveDag {
             .cloned()
             .collect();
         let n = gates.len();
-        let mut successors = vec![Vec::new(); n];
-        let mut predecessors: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut successors = vec![Vec::new(); n]; // lint: allow (naive reference)
+        let mut predecessors: Vec<Vec<usize>> = vec![Vec::new(); n]; // lint: allow (naive reference)
         let mut last_user: HashMap<QubitId, usize> = HashMap::new(); // lint: allow (naive reference)
         for (i, g) in gates.iter().enumerate() {
             let (a, b) = g.two_qubit_pair().expect("two-qubit gate");
@@ -1257,7 +1257,7 @@ impl NaiveDag {
             gates,
             successors,
             unexecuted_preds,
-            executed: vec![false; n],
+            executed: vec![false; n], // lint: allow (naive reference)
             remaining: n,
         }
     }
@@ -1303,7 +1303,7 @@ impl NaiveDag {
     /// (`O(n + window)` per call, on purpose — this is the pre-optimisation
     /// behaviour the cached window must match).
     pub fn lookahead_layers(&self, k: usize) -> Vec<Vec<DagNodeId>> {
-        let mut layers = Vec::new();
+        let mut layers = Vec::new(); // lint: allow (naive reference)
         if k == 0 {
             return layers;
         }
@@ -1317,7 +1317,7 @@ impl NaiveDag {
             for &i in &current {
                 visited[i] = true;
             }
-            let mut next = Vec::new();
+            let mut next = Vec::new(); // lint: allow (naive reference)
             for &i in &current {
                 for &succ in &self.successors[i] {
                     if visited[succ] {

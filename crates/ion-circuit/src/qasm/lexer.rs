@@ -1,5 +1,7 @@
 //! Tokenizer for the OpenQASM 2.0 subset.
 
+// lint: no-panic
+
 use std::fmt;
 
 use super::parser::{Diagnostic, DiagnosticKind};

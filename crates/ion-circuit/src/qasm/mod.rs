@@ -56,6 +56,8 @@
 //! ));
 //! ```
 
+// lint: no-panic
+
 mod lexer;
 mod parser;
 mod writer;

@@ -8,6 +8,8 @@
 //! adversarial input (`qreg q[999999999];`, kilobyte-deep parentheses) is
 //! rejected with an error instead of exhausting memory or the stack.
 
+// lint: no-panic
+
 use std::collections::HashMap;
 use std::error::Error;
 use std::f64::consts::PI;

@@ -1,5 +1,7 @@
 //! OpenQASM 2.0 emission.
 
+// lint: no-panic
+
 use std::fmt::Write as _;
 
 use crate::{Circuit, Gate};

@@ -1,0 +1,9 @@
+//! `analyze` — the multi-pass static-analysis suite (see the crate docs of
+//! [`lint`] for the passes and their markers).
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    lint::run_cli(&args)
+}

@@ -1,0 +1,10 @@
+//! Legacy alias: the binary was renamed to `analyze` when the hot-path lint
+//! grew into the multi-pass suite, but `cargo run -p lint --bin lint` (and
+//! any script that pinned the old name) keeps working through this shim.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    lint::run_cli(&args)
+}

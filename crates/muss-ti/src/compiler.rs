@@ -1,8 +1,6 @@
 //! The MUSS-TI compiler front-end: a staged pipeline (placement → scheduling
 //! → swap insertion → lowering) behind the one-shot [`Compiler`] facade.
 
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Condvar, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -14,23 +12,12 @@ use eml_qccd::{
 };
 use ion_circuit::{Circuit, DependencyDag, Gate, QubitId};
 
+use crate::handoff::{Lane, StdSync, SyncOps};
 use crate::mapping::{
     effective_device_capacity, initial_mapping_in, sabre_dry_chain, trivial_mapping,
 };
 use crate::scheduler::{schedule_in, schedule_in_abortable, ScheduleStats};
 use crate::{InitialMappingStrategy, MussTiContext, MussTiOptions, PhaseTimings};
-
-/// Candidate hand-off message for the overlapped SABRE driver: the main
-/// thread publishes the backward pass's final mapping (or the fact that the
-/// dry chain failed) to the speculative worker exactly once per compile.
-enum CandidateMsg {
-    /// The backward pass's final mapping — the speculative worker's start
-    /// point for the final-from-candidate pass.
-    Ready(Vec<(QubitId, ZoneId)>),
-    /// The dry chain errored before producing a candidate; the worker winds
-    /// down without a second speculation.
-    MainFailed,
-}
 
 /// Whether this process can actually run the overlapped driver's worker on
 /// its own core (queried once — `available_parallelism` reads cgroup state).
@@ -342,10 +329,10 @@ impl MussTiCompiler {
         let placement_start = Instant::now();
         let trivial = trivial_mapping(&self.device, circuit.num_qubits())?;
 
-        let slot: Mutex<Option<CandidateMsg>> = Mutex::new(None);
-        let published = Condvar::new();
-        let abort_triv = AtomicBool::new(false);
-        let abort_cand = AtomicBool::new(false);
+        // The hand-off protocol (candidate slot + condvar + per-lane abort
+        // flags) lives in `handoff`; this driver only decides *when* to call
+        // publish/decide and which pass's scratch wins.
+        let sync: StdSync<Vec<(QubitId, ZoneId)>> = StdSync::new();
 
         let MussTiContext {
             sched,
@@ -354,6 +341,7 @@ impl MussTiCompiler {
             ..
         } = cx;
         let trivial_ref = &trivial;
+        let sync_ref = &sync;
 
         let scoped = thread::scope(|s| {
             let worker = s.spawn(|| {
@@ -367,43 +355,31 @@ impl MussTiCompiler {
                     &mut dag2,
                     trivial_ref,
                     sched2,
-                    &abort_triv,
+                    sync_ref.abort_flag(Lane::Trivial),
                 );
-                let msg = {
-                    let mut guard = slot.lock().expect("candidate slot lock poisoned");
-                    loop {
-                        match guard.take() {
-                            Some(msg) => break msg,
-                            None => {
-                                guard =
-                                    published.wait(guard).expect("candidate slot lock poisoned");
-                            }
-                        }
-                    }
-                };
-                let from_candidate = match msg {
-                    CandidateMsg::MainFailed => None,
-                    // A candidate identical to the trivial mapping would
-                    // replay the from-trivial pass move for move; the
-                    // decision below always consumes that one instead.
-                    CandidateMsg::Ready(c) if c == *trivial_ref => None,
-                    CandidateMsg::Ready(c) => {
-                        if abort_cand.load(Ordering::Relaxed) {
-                            None
-                        } else {
-                            dag2.reset();
-                            Some(schedule_in_abortable(
-                                &self.device,
-                                &self.options,
-                                &mut dag2,
-                                &c,
-                                sched3,
-                                &abort_cand,
-                            ))
-                        }
-                    }
-                };
-                (from_trivial, from_candidate, dag2.window_refreshes())
+                // `window_refreshes()` is cumulative per DAG (reset does not
+                // clear it), so snapshot between the passes: the phases block
+                // must report the *winner's* pass alone, and the loser's
+                // count depends on when its abort landed.
+                let trivial_refreshes = dag2.window_refreshes();
+                let from_candidate = sync_ref.worker_candidate(trivial_ref).map(|c| {
+                    dag2.reset();
+                    schedule_in_abortable(
+                        &self.device,
+                        &self.options,
+                        &mut dag2,
+                        &c,
+                        sched3,
+                        sync_ref.abort_flag(Lane::Candidate),
+                    )
+                });
+                let candidate_refreshes = dag2.window_refreshes() - trivial_refreshes;
+                (
+                    from_trivial,
+                    trivial_refreshes,
+                    from_candidate,
+                    candidate_refreshes,
+                )
             });
 
             let mut dag = DependencyDag::from_circuit(circuit);
@@ -413,11 +389,7 @@ impl MussTiCompiler {
                 &mut dag,
                 trivial_ref,
                 sched,
-                |cand| {
-                    let mut guard = slot.lock().expect("candidate slot lock poisoned");
-                    *guard = Some(CandidateMsg::Ready(cand.to_vec()));
-                    published.notify_one();
-                },
+                |cand| sync_ref.publish_candidate(cand.to_vec()),
             );
 
             let (candidate, outcome) = match chain {
@@ -426,16 +398,8 @@ impl MussTiCompiler {
                     // Unblock and wind down the worker before propagating:
                     // if the forward/backward pass failed the candidate was
                     // never published, so the worker is (or will be) parked
-                    // on the condvar.
-                    {
-                        let mut guard = slot.lock().expect("candidate slot lock poisoned");
-                        if guard.is_none() {
-                            *guard = Some(CandidateMsg::MainFailed);
-                            published.notify_one();
-                        }
-                    }
-                    abort_triv.store(true, Ordering::Relaxed);
-                    abort_cand.store(true, Ordering::Relaxed);
+                    // on the hand-off.
+                    sync_ref.main_failed();
                     let _ = worker.join();
                     return Err(e);
                 }
@@ -446,15 +410,11 @@ impl MussTiCompiler {
             // with candidate == trivial), the from-trivial speculation is the
             // final pass; otherwise the from-candidate one is.
             let use_candidate = outcome.chosen_is_candidate && candidate != *trivial_ref;
-            if use_candidate {
-                abort_triv.store(true, Ordering::Relaxed);
-            } else {
-                abort_cand.store(true, Ordering::Relaxed);
-            }
+            sync_ref.decide(use_candidate);
             let placement_ms = placement_start.elapsed().as_secs_f64() * 1e3;
 
             let scheduling_start = Instant::now();
-            let (from_trivial, from_candidate, dag2_refreshes) = worker
+            let (from_trivial, trivial_refreshes, from_candidate, candidate_refreshes) = worker
                 .join()
                 .expect("speculative scheduling worker panicked");
             // Errors from the *discarded* speculation are ignored — the
@@ -468,9 +428,16 @@ impl MussTiCompiler {
                 from_trivial?.expect("the winning speculative pass is never aborted")
             };
             let scheduling_wall = scheduling_start.elapsed().as_secs_f64() * 1e3;
-            // Dry chain and speculative finals ran on separate DAGs; their
-            // window-refresh counts sum to the compile-wide total.
-            let window_refreshes = dag.window_refreshes() + dag2_refreshes;
+            // The compile-wide count is the dry chain's DAG plus the
+            // *winning* final pass only — exactly what the sequential driver
+            // reports. Counting the aborted loser too would make the number
+            // depend on abort timing (nondeterministic across runs).
+            let winner_refreshes = if use_candidate {
+                candidate_refreshes
+            } else {
+                trivial_refreshes
+            };
+            let window_refreshes = dag.window_refreshes() + winner_refreshes;
             Ok((
                 candidate,
                 outcome,

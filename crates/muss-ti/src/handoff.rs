@@ -1,0 +1,261 @@
+//! The overlapped SABRE driver's hand-off protocol, extracted from the
+//! compiler so the synchronisation logic lives in one place and can be
+//! model-checked exhaustively (see `crates/interleave`).
+//!
+//! Two threads, one compile:
+//!
+//! * the **main** thread runs the dry chain, publishes the backward pass's
+//!   candidate mapping exactly once (or the fact that the chain failed), and
+//!   finally decides which speculation wins;
+//! * the **worker** thread speculatively runs the final pass from the trivial
+//!   mapping, then parks on the candidate hand-off and — if a useful
+//!   candidate arrives — runs the final pass again from it.
+//!
+//! The protocol itself (what gets published when, how the worker interprets
+//! a message, which abort flag the decision raises) is written once as
+//! default methods on [`SyncOps`]; only the five synchronisation primitives
+//! are left to the implementation. Production uses [`StdSync`]
+//! (`Mutex` + `Condvar` + two `AtomicBool`s); the model checker in
+//! `crates/interleave` re-runs the same protocol over explicit step
+//! functions under a DFS of all bounded schedules. Behaviour is pinned by
+//! `parallel_parity.rs` and the 60 op fingerprints.
+
+// lint: concurrency
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// The one message the main thread sends the worker per compile.
+pub(crate) enum HandoffMsg<T> {
+    /// The backward pass's final mapping — the worker's start point for the
+    /// final-from-candidate speculation.
+    Ready(T),
+    /// The dry chain errored before producing a candidate; the worker winds
+    /// down without a second speculation.
+    MainFailed,
+}
+
+/// Which speculative pass an abort flag belongs to.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum Lane {
+    /// The final pass seeded from the trivial mapping (`cx.sched2`).
+    Trivial = 0,
+    /// The final pass seeded from the published candidate (`cx.sched3`).
+    Candidate = 1,
+}
+
+/// The synchronisation primitives the hand-off protocol is written against.
+///
+/// The protocol logic lives in the provided methods below; implementors
+/// supply only the five primitives. Every provided method documents the
+/// invariant the model checker asserts about it.
+pub(crate) trait SyncOps<T: PartialEq> {
+    /// Makes `msg` the published message, waking the worker if it is parked.
+    fn publish(&self, msg: HandoffMsg<T>);
+
+    /// Publishes `msg` only if nothing was published yet (the error path may
+    /// race a candidate that is already in flight — the candidate wins).
+    fn publish_if_empty(&self, msg: HandoffMsg<T>);
+
+    /// Blocks until a message is published and takes it. Called exactly once
+    /// per compile, by the worker.
+    fn receive(&self) -> HandoffMsg<T>;
+
+    /// Raises `lane`'s cooperative abort flag.
+    fn raise_abort(&self, lane: Lane);
+
+    /// Whether `lane`'s abort flag has been raised.
+    fn abort_raised(&self, lane: Lane) -> bool;
+
+    /// Main thread, happy path: hands the backward pass's final mapping to
+    /// the worker. No lost wakeup: if the worker is already parked in
+    /// [`SyncOps::receive`], this wakes it; if not, the worker finds the
+    /// message before parking.
+    fn publish_candidate(&self, candidate: T) {
+        self.publish(HandoffMsg::Ready(candidate));
+    }
+
+    /// Main thread, error path: unblocks the worker (which is, or will be,
+    /// parked on the hand-off) and winds down both speculations. A candidate
+    /// already published is left in place — the raised abort flags make the
+    /// worker discard it.
+    fn main_failed(&self) {
+        self.publish_if_empty(HandoffMsg::MainFailed);
+        self.raise_abort(Lane::Trivial);
+        self.raise_abort(Lane::Candidate);
+    }
+
+    /// Main thread, decision: aborts the losing speculation. The winner's
+    /// flag is never raised, so the winning pass always runs to completion.
+    fn decide(&self, use_candidate: bool) {
+        if use_candidate {
+            self.raise_abort(Lane::Trivial);
+        } else {
+            self.raise_abort(Lane::Candidate);
+        }
+    }
+
+    /// Worker: blocks for the hand-off and interprets the message, returning
+    /// the candidate the from-candidate pass should run from — or `None`
+    /// when that pass must not run (main failed, the candidate would replay
+    /// the from-trivial pass move for move, or the pass was already aborted
+    /// before it started).
+    fn worker_candidate(&self, trivial: &T) -> Option<T> {
+        match self.receive() {
+            HandoffMsg::MainFailed => None,
+            // A candidate identical to the trivial mapping would replay the
+            // from-trivial pass move for move; the decision always consumes
+            // that one instead.
+            HandoffMsg::Ready(c) if c == *trivial => None,
+            HandoffMsg::Ready(c) => {
+                if self.abort_raised(Lane::Candidate) {
+                    None
+                } else {
+                    Some(c)
+                }
+            }
+        }
+    }
+}
+
+/// Production implementation: a mutex-guarded one-shot slot with a condvar
+/// for the hand-off, and one `AtomicBool` per speculative lane for the
+/// cooperative aborts (polled by `schedule_in_abortable`).
+pub(crate) struct StdSync<T> {
+    slot: Mutex<Option<HandoffMsg<T>>>,
+    published: Condvar,
+    aborts: [AtomicBool; 2],
+}
+
+impl<T> StdSync<T> {
+    pub(crate) fn new() -> Self {
+        StdSync {
+            slot: Mutex::new(None),
+            published: Condvar::new(),
+            aborts: [AtomicBool::new(false), AtomicBool::new(false)],
+        }
+    }
+
+    /// The raw abort flag for `lane`, for handing to the scheduler's polling
+    /// loop (which only ever loads it).
+    pub(crate) fn abort_flag(&self, lane: Lane) -> &AtomicBool {
+        &self.aborts[lane as usize]
+    }
+}
+
+impl<T: PartialEq> SyncOps<T> for StdSync<T> {
+    fn publish(&self, msg: HandoffMsg<T>) {
+        let mut guard = self.slot.lock().expect("hand-off slot lock poisoned");
+        *guard = Some(msg);
+        // sync: notify while holding the lock — the worker's check-then-wait
+        // in `receive` runs under the same lock, so the store above and this
+        // wakeup can never fall between its check and its park (no lost
+        // wakeup).
+        self.published.notify_one();
+    }
+
+    fn publish_if_empty(&self, msg: HandoffMsg<T>) {
+        let mut guard = self.slot.lock().expect("hand-off slot lock poisoned");
+        if guard.is_none() {
+            *guard = Some(msg);
+            // sync: same no-lost-wakeup argument as `publish`; skipped when a
+            // message is already in the slot because its publisher notified.
+            self.published.notify_one();
+        }
+    }
+
+    fn receive(&self) -> HandoffMsg<T> {
+        let mut guard = self.slot.lock().expect("hand-off slot lock poisoned");
+        loop {
+            if let Some(msg) = guard.take() {
+                break msg;
+            }
+            // sync: the condvar atomically releases the lock while parking,
+            // closing the check-to-park window, and the loop re-checks the
+            // slot on every wakeup, so a spurious wakeup (or one that raced
+            // another state change) just parks again.
+            guard = self.published.wait(guard).expect("slot lock poisoned");
+        }
+    }
+
+    fn raise_abort(&self, lane: Lane) {
+        // sync: Relaxed suffices — the flag is a monotonic hint polled by the
+        // losing pass's scheduling loop; no other memory is published through
+        // it, and the winner's result is read only after `join` (which
+        // synchronises everything).
+        self.abort_flag(lane).store(true, Ordering::Relaxed);
+    }
+
+    fn abort_raised(&self, lane: Lane) -> bool {
+        // sync: Relaxed pairs with the Relaxed store in `raise_abort`; a
+        // stale read just delays the cooperative abort by one check.
+        self.abort_flag(lane).load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn publish_then_receive_hands_over_the_candidate() {
+        let sync: StdSync<Vec<u32>> = StdSync::new();
+        sync.publish_candidate(vec![1, 2, 3]);
+        assert_eq!(sync.worker_candidate(&vec![0, 0, 0]), Some(vec![1, 2, 3]));
+    }
+
+    #[test]
+    fn receive_blocks_until_published() {
+        let sync: StdSync<Vec<u32>> = StdSync::new();
+        thread::scope(|s| {
+            let worker = s.spawn(|| sync.worker_candidate(&vec![9]));
+            // The worker may or may not have parked yet — the protocol must
+            // be correct either way.
+            sync.publish_candidate(vec![4]);
+            assert_eq!(worker.join().unwrap(), Some(vec![4]));
+        });
+    }
+
+    #[test]
+    fn main_failed_unblocks_a_parked_worker() {
+        let sync: StdSync<Vec<u32>> = StdSync::new();
+        thread::scope(|s| {
+            let worker = s.spawn(|| sync.worker_candidate(&vec![9]));
+            sync.main_failed();
+            assert_eq!(worker.join().unwrap(), None);
+            assert!(sync.abort_raised(Lane::Trivial));
+            assert!(sync.abort_raised(Lane::Candidate));
+        });
+    }
+
+    #[test]
+    fn main_failed_does_not_clobber_a_published_candidate() {
+        let sync: StdSync<Vec<u32>> = StdSync::new();
+        sync.publish_candidate(vec![7]);
+        sync.main_failed();
+        // The candidate stays in the slot, but the raised abort flag makes
+        // the worker discard it.
+        assert_eq!(sync.worker_candidate(&vec![9]), None);
+    }
+
+    #[test]
+    fn candidate_equal_to_trivial_is_discarded() {
+        let sync: StdSync<Vec<u32>> = StdSync::new();
+        sync.publish_candidate(vec![5, 5]);
+        assert_eq!(sync.worker_candidate(&vec![5, 5]), None);
+    }
+
+    #[test]
+    fn decide_aborts_exactly_the_loser() {
+        let sync: StdSync<Vec<u32>> = StdSync::new();
+        sync.decide(true);
+        assert!(sync.abort_raised(Lane::Trivial));
+        assert!(!sync.abort_raised(Lane::Candidate));
+
+        let sync: StdSync<Vec<u32>> = StdSync::new();
+        sync.decide(false);
+        assert!(!sync.abort_raised(Lane::Trivial));
+        assert!(sync.abort_raised(Lane::Candidate));
+    }
+}

@@ -46,11 +46,11 @@ impl PlacementState {
     /// Creates an empty placement (no ion placed yet).
     pub fn new(device: &EmlQccdDevice) -> Self {
         PlacementState {
-            qubit_zone: Vec::new(),
-            chains: vec![Vec::new(); device.num_zones()],
-            last_use: Vec::new(),
-            module_count: vec![0; device.num_modules()],
-            move_epoch: Vec::new(),
+            qubit_zone: Vec::new(), // lint: allow (pooled-buffer setup, grown once and recycled)
+            chains: vec![Vec::new(); device.num_zones()], // lint: allow (pooled-buffer setup, grown once and recycled)
+            last_use: Vec::new(), // lint: allow (pooled-buffer setup, grown once and recycled)
+            module_count: vec![0; device.num_modules()], // lint: allow (pooled-buffer setup, grown once and recycled)
+            move_epoch: Vec::new(), // lint: allow (pooled-buffer setup, grown once and recycled)
         }
     }
 
@@ -89,7 +89,7 @@ impl PlacementState {
     pub fn reset_from_mapping(&mut self, device: &EmlQccdDevice, mapping: &[(QubitId, ZoneId)]) {
         self.clear();
         if self.chains.len() < device.num_zones() {
-            self.chains.resize(device.num_zones(), Vec::new());
+            self.chains.resize(device.num_zones(), Vec::new()); // lint: allow (pooled-buffer setup, grown once and recycled)
         }
         if self.module_count.len() < device.num_modules() {
             self.module_count.resize(device.num_modules(), 0);
@@ -227,7 +227,7 @@ impl PlacementState {
         qubit: QubitId,
         to: ZoneId,
     ) -> Vec<ScheduledOp> {
-        let mut ops = Vec::new();
+        let mut ops = Vec::new(); // lint: allow (documented allocating wrapper; hot paths use the pooled form)
         self.shuttle_into(device, qubit, to, &mut ops);
         ops
     }

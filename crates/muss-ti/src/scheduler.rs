@@ -15,6 +15,7 @@
 //! counts, clocks and placement identically to a full pass.
 
 // lint: hot-path
+// lint: concurrency
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
@@ -66,11 +67,11 @@ impl SchedulerScratch {
     pub(crate) fn new(device: &EmlQccdDevice) -> Self {
         SchedulerScratch {
             state: PlacementState::new(device),
-            ops: Vec::new(),
+            ops: Vec::new(), // lint: allow (pooled-buffer setup, grown once and recycled)
             weights: WeightTable::default(),
-            executable: Vec::new(),
-            newly_ready: Vec::new(),
-            exec_cache: Vec::new(),
+            executable: Vec::new(), // lint: allow (pooled-buffer setup, grown once and recycled)
+            newly_ready: Vec::new(), // lint: allow (pooled-buffer setup, grown once and recycled)
+            exec_cache: Vec::new(), // lint: allow (pooled-buffer setup, grown once and recycled)
         }
     }
 
@@ -407,9 +408,9 @@ impl<S: OpSink> Scheduler<'_, S> {
     fn run(&mut self) -> Result<bool, CompileError> {
         while !self.dag.all_executed() {
             if let Some(abort) = self.abort {
-                // Relaxed suffices: the flag is a pure go/stop signal and the
-                // thread-scope join provides the synchronising edge for any
-                // state the aborted pass leaves behind.
+                // sync: Relaxed suffices — the flag is a pure go/stop signal
+                // and the thread-scope join provides the synchronising edge
+                // for any state the aborted pass leaves behind.
                 if abort.load(Ordering::Relaxed) {
                     return Ok(false);
                 }

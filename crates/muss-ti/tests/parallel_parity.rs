@@ -96,6 +96,45 @@ fn overlapped_driver_matches_sequential_in_warm_sessions() {
     }
 }
 
+#[test]
+fn overlapped_driver_reports_the_sequential_window_refresh_count() {
+    // `DependencyDag::window_refreshes()` is cumulative per DAG, and the
+    // overlapped driver runs *two* speculative final passes on the worker's
+    // DAG. The phases block must report the dry chain plus the winning pass
+    // only: counting the aborted loser too would make the number depend on
+    // when its abort landed (nondeterministic across runs) and diverge from
+    // the sequential driver's deterministic count.
+    let circuits = [
+        generators::qft(64),
+        generators::adder(64),
+        generators::random_circuit(96, 600, 17),
+    ];
+    for circuit in &circuits {
+        let device = DeviceConfig::for_qubits(circuit.num_qubits()).build();
+        let options = MussTiOptions::default();
+        let sequential = MussTiCompiler::new(
+            device.clone(),
+            options.with_parallel_sabre_threshold(usize::MAX),
+        );
+        let parallel = MussTiCompiler::new(device, options.with_parallel_sabre_threshold(0));
+        let (_, _, seq_phases) = sequential.compile_with_phases(circuit).unwrap();
+        assert!(
+            seq_phases.window_refreshes > 0,
+            "{}: expected a non-trivial refresh count",
+            circuit.name()
+        );
+        for rep in 0..3 {
+            let (_, _, par_phases) = parallel.compile_with_phases(circuit).unwrap();
+            assert_eq!(
+                par_phases.window_refreshes,
+                seq_phases.window_refreshes,
+                "{} rep {rep}: overlapped driver's refresh count diverged",
+                circuit.name()
+            );
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 

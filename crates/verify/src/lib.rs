@@ -46,6 +46,8 @@
 //! compile_checked(&compiler, &circuit, &check).unwrap();
 //! ```
 
+// lint: no-panic
+
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -1,5 +1,7 @@
 //! The abstract device machine the analyzer replays schedules against.
 
+// lint: no-panic
+
 use eml_qccd::{EmlQccdDevice, QccdGridDevice, ResourceId, TrapId};
 
 /// A flattened, device-agnostic description of the target hardware: which

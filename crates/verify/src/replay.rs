@@ -1,5 +1,7 @@
 //! The replay engine: an abstract device machine stepped op by op.
 
+// lint: no-panic
+
 use eml_qccd::{CompileError, CompiledProgram, ResourceId, ScheduledOp};
 use ion_circuit::{Circuit, DagNodeId, DependencyDag, QubitId};
 
@@ -424,8 +426,13 @@ impl<'a> Machine<'a> {
                         );
                     }
                 }
-                let module_a = self.model.zone_module(*zone_a).expect("zone range-checked");
-                let module_b = self.model.zone_module(*zone_b).expect("zone range-checked");
+                let (Some(module_a), Some(module_b)) = (
+                    self.model.zone_module(*zone_a),
+                    self.model.zone_module(*zone_b),
+                ) else {
+                    // zone_ok above already reported the range violation.
+                    return 1;
+                };
                 if module_a == module_b {
                     self.report(
                         Some(i),

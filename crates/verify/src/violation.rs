@@ -1,5 +1,7 @@
 //! Structured diagnostics reported by the analyzer.
 
+// lint: no-panic
+
 use std::fmt;
 
 use eml_qccd::ResourceId;
